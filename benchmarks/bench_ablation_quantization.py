@@ -1,0 +1,68 @@
+"""Ablation — message word length of the fixed-point datapath.
+
+The architecture's memory budget (Tables 2/3) is directly proportional to the
+message word length; this benchmark quantifies the error-rate cost of
+narrower messages and the diminishing returns of wider ones, justifying the
+6-bit operating point assumed by the resource model.
+"""
+
+from __future__ import annotations
+
+from scale_config import full_scale
+from repro.analysis import quantization_sweep
+from repro.core import build_memory_map, low_cost_architecture, scaled_architecture
+from repro.sim import SimulationConfig
+from repro.utils.formatting import format_table
+
+
+def test_ablation_quantization(benchmark, benchmark_code, report_sink):
+    """FER vs message word length, alongside the memory cost of each width."""
+    code = benchmark_code
+    ebn0_db = 4.5 if not full_scale() else 4.0
+    config = SimulationConfig(
+        max_frames=300 if not full_scale() else 600,
+        target_frame_errors=60,
+        batch_frames=50 if not full_scale() else 8,
+        all_zero_codeword=True,
+    )
+    widths = (4, 5, 6, 8)
+
+    def run():
+        return quantization_sweep(
+            code,
+            ebn0_db,
+            total_bits_values=widths,
+            iterations=18,
+            config=config,
+            rng=7,
+        )
+
+    studies = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for study in studies:
+        if study.total_bits is None:
+            memory_bits = "-"
+        else:
+            params = low_cost_architecture(
+                message_bits=study.total_bits, channel_bits=study.total_bits
+            )
+            memory_bits = f"{build_memory_map(params).total_bits:,}"
+        rows.append(
+            [study.label, f"{study.point.fer:.3e}", f"{study.point.ber:.3e}", memory_bits]
+        )
+    text = format_table(
+        ["Message format", "FER", "BER", "Decoder memory bits (full-size code)"],
+        rows,
+        title=f"Quantization ablation at Eb/N0 = {ebn0_db} dB (18 iterations, alpha = 1.25)",
+    )
+    report_sink("ablation_quantization", text)
+
+    by_label = {study.label: study.point for study in studies}
+    float_fer = by_label["float"].fer
+    six_bit = [s for s in studies if s.total_bits == 6][0].point
+    four_bit = [s for s in studies if s.total_bits == 4][0].point
+    # 6-bit messages are close to the floating-point reference...
+    assert six_bit.fer <= max(float_fer * 2.5, float_fer + 0.05)
+    # ...and no narrower width does better than 6 bits by a meaningful margin.
+    assert four_bit.fer >= six_bit.fer * 0.5

@@ -1,0 +1,70 @@
+"""Ablation — flooding vs layered message-passing schedule.
+
+The paper's base architecture uses the flooding (two-phase) schedule, whose
+regular 511-cycle sweeps are what make the throughput of Table 1 so easy to
+reason about.  The classical alternative is the row-layered schedule, which
+converges in fewer iterations at the cost of a more serialized memory access
+pattern.  This benchmark quantifies that convergence gap on the same channel
+realizations, which is the quantitative trade-off behind the design choice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from scale_config import full_scale
+from repro.decode import LayeredMinSumDecoder, NormalizedMinSumDecoder
+from repro.sim import MonteCarloSimulator, SimulationConfig
+from repro.utils.formatting import format_table
+
+
+def test_ablation_flooding_vs_layered(benchmark, benchmark_code, report_sink):
+    """Average iterations to converge and FER for both schedules."""
+    code = benchmark_code
+    ebn0_db = 4.5 if not full_scale() else 4.0
+    config = SimulationConfig(
+        max_frames=300 if not full_scale() else 400,
+        target_frame_errors=60,
+        batch_frames=50 if not full_scale() else 8,
+        all_zero_codeword=True,
+    )
+
+    def run():
+        flooding = MonteCarloSimulator(
+            code,
+            NormalizedMinSumDecoder(code, max_iterations=30, alpha=1.25),
+            config=config,
+            rng=31,
+        ).run_point(ebn0_db)
+        layered = MonteCarloSimulator(
+            code,
+            LayeredMinSumDecoder(code, max_iterations=30, alpha=1.25),
+            config=config,
+            rng=31,
+        ).run_point(ebn0_db)
+        return flooding, layered
+
+    flooding, layered = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        ["flooding (paper architecture)", f"{flooding.fer:.3e}", f"{flooding.ber:.3e}",
+         f"{flooding.average_iterations:.2f}"],
+        ["layered (row layers)", f"{layered.fer:.3e}", f"{layered.ber:.3e}",
+         f"{layered.average_iterations:.2f}"],
+    ]
+    text = format_table(
+        ["Schedule", "FER", "BER", "avg iterations"],
+        rows,
+        title=f"Schedule ablation at Eb/N0 = {ebn0_db} dB (max 30 iterations)",
+    )
+    text += (
+        "\n\nThe layered schedule needs fewer iterations per frame; the paper's"
+        "\nflooding architecture trades that for perfectly regular 511-cycle"
+        "\nmemory sweeps (Table 1's cycle counts)."
+    )
+    report_sink("ablation_schedule", text)
+
+    # Error rates must be comparable (same algorithm, different schedule)...
+    assert np.isclose(flooding.fer, layered.fer, rtol=1.0, atol=0.05)
+    # ...and the layered schedule must not need more iterations on average.
+    assert layered.average_iterations <= flooding.average_iterations + 0.5

@@ -1,0 +1,84 @@
+"""Ablation — software decoding speed of the numpy decoders.
+
+Not a figure of the paper, but the practical question a user of this library
+asks first: how fast do the software models decode?  The numbers also put the
+hardware throughput of Table 1 in perspective (the FPGA decoder is several
+orders of magnitude faster than a vectorized numpy implementation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.channel.awgn import ebn0_to_sigma
+from repro.channel.llr import channel_llrs
+from repro.channel.modulation import BPSKModulator
+from repro.decode import (
+    LayeredMinSumDecoder,
+    MinSumDecoder,
+    NormalizedMinSumDecoder,
+    QuantizedMinSumDecoder,
+    SumProductDecoder,
+)
+from repro.decode.stopping import FixedIterations
+
+
+def _make_llrs(code, batch, ebn0_db=4.5, seed=5):
+    rng = np.random.default_rng(seed)
+    codewords = np.zeros((batch, code.block_length), dtype=np.uint8)
+    sigma = ebn0_to_sigma(ebn0_db, code.rate)
+    received = BPSKModulator().modulate(codewords) + rng.normal(0, sigma, codewords.shape)
+    return channel_llrs(received, sigma)
+
+
+BATCH = 16
+
+
+def _bench_decoder(benchmark, code, decoder):
+    llrs = _make_llrs(code, BATCH)
+    result = benchmark(lambda: decoder.decode(llrs))
+    assert np.atleast_2d(result.bits).shape == (BATCH, code.block_length)
+    info_bits_per_batch = BATCH * code.dimension
+    benchmark.extra_info["info_bits_per_call"] = info_bits_per_batch
+
+
+def test_speed_normalized_min_sum_18(benchmark, benchmark_code):
+    """The paper's algorithm: normalized min-sum, fixed 18 iterations."""
+    decoder = NormalizedMinSumDecoder(
+        benchmark_code, max_iterations=18, stopping=FixedIterations()
+    )
+    _bench_decoder(benchmark, benchmark_code, decoder)
+
+
+def test_speed_min_sum_50(benchmark, benchmark_code):
+    """The 50-iteration plain baseline."""
+    decoder = MinSumDecoder(benchmark_code, max_iterations=50, stopping=FixedIterations())
+    _bench_decoder(benchmark, benchmark_code, decoder)
+
+
+def test_speed_sum_product_18(benchmark, benchmark_code):
+    """Full belief propagation (tanh rule)."""
+    decoder = SumProductDecoder(
+        benchmark_code, max_iterations=18, stopping=FixedIterations()
+    )
+    _bench_decoder(benchmark, benchmark_code, decoder)
+
+
+def test_speed_quantized_min_sum_18(benchmark, benchmark_code):
+    """The fixed-point hardware datapath model."""
+    decoder = QuantizedMinSumDecoder(
+        benchmark_code, max_iterations=18, stopping=FixedIterations()
+    )
+    _bench_decoder(benchmark, benchmark_code, decoder)
+
+
+def test_speed_layered_min_sum_18(benchmark, benchmark_code):
+    """Row-layered schedule."""
+    decoder = LayeredMinSumDecoder(benchmark_code, max_iterations=18)
+    _bench_decoder(benchmark, benchmark_code, decoder)
+
+
+def test_speed_early_stopping_advantage(benchmark, benchmark_code):
+    """Syndrome early stopping at moderate SNR (the software win the hardware forgoes)."""
+    decoder = NormalizedMinSumDecoder(benchmark_code, max_iterations=18)
+    _bench_decoder(benchmark, benchmark_code, decoder)

@@ -1,0 +1,77 @@
+"""Figure 3 — base parallel architecture of the decoder.
+
+Figure 3 is the block diagram: controller, input/output memories,
+multi-block message memories and a processing block with many CN/BN units.
+This benchmark regenerates the architecture inventory for both decoder
+configurations: the units instantiated, the memories with their word
+organization, and the cycle schedule of one iteration.
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    IterationSchedule,
+    build_memory_map,
+    high_speed_architecture,
+    low_cost_architecture,
+)
+from repro.utils.formatting import format_table
+
+
+def test_figure3_architecture_inventory(benchmark, report_sink):
+    """Regenerate the block-diagram inventory of Figure 3."""
+    configs = [low_cost_architecture(), high_speed_architecture()]
+
+    def run():
+        inventory = []
+        for params in configs:
+            memories = build_memory_map(params)
+            schedule = IterationSchedule.from_parameters(params)
+            inventory.append((params, memories, schedule))
+        return inventory
+
+    inventory = benchmark(run)
+
+    sections = []
+    for params, memories, schedule in inventory:
+        rows = [
+            ["processing blocks (concurrent frames)", params.processing_blocks],
+            ["BN units per block", params.bn_units_per_block],
+            ["CN units per block", params.cn_units_per_block],
+            ["total BN units", params.total_bn_units],
+            ["total CN units", params.total_cn_units],
+            ["message word width (bits)", params.message_bits * params.concurrent_frames],
+            ["BN phase (cycles)", schedule.bn_phase_cycles],
+            ["CN phase (cycles)", schedule.cn_phase_cycles],
+            ["cycles per iteration", schedule.cycles_per_iteration],
+        ]
+        for bank in memories.banks:
+            rows.append(
+                [
+                    f"memory '{bank.name}'",
+                    f"{bank.banks} bank(s) x {bank.words} words x {bank.word_bits} bits "
+                    f"= {bank.total_bits:,} bits",
+                ]
+            )
+        sections.append(
+            format_table(
+                ["Component", "Value"],
+                rows,
+                title=f"Figure 3 reproduction: {params.name} architecture",
+            )
+        )
+    text = "\n\n".join(sections)
+    report_sink("figure3_architecture", text)
+
+    low_params, low_memories, low_schedule = inventory[0]
+    high_params, high_memories, high_schedule = inventory[1]
+    # The paper's base architecture: 16 BN and 2 CN units, 511-cycle sweeps.
+    assert low_params.bn_units_per_block == 16
+    assert low_params.cn_units_per_block == 2
+    assert low_schedule.bn_phase_cycles == 511
+    # The high-speed version widens the memory words by the frame count.
+    low_word = low_memories.by_name("messages").word_bits
+    high_word = high_memories.by_name("messages").word_bits
+    assert high_word > low_word
+    # Same schedule for both (the speedup comes from concurrency, not clocking).
+    assert low_schedule.cycles_per_iteration == high_schedule.cycles_per_iteration

@@ -1,0 +1,83 @@
+"""Table 1 — output throughput vs number of iterations (200 MHz clock).
+
+Paper values:
+
+    iterations   low-cost   high-speed
+    10           130 Mbps   1040 Mbps
+    18            70 Mbps    560 Mbps
+    50            25 Mbps    200 Mbps
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    ThroughputModel,
+    high_speed_architecture,
+    low_cost_architecture,
+    throughput_table,
+)
+from repro.utils.formatting import format_table
+
+PAPER_TABLE1 = {
+    "low-cost": {10: 130.0, 18: 70.0, 50: 25.0},
+    "high-speed": {10: 1040.0, 18: 560.0, 50: 200.0},
+}
+
+
+def _build_models():
+    configs = [low_cost_architecture(), high_speed_architecture()]
+    return configs, [ThroughputModel(params) for params in configs]
+
+
+def test_table1_throughput(benchmark, report_sink):
+    """Regenerate Table 1 and compare with the paper's values."""
+    configs, models = _build_models()
+
+    def run():
+        return [
+            [model.point(iterations).throughput_mbps for model in models]
+            for iterations in (10, 18, 50)
+        ]
+
+    measured = benchmark(run)
+
+    rows = []
+    for row_index, iterations in enumerate((10, 18, 50)):
+        row = [iterations]
+        for column, params in enumerate(configs):
+            paper = PAPER_TABLE1[params.name][iterations]
+            model_value = measured[row_index][column]
+            row.append(f"{model_value:.0f} Mbps (paper {paper:.0f})")
+        rows.append(row)
+    text = format_table(
+        ["Iterations", "Low-Cost Output Throughput", "High-Speed Output Throughput"],
+        rows,
+        title="Table 1 reproduction: iterations vs output data rate @ 200 MHz",
+    )
+    text += "\n\n" + throughput_table(configs)
+    report_sink("table1_throughput", text)
+
+    # Shape check: within 10% of every paper entry and exactly 8x between the
+    # two configurations.
+    for row_index, iterations in enumerate((10, 18, 50)):
+        low, high = measured[row_index]
+        assert abs(low - PAPER_TABLE1["low-cost"][iterations]) / PAPER_TABLE1["low-cost"][iterations] < 0.10
+        assert abs(high - PAPER_TABLE1["high-speed"][iterations]) / PAPER_TABLE1["high-speed"][iterations] < 0.10
+        assert abs(high / low - 8.0) < 1e-9
+
+
+def test_table1_best_tradeoff_is_18_iterations(benchmark, report_sink):
+    """Section 4: 18 iterations sustain the near-earth rate budget while 50 do not."""
+    _, models = _build_models()
+    low_cost_model = models[0]
+
+    def run():
+        return low_cost_model.iterations_for_throughput(70e6)
+
+    iterations = benchmark(run)
+    text = (
+        "Iterations sustainable at 70 Mbps (low-cost decoder): "
+        f"{iterations} (paper operates at 18)"
+    )
+    report_sink("table1_tradeoff", text)
+    assert iterations >= 18

@@ -1,0 +1,69 @@
+"""Table 2 — low-cost decoder resources on an Altera Cyclone II EP2C50F.
+
+Paper values: 8k ALUTs (16%), 6k registers (12%), 290k memory bits (50%).
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    CYCLONE_II_EP2C50F,
+    estimate_resources,
+    implementation_report,
+    low_cost_architecture,
+)
+from repro.utils.formatting import format_table
+
+PAPER_TABLE2 = {"aluts": 8_000, "registers": 6_000, "memory_bits": 290_000}
+PAPER_TABLE2_UTILIZATION = {"aluts": 0.16, "registers": 0.12, "memory_bits": 0.50}
+
+
+def test_table2_lowcost_resources(benchmark, report_sink):
+    """Regenerate Table 2 from the analytical resource model."""
+    params = low_cost_architecture()
+
+    def run():
+        return estimate_resources(params)
+
+    estimate = benchmark(run)
+    utilization = CYCLONE_II_EP2C50F.utilization(estimate)
+
+    rows = [
+        [
+            "measured",
+            f"{estimate.aluts / 1000:.1f}k ({utilization.alut_fraction:.0%})",
+            f"{estimate.registers / 1000:.1f}k ({utilization.register_fraction:.0%})",
+            f"{estimate.memory_bits / 1000:.0f}k ({utilization.memory_fraction:.0%})",
+        ],
+        [
+            "paper",
+            "8k (16%)",
+            "6k (12%)",
+            "290k (50%)",
+        ],
+    ]
+    text = format_table(
+        ["", "ALUTs", "Registers", "Total Memory Bits"],
+        rows,
+        title="Table 2 reproduction: low-cost decoder on Cyclone II EP2C50F",
+    )
+    text += "\n\n" + implementation_report(params, CYCLONE_II_EP2C50F)
+    report_sink("table2_lowcost_resources", text)
+
+    assert abs(estimate.aluts - PAPER_TABLE2["aluts"]) / PAPER_TABLE2["aluts"] < 0.10
+    assert abs(estimate.registers - PAPER_TABLE2["registers"]) / PAPER_TABLE2["registers"] < 0.10
+    assert abs(estimate.memory_bits - PAPER_TABLE2["memory_bits"]) / PAPER_TABLE2["memory_bits"] < 0.08
+    assert utilization.fits
+
+
+def test_table2_memory_breakdown(benchmark, report_sink):
+    """The message memory dominates, as the paper's optimized-storage discussion implies."""
+    params = low_cost_architecture()
+
+    def run():
+        return estimate_resources(params).memory_breakdown
+
+    breakdown = benchmark(run)
+    rows = [[name, f"{bits:,}"] for name, bits in sorted(breakdown.items())]
+    text = format_table(["Memory", "Bits"], rows, title="Low-cost decoder memory breakdown")
+    report_sink("table2_memory_breakdown", text)
+    assert breakdown["messages"] == max(breakdown.values())

@@ -1,0 +1,71 @@
+"""Table 3 — high-speed decoder resources on an Altera Stratix II EP2S180.
+
+Paper values: 38k ALUTs (27%), 30k registers (20%), ~1300k memory bits.
+The headline claim of Section 4.2: 8x the throughput for ~4x the resources.
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    STRATIX_II_EP2S180,
+    estimate_resources,
+    high_speed_architecture,
+    implementation_report,
+    low_cost_architecture,
+)
+from repro.utils.formatting import format_table
+
+PAPER_TABLE3 = {"aluts": 38_000, "registers": 30_000, "memory_bits": 1_300_000}
+
+
+def test_table3_highspeed_resources(benchmark, report_sink):
+    """Regenerate Table 3 from the analytical resource model."""
+    params = high_speed_architecture()
+
+    def run():
+        return estimate_resources(params)
+
+    estimate = benchmark(run)
+    utilization = STRATIX_II_EP2S180.utilization(estimate)
+
+    rows = [
+        [
+            "measured",
+            f"{estimate.aluts / 1000:.1f}k ({utilization.alut_fraction:.0%})",
+            f"{estimate.registers / 1000:.1f}k ({utilization.register_fraction:.0%})",
+            f"{estimate.memory_bits / 1000:.0f}k ({utilization.memory_fraction:.0%})",
+        ],
+        ["paper", "38k (27%)", "30k (20%)", "1300kb (20%)"],
+    ]
+    text = format_table(
+        ["", "ALUTs", "Registers", "Total Memory Bits"],
+        rows,
+        title="Table 3 reproduction: high-speed decoder on Stratix II EP2S180",
+    )
+    text += "\n\n" + implementation_report(params, STRATIX_II_EP2S180)
+    report_sink("table3_highspeed_resources", text)
+
+    assert abs(estimate.aluts - PAPER_TABLE3["aluts"]) / PAPER_TABLE3["aluts"] < 0.10
+    assert abs(estimate.registers - PAPER_TABLE3["registers"]) / PAPER_TABLE3["registers"] < 0.10
+    assert abs(estimate.memory_bits - PAPER_TABLE3["memory_bits"]) / PAPER_TABLE3["memory_bits"] < 0.10
+    assert utilization.fits
+
+
+def test_table3_scaling_claim(benchmark, report_sink):
+    """Section 4.2: '8x the throughput while only increasing resources by about four'."""
+
+    def run():
+        low = estimate_resources(low_cost_architecture())
+        high = estimate_resources(high_speed_architecture())
+        return high.scaled_by(low)
+
+    ratios = benchmark(run)
+    rows = [[name, f"x{value:.2f}"] for name, value in ratios.items()]
+    text = format_table(
+        ["Resource", "High-speed / low-cost"],
+        rows,
+        title="Resource scaling for 8x throughput (paper: 'about four')",
+    )
+    report_sink("table3_scaling", text)
+    for value in ratios.values():
+        assert 3.5 < value < 6.0

@@ -1,0 +1,52 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark reproduces one table or figure of the paper.  By default the
+Monte-Carlo benchmarks run on the *scaled twin* of the CCSDS code (identical
+2 x 16 weight-2 circulant structure, smaller circulants) with modest frame
+budgets so that ``pytest benchmarks/ --benchmark-only`` completes in a couple
+of minutes; setting the environment variable ``REPRO_FULL_SCALE=1`` switches
+to the full 8176-bit code and paper-scale frame counts.
+
+The analytical benchmarks (Tables 1-3, Figures 2/3) always use the full-size
+architecture parameters — they are cheap.
+
+Each benchmark prints the rows it reproduces next to the values the paper
+reports and appends the same text to ``benchmarks/output/<name>.txt`` so the
+numbers recorded in EXPERIMENTS.md can be regenerated with a single command.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from scale_config import DEFAULT_SCALED_CIRCULANT, full_scale  # noqa: E402
+
+from repro.codes import build_ccsds_c2_code, build_scaled_ccsds_code  # noqa: E402
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def benchmark_code():
+    """The code used by the Monte-Carlo benchmarks (scaled or full-size)."""
+    if full_scale():
+        return build_ccsds_c2_code()
+    return build_scaled_ccsds_code(DEFAULT_SCALED_CIRCULANT)
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    """Callable that prints a report and archives it under benchmarks/output/."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def emit(name: str, text: str) -> None:
+        print()
+        print(text)
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return emit

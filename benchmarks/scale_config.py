@@ -1,0 +1,18 @@
+"""Scale selection shared by the benchmark modules.
+
+By default the Monte-Carlo benchmarks run on the scaled CCSDS twin; setting
+``REPRO_FULL_SCALE=1`` switches them to the full 8176-bit code with
+paper-scale frame budgets.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Scaled circulant size used when REPRO_FULL_SCALE is not set.
+DEFAULT_SCALED_CIRCULANT = 63
+
+
+def full_scale() -> bool:
+    """Whether paper-scale parameters were requested via REPRO_FULL_SCALE=1."""
+    return os.environ.get("REPRO_FULL_SCALE") == "1"

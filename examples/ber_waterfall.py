@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""BER/PER waterfall of the paper's decoder vs the 50-iteration baseline.
+
+Reproduces the content of Figure 4: the normalized min-sum decoder at 18
+iterations against plain min-sum at 50 iterations, over an Eb/N0 sweep,
+printing the BER/PER table and (optionally) saving the curves as JSON.
+
+Usage::
+
+    python examples/ber_waterfall.py                     # scaled code, quick
+    python examples/ber_waterfall.py --full              # full 8176-bit code
+    python examples/ber_waterfall.py --frames 2000 --save out/
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+import numpy as np
+
+from repro import MinSumDecoder, QuantizedMinSumDecoder, SimulationConfig
+from repro.codes import build_ccsds_c2_code, build_scaled_ccsds_code
+from repro.sim import EbN0Sweep
+from repro.sim.reference import shannon_limit_ebn0_db, uncoded_bpsk_ber
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="use the full 8176-bit CCSDS code (slow)")
+    parser.add_argument("--circulant", type=int, default=63,
+                        help="circulant size of the scaled code (default 63)")
+    parser.add_argument("--frames", type=int, default=600,
+                        help="maximum frames per Eb/N0 point")
+    parser.add_argument("--errors", type=int, default=60,
+                        help="target frame errors per point")
+    parser.add_argument("--ebn0", type=float, nargs="+",
+                        default=None, help="explicit Eb/N0 grid in dB")
+    parser.add_argument("--iterations", type=int, default=18,
+                        help="iterations of the normalized min-sum decoder")
+    parser.add_argument("--save", type=str, default=None,
+                        help="directory to write the curves as JSON")
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    code = build_ccsds_c2_code() if args.full else build_scaled_ccsds_code(args.circulant)
+    if args.ebn0 is not None:
+        grid = args.ebn0
+    elif args.full:
+        grid = list(np.arange(3.2, 4.45, 0.2))
+    else:
+        grid = list(np.arange(3.0, 5.55, 0.5))
+
+    config = SimulationConfig(
+        max_frames=args.frames,
+        target_frame_errors=args.errors,
+        batch_frames=8 if args.full else 60,
+        all_zero_codeword=True,
+    )
+    print(f"Code: n = {code.block_length}, rate = {code.rate:.3f}")
+    print(f"Shannon limit for this rate: {shannon_limit_ebn0_db(code.rate):.2f} dB\n")
+
+    nms = EbN0Sweep(
+        code,
+        lambda: QuantizedMinSumDecoder(code, max_iterations=args.iterations, alpha=1.25),
+        config=config,
+        rng=2025,
+    ).run(grid, label=f"NMS-{args.iterations}", progress=print)
+    print()
+    baseline = EbN0Sweep(
+        code,
+        lambda: MinSumDecoder(code, max_iterations=50),
+        config=config,
+        rng=2025,
+    ).run(grid, label="MS-50", progress=print)
+
+    print()
+    print(EbN0Sweep.format_curves([nms, baseline]))
+    print("\nUncoded BPSK reference BER:")
+    for ebn0 in grid:
+        print(f"  {ebn0:5.2f} dB: {uncoded_bpsk_ber(ebn0):.3e}")
+
+    for target in (1e-5, 1e-4, 1e-3):
+        gain = nms.coding_gain_over(baseline, target)
+        if gain is not None:
+            print(f"\nEb/N0 advantage of NMS over MS-50 at BER {target:.0e}: {gain:+.3f} dB "
+                  "(paper reports +0.05 dB vs the CCSDS reference)")
+            break
+
+    if args.save:
+        out = Path(args.save)
+        out.mkdir(parents=True, exist_ok=True)
+        nms.save(out / "nms.json")
+        baseline.save(out / "ms50.json")
+        print(f"\nCurves written to {out}/")
+
+
+if __name__ == "__main__":
+    main()

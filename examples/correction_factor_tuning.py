@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Tuning the "fine scaled correction factor" of the paper's decoder.
+
+Section 5 of the paper: "the key idea is to find the factor which minimizes
+the difference between the means of the messages passed in the BP algorithm
+and the sign-min algorithm."  This example runs that tuning three ways:
+
+1. analytically, by matching the check-node output magnitudes of BP and
+   min-sum for Gaussian message ensembles (density-evolution style);
+2. empirically, on messages harvested from the actual code;
+3. by brute force, measuring the frame error rate of the decoder for a grid
+   of alpha values — the ground truth the other two approximate.
+
+Run with ``python examples/correction_factor_tuning.py``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    optimize_alpha_density_evolution,
+    optimize_alpha_empirical,
+)
+from repro.codes import build_scaled_ccsds_code
+from repro.decode import NormalizedMinSumDecoder
+from repro.sim import MonteCarloSimulator, SimulationConfig
+from repro.utils.formatting import format_table
+
+
+def main() -> None:
+    code = build_scaled_ccsds_code(63)
+    ebn0_db = 4.0
+
+    # 1. Analytical mean matching (Gaussian ensembles, check degree 32).
+    analytical = optimize_alpha_density_evolution(check_degree=32, samples=10000, rng=0)
+    print("Analytical mean matching (Gaussian ensembles):")
+    print(f"  best alpha = {analytical.alpha:.2f} "
+          f"(scale {analytical.scale:.2f}, mean mismatch {analytical.mismatch:.3f})\n")
+
+    # 2. Empirical mean matching on the real code.
+    empirical = optimize_alpha_empirical(
+        code, ebn0_db=ebn0_db, frames=4, iterations=3,
+        candidates=(1.0, 1.1, 1.2, 1.3, 1.4, 1.5, 1.75, 2.0), rng=1,
+    )
+    print("Empirical mean matching (messages harvested from the code):")
+    print(f"  best alpha = {empirical.alpha:.2f} "
+          f"(mean |scaled-min-sum - BP| = {empirical.mismatch:.3f})\n")
+
+    # 3. Ground truth: frame error rate vs alpha.
+    config = SimulationConfig(
+        max_frames=400, target_frame_errors=80, batch_frames=50, all_zero_codeword=True
+    )
+    rows = []
+    for alpha in (1.0, 1.15, 1.25, 1.4, 1.6, 2.0):
+        decoder = NormalizedMinSumDecoder(code, max_iterations=18, alpha=alpha)
+        point = MonteCarloSimulator(code, decoder, config=config, rng=42).run_point(ebn0_db)
+        rows.append([alpha, f"{point.fer:.3e}", f"{point.ber:.3e}"])
+    print(format_table(
+        ["alpha", "FER", "BER"],
+        rows,
+        title=f"Frame error rate vs alpha at Eb/N0 = {ebn0_db} dB (18 iterations)",
+    ))
+    print("\nThe paper's decoder uses the scaled correction in its check-node update"
+          "\n(equation 2); with it, 18 iterations match what plain decoding needs 50 for.")
+
+
+if __name__ == "__main__":
+    main()

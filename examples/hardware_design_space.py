@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Design-space exploration with the generic architecture model.
+
+The value of the paper's *generic* architecture is that the same template
+spans a whole family of decoders: this example sweeps the number of
+processing blocks (concurrent frames) and the message word length, and for
+each design point reports throughput at 18 iterations, estimated resources,
+and which Altera devices it fits — reproducing how the low-cost and
+high-speed configurations of the paper were selected.
+
+Run with ``python examples/hardware_design_space.py``.
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    ArchitectureParameters,
+    ThroughputModel,
+    device_library,
+    estimate_resources,
+    high_speed_architecture,
+    low_cost_architecture,
+)
+from repro.core.memory import MessageStorage
+from repro.utils.formatting import format_table
+
+
+def explore_processing_blocks() -> str:
+    """Throughput / resource trade-off as processing blocks are added."""
+    rows = []
+    baseline = estimate_resources(low_cost_architecture())
+    for blocks in (1, 2, 4, 8, 16):
+        params = ArchitectureParameters(
+            name=f"{blocks}-block",
+            processing_blocks=blocks,
+            message_storage=(
+                MessageStorage.FULL_EDGE if blocks == 1 else MessageStorage.COMPRESSED_CHECK
+            ),
+            separate_input_staging=blocks == 1,
+        )
+        throughput = ThroughputModel(params).point(18).throughput_mbps
+        estimate = estimate_resources(params)
+        fitting = [
+            name for name, device in device_library().items() if device.fits(estimate)
+        ]
+        rows.append(
+            [
+                blocks,
+                f"{throughput:.0f} Mbps",
+                f"{estimate.aluts / 1000:.1f}k",
+                f"{estimate.registers / 1000:.1f}k",
+                f"{estimate.memory_bits / 1000:.0f}k",
+                f"x{estimate.aluts / baseline.aluts:.1f}",
+                ", ".join(fitting) if fitting else "(none in library)",
+            ]
+        )
+    return format_table(
+        ["Blocks", "Throughput @18it", "ALUTs", "Registers", "Memory", "Logic vs 1-block", "Fits"],
+        rows,
+        title="Design space: concurrent frames (processing blocks)",
+    )
+
+
+def explore_message_width() -> str:
+    """Memory / logic cost of the message word length (low-cost configuration)."""
+    rows = []
+    for bits in (4, 5, 6, 8):
+        params = low_cost_architecture(message_bits=bits, channel_bits=bits)
+        estimate = estimate_resources(params)
+        rows.append(
+            [
+                f"{bits} bits",
+                f"{estimate.aluts / 1000:.1f}k",
+                f"{estimate.memory_bits / 1000:.0f}k",
+            ]
+        )
+    return format_table(
+        ["Message width", "ALUTs", "Memory bits"],
+        rows,
+        title="Design space: message word length (low-cost decoder)",
+    )
+
+
+def paper_configurations() -> str:
+    """The two points of the design space the paper implements."""
+    rows = []
+    for params, device_name in (
+        (low_cost_architecture(), "Cyclone II EP2C50F"),
+        (high_speed_architecture(), "Stratix II EP2S180"),
+    ):
+        device = device_library()[device_name]
+        estimate = estimate_resources(params)
+        utilization = device.utilization(estimate)
+        throughput = ThroughputModel(params).point(18).throughput_mbps
+        rows.append(
+            [
+                params.name,
+                device_name,
+                f"{throughput:.0f} Mbps",
+                f"{utilization.alut_fraction:.0%} ALUTs",
+                f"{utilization.memory_fraction:.0%} memory",
+            ]
+        )
+    return format_table(
+        ["Configuration", "Device", "Throughput @18it", "Logic util.", "Memory util."],
+        rows,
+        title="The paper's two design points",
+    )
+
+
+def main() -> None:
+    print(explore_processing_blocks())
+    print()
+    print(explore_message_width())
+    print()
+    print(paper_configurations())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim so the package can be installed with legacy tooling.
+
+The canonical metadata lives in pyproject.toml; this file only exists so
+that ``python setup.py develop`` / ``pip install -e .`` work in offline
+environments that lack the ``wheel`` package required by PEP 660 editable
+installs.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,81 @@
+"""repro — reproduction of the DATE 2009 CCSDS LDPC decoder paper.
+
+The package implements the CCSDS C2 Quasi-Cyclic LDPC code, the
+message-passing decoders the paper's hardware runs, and the generic parallel
+decoder architecture model (throughput, FPGA resources, fixed-point
+behaviour) that reproduces the paper's Tables 1-3 and Figure 4.
+
+Quick start::
+
+    from repro import build_scaled_ccsds_code, NormalizedMinSumDecoder
+    from repro.encode import SystematicEncoder
+
+    code = build_scaled_ccsds_code(63)      # scaled twin of the CCSDS code
+    encoder = SystematicEncoder(code)
+    decoder = NormalizedMinSumDecoder(code, max_iterations=18)
+
+Subpackages
+-----------
+``repro.gf2``      GF(2) linear algebra and circulant arithmetic.
+``repro.codes``    LDPC code objects and the CCSDS C2 construction.
+``repro.encode``   Systematic and Quasi-Cyclic encoders.
+``repro.channel``  BPSK / AWGN / LLR / quantization substrate.
+``repro.decode``   Message-passing decoders (BP, min-sum variants).
+``repro.core``     The paper's generic parallel decoder architecture model.
+``repro.sim``      Monte-Carlo BER/PER simulation framework.
+``repro.analysis`` Density evolution and correction-factor optimization.
+``repro.io``       alist and circulant-table file formats.
+"""
+
+from repro.codes import (
+    ParityCheckMatrix,
+    QCLDPCCode,
+    ShortenedCode,
+    TannerGraph,
+    build_ccsds_c2_code,
+    build_ccsds_c2_spec,
+    build_scaled_ccsds_code,
+)
+from repro.core import (
+    ArchitectureParameters,
+    CCSDSDecoderIP,
+    high_speed_architecture,
+    low_cost_architecture,
+)
+from repro.decode import (
+    LayeredMinSumDecoder,
+    MinSumDecoder,
+    NormalizedMinSumDecoder,
+    OffsetMinSumDecoder,
+    QuantizedMinSumDecoder,
+    SumProductDecoder,
+)
+from repro.encode import SystematicEncoder
+from repro.sim import EbN0Sweep, MonteCarloSimulator, SimulationConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ParityCheckMatrix",
+    "QCLDPCCode",
+    "ShortenedCode",
+    "TannerGraph",
+    "build_ccsds_c2_code",
+    "build_ccsds_c2_spec",
+    "build_scaled_ccsds_code",
+    "ArchitectureParameters",
+    "CCSDSDecoderIP",
+    "low_cost_architecture",
+    "high_speed_architecture",
+    "MinSumDecoder",
+    "NormalizedMinSumDecoder",
+    "OffsetMinSumDecoder",
+    "SumProductDecoder",
+    "LayeredMinSumDecoder",
+    "QuantizedMinSumDecoder",
+    "SystematicEncoder",
+    "MonteCarloSimulator",
+    "SimulationConfig",
+    "EbN0Sweep",
+]

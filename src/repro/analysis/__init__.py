@@ -1,0 +1,38 @@
+"""Analysis tools: density evolution, correction-factor tuning, quantization.
+
+The paper attributes its error-rate results to "a fine scaled correction
+factor" whose role is to minimise the difference between the message means of
+the BP algorithm and the sign-min algorithm (Section 5, citing Chen &
+Fossorier).  :mod:`repro.analysis.correction_factor` reproduces that tuning
+both analytically (via the Gaussian-approximation density evolution of
+:mod:`repro.analysis.density_evolution`) and empirically (via Monte-Carlo
+message statistics); :mod:`repro.analysis.quantization_study` quantifies the
+implementation loss of the fixed-point datapath widths.
+"""
+
+from repro.analysis.correction_factor import (
+    CorrectionFactorResult,
+    empirical_mean_mismatch,
+    optimize_alpha_density_evolution,
+    optimize_alpha_empirical,
+)
+from repro.analysis.density_evolution import (
+    DensityEvolutionResult,
+    gaussian_de_bp,
+    gaussian_de_normalized_min_sum,
+    threshold_search,
+)
+from repro.analysis.quantization_study import QuantizationStudy, quantization_sweep
+
+__all__ = [
+    "DensityEvolutionResult",
+    "gaussian_de_bp",
+    "gaussian_de_normalized_min_sum",
+    "threshold_search",
+    "CorrectionFactorResult",
+    "optimize_alpha_density_evolution",
+    "optimize_alpha_empirical",
+    "empirical_mean_mismatch",
+    "QuantizationStudy",
+    "quantization_sweep",
+]

@@ -1,0 +1,70 @@
+"""Quantization (word-length) studies of the fixed-point datapath.
+
+The architecture's memory sizes scale linearly with the message word length,
+so the choice of 6-bit messages is a cost/performance trade-off.  This module
+sweeps the message width and measures the frame-error rate of the quantized
+decoder at a fixed Eb/N0, quantifying the implementation loss relative to the
+floating-point decoder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.channel.quantize import FixedPointFormat
+from repro.decode.fixed_point import QuantizedMinSumDecoder
+from repro.decode.min_sum import NormalizedMinSumDecoder
+from repro.sim.montecarlo import MonteCarloSimulator, SimulationConfig
+from repro.sim.results import SimulationPoint
+
+__all__ = ["QuantizationStudy", "quantization_sweep"]
+
+
+@dataclass(frozen=True)
+class QuantizationStudy:
+    """FER of one message word length (plus the unquantized reference)."""
+
+    total_bits: int | None  # None marks the floating-point reference
+    fractional_bits: int | None
+    point: SimulationPoint
+
+    @property
+    def label(self) -> str:
+        """Readable label for reports."""
+        if self.total_bits is None:
+            return "float"
+        return f"Q{self.total_bits - self.fractional_bits}.{self.fractional_bits}"
+
+
+def quantization_sweep(
+    code,
+    ebn0_db: float,
+    *,
+    total_bits_values=(4, 5, 6, 8),
+    fractional_bits: int = 2,
+    iterations: int = 18,
+    alpha: float = 1.25,
+    config: SimulationConfig | None = None,
+    rng=None,
+) -> list[QuantizationStudy]:
+    """Measure FER vs message word length (including a floating-point reference)."""
+    config = config or SimulationConfig(max_frames=200, target_frame_errors=30, batch_frames=16)
+    results: list[QuantizationStudy] = []
+
+    reference = NormalizedMinSumDecoder(code, max_iterations=iterations, alpha=alpha)
+    sim = MonteCarloSimulator(code, reference, config=config, rng=rng)
+    results.append(QuantizationStudy(None, None, sim.run_point(ebn0_db)))
+
+    for total_bits in total_bits_values:
+        fmt = FixedPointFormat(total_bits=total_bits, fractional_bits=min(fractional_bits, total_bits - 2))
+        decoder = QuantizedMinSumDecoder(
+            code,
+            max_iterations=iterations,
+            alpha=alpha,
+            message_format=fmt,
+        )
+        sim = MonteCarloSimulator(code, decoder, config=config, rng=rng)
+        results.append(
+            QuantizationStudy(total_bits, fmt.fractional_bits, sim.run_point(ebn0_db))
+        )
+    return results

@@ -1,0 +1,25 @@
+"""Channel substrate: BPSK modulation, AWGN noise, LLRs and quantization.
+
+The Monte-Carlo BER/PER simulations (paper Figure 4) model the classical
+coded BPSK link: codeword bits are mapped to antipodal symbols, corrupted by
+additive white Gaussian noise, and converted back to log-likelihood ratios
+that feed the message-passing decoders.  The quantizer models the
+fixed-point representation the hardware decoder uses for its messages.
+"""
+
+from repro.channel.awgn import AWGNChannel, ebn0_to_sigma, ebn0_to_esn0, esn0_to_sigma
+from repro.channel.llr import channel_llrs, llr_scale_factor
+from repro.channel.modulation import BPSKModulator
+from repro.channel.quantize import FixedPointFormat, UniformQuantizer
+
+__all__ = [
+    "BPSKModulator",
+    "AWGNChannel",
+    "ebn0_to_sigma",
+    "ebn0_to_esn0",
+    "esn0_to_sigma",
+    "channel_llrs",
+    "llr_scale_factor",
+    "FixedPointFormat",
+    "UniformQuantizer",
+]

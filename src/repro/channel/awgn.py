@@ -1,0 +1,81 @@
+"""Additive white Gaussian noise channel and Eb/N0 conversions.
+
+The conversions take the code rate into account: for a rate-R code and BPSK,
+``Es = R * Eb`` per transmitted symbol, so the noise standard deviation for a
+given Eb/N0 (in dB) is ``sigma = sqrt(1 / (2 * R * 10^(EbN0/10)))`` at unit
+symbol amplitude.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive
+
+__all__ = ["AWGNChannel", "ebn0_to_esn0", "ebn0_to_sigma", "esn0_to_sigma", "sigma_to_ebn0"]
+
+
+def ebn0_to_esn0(ebn0_db: float, rate: float, bits_per_symbol: int = 1) -> float:
+    """Convert Eb/N0 (dB) to Es/N0 (dB) for a given code rate and modulation."""
+    check_positive("rate", rate)
+    check_positive("bits_per_symbol", bits_per_symbol)
+    return ebn0_db + 10.0 * np.log10(rate * bits_per_symbol)
+
+
+def esn0_to_sigma(esn0_db: float, *, symbol_energy: float = 1.0) -> float:
+    """Noise standard deviation (per real dimension) for a given Es/N0 (dB)."""
+    check_positive("symbol_energy", symbol_energy)
+    esn0 = 10.0 ** (esn0_db / 10.0)
+    return float(np.sqrt(symbol_energy / (2.0 * esn0)))
+
+
+def ebn0_to_sigma(ebn0_db: float, rate: float, *, symbol_energy: float = 1.0) -> float:
+    """Noise standard deviation for a given Eb/N0 (dB) and code rate."""
+    return esn0_to_sigma(ebn0_to_esn0(ebn0_db, rate), symbol_energy=symbol_energy)
+
+
+def sigma_to_ebn0(sigma: float, rate: float, *, symbol_energy: float = 1.0) -> float:
+    """Inverse of :func:`ebn0_to_sigma`."""
+    check_positive("sigma", sigma)
+    check_positive("rate", rate)
+    esn0 = symbol_energy / (2.0 * sigma**2)
+    return float(10.0 * np.log10(esn0) - 10.0 * np.log10(rate))
+
+
+class AWGNChannel:
+    """Real AWGN channel ``y = x + n`` with ``n ~ N(0, sigma^2)``.
+
+    Parameters
+    ----------
+    sigma:
+        Noise standard deviation per real dimension.
+    rng:
+        Seed or generator for reproducible noise.
+    """
+
+    def __init__(self, sigma: float, rng=None):
+        check_positive("sigma", sigma)
+        self._sigma = float(sigma)
+        self._rng = ensure_rng(rng)
+
+    @classmethod
+    def from_ebn0(cls, ebn0_db: float, rate: float, *, symbol_energy: float = 1.0, rng=None) -> "AWGNChannel":
+        """Build a channel for a target Eb/N0 (dB) and code rate."""
+        return cls(ebn0_to_sigma(ebn0_db, rate, symbol_energy=symbol_energy), rng=rng)
+
+    @property
+    def sigma(self) -> float:
+        """Noise standard deviation."""
+        return self._sigma
+
+    @property
+    def noise_variance(self) -> float:
+        """Noise variance ``sigma^2``."""
+        return self._sigma**2
+
+    def transmit(self, symbols) -> np.ndarray:
+        """Add Gaussian noise to the transmitted symbols."""
+        arr = np.asarray(symbols, dtype=np.float64)
+        noise = self._rng.normal(0.0, self._sigma, size=arr.shape)
+        return arr + noise

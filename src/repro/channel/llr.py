@@ -1,0 +1,31 @@
+"""Log-likelihood ratio computation for BPSK over AWGN.
+
+With the mapping ``0 -> +A, 1 -> -A`` and noise variance ``sigma^2`` the
+channel LLR of a received value ``y`` is::
+
+    LLR = log( P(bit = 0 | y) / P(bit = 1 | y) ) = 2 * A * y / sigma^2
+
+Positive LLRs therefore favour bit 0, matching
+:func:`repro.utils.bits.hard_decision`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+__all__ = ["llr_scale_factor", "channel_llrs"]
+
+
+def llr_scale_factor(sigma: float, *, amplitude: float = 1.0) -> float:
+    """The multiplicative factor ``2 * A / sigma^2`` mapping samples to LLRs."""
+    check_positive("sigma", sigma)
+    check_positive("amplitude", amplitude)
+    return 2.0 * amplitude / (sigma**2)
+
+
+def channel_llrs(received, sigma: float, *, amplitude: float = 1.0) -> np.ndarray:
+    """Convert received BPSK samples to channel LLRs."""
+    factor = llr_scale_factor(sigma, amplitude=amplitude)
+    return factor * np.asarray(received, dtype=np.float64)

@@ -1,0 +1,53 @@
+"""BPSK modulation.
+
+Bits are mapped to antipodal symbols with the convention
+``0 -> +1, 1 -> -1`` so that a positive received value (and a positive LLR)
+indicates the bit is more likely to be 0.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_binary_array
+
+__all__ = ["BPSKModulator"]
+
+
+class BPSKModulator:
+    """Binary phase-shift keying mapper/demapper.
+
+    Parameters
+    ----------
+    amplitude:
+        Symbol amplitude (default 1.0); the symbol energy is ``amplitude**2``.
+    """
+
+    def __init__(self, amplitude: float = 1.0):
+        if amplitude <= 0:
+            raise ValueError("amplitude must be positive")
+        self._amplitude = float(amplitude)
+
+    @property
+    def amplitude(self) -> float:
+        """Symbol amplitude."""
+        return self._amplitude
+
+    @property
+    def bits_per_symbol(self) -> int:
+        """BPSK carries one bit per symbol."""
+        return 1
+
+    @property
+    def symbol_energy(self) -> float:
+        """Energy per transmitted symbol."""
+        return self._amplitude**2
+
+    def modulate(self, bits) -> np.ndarray:
+        """Map bits to symbols: ``0 -> +A``, ``1 -> -A``."""
+        arr = check_binary_array("bits", bits)
+        return self._amplitude * (1.0 - 2.0 * arr.astype(np.float64))
+
+    def demodulate_hard(self, symbols) -> np.ndarray:
+        """Hard-decision demapping: negative symbols decode to bit 1."""
+        return (np.asarray(symbols, dtype=np.float64) <= 0).astype(np.uint8)

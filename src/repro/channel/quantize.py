@@ -1,0 +1,119 @@
+"""Fixed-point message quantization.
+
+The hardware decoder stores every message in a fixed number of bits; this
+module models that representation so the software decoders can reproduce the
+finite-precision behaviour of the FPGA datapath (the paper's memory sizing —
+"total memory bits" in Tables 2 and 3 — follows directly from the message
+width times the number of stored messages).
+
+``FixedPointFormat(total_bits, fractional_bits)`` describes a signed two's
+complement format; ``UniformQuantizer`` clips and rounds floating point LLRs
+onto that grid and back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FixedPointFormat", "UniformQuantizer"]
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """Signed fixed-point format with ``total_bits`` and ``fractional_bits``.
+
+    The representable values are ``k * 2^-fractional_bits`` for integer
+    ``k`` in ``[-2^(total_bits-1), 2^(total_bits-1) - 1]``.
+    """
+
+    total_bits: int
+    fractional_bits: int
+
+    def __post_init__(self):
+        if self.total_bits < 2:
+            raise ValueError("total_bits must be at least 2 (sign + magnitude)")
+        if self.fractional_bits < 0:
+            raise ValueError("fractional_bits must be non-negative")
+        if self.fractional_bits >= self.total_bits:
+            raise ValueError("fractional_bits must be smaller than total_bits")
+
+    @property
+    def step(self) -> float:
+        """Quantization step (value of one least-significant bit)."""
+        return 2.0 ** (-self.fractional_bits)
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable value."""
+        return (2 ** (self.total_bits - 1) - 1) * self.step
+
+    @property
+    def min_value(self) -> float:
+        """Smallest (most negative) representable value."""
+        return -(2 ** (self.total_bits - 1)) * self.step
+
+    @property
+    def num_levels(self) -> int:
+        """Number of representable levels."""
+        return 2**self.total_bits
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Q{self.total_bits - self.fractional_bits}.{self.fractional_bits}"
+
+
+class UniformQuantizer:
+    """Uniform mid-tread quantizer with saturation for a fixed-point format.
+
+    Parameters
+    ----------
+    fmt:
+        The :class:`FixedPointFormat` to quantize onto.
+    symmetric:
+        When ``True`` (default) the negative range is clipped to
+        ``-max_value`` so that the quantizer is symmetric around zero, which
+        is what min-sum hardware implementations use (an asymmetric extra
+        negative level would bias the sign-min operation).
+    """
+
+    def __init__(self, fmt: FixedPointFormat, *, symmetric: bool = True):
+        self._fmt = fmt
+        self._symmetric = bool(symmetric)
+        self._low = -fmt.max_value if symmetric else fmt.min_value
+        self._high = fmt.max_value
+
+    @property
+    def format(self) -> FixedPointFormat:
+        """The target fixed-point format."""
+        return self._fmt
+
+    @property
+    def saturation(self) -> tuple[float, float]:
+        """The (low, high) saturation limits."""
+        return self._low, self._high
+
+    def quantize(self, values) -> np.ndarray:
+        """Round to the fixed-point grid and saturate out-of-range values."""
+        arr = np.asarray(values, dtype=np.float64)
+        step = self._fmt.step
+        quantized = np.round(arr / step) * step
+        return np.clip(quantized, self._low, self._high)
+
+    def to_integers(self, values) -> np.ndarray:
+        """Quantize and return the integer codes (two's complement values)."""
+        return np.round(self.quantize(values) / self._fmt.step).astype(np.int64)
+
+    def from_integers(self, codes) -> np.ndarray:
+        """Map integer codes back to real values."""
+        return np.asarray(codes, dtype=np.float64) * self._fmt.step
+
+    def quantization_snr_db(self, values) -> float:
+        """Signal-to-quantization-noise ratio of quantizing ``values`` (dB)."""
+        arr = np.asarray(values, dtype=np.float64)
+        error = arr - self.quantize(arr)
+        signal_power = float(np.mean(arr**2))
+        noise_power = float(np.mean(error**2))
+        if noise_power == 0.0:
+            return float("inf")
+        return 10.0 * np.log10(signal_power / noise_power)

@@ -1,0 +1,217 @@
+"""Command-line interface.
+
+``python -m repro <command>`` exposes the most common workflows without
+writing any Python:
+
+* ``info``        — code and architecture summary;
+* ``build-code``  — construct the CCSDS C2 (or a scaled / deep-space) code and
+  export it as an alist file and/or a circulant-table JSON;
+* ``throughput``  — Table 1 style throughput report;
+* ``resources``   — Table 2/3 style implementation report for a device;
+* ``simulate``    — a BER/PER Eb/N0 sweep with a chosen decoder.
+
+Every command prints plain ASCII tables (the same helpers the benchmark
+harness uses), so output can be diffed against ``benchmarks/output/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+from repro.codes import build_ccsds_c2_code, build_scaled_ccsds_code
+from repro.codes.ccsds_c2 import CCSDS_C2_CIRCULANT_SIZE
+from repro.codes.deepspace import AR4JA_RATES, build_deepspace_code
+from repro.core import (
+    CYCLONE_II_EP2C50F,
+    STRATIX_II_EP2S180,
+    device_library,
+    high_speed_architecture,
+    implementation_report,
+    low_cost_architecture,
+    throughput_table,
+)
+from repro.decode import (
+    MinSumDecoder,
+    NormalizedMinSumDecoder,
+    QuantizedMinSumDecoder,
+    SumProductDecoder,
+)
+from repro.io.alist import write_alist
+from repro.io.circulant_table import save_circulant_spec
+from repro.sim import EbN0Sweep, SimulationConfig
+
+__all__ = ["main", "build_parser"]
+
+_DECODERS = {
+    "nms": lambda code, iters: NormalizedMinSumDecoder(code, max_iterations=iters),
+    "min-sum": lambda code, iters: MinSumDecoder(code, max_iterations=iters),
+    "sum-product": lambda code, iters: SumProductDecoder(code, max_iterations=iters),
+    "quantized": lambda code, iters: QuantizedMinSumDecoder(code, max_iterations=iters),
+}
+
+
+def _build_code(args):
+    """Construct the code selected by the common --circulant/--deepspace options."""
+    if getattr(args, "deepspace", None):
+        code, _ = build_deepspace_code(args.deepspace, args.circulant or 64)
+        return code
+    circulant = args.circulant or CCSDS_C2_CIRCULANT_SIZE
+    if circulant == CCSDS_C2_CIRCULANT_SIZE:
+        return build_ccsds_c2_code()
+    return build_scaled_ccsds_code(circulant)
+
+
+def _add_code_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--circulant",
+        type=int,
+        default=None,
+        help="circulant size (default: 511, the full CCSDS code)",
+    )
+    parser.add_argument(
+        "--deepspace",
+        choices=AR4JA_RATES,
+        default=None,
+        help="build an AR4JA-style deep-space code of this rate instead",
+    )
+
+
+def _cmd_info(args) -> int:
+    code = _build_code(args)
+    print(f"Code            : ({code.block_length}, {code.dimension})  "
+          f"rate {code.rate:.4f}")
+    print(f"Circulant size  : {code.circulant_size}")
+    print(f"Block array     : {code.spec.row_blocks} x {code.spec.col_blocks}")
+    print(f"Edges (messages): {code.num_edges}")
+    profile = code.parity_check_matrix().degree_profile()
+    print(f"Check degrees   : {profile['check']}")
+    print(f"Bit degrees     : {profile['bit']}")
+    print()
+    print(throughput_table([low_cost_architecture(), high_speed_architecture()]))
+    return 0
+
+
+def _cmd_build_code(args) -> int:
+    code = _build_code(args)
+    wrote_anything = False
+    if args.alist:
+        write_alist(code.parity_check_matrix(), args.alist)
+        print(f"wrote alist parity-check matrix to {args.alist}")
+        wrote_anything = True
+    if args.spec:
+        save_circulant_spec(code.spec, args.spec)
+        print(f"wrote circulant table to {args.spec}")
+        wrote_anything = True
+    if not wrote_anything:
+        print("nothing to do: pass --alist and/or --spec", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_throughput(args) -> int:
+    configs = [low_cost_architecture(), high_speed_architecture()]
+    if args.clock:
+        configs = [c.with_updates(clock_frequency_hz=args.clock * 1e6) for c in configs]
+    print(throughput_table(configs, tuple(args.iterations)))
+    return 0
+
+
+def _cmd_resources(args) -> int:
+    params = (
+        low_cost_architecture() if args.config == "low-cost" else high_speed_architecture()
+    )
+    devices = device_library()
+    if args.device:
+        matches = [d for name, d in devices.items() if args.device.lower() in name.lower()]
+        if not matches:
+            print(f"unknown device {args.device!r}; known: {', '.join(devices)}",
+                  file=sys.stderr)
+            return 2
+        device = matches[0]
+    else:
+        device = CYCLONE_II_EP2C50F if args.config == "low-cost" else STRATIX_II_EP2S180
+    print(implementation_report(params, device))
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    code = _build_code(args)
+    factory = _DECODERS[args.decoder]
+    config = SimulationConfig(
+        max_frames=args.frames,
+        target_frame_errors=args.errors,
+        batch_frames=min(args.frames, args.batch),
+        all_zero_codeword=not args.random_data,
+    )
+    sweep = EbN0Sweep(
+        code,
+        lambda: factory(code, args.iterations),
+        config=config,
+        rng=args.seed,
+    )
+    curve = sweep.run(args.ebn0, label=args.decoder, progress=print)
+    print()
+    print(EbN0Sweep.format_curves([curve]))
+    if args.save:
+        curve.save(args.save)
+        print(f"\ncurve written to {args.save}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CCSDS LDPC decoder reproduction (DATE 2009) command-line tools",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="code and architecture summary")
+    _add_code_options(info)
+    info.set_defaults(func=_cmd_info)
+
+    build = sub.add_parser("build-code", help="construct a code and export it")
+    _add_code_options(build)
+    build.add_argument("--alist", type=str, default=None, help="output alist path")
+    build.add_argument("--spec", type=str, default=None, help="output circulant JSON path")
+    build.set_defaults(func=_cmd_build_code)
+
+    throughput = sub.add_parser("throughput", help="Table 1 style throughput report")
+    throughput.add_argument("--iterations", type=int, nargs="+", default=[10, 18, 50])
+    throughput.add_argument("--clock", type=float, default=None, help="clock in MHz")
+    throughput.set_defaults(func=_cmd_throughput)
+
+    resources = sub.add_parser("resources", help="Table 2/3 style implementation report")
+    resources.add_argument("--config", choices=["low-cost", "high-speed"], default="low-cost")
+    resources.add_argument("--device", type=str, default=None,
+                           help="device name substring (default: the paper's device)")
+    resources.set_defaults(func=_cmd_resources)
+
+    simulate = sub.add_parser("simulate", help="BER/PER Eb/N0 sweep")
+    _add_code_options(simulate)
+    simulate.add_argument("--decoder", choices=sorted(_DECODERS), default="nms")
+    simulate.add_argument("--iterations", type=int, default=18)
+    simulate.add_argument("--ebn0", type=float, nargs="+", default=[3.0, 4.0, 5.0])
+    simulate.add_argument("--frames", type=int, default=200)
+    simulate.add_argument("--errors", type=int, default=50)
+    simulate.add_argument("--batch", type=int, default=50)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--random-data", action="store_true",
+                          help="encode random data instead of the all-zero codeword")
+    simulate.add_argument("--save", type=str, default=None, help="write the curve as JSON")
+    simulate.set_defaults(func=_cmd_simulate)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,170 @@
+"""AR4JA-style deep-space LDPC codes — the paper's stated future work.
+
+The conclusion of the paper: "Future work will consist in applying the
+principles of this generic parallel architecture to other CCSDS
+recommendation such as the several rates AR4JA LDPC codes for deep-space
+applications."  This module provides that extension path:
+
+* AR4JA-*style* protographs for the three CCSDS deep-space rates (1/2, 2/3,
+  4/5).  The official AR4JA protographs (Divsalar et al. / CCSDS 131.0-B)
+  are Accumulate-Repeat-4-Jagged-Accumulate constructions with one
+  *punctured* high-degree variable node and rate extension by adding
+  variable-node pairs; the exact edge multiplicities of the standard are not
+  redistributed here, so a reconstruction with the same structural features
+  is used (see DESIGN.md's substitution table): one punctured degree-6
+  node, degree-1 accumulator output, two extension columns per rate step,
+  and design rates 1/2, 2/3 and 4/5 after puncturing.
+* a lifted QC code builder using the same girth-aware construction as the
+  near-earth code, and
+* an architecture mapping showing how the paper's generic parallel decoder
+  is dimensioned for these codes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codes.construction import build_protograph_spec
+from repro.codes.protograph import Protograph
+from repro.codes.puncturing import PuncturedCode
+from repro.codes.qc import QCLDPCCode
+
+__all__ = [
+    "AR4JA_RATES",
+    "ar4ja_like_protograph",
+    "ar4ja_punctured_proto_columns",
+    "build_deepspace_code",
+    "deepspace_architecture",
+]
+
+#: Design rates of the CCSDS deep-space (AR4JA) family.
+AR4JA_RATES = ("1/2", "2/3", "4/5")
+
+#: Default seed of the deterministic deep-space construction.
+DEEPSPACE_DEFAULT_SEED = 20091312
+
+
+def _rate_index(rate: str) -> int:
+    if rate not in AR4JA_RATES:
+        raise ValueError(f"rate must be one of {AR4JA_RATES}, got {rate!r}")
+    return AR4JA_RATES.index(rate)
+
+
+def ar4ja_like_protograph(rate: str = "1/2") -> Protograph:
+    """AR4JA-style protograph for a deep-space code rate.
+
+    The rate-1/2 template has 3 proto-checks and 5 proto-variables (one of
+    which is punctured); higher rates append pairs of systematic
+    proto-variables (1 pair for rate 2/3, 3 pairs for rate 4/5), so the
+    design rate after puncturing is ``(n_p - m_p) / (n_p - 1)`` = 1/2, 2/3,
+    4/5 — the AR4JA rate ladder.
+    """
+    extensions = (0, 1, 3)[_rate_index(rate)]
+    # Columns: [systematic v0, systematic v1, punctured hub, parity p0, parity p1]
+    base = np.array(
+        [
+            [0, 0, 1, 1, 2],
+            [1, 1, 2, 1, 0],
+            [2, 2, 3, 0, 1],
+        ],
+        dtype=np.int64,
+    )
+    # Each rate-extension step appends two systematic proto-variables that
+    # connect to the punctured hub's checks (rows 1 and 2), keeping the hub
+    # the highest-degree node as in the AR4JA construction.
+    extension_pair = np.array([[0, 0], [2, 1], [1, 2]], dtype=np.int64)
+    for _ in range(extensions):
+        base = np.concatenate([extension_pair, base], axis=1)
+    return Protograph(base)
+
+
+def ar4ja_punctured_proto_columns(rate: str = "1/2") -> tuple[int, ...]:
+    """Indices of the punctured proto-variable columns (the high-degree hub)."""
+    proto = ar4ja_like_protograph(rate)
+    # The hub is the column with the highest total degree.
+    degrees = proto.bit_degrees()
+    return (int(np.argmax(degrees)),)
+
+
+def build_deepspace_code(
+    rate: str = "1/2",
+    circulant_size: int = 64,
+    *,
+    seed: int = DEEPSPACE_DEFAULT_SEED,
+) -> tuple[QCLDPCCode, PuncturedCode]:
+    """Build an AR4JA-style QC-LDPC code and its punctured transmission view.
+
+    Parameters
+    ----------
+    rate:
+        "1/2", "2/3" or "4/5" (design rate after puncturing).
+    circulant_size:
+        Lifting factor (the CCSDS deep-space family uses powers of two from
+        64 up to 4096 depending on the information block length).
+    seed:
+        Seed of the deterministic girth-aware lifting.
+
+    Returns
+    -------
+    (code, punctured):
+        The base :class:`QCLDPCCode` and the :class:`PuncturedCode` wrapper
+        whose punctured positions are the lifted copies of the hub column.
+    """
+    proto = ar4ja_like_protograph(rate)
+    spec = build_protograph_spec(proto.base_matrix, circulant_size, rng=seed)
+    code = QCLDPCCode(spec)
+    punctured_positions = []
+    for column in ar4ja_punctured_proto_columns(rate):
+        start = column * circulant_size
+        punctured_positions.extend(range(start, start + circulant_size))
+    return code, PuncturedCode(code, punctured_positions)
+
+
+def deepspace_architecture(
+    rate: str = "1/2",
+    circulant_size: int = 64,
+    *,
+    clock_frequency_hz: float = 200e6,
+    processing_blocks: int = 1,
+    message_bits: int = 6,
+):
+    """Dimension the paper's generic parallel architecture for a deep-space code.
+
+    The mapping follows the same principles as the near-earth decoder: one
+    bit-node unit per block column, one check-node unit per block row, one
+    processing block per concurrently decoded frame, and phase lengths of one
+    circulant sweep.  Because the AR4JA protograph is irregular, the unit and
+    memory models are dimensioned for the *maximum* node degrees.
+
+    Returns
+    -------
+    repro.core.parameters.ArchitectureParameters
+    """
+    from repro.core.memory import MessageStorage
+    from repro.core.parameters import ArchitectureParameters
+
+    proto = ar4ja_like_protograph(rate)
+    base = proto.base_matrix
+    row_blocks, col_blocks = base.shape
+    # Equivalent regular block weight used by the memory/edge model: the
+    # average number of edges per (non-empty) block, rounded up.
+    average_weight = int(np.ceil(base.sum() / (row_blocks * col_blocks)))
+    punctured_columns = len(ar4ja_punctured_proto_columns(rate))
+    info_columns = col_blocks - row_blocks
+    info_bits = info_columns * circulant_size
+    return ArchitectureParameters(
+        name=f"deep-space r{rate} (AR4JA-style)",
+        circulant_size=circulant_size,
+        row_blocks=row_blocks,
+        col_blocks=col_blocks,
+        block_weight=max(1, average_weight),
+        info_bits_per_frame=info_bits,
+        bn_units_per_block=col_blocks,
+        cn_units_per_block=row_blocks,
+        processing_blocks=processing_blocks,
+        message_bits=message_bits,
+        channel_bits=message_bits,
+        message_storage=MessageStorage.COMPRESSED_CHECK,
+        separate_input_staging=processing_blocks == 1,
+        clock_frequency_hz=clock_frequency_hz,
+    )

@@ -1,0 +1,97 @@
+"""Protograph (base matrix) utilities.
+
+A protograph is the small template graph that a QC-LDPC code lifts: entry
+``B[j, k]`` gives the number of parallel edges between proto-check ``j`` and
+proto-bit ``k``, and the lifting replaces each edge with a circulant of the
+chosen size.  The CCSDS C2 protograph is the all-2 matrix of shape 2 x 16.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codes.qc import CirculantSpec
+from repro.utils.rng import ensure_rng
+
+__all__ = ["Protograph"]
+
+
+class Protograph:
+    """Base matrix of a protograph-based LDPC code."""
+
+    def __init__(self, base_matrix):
+        base = np.asarray(base_matrix, dtype=np.int64)
+        if base.ndim != 2:
+            raise ValueError("base matrix must be 2-D")
+        if (base < 0).any():
+            raise ValueError("base matrix entries must be non-negative edge counts")
+        self._base = base
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def ccsds_c2(cls) -> "Protograph":
+        """The 2 x 16 all-2 protograph of the CCSDS near-earth code."""
+        return cls(np.full((2, 16), 2, dtype=np.int64))
+
+    @property
+    def base_matrix(self) -> np.ndarray:
+        """The base matrix (edge multiplicities)."""
+        return self._base.copy()
+
+    @property
+    def num_check_types(self) -> int:
+        """Number of proto check nodes (block rows after lifting)."""
+        return self._base.shape[0]
+
+    @property
+    def num_bit_types(self) -> int:
+        """Number of proto bit nodes (block columns after lifting)."""
+        return self._base.shape[1]
+
+    def check_degrees(self) -> np.ndarray:
+        """Degree of each proto check node."""
+        return self._base.sum(axis=1)
+
+    def bit_degrees(self) -> np.ndarray:
+        """Degree of each proto bit node."""
+        return self._base.sum(axis=0)
+
+    def design_rate(self) -> float:
+        """Design rate ``1 - m_proto / n_proto`` of the lifted code."""
+        m, n = self._base.shape
+        return 1.0 - m / n
+
+    # ------------------------------------------------------------------ #
+    def lift_random(self, circulant_size: int, rng=None) -> CirculantSpec:
+        """Lift the protograph with uniformly random circulant offsets.
+
+        Each base-matrix entry ``w`` becomes a circulant with ``w`` distinct
+        random first-row positions.  This produces a structurally valid code
+        but makes no attempt to avoid short cycles; use
+        :func:`repro.codes.construction.build_ccsds_like_spec` for the
+        girth-aware construction.
+        """
+        rng = ensure_rng(rng)
+        if circulant_size <= 0:
+            raise ValueError("circulant_size must be positive")
+        rows = []
+        for j in range(self.num_check_types):
+            row = []
+            for k in range(self.num_bit_types):
+                weight = int(self._base[j, k])
+                if weight > circulant_size:
+                    raise ValueError(
+                        "circulant size too small for the requested block weight"
+                    )
+                positions = tuple(
+                    sorted(
+                        int(p)
+                        for p in rng.choice(circulant_size, size=weight, replace=False)
+                    )
+                )
+                row.append(positions)
+            rows.append(tuple(row))
+        return CirculantSpec(circulant_size, tuple(rows))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Protograph(shape={self._base.shape})"

@@ -1,0 +1,102 @@
+"""Punctured code wrapper.
+
+Puncturing removes selected codeword positions from transmission; the
+receiver re-inserts them as erasures (LLR = 0) before decoding.  The AR4JA
+deep-space LDPC codes — the family the paper names as future work for its
+generic architecture — rely on a punctured high-degree variable node, so the
+wrapper lives alongside :class:`~repro.codes.shortening.ShortenedCode` (which
+handles the complementary operation, virtual fill).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["PuncturedCode"]
+
+
+class PuncturedCode:
+    """A code whose selected positions are not transmitted (punctured).
+
+    Parameters
+    ----------
+    base_code:
+        The underlying code (anything exposing ``block_length`` and
+        ``dimension``).
+    punctured_positions:
+        Base-codeword positions that are never transmitted.
+    """
+
+    def __init__(self, base_code, punctured_positions):
+        positions = np.unique(np.asarray(punctured_positions, dtype=np.int64))
+        n = base_code.block_length
+        if positions.size and (positions.min() < 0 or positions.max() >= n):
+            raise ValueError("punctured positions out of range")
+        if positions.size >= n:
+            raise ValueError("cannot puncture every position")
+        self._base = base_code
+        self._punctured = positions
+        mask = np.ones(n, dtype=bool)
+        mask[positions] = False
+        self._transmitted = np.nonzero(mask)[0]
+
+    # ------------------------------------------------------------------ #
+    @property
+    def base_code(self):
+        """The underlying unpunctured code."""
+        return self._base
+
+    @property
+    def num_punctured(self) -> int:
+        """Number of punctured (untransmitted) positions."""
+        return int(self._punctured.size)
+
+    @property
+    def transmitted_length(self) -> int:
+        """Number of transmitted bits per frame."""
+        return self._base.block_length - self.num_punctured
+
+    @property
+    def dimension(self) -> int:
+        """Information bits per frame (unchanged by puncturing)."""
+        return self._base.dimension
+
+    @property
+    def rate(self) -> float:
+        """Rate of the punctured code ``k / (n - punctured)``."""
+        return self.dimension / self.transmitted_length
+
+    def punctured_positions(self) -> np.ndarray:
+        """Base-codeword positions that are not transmitted."""
+        return self._punctured.copy()
+
+    def transmitted_positions(self) -> np.ndarray:
+        """Base-codeword positions that are transmitted, in order."""
+        return self._transmitted.copy()
+
+    # ------------------------------------------------------------------ #
+    def extract_transmitted(self, base_word: np.ndarray) -> np.ndarray:
+        """Drop the punctured positions from a base-length word."""
+        arr = np.asarray(base_word)
+        if arr.shape[-1] != self._base.block_length:
+            raise ValueError(
+                f"expected {self._base.block_length} base bits, got {arr.shape[-1]}"
+            )
+        return arr[..., self._transmitted]
+
+    def base_llrs_from_transmitted_llrs(self, transmitted_llrs: np.ndarray) -> np.ndarray:
+        """Re-insert punctured positions as erasures (LLR = 0) for the decoder."""
+        llrs = np.asarray(transmitted_llrs, dtype=np.float64)
+        if llrs.shape[-1] != self.transmitted_length:
+            raise ValueError(
+                f"expected {self.transmitted_length} transmitted LLRs, got {llrs.shape[-1]}"
+            )
+        base = np.zeros(llrs.shape[:-1] + (self._base.block_length,), dtype=np.float64)
+        base[..., self._transmitted] = llrs
+        return base
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PuncturedCode(n_tx={self.transmitted_length}, "
+            f"punctured={self.num_punctured}, rate={self.rate:.3f})"
+        )

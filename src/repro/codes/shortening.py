@@ -1,0 +1,248 @@
+"""Shortened code framing (virtual fill).
+
+The CCSDS C2 code is transmitted as a *shortened* code: a number of
+information bits of the base (8176, k) code are fixed to zero ("virtual
+fill"), never transmitted, and treated as perfectly known by the decoder.
+The transmitted frame can additionally be padded with known filler bits to
+reach a standard frame length (8160 bits carrying 7136 information bits).
+
+``ShortenedCode`` wraps a base :class:`~repro.codes.qc.QCLDPCCode` (or any
+object exposing ``block_length``/``dimension``) and handles the bookkeeping
+between three index spaces:
+
+* *base codeword* space — ``n_base`` bits, what the parity-check matrix sees;
+* *transmitted* space — base codeword minus the virtual-fill positions;
+* *frame* space — transmitted bits plus optional known pad bits.
+
+The virtual-fill positions default to the leading codeword positions but can
+be any set of positions; :meth:`ShortenedCode.from_encoder` picks them from a
+:class:`~repro.encode.systematic.SystematicEncoder`'s information positions
+so that random-data simulations can force exactly those bits to zero.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ShortenedCode"]
+
+
+class ShortenedCode:
+    """A shortened LDPC code with virtual fill and optional frame padding.
+
+    Parameters
+    ----------
+    base_code:
+        The underlying code (e.g. the 8176-bit CCSDS QC code).
+    info_bits:
+        Information bits carried per frame (7136 for CCSDS C2).  The
+        difference ``base_code.dimension - info_bits`` is the number of
+        virtual-fill bits.
+    frame_length:
+        Transmitted frame length.  When larger than the number of transmitted
+        code bits the frame is padded with known zero bits; when ``None`` the
+        frame is exactly the transmitted codeword.
+    shortened_positions:
+        Base-codeword positions fixed to zero.  Defaults to the leading
+        ``base_code.dimension - info_bits`` positions.
+    """
+
+    def __init__(
+        self,
+        base_code,
+        info_bits: int,
+        frame_length: int | None = None,
+        *,
+        shortened_positions=None,
+    ):
+        base_dimension = base_code.dimension
+        base_length = base_code.block_length
+        if info_bits <= 0:
+            raise ValueError("info_bits must be positive")
+        if info_bits > base_dimension:
+            raise ValueError(
+                f"info_bits={info_bits} exceeds the base code dimension {base_dimension}"
+            )
+        self._base = base_code
+        self._info_bits = int(info_bits)
+        num_shortened = base_dimension - self._info_bits
+
+        if shortened_positions is None:
+            positions = np.arange(num_shortened, dtype=np.int64)
+        else:
+            positions = np.unique(np.asarray(shortened_positions, dtype=np.int64))
+            if positions.size != num_shortened:
+                raise ValueError(
+                    f"expected {num_shortened} distinct shortened positions, "
+                    f"got {positions.size}"
+                )
+            if positions.size and (positions.min() < 0 or positions.max() >= base_length):
+                raise ValueError("shortened positions out of range")
+        self._shortened_positions = positions
+        mask = np.ones(base_length, dtype=bool)
+        mask[positions] = False
+        self._transmitted_positions = np.nonzero(mask)[0]
+
+        transmitted = base_length - num_shortened
+        if frame_length is None:
+            frame_length = transmitted
+        if frame_length < transmitted:
+            raise ValueError(
+                f"frame_length={frame_length} is smaller than the "
+                f"{transmitted} transmitted code bits"
+            )
+        self._frame_length = int(frame_length)
+        self._num_pad = self._frame_length - transmitted
+
+    # ------------------------------------------------------------------ #
+    # Alternative constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_encoder(
+        cls,
+        base_code,
+        encoder,
+        info_bits: int,
+        frame_length: int | None = None,
+    ) -> "ShortenedCode":
+        """Shorten using the first information positions of a systematic encoder.
+
+        This guarantees the virtual-fill positions are information positions,
+        so a simulator can set exactly those information bits to zero before
+        encoding.
+        """
+        num_shortened = base_code.dimension - info_bits
+        if num_shortened < 0:
+            raise ValueError("info_bits exceeds the base code dimension")
+        info_positions = np.asarray(encoder.information_positions, dtype=np.int64)
+        return cls(
+            base_code,
+            info_bits,
+            frame_length,
+            shortened_positions=info_positions[:num_shortened],
+        )
+
+    # ------------------------------------------------------------------ #
+    # Dimensions
+    # ------------------------------------------------------------------ #
+    @property
+    def base_code(self):
+        """The underlying unshortened code."""
+        return self._base
+
+    @property
+    def info_bits(self) -> int:
+        """Information bits per frame (k of the shortened code)."""
+        return self._info_bits
+
+    @property
+    def num_shortened(self) -> int:
+        """Number of virtual-fill (shortened, never transmitted) bits."""
+        return int(self._shortened_positions.size)
+
+    @property
+    def num_pad(self) -> int:
+        """Number of known pad bits appended to reach the frame length."""
+        return self._num_pad
+
+    @property
+    def transmitted_code_bits(self) -> int:
+        """Number of base-code bits actually transmitted."""
+        return self._base.block_length - self.num_shortened
+
+    @property
+    def frame_length(self) -> int:
+        """Transmitted frame length (n of the shortened code, including pad)."""
+        return self._frame_length
+
+    @property
+    def rate(self) -> float:
+        """Rate of the shortened code ``info_bits / frame_length``."""
+        return self._info_bits / self._frame_length
+
+    # ------------------------------------------------------------------ #
+    # Index-space conversions
+    # ------------------------------------------------------------------ #
+    def shortened_positions(self) -> np.ndarray:
+        """Base-codeword positions fixed to zero."""
+        return self._shortened_positions.copy()
+
+    def transmitted_positions(self) -> np.ndarray:
+        """Base-codeword positions that are transmitted, in frame order."""
+        return self._transmitted_positions.copy()
+
+    def expand_to_base(self, transmitted_bits: np.ndarray) -> np.ndarray:
+        """Re-insert the virtual-fill zeros to recover a base-length word.
+
+        Accepts a single frame payload (length ``transmitted_code_bits``,
+        i.e. the frame without pad bits) or a batch with that trailing
+        dimension.
+        """
+        arr = np.asarray(transmitted_bits, dtype=np.uint8)
+        if arr.shape[-1] != self.transmitted_code_bits:
+            raise ValueError(
+                f"expected {self.transmitted_code_bits} transmitted bits, "
+                f"got {arr.shape[-1]}"
+            )
+        base = np.zeros(arr.shape[:-1] + (self._base.block_length,), dtype=np.uint8)
+        base[..., self._transmitted_positions] = arr
+        return base
+
+    def extract_transmitted(self, base_word: np.ndarray) -> np.ndarray:
+        """Drop the virtual-fill positions from a base-length word."""
+        arr = np.asarray(base_word, dtype=np.uint8)
+        if arr.shape[-1] != self._base.block_length:
+            raise ValueError(
+                f"expected {self._base.block_length} base bits, got {arr.shape[-1]}"
+            )
+        return arr[..., self._transmitted_positions]
+
+    def build_frame(self, transmitted_bits: np.ndarray) -> np.ndarray:
+        """Append the known pad bits to form the transmitted frame."""
+        arr = np.asarray(transmitted_bits, dtype=np.uint8)
+        if arr.shape[-1] != self.transmitted_code_bits:
+            raise ValueError(
+                f"expected {self.transmitted_code_bits} transmitted bits, "
+                f"got {arr.shape[-1]}"
+            )
+        if self._num_pad == 0:
+            return arr.copy()
+        pad_shape = arr.shape[:-1] + (self._num_pad,)
+        return np.concatenate([arr, np.zeros(pad_shape, dtype=np.uint8)], axis=-1)
+
+    def strip_frame(self, frame: np.ndarray) -> np.ndarray:
+        """Remove the pad bits from a received frame."""
+        arr = np.asarray(frame)
+        if arr.shape[-1] != self._frame_length:
+            raise ValueError(
+                f"expected frame of length {self._frame_length}, got {arr.shape[-1]}"
+            )
+        if self._num_pad == 0:
+            return arr.copy()
+        return arr[..., : self.transmitted_code_bits]
+
+    def base_llrs_from_frame_llrs(
+        self, frame_llrs: np.ndarray, *, known_llr: float = 1e3
+    ) -> np.ndarray:
+        """Map received frame LLRs to base-codeword LLRs for the decoder.
+
+        Virtual-fill positions get a large positive LLR (``known_llr``,
+        meaning "certainly zero"); pad positions are dropped.
+        """
+        llrs = np.asarray(frame_llrs, dtype=np.float64)
+        if llrs.shape[-1] != self._frame_length:
+            raise ValueError(
+                f"expected frame of length {self._frame_length}, got {llrs.shape[-1]}"
+            )
+        payload = llrs[..., : self.transmitted_code_bits]
+        base = np.full(
+            llrs.shape[:-1] + (self._base.block_length,), float(known_llr), dtype=np.float64
+        )
+        base[..., self._transmitted_positions] = payload
+        return base
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShortenedCode(frame={self._frame_length}, info={self._info_bits}, "
+            f"shortened={self.num_shortened}, pad={self._num_pad})"
+        )

@@ -1,0 +1,218 @@
+"""Tanner graph view of an LDPC code.
+
+The Tanner graph (paper Figure 1) is the bipartite graph with one *bit node*
+per codeword bit and one *check node* per parity-check equation, connected
+wherever H has a 1.  This module provides degree statistics, girth
+computation (the length of the shortest cycle, which strongly influences
+iterative-decoding performance), and an optional export to ``networkx``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.codes.parity_check import ParityCheckMatrix
+
+__all__ = ["TannerGraph", "TannerGraphStats"]
+
+
+@dataclass(frozen=True)
+class TannerGraphStats:
+    """Summary statistics of a Tanner graph (what Figure 1 illustrates)."""
+
+    num_bit_nodes: int
+    num_check_nodes: int
+    num_edges: int
+    bit_degree_min: int
+    bit_degree_max: int
+    check_degree_min: int
+    check_degree_max: int
+    girth: int | None
+
+
+class TannerGraph:
+    """Bipartite bit-node / check-node graph of a parity-check matrix."""
+
+    def __init__(self, parity_check: ParityCheckMatrix):
+        self._pcm = parity_check
+        check_idx, bit_idx = parity_check.edges()
+        n = parity_check.block_length
+        m = parity_check.num_checks
+        # Adjacency lists: checks adjacent to each bit, bits adjacent to each check.
+        self._bits_of_check: list[np.ndarray] = [
+            bit_idx[check_idx == c] for c in range(m)
+        ]
+        order = np.argsort(bit_idx, kind="stable")
+        sorted_bits = bit_idx[order]
+        sorted_checks = check_idx[order]
+        boundaries = np.searchsorted(sorted_bits, np.arange(n + 1))
+        self._checks_of_bit: list[np.ndarray] = [
+            sorted_checks[boundaries[b] : boundaries[b + 1]] for b in range(n)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def parity_check(self) -> ParityCheckMatrix:
+        """The parity-check matrix this graph was built from."""
+        return self._pcm
+
+    @property
+    def num_bit_nodes(self) -> int:
+        """Number of bit (variable) nodes."""
+        return self._pcm.block_length
+
+    @property
+    def num_check_nodes(self) -> int:
+        """Number of check nodes."""
+        return self._pcm.num_checks
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges (= messages exchanged per half-iteration)."""
+        return self._pcm.num_edges
+
+    def bits_of_check(self, check: int) -> np.ndarray:
+        """Bit nodes connected to a given check node."""
+        return self._bits_of_check[check]
+
+    def checks_of_bit(self, bit: int) -> np.ndarray:
+        """Check nodes connected to a given bit node."""
+        return self._checks_of_bit[bit]
+
+    # ------------------------------------------------------------------ #
+    # Girth
+    # ------------------------------------------------------------------ #
+    def girth(self, *, max_bits: int | None = None) -> int | None:
+        """Length of the shortest cycle in the Tanner graph.
+
+        Cycles in a bipartite graph have even length, and a 4-cycle means two
+        bits share two checks (bad for decoding).  Returns ``None`` when the
+        graph is acyclic.
+
+        Parameters
+        ----------
+        max_bits:
+            When set, the breadth-first searches are started only from the
+            first ``max_bits`` bit nodes.  For vertex-transitive constructions
+            such as Quasi-Cyclic codes the girth through every node in a
+            circulant column is identical, so sampling one bit per block
+            column is exact; for general codes it yields an upper bound.
+        """
+        best = None
+        n = self.num_bit_nodes
+        start_bits = range(n if max_bits is None else min(max_bits, n))
+        for start in start_bits:
+            cycle = self._shortest_cycle_through_bit(start, best)
+            if cycle is not None and (best is None or cycle < best):
+                best = cycle
+                if best == 4:  # cannot do better in a bipartite graph
+                    break
+        return best
+
+    def _shortest_cycle_through_bit(self, start_bit: int, prune: int | None) -> int | None:
+        """BFS from one bit node; returns the shortest cycle through it."""
+        # Distance in "hops" where one hop is bit->check or check->bit.
+        # Node encoding: bits are (0, b), checks are (1, c).
+        dist_bits = {start_bit: 0}
+        dist_checks: dict[int, int] = {}
+        parent_bits = {start_bit: -1}   # parent check of each bit
+        parent_checks: dict[int, int] = {}  # parent bit of each check
+        queue: deque[tuple[int, int]] = deque([(0, start_bit)])
+        best = None
+        while queue:
+            kind, node = queue.popleft()
+            depth = dist_bits[node] if kind == 0 else dist_checks[node]
+            # Any cycle found from here on has length >= 2*depth, so stop once
+            # the frontier is deeper than half of the best known cycle.
+            if prune is not None and 2 * depth >= prune:
+                break
+            if best is not None and 2 * depth >= best:
+                break
+            if kind == 0:
+                for check in self._checks_of_bit[node]:
+                    check = int(check)
+                    if check == parent_bits[node]:
+                        continue
+                    if check in dist_checks:
+                        # Found a cycle: depth(bit) + depth(check) + 1 edges.
+                        cycle = depth + dist_checks[check] + 1
+                        if cycle % 2 == 0 and (best is None or cycle < best):
+                            best = cycle
+                    else:
+                        dist_checks[check] = depth + 1
+                        parent_checks[check] = node
+                        queue.append((1, check))
+            else:
+                for bit in self._bits_of_check[node]:
+                    bit = int(bit)
+                    if bit == parent_checks[node]:
+                        continue
+                    if bit in dist_bits:
+                        cycle = depth + dist_bits[bit] + 1
+                        if cycle % 2 == 0 and (best is None or cycle < best):
+                            best = cycle
+                    else:
+                        dist_bits[bit] = depth + 1
+                        parent_bits[bit] = node
+                        queue.append((0, bit))
+        return best
+
+    def has_four_cycles(self) -> bool:
+        """Fast check for 4-cycles: two bits sharing two checks.
+
+        Works directly on the sparse structure without a full girth search:
+        a 4-cycle exists exactly when some pair of bit nodes appears together
+        in two different checks.
+        """
+        seen: set[tuple[int, int]] = set()
+        for c in range(self.num_check_nodes):
+            bits = np.sort(self._bits_of_check[c])
+            for i in range(bits.size):
+                for j in range(i + 1, bits.size):
+                    pair = (int(bits[i]), int(bits[j]))
+                    if pair in seen:
+                        return True
+                    seen.add(pair)
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Statistics / export
+    # ------------------------------------------------------------------ #
+    def stats(self, *, girth_max_bits: int | None = 64) -> TannerGraphStats:
+        """Summary statistics including a (possibly sampled) girth estimate."""
+        bit_deg = self._pcm.bit_degrees()
+        check_deg = self._pcm.check_degrees()
+        return TannerGraphStats(
+            num_bit_nodes=self.num_bit_nodes,
+            num_check_nodes=self.num_check_nodes,
+            num_edges=self.num_edges,
+            bit_degree_min=int(bit_deg.min()) if bit_deg.size else 0,
+            bit_degree_max=int(bit_deg.max()) if bit_deg.size else 0,
+            check_degree_min=int(check_deg.min()) if check_deg.size else 0,
+            check_degree_max=int(check_deg.max()) if check_deg.size else 0,
+            girth=self.girth(max_bits=girth_max_bits),
+        )
+
+    def to_networkx(self):
+        """Export as a ``networkx.Graph`` with ``bipartite`` node attributes.
+
+        Bit nodes are labelled ``("bit", i)`` and check nodes ``("check", j)``.
+        Requires ``networkx`` (an optional dependency).
+        """
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from((("bit", b) for b in range(self.num_bit_nodes)), bipartite=0)
+        graph.add_nodes_from(
+            (("check", c) for c in range(self.num_check_nodes)), bipartite=1
+        )
+        check_idx, bit_idx = self._pcm.edges()
+        graph.add_edges_from(
+            (("check", int(c)), ("bit", int(b))) for c, b in zip(check_idx, bit_idx)
+        )
+        return graph

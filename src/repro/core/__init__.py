@@ -1,0 +1,69 @@
+"""Generic parallel LDPC decoder architecture model — the paper's contribution.
+
+The package models the architecture of Figure 3 (controller, input/output
+memories, multi-block message memories, and a processing block containing
+many CN and BN units) both *analytically* (cycle counts, throughput, FPGA
+resources — Tables 1-3) and *functionally* (the fixed-point decoding result
+the hardware would produce, via :class:`~repro.core.decoder_ip.CCSDSDecoderIP`).
+
+Two presets reproduce the paper's decoders:
+
+* :func:`~repro.core.configs.low_cost_architecture` — 16 BN / 2 CN units,
+  one frame at a time, full edge-message storage (Cyclone II target);
+* :func:`~repro.core.configs.high_speed_architecture` — eight concurrent
+  frames sharing the controller, compressed check-node storage
+  (Stratix II target).
+"""
+
+from repro.core.configs import (
+    high_speed_architecture,
+    low_cost_architecture,
+    scaled_architecture,
+)
+from repro.core.controller import AddressGenerator, ControllerModel
+from repro.core.decoder_ip import CCSDSDecoderIP
+from repro.core.fpga import (
+    CYCLONE_II_EP2C50F,
+    FPGADevice,
+    STRATIX_II_EP2S180,
+    UtilizationReport,
+    device_library,
+)
+from repro.core.memory import MemoryBank, MemoryReport, MessageStorage, build_memory_map
+from repro.core.parameters import ArchitectureParameters
+from repro.core.processing import BitNodeUnitModel, CheckNodeUnitModel, ProcessingBlockModel
+from repro.core.resources import ResourceEstimate, estimate_resources
+from repro.core.schedule import IterationSchedule, PhaseKind, SchedulePhase
+from repro.core.throughput import ThroughputModel, ThroughputPoint
+from repro.core.report import implementation_report, throughput_table
+
+__all__ = [
+    "ArchitectureParameters",
+    "low_cost_architecture",
+    "high_speed_architecture",
+    "scaled_architecture",
+    "MessageStorage",
+    "MemoryBank",
+    "MemoryReport",
+    "build_memory_map",
+    "BitNodeUnitModel",
+    "CheckNodeUnitModel",
+    "ProcessingBlockModel",
+    "ControllerModel",
+    "AddressGenerator",
+    "IterationSchedule",
+    "SchedulePhase",
+    "PhaseKind",
+    "ThroughputModel",
+    "ThroughputPoint",
+    "ResourceEstimate",
+    "estimate_resources",
+    "FPGADevice",
+    "UtilizationReport",
+    "CYCLONE_II_EP2C50F",
+    "STRATIX_II_EP2S180",
+    "device_library",
+    "CCSDSDecoderIP",
+    "implementation_report",
+    "throughput_table",
+]

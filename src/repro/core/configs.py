@@ -1,0 +1,73 @@
+"""The two decoder configurations evaluated in the paper, plus scaled twins.
+
+* ``low_cost_architecture()`` — the base architecture of Section 4.1:
+  16 BN / 2 CN units, one frame at a time, per-edge message storage, targeted
+  at the Cyclone II EP2C50F.  70 Mbps at 18 iterations and 200 MHz.
+* ``high_speed_architecture()`` — the generic multi-block version of
+  Section 4.2: eight processing blocks decode eight frames concurrently,
+  messages of the different frames share (wider) memory words, and the
+  check-to-bit messages are stored in compressed two-minimum form.
+  560 Mbps at 18 iterations; targeted at the Stratix II EP2S180.
+* ``scaled_architecture()`` — the same architecture dimensioned for a
+  scaled-down circulant size, used by fast tests and default benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.codes.ccsds_c2 import (
+    CCSDS_C2_CIRCULANT_SIZE,
+    CCSDS_C2_TX_INFO_BITS,
+)
+from repro.core.memory import MessageStorage
+from repro.core.parameters import ArchitectureParameters
+
+__all__ = ["low_cost_architecture", "high_speed_architecture", "scaled_architecture"]
+
+
+def low_cost_architecture(**overrides) -> ArchitectureParameters:
+    """The paper's low-cost decoder configuration (Cyclone II target)."""
+    params = ArchitectureParameters(
+        name="low-cost",
+        bn_units_per_block=16,
+        cn_units_per_block=2,
+        processing_blocks=1,
+        message_storage=MessageStorage.FULL_EDGE,
+        separate_input_staging=True,
+    )
+    return params.with_updates(**overrides) if overrides else params
+
+
+def high_speed_architecture(**overrides) -> ArchitectureParameters:
+    """The paper's high-speed decoder configuration (Stratix II target)."""
+    params = ArchitectureParameters(
+        name="high-speed",
+        bn_units_per_block=16,
+        cn_units_per_block=2,
+        processing_blocks=8,
+        message_storage=MessageStorage.COMPRESSED_CHECK,
+        separate_input_staging=False,
+    )
+    return params.with_updates(**overrides) if overrides else params
+
+
+def scaled_architecture(
+    circulant_size: int,
+    *,
+    base: ArchitectureParameters | None = None,
+    **overrides,
+) -> ArchitectureParameters:
+    """Dimension an architecture for a scaled-down CCSDS-like code.
+
+    The information bits per frame are scaled proportionally to the
+    circulant size so that throughput comparisons remain meaningful.
+    """
+    if base is None:
+        base = low_cost_architecture()
+    scale = circulant_size / CCSDS_C2_CIRCULANT_SIZE
+    info_bits = max(1, int(round(CCSDS_C2_TX_INFO_BITS * scale)))
+    params = base.with_updates(
+        name=f"{base.name}-b{circulant_size}",
+        circulant_size=circulant_size,
+        info_bits_per_frame=info_bits,
+    )
+    return params.with_updates(**overrides) if overrides else params

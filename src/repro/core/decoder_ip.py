@@ -1,0 +1,148 @@
+"""Top-level decoder IP model: functional + analytical in one object.
+
+``CCSDSDecoderIP`` couples a QC-LDPC code with an
+:class:`~repro.core.parameters.ArchitectureParameters` configuration.  It
+answers both kinds of questions the paper's evaluation asks:
+
+* *functional* — "what does this hardware output for these received LLRs?"
+  The IP decodes with a fixed-point normalized min-sum decoder configured
+  from the architecture's message width and correction factor (and, like the
+  hardware, runs a fixed number of iterations by default);
+* *analytical* — "how fast is it and how big is it?"  Throughput per
+  Table 1, resources per Tables 2/3, utilization on a chosen FPGA device.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.channel.quantize import FixedPointFormat
+from repro.codes.qc import QCLDPCCode
+from repro.core.fpga import FPGADevice, UtilizationReport
+from repro.core.parameters import ArchitectureParameters
+from repro.core.resources import ResourceEstimate, estimate_resources
+from repro.core.throughput import ThroughputModel, ThroughputPoint
+from repro.decode.fixed_point import QuantizedMinSumDecoder
+from repro.decode.result import DecodeResult
+from repro.decode.stopping import FixedIterations, StoppingCriterion
+
+__all__ = ["CCSDSDecoderIP"]
+
+
+class CCSDSDecoderIP:
+    """A configured instance of the generic CCSDS LDPC decoder architecture.
+
+    Parameters
+    ----------
+    code:
+        The QC-LDPC code the hardware is generated for.  Its structure must
+        match the architecture parameters (circulant size, block counts).
+    params:
+        The architecture configuration (e.g. from
+        :func:`repro.core.configs.low_cost_architecture`).
+    iterations:
+        Programmed number of decoding iterations (the paper recommends 18).
+    stopping:
+        Stopping criterion of the functional decoder;
+        :class:`~repro.decode.stopping.FixedIterations` by default, matching
+        the hardware's fixed decoding period.
+    """
+
+    def __init__(
+        self,
+        code: QCLDPCCode,
+        params: ArchitectureParameters,
+        *,
+        iterations: int = 18,
+        stopping: StoppingCriterion | None = None,
+    ):
+        self._validate_match(code, params)
+        self._code = code
+        self._params = params
+        self.iterations = int(iterations)
+        fmt = FixedPointFormat(total_bits=params.message_bits, fractional_bits=2)
+        channel_fmt = FixedPointFormat(total_bits=params.channel_bits, fractional_bits=2)
+        self._decoder = QuantizedMinSumDecoder(
+            code,
+            max_iterations=self.iterations,
+            alpha=params.alpha,
+            message_format=fmt,
+            channel_format=channel_fmt,
+            stopping=stopping if stopping is not None else FixedIterations(),
+        )
+        self._throughput = ThroughputModel(params)
+
+    @staticmethod
+    def _validate_match(code: QCLDPCCode, params: ArchitectureParameters) -> None:
+        spec = code.spec
+        mismatches = []
+        if spec.circulant_size != params.circulant_size:
+            mismatches.append(
+                f"circulant size {spec.circulant_size} vs {params.circulant_size}"
+            )
+        if spec.row_blocks != params.row_blocks:
+            mismatches.append(f"row blocks {spec.row_blocks} vs {params.row_blocks}")
+        if spec.col_blocks != params.col_blocks:
+            mismatches.append(f"col blocks {spec.col_blocks} vs {params.col_blocks}")
+        if mismatches:
+            raise ValueError(
+                "code structure does not match the architecture parameters: "
+                + "; ".join(mismatches)
+            )
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def code(self) -> QCLDPCCode:
+        """The code this IP decodes."""
+        return self._code
+
+    @property
+    def parameters(self) -> ArchitectureParameters:
+        """The architecture configuration."""
+        return self._params
+
+    @property
+    def decoder(self) -> QuantizedMinSumDecoder:
+        """The functional fixed-point decoder model."""
+        return self._decoder
+
+    # ------------------------------------------------------------------ #
+    # Functional model
+    # ------------------------------------------------------------------ #
+    def decode(self, channel_llrs) -> DecodeResult:
+        """Decode received channel LLRs exactly as the hardware would.
+
+        A batch larger than the number of concurrent frames is decoded in
+        several passes, like consecutive hardware frame batches.
+        """
+        llrs = np.asarray(channel_llrs, dtype=np.float64)
+        return self._decoder.decode(llrs)
+
+    # ------------------------------------------------------------------ #
+    # Analytical models
+    # ------------------------------------------------------------------ #
+    def throughput(self, iterations: int | None = None) -> ThroughputPoint:
+        """Output throughput at the programmed (or given) iteration count."""
+        return self._throughput.point(
+            self.iterations if iterations is None else iterations
+        )
+
+    def throughput_table(self, iteration_counts=(10, 18, 50)) -> list[ThroughputPoint]:
+        """The Table 1 row set for this configuration."""
+        return self._throughput.sweep(iteration_counts)
+
+    def resources(self) -> ResourceEstimate:
+        """Estimated FPGA resources (Tables 2/3)."""
+        return estimate_resources(self._params)
+
+    def utilization(self, device: FPGADevice) -> UtilizationReport:
+        """Resource utilization on a target FPGA device."""
+        return device.utilization(self.resources())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CCSDSDecoderIP(config={self._params.name!r}, "
+            f"iterations={self.iterations}, frames={self._params.concurrent_frames})"
+        )

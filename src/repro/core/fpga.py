@@ -1,0 +1,138 @@
+"""FPGA device library and utilization reporting.
+
+The paper maps the two decoder instances onto two Altera devices:
+
+* the low-cost decoder on a **Cyclone II EP2C50F** (Table 2), and
+* the high-speed decoder on a **Stratix II EP2S180** (Table 3).
+
+The capacities below come from the Altera device datasheets; the Cyclone II
+family counts logic in LEs (logic elements) while Stratix II counts ALUTs —
+the paper quotes both simply as "ALUTs", and so does this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.resources import ResourceEstimate
+
+__all__ = [
+    "FPGADevice",
+    "UtilizationReport",
+    "CYCLONE_II_EP2C50F",
+    "STRATIX_II_EP2S180",
+    "CYCLONE_II_EP2C35",
+    "STRATIX_II_EP2S60",
+    "device_library",
+]
+
+
+@dataclass(frozen=True)
+class FPGADevice:
+    """Capacity of one FPGA device."""
+
+    name: str
+    family: str
+    aluts: int
+    registers: int
+    memory_bits: int
+    max_clock_hz: float
+
+    def fits(self, estimate: ResourceEstimate) -> bool:
+        """Whether the estimated design fits in the device."""
+        return (
+            estimate.aluts <= self.aluts
+            and estimate.registers <= self.registers
+            and estimate.memory_bits <= self.memory_bits
+        )
+
+    def utilization(self, estimate: ResourceEstimate) -> "UtilizationReport":
+        """Utilization fractions of the device for an estimated design."""
+        return UtilizationReport(
+            device=self,
+            estimate=estimate,
+            alut_fraction=estimate.aluts / self.aluts,
+            register_fraction=estimate.registers / self.registers,
+            memory_fraction=estimate.memory_bits / self.memory_bits,
+        )
+
+
+@dataclass(frozen=True)
+class UtilizationReport:
+    """Resource utilization of a design on a device (Tables 2 and 3 rows)."""
+
+    device: FPGADevice
+    estimate: ResourceEstimate
+    alut_fraction: float
+    register_fraction: float
+    memory_fraction: float
+
+    @property
+    def fits(self) -> bool:
+        """Whether every resource stays within the device capacity."""
+        return (
+            self.alut_fraction <= 1.0
+            and self.register_fraction <= 1.0
+            and self.memory_fraction <= 1.0
+        )
+
+    def as_row(self) -> dict[str, str]:
+        """Table 2/3 style row: counts with utilization percentages."""
+        return {
+            "ALUTs": f"{self.estimate.aluts / 1000:.0f}k({self.alut_fraction * 100:.0f}%)",
+            "Registers": f"{self.estimate.registers / 1000:.0f}k({self.register_fraction * 100:.0f}%)",
+            "Total Memory Bits": (
+                f"{self.estimate.memory_bits / 1000:.0f}k({self.memory_fraction * 100:.0f}%)"
+            ),
+        }
+
+
+#: Altera Cyclone II EP2C50: 50,528 LEs, 129 M4K blocks (594,432 RAM bits).
+CYCLONE_II_EP2C50F = FPGADevice(
+    name="Cyclone II EP2C50F",
+    family="Cyclone II",
+    aluts=50_528,
+    registers=50_528,
+    memory_bits=594_432,
+    max_clock_hz=260e6,
+)
+
+#: Altera Stratix II EP2S180: 143,520 ALUTs, 9,383,040 RAM bits.
+STRATIX_II_EP2S180 = FPGADevice(
+    name="Stratix II EP2S180",
+    family="Stratix II",
+    aluts=143_520,
+    registers=143_520,
+    memory_bits=9_383_040,
+    max_clock_hz=420e6,
+)
+
+#: Smaller family members, useful for exploring where the design stops fitting.
+CYCLONE_II_EP2C35 = FPGADevice(
+    name="Cyclone II EP2C35",
+    family="Cyclone II",
+    aluts=33_216,
+    registers=33_216,
+    memory_bits=483_840,
+    max_clock_hz=260e6,
+)
+
+STRATIX_II_EP2S60 = FPGADevice(
+    name="Stratix II EP2S60",
+    family="Stratix II",
+    aluts=48_352,
+    registers=48_352,
+    memory_bits=2_544_192,
+    max_clock_hz=420e6,
+)
+
+
+def device_library() -> dict[str, FPGADevice]:
+    """All known devices keyed by name."""
+    devices = (
+        CYCLONE_II_EP2C50F,
+        CYCLONE_II_EP2C35,
+        STRATIX_II_EP2S180,
+        STRATIX_II_EP2S60,
+    )
+    return {device.name: device for device in devices}

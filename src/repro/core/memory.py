@@ -1,0 +1,196 @@
+"""Memory organization of the generic decoder architecture.
+
+The abstract of the paper attributes the genericity of the architecture to
+"an optimized storage of the data"; Section 3 describes multi-block message
+memories whose word size grows with the number of concurrent frames (the
+messages of the different input frames are stored in the same memory word
+and accessed concurrently).
+
+``build_memory_map`` enumerates the memories a given
+:class:`~repro.core.parameters.ArchitectureParameters` instance needs and
+their sizes, which is where the "Total Memory Bits" rows of Tables 2 and 3
+come from:
+
+* *channel memory* — the quantized input LLRs of the frame(s) being decoded;
+* *input staging buffer* — double-buffering so the next frame can be loaded
+  while the current one is decoded;
+* *message memory* — the check-to-bit messages.  Two organizations are
+  modelled: ``FULL_EDGE`` stores every edge message individually (simple,
+  used by the low-cost decoder), ``COMPRESSED_CHECK`` stores per check node
+  only the two minima, the index of the first minimum and the signs — the
+  classical min-sum compression, which is what lets the high-speed decoder
+  multiply the throughput by eight while growing the memories by much less;
+* *output buffer* — hard decisions of the decoded frame(s).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["MessageStorage", "MemoryBank", "MemoryReport", "build_memory_map"]
+
+
+class MessageStorage(Enum):
+    """How check-to-bit messages are stored between the two half-iterations."""
+
+    #: One stored word per edge (per-edge message memory).
+    FULL_EDGE = "full-edge"
+    #: Per check node: min1, min2, index of min1 and the edge signs.
+    COMPRESSED_CHECK = "compressed-check"
+
+
+@dataclass(frozen=True)
+class MemoryBank:
+    """One logical memory of the architecture.
+
+    Attributes
+    ----------
+    name:
+        Purpose of the memory.
+    words:
+        Number of addressable words.
+    word_bits:
+        Width of one word in bits (grows with the number of concurrent
+        frames — the multi-block organization of the paper).
+    banks:
+        Number of physically separate banks (one per block column for the
+        channel/message memories so the BN units can read concurrently).
+    """
+
+    name: str
+    words: int
+    word_bits: int
+    banks: int = 1
+
+    @property
+    def total_bits(self) -> int:
+        """Total storage of this memory across all banks."""
+        return self.words * self.word_bits * self.banks
+
+
+@dataclass(frozen=True)
+class MemoryReport:
+    """All memories of one decoder instance."""
+
+    banks: tuple[MemoryBank, ...]
+
+    @property
+    def total_bits(self) -> int:
+        """Grand total of memory bits (the Tables 2/3 figure)."""
+        return sum(bank.total_bits for bank in self.banks)
+
+    def by_name(self, name: str) -> MemoryBank:
+        """Look up a memory by name."""
+        for bank in self.banks:
+            if bank.name == name:
+                return bank
+        raise KeyError(f"no memory named {name!r}")
+
+    def breakdown(self) -> dict[str, int]:
+        """Bits per memory, keyed by name."""
+        return {bank.name: bank.total_bits for bank in self.banks}
+
+
+def compressed_check_word_bits(check_degree: int, message_bits: int) -> int:
+    """Stored bits per check node in the compressed organization.
+
+    min1 and min2 magnitudes (``message_bits - 1`` each, the sign is carried
+    separately), the index of the edge achieving min1, the product sign and
+    one sign bit per edge.
+    """
+    magnitude_bits = message_bits - 1
+    index_bits = max(1, math.ceil(math.log2(check_degree)))
+    return 2 * magnitude_bits + index_bits + 1 + check_degree
+
+
+def build_memory_map(params) -> MemoryReport:
+    """Enumerate the memories required by an architecture configuration.
+
+    Parameters
+    ----------
+    params:
+        An :class:`~repro.core.parameters.ArchitectureParameters` instance.
+
+    Returns
+    -------
+    MemoryReport
+        The logical memories with their word counts, widths and bank counts.
+    """
+    frames = params.concurrent_frames
+    b = params.circulant_size
+
+    banks: list[MemoryBank] = []
+
+    # Channel LLR working memory: one bank per block column so that the
+    # bn_units_per_block units can each fetch their input concurrently.
+    channel_banks = params.col_blocks
+    banks.append(
+        MemoryBank(
+            name="channel",
+            words=b,
+            word_bits=params.channel_bits * frames,
+            banks=channel_banks,
+        )
+    )
+
+    # Input staging buffer (double buffering of the next frame being loaded).
+    # The multi-frame configuration reloads finished frame slots in place and
+    # skips this buffer ("memories more optimized and more filled").
+    if params.separate_input_staging:
+        banks.append(
+            MemoryBank(
+                name="input-staging",
+                words=b,
+                word_bits=params.channel_bits * frames,
+                banks=channel_banks,
+            )
+        )
+
+    # Message memory.
+    if params.message_storage is MessageStorage.FULL_EDGE:
+        # One word per edge of a block column; there are
+        # row_blocks * block_weight edges per bit.
+        edges_per_column_block = params.row_blocks * params.block_weight * b
+        banks.append(
+            MemoryBank(
+                name="messages",
+                words=edges_per_column_block,
+                word_bits=params.message_bits * frames,
+                banks=params.col_blocks,
+            )
+        )
+    else:
+        # Compressed per-check storage plus the a-posteriori totals that the
+        # BN update needs to reconstruct the extrinsic messages.
+        check_word = compressed_check_word_bits(params.check_degree, params.message_bits)
+        banks.append(
+            MemoryBank(
+                name="messages",
+                words=b,
+                word_bits=check_word * frames,
+                banks=params.row_blocks,
+            )
+        )
+        posterior_bits = params.message_bits + 2  # growth margin for the sums
+        banks.append(
+            MemoryBank(
+                name="posterior",
+                words=b,
+                word_bits=posterior_bits * frames,
+                banks=params.col_blocks,
+            )
+        )
+
+    # Output buffer: one hard-decision bit per code bit.
+    banks.append(
+        MemoryBank(
+            name="output",
+            words=b,
+            word_bits=1 * frames,
+            banks=params.col_blocks,
+        )
+    )
+
+    return MemoryReport(tuple(banks))

@@ -1,0 +1,162 @@
+"""Architecture parameter set of the generic parallel decoder.
+
+``ArchitectureParameters`` is the single object every analytical model in
+:mod:`repro.core` consumes.  It captures the degrees of freedom the paper's
+"generic architecture" exposes:
+
+* how many bit-node and check-node processing units one processing block
+  contains (the low-cost decoder processes 16 BN / 2 CN concurrently,
+  exploiting the 16 block columns / 2 block rows of the QC code);
+* how many processing blocks (= concurrent frames) are instantiated — the
+  high-speed decoder uses eight, storing the messages of the different
+  frames in the same (wider) memory words;
+* the fixed-point widths of channel values and messages;
+* how check-to-bit messages are stored (full per-edge storage or the
+  compressed two-minimum form);
+* the system clock frequency (200 MHz in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.codes.ccsds_c2 import (
+    CCSDS_C2_CIRCULANT_SIZE,
+    CCSDS_C2_COLUMN_BLOCKS,
+    CCSDS_C2_ROW_BLOCKS,
+    CCSDS_C2_TX_INFO_BITS,
+)
+from repro.core.memory import MessageStorage
+
+__all__ = ["ArchitectureParameters"]
+
+
+@dataclass(frozen=True)
+class ArchitectureParameters:
+    """Complete parameterization of one decoder instance.
+
+    The defaults describe the code-dependent quantities of the CCSDS C2 code
+    and must be overridden consistently when targeting a scaled code (use
+    :func:`repro.core.configs.scaled_architecture`).
+    """
+
+    #: Human-readable configuration name ("low-cost", "high-speed", ...).
+    name: str = "low-cost"
+
+    # --- code structure the hardware is generated for ------------------- #
+    #: Circulant size of the QC code (511 for CCSDS C2).
+    circulant_size: int = CCSDS_C2_CIRCULANT_SIZE
+    #: Number of block rows of the parity-check matrix (2).
+    row_blocks: int = CCSDS_C2_ROW_BLOCKS
+    #: Number of block columns (16).
+    col_blocks: int = CCSDS_C2_COLUMN_BLOCKS
+    #: Circulant weight of every block (2 for CCSDS C2).
+    block_weight: int = 2
+    #: Information bits delivered per decoded frame (7136 for the shortened
+    #: CCSDS transmission frame).
+    info_bits_per_frame: int = CCSDS_C2_TX_INFO_BITS
+
+    # --- processing parallelism ------------------------------------------ #
+    #: Bit-node processing units per processing block (16 in the paper).
+    bn_units_per_block: int = 16
+    #: Check-node processing units per processing block (2 in the paper).
+    cn_units_per_block: int = 2
+    #: Number of processing blocks = frames decoded concurrently (1 or 8).
+    processing_blocks: int = 1
+
+    # --- datapath ---------------------------------------------------------- #
+    #: Bits per stored message (sign + magnitude).
+    message_bits: int = 6
+    #: Bits per quantized channel LLR.
+    channel_bits: int = 6
+    #: How check-to-bit messages are stored.
+    message_storage: MessageStorage = MessageStorage.FULL_EDGE
+    #: Whether a separate input staging buffer is instantiated (the low-cost
+    #: decoder double-buffers the input; the multi-frame high-speed decoder
+    #: reuses the wide channel memory slots of already-finished frames).
+    separate_input_staging: bool = True
+    #: Normalization factor alpha of the scaled min-sum check update.
+    alpha: float = 1.25
+
+    # --- timing ------------------------------------------------------------ #
+    #: System clock frequency in Hz (200 MHz in the paper).
+    clock_frequency_hz: float = 200e6
+    #: Extra cycles per iteration (pipeline fill/flush between phases).
+    pipeline_overhead_cycles: int = 78
+    #: Extra cycles per frame (input load / output unload not hidden behind
+    #: decoding).  The paper's throughput figures are consistent with fully
+    #: overlapped I/O, hence the default of 0.
+    frame_overhead_cycles: int = 0
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    def __post_init__(self):
+        positive_fields = {
+            "circulant_size": self.circulant_size,
+            "row_blocks": self.row_blocks,
+            "col_blocks": self.col_blocks,
+            "block_weight": self.block_weight,
+            "info_bits_per_frame": self.info_bits_per_frame,
+            "bn_units_per_block": self.bn_units_per_block,
+            "cn_units_per_block": self.cn_units_per_block,
+            "processing_blocks": self.processing_blocks,
+            "message_bits": self.message_bits,
+            "channel_bits": self.channel_bits,
+            "clock_frequency_hz": self.clock_frequency_hz,
+        }
+        for name, value in positive_fields.items():
+            if value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+        if self.pipeline_overhead_cycles < 0 or self.frame_overhead_cycles < 0:
+            raise ValueError("overhead cycle counts must be non-negative")
+        if self.alpha < 1.0:
+            raise ValueError("alpha must be >= 1")
+        if self.bn_units_per_block > self.col_blocks * self.circulant_size:
+            raise ValueError("more BN units than bit nodes")
+        if self.cn_units_per_block > self.row_blocks * self.circulant_size:
+            raise ValueError("more CN units than check nodes")
+
+    @property
+    def block_length(self) -> int:
+        """Code length ``n`` the hardware is dimensioned for."""
+        return self.col_blocks * self.circulant_size
+
+    @property
+    def num_checks(self) -> int:
+        """Number of parity checks ``m``."""
+        return self.row_blocks * self.circulant_size
+
+    @property
+    def num_edges(self) -> int:
+        """Messages per direction per iteration (ones in H)."""
+        return self.row_blocks * self.col_blocks * self.block_weight * self.circulant_size
+
+    @property
+    def check_degree(self) -> int:
+        """Degree of every check node (row weight of H)."""
+        return self.col_blocks * self.block_weight
+
+    @property
+    def bit_degree(self) -> int:
+        """Degree of every bit node (column weight of H)."""
+        return self.row_blocks * self.block_weight
+
+    @property
+    def concurrent_frames(self) -> int:
+        """Frames decoded concurrently (one per processing block)."""
+        return self.processing_blocks
+
+    @property
+    def total_bn_units(self) -> int:
+        """Bit-node units across all processing blocks."""
+        return self.bn_units_per_block * self.processing_blocks
+
+    @property
+    def total_cn_units(self) -> int:
+        """Check-node units across all processing blocks."""
+        return self.cn_units_per_block * self.processing_blocks
+
+    def with_updates(self, **kwargs) -> "ArchitectureParameters":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)

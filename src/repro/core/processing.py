@@ -1,0 +1,161 @@
+"""Processing-unit models: check-node units, bit-node units, processing blocks.
+
+The processing block of the base architecture (Figure 3) contains "many
+instances of the CN node and BN node processing units"; the low-cost decoder
+instantiates 16 BN units and 2 CN units per block, matching the 16 block
+columns and 2 block rows of the CCSDS QC code so that one circulant offset of
+every block column/row is processed per cycle.
+
+Each model exposes two things:
+
+* a *functional* description (what the unit computes, used by the docs and
+  the datapath cross-checks), and
+* an *implementation cost* estimate in ALUTs and registers.  The cost
+  formulas are parameterized by the datapath widths and node degrees and
+  their coefficients are calibrated against the synthesis results reported
+  in Tables 2 and 3 of the paper (see ``tests/test_core_resources.py`` for
+  the calibration checks).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["BitNodeUnitModel", "CheckNodeUnitModel", "ProcessingBlockModel"]
+
+
+@dataclass(frozen=True)
+class BitNodeUnitModel:
+    """One bit-node (variable-node) processing unit.
+
+    The unit implements equation (3) of the paper: it sums the incoming
+    channel LLR with the check-to-bit messages of all but one edge, for each
+    of the ``bit_degree`` outgoing edges, with saturation to the message
+    range.
+
+    Parameters
+    ----------
+    message_bits:
+        Width of the stored messages.
+    bit_degree:
+        Number of edges per bit node (4 for CCSDS C2).
+    """
+
+    message_bits: int = 6
+    bit_degree: int = 4
+
+    @property
+    def internal_width(self) -> int:
+        """Internal accumulator width (message width plus growth bits)."""
+        return self.message_bits + max(1, math.ceil(math.log2(self.bit_degree + 1)))
+
+    @property
+    def adder_operands(self) -> int:
+        """Operands of the accumulation (channel LLR plus ``bit_degree`` messages)."""
+        return self.bit_degree + 1
+
+    def aluts(self) -> int:
+        """Estimated combinational logic (ALUTs / LEs)."""
+        return 4 * self.internal_width * self.adder_operands
+
+    def registers(self) -> int:
+        """Estimated flip-flops (pipelined adder tree plus output registers)."""
+        return 4 * self.internal_width * self.adder_operands
+
+
+@dataclass(frozen=True)
+class CheckNodeUnitModel:
+    """One check-node processing unit.
+
+    The unit implements the scaled sign-min update of equation (2): it tracks
+    the two smallest input magnitudes and the running sign product while the
+    ``check_degree`` messages stream through, then emits, per edge, the
+    appropriate minimum scaled by ``1/alpha``.
+
+    Parameters
+    ----------
+    message_bits:
+        Width of the messages (one sign bit + magnitude).
+    check_degree:
+        Number of edges per check node (32 for CCSDS C2).
+    """
+
+    message_bits: int = 6
+    check_degree: int = 32
+
+    @property
+    def magnitude_bits(self) -> int:
+        """Width of the magnitude datapath."""
+        return self.message_bits - 1
+
+    @property
+    def index_bits(self) -> int:
+        """Bits needed to remember which edge achieved the first minimum."""
+        return max(1, math.ceil(math.log2(self.check_degree)))
+
+    def aluts(self) -> int:
+        """Estimated combinational logic (comparators, sign tree, scaler)."""
+        return (
+            10 * self.magnitude_bits
+            + 2 * self.check_degree
+            + 15 * self.index_bits
+            + 8 * self.message_bits
+        )
+
+    def registers(self) -> int:
+        """Estimated flip-flops (min1/min2/index/sign state and pipelining)."""
+        return (
+            4 * self.magnitude_bits
+            + self.check_degree
+            + self.index_bits
+            + 3 * self.message_bits
+        )
+
+
+@dataclass(frozen=True)
+class ProcessingBlockModel:
+    """One processing block: BN units, CN units and their local interconnect.
+
+    A block serves one frame; the high-speed decoder instantiates eight
+    blocks that share the controller and the (widened) memories.
+    """
+
+    bn_units: int
+    cn_units: int
+    bn_unit: BitNodeUnitModel
+    cn_unit: CheckNodeUnitModel
+
+    @classmethod
+    def from_parameters(cls, params) -> "ProcessingBlockModel":
+        """Build the block model of an :class:`ArchitectureParameters` instance."""
+        return cls(
+            bn_units=params.bn_units_per_block,
+            cn_units=params.cn_units_per_block,
+            bn_unit=BitNodeUnitModel(params.message_bits, params.bit_degree),
+            cn_unit=CheckNodeUnitModel(params.message_bits, params.check_degree),
+        )
+
+    def interconnect_aluts(self) -> int:
+        """Multiplexing between the memory banks and the processing units."""
+        return self.bn_units * self.bn_unit.message_bits * 8
+
+    def interconnect_registers(self) -> int:
+        """Pipeline registers of the block-local interconnect."""
+        return self.bn_units * self.bn_unit.message_bits * 4
+
+    def aluts(self) -> int:
+        """Total combinational logic of one processing block."""
+        return (
+            self.bn_units * self.bn_unit.aluts()
+            + self.cn_units * self.cn_unit.aluts()
+            + self.interconnect_aluts()
+        )
+
+    def registers(self) -> int:
+        """Total flip-flops of one processing block."""
+        return (
+            self.bn_units * self.bn_unit.registers()
+            + self.cn_units * self.cn_unit.registers()
+            + self.interconnect_registers()
+        )

@@ -1,0 +1,56 @@
+"""Human-readable reports mirroring the paper's tables.
+
+These helpers are used by the benchmark harnesses to print exactly the rows
+the paper reports (Table 1: iterations vs throughput; Tables 2/3: resource
+utilization), so that paper-vs-measured comparisons are one diff away.
+"""
+
+from __future__ import annotations
+
+from repro.core.fpga import FPGADevice
+from repro.core.parameters import ArchitectureParameters
+from repro.core.resources import estimate_resources
+from repro.core.throughput import ThroughputModel
+from repro.utils.formatting import format_table
+
+__all__ = ["throughput_table", "implementation_report"]
+
+
+def throughput_table(
+    configs: list[ArchitectureParameters],
+    iteration_counts=(10, 18, 50),
+) -> str:
+    """Render Table 1: output throughput per iteration count per configuration."""
+    headers = ["Number of iterations"] + [
+        f"{params.name} Output Throughput" for params in configs
+    ]
+    models = [ThroughputModel(params) for params in configs]
+    rows = []
+    for iterations in iteration_counts:
+        row = [iterations]
+        for model in models:
+            point = model.point(iterations)
+            row.append(f"{point.throughput_mbps:.0f} Mbps")
+        rows.append(row)
+    title = (
+        "Table 1: Number of iterations influence on the output data rate "
+        f"(clock {configs[0].clock_frequency_hz / 1e6:.0f} MHz)"
+    )
+    return format_table(headers, rows, title=title)
+
+
+def implementation_report(params: ArchitectureParameters, device: FPGADevice) -> str:
+    """Render a Table 2/3 style implementation summary for one configuration."""
+    estimate = estimate_resources(params)
+    utilization = device.utilization(estimate)
+    row = utilization.as_row()
+    table = format_table(
+        ["ALUTs", "Registers", "Total Memory Bits"],
+        [[row["ALUTs"], row["Registers"], row["Total Memory Bits"]]],
+        title=f"Implementation results of the {params.name} decoder on a {device.name}",
+    )
+    breakdown_rows = [
+        [name, f"{bits:,} bits"] for name, bits in estimate.memory_breakdown.items()
+    ]
+    breakdown = format_table(["Memory", "Size"], breakdown_rows, title="Memory breakdown")
+    return table + "\n\n" + breakdown

@@ -1,0 +1,86 @@
+"""FPGA resource estimation — reproduces Tables 2 and 3 of the paper.
+
+The estimate combines three contributions:
+
+* the processing blocks (BN units, CN units, block interconnect) — one per
+  concurrent frame, see :mod:`repro.core.processing`;
+* the shared controller, address generators and I/O interfaces, see
+  :mod:`repro.core.controller`;
+* the memories, see :mod:`repro.core.memory`.
+
+Logic (ALUTs/registers) grows roughly linearly with the number of processing
+blocks on top of a fixed shared part, which is why the 8x-throughput
+high-speed decoder needs only ~4-5x the logic of the low-cost decoder — the
+scaling claim of Section 4.2.
+
+The per-unit cost coefficients are calibrated against the synthesis results
+the paper reports (Tables 2 and 3); the model is an analytical substitute
+for running Quartus synthesis (see the substitution table in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.controller import ControllerModel
+from repro.core.memory import MemoryReport, build_memory_map
+from repro.core.processing import ProcessingBlockModel
+
+__all__ = ["ResourceEstimate", "estimate_resources"]
+
+
+@dataclass(frozen=True)
+class ResourceEstimate:
+    """Estimated FPGA resources of one decoder configuration."""
+
+    aluts: int
+    registers: int
+    memory_bits: int
+    #: Per-category breakdown for reporting and ablation studies.
+    logic_breakdown: dict[str, int]
+    memory_breakdown: dict[str, int]
+
+    def scaled_by(self, other: "ResourceEstimate") -> dict[str, float]:
+        """Resource ratios of ``self`` relative to ``other`` (e.g. high/low cost)."""
+        return {
+            "aluts": self.aluts / other.aluts,
+            "registers": self.registers / other.registers,
+            "memory_bits": self.memory_bits / other.memory_bits,
+        }
+
+
+def estimate_resources(params) -> ResourceEstimate:
+    """Estimate ALUTs, registers and memory bits for an architecture.
+
+    Parameters
+    ----------
+    params:
+        An :class:`~repro.core.parameters.ArchitectureParameters` instance.
+    """
+    block = ProcessingBlockModel.from_parameters(params)
+    controller = ControllerModel(
+        col_blocks=params.col_blocks,
+        row_blocks=params.row_blocks,
+        circulant_size=params.circulant_size,
+    )
+    memories: MemoryReport = build_memory_map(params)
+
+    blocks = params.processing_blocks
+    block_aluts = block.aluts() * blocks
+    block_registers = block.registers() * blocks
+    controller_aluts = controller.aluts()
+    controller_registers = controller.registers()
+
+    logic_breakdown = {
+        "processing-blocks": block_aluts,
+        "controller": controller_aluts,
+    }
+    register_total = block_registers + controller_registers
+
+    return ResourceEstimate(
+        aluts=block_aluts + controller_aluts,
+        registers=register_total,
+        memory_bits=memories.total_bits,
+        logic_breakdown=logic_breakdown,
+        memory_breakdown=memories.breakdown(),
+    )

@@ -1,0 +1,108 @@
+"""Cycle-level schedule of the decoder iteration.
+
+Table 1 of the paper is a direct consequence of this schedule: with 16 BN
+units (one per block column) the bit-node phase sweeps the 511 circulant
+offsets in 511 cycles, and with 2 CN units (one per block row) the
+check-node phase also takes 511 cycles, so one iteration costs roughly
+``2 * 511`` cycles plus pipeline overhead.  The frame decoding time is then
+``iterations * cycles_per_iteration + frame_overhead`` clock periods,
+identical for the low-cost and high-speed versions (the latter simply
+decodes eight frames in that same time).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["PhaseKind", "SchedulePhase", "IterationSchedule"]
+
+
+class PhaseKind(Enum):
+    """The two half-iterations of the flooding schedule plus frame I/O."""
+
+    BIT_NODE = "bit-node"
+    CHECK_NODE = "check-node"
+    FRAME_IO = "frame-io"
+
+
+@dataclass(frozen=True)
+class SchedulePhase:
+    """One phase of the schedule and its duration in cycles."""
+
+    kind: PhaseKind
+    cycles: int
+    description: str
+
+
+@dataclass(frozen=True)
+class IterationSchedule:
+    """Cycle counts of one decoding iteration for a given architecture."""
+
+    bn_phase_cycles: int
+    cn_phase_cycles: int
+    pipeline_overhead_cycles: int
+    frame_overhead_cycles: int
+
+    @classmethod
+    def from_parameters(cls, params) -> "IterationSchedule":
+        """Derive the schedule from an :class:`ArchitectureParameters` instance.
+
+        The number of cycles of each phase is the number of nodes of that
+        kind divided by the number of units processing them concurrently
+        (per block — every processing block works on its own frame in
+        lock-step, so adding blocks does not shorten the phases).
+        """
+        bn_cycles = math.ceil(params.block_length / params.bn_units_per_block)
+        cn_cycles = math.ceil(params.num_checks / params.cn_units_per_block)
+        return cls(
+            bn_phase_cycles=bn_cycles,
+            cn_phase_cycles=cn_cycles,
+            pipeline_overhead_cycles=params.pipeline_overhead_cycles,
+            frame_overhead_cycles=params.frame_overhead_cycles,
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def cycles_per_iteration(self) -> int:
+        """Clock cycles of one full iteration (both phases plus overhead)."""
+        return (
+            self.bn_phase_cycles
+            + self.cn_phase_cycles
+            + self.pipeline_overhead_cycles
+        )
+
+    def cycles_per_frame(self, iterations: int) -> int:
+        """Clock cycles to decode one frame batch with the given iteration count."""
+        if iterations < 1:
+            raise ValueError("iterations must be at least 1")
+        return iterations * self.cycles_per_iteration + self.frame_overhead_cycles
+
+    def phases(self, iterations: int) -> list[SchedulePhase]:
+        """Expanded list of phases of a full frame decode (for inspection)."""
+        phases: list[SchedulePhase] = []
+        if self.frame_overhead_cycles:
+            phases.append(
+                SchedulePhase(
+                    PhaseKind.FRAME_IO,
+                    self.frame_overhead_cycles,
+                    "frame load/unload not hidden behind decoding",
+                )
+            )
+        for iteration in range(1, iterations + 1):
+            phases.append(
+                SchedulePhase(
+                    PhaseKind.BIT_NODE,
+                    self.bn_phase_cycles,
+                    f"iteration {iteration}: bit-node update sweep",
+                )
+            )
+            phases.append(
+                SchedulePhase(
+                    PhaseKind.CHECK_NODE,
+                    self.cn_phase_cycles + self.pipeline_overhead_cycles,
+                    f"iteration {iteration}: check-node update sweep (incl. pipeline flush)",
+                )
+            )
+        return phases

@@ -1,0 +1,119 @@
+"""Throughput model — reproduces Table 1 of the paper.
+
+The output (information) throughput of the decoder is::
+
+    throughput = concurrent_frames * info_bits_per_frame / frame_time
+    frame_time = cycles_per_frame(iterations) / clock_frequency
+
+The low-cost decoder decodes one frame at a time; the high-speed decoder
+decodes eight concurrently in the same number of cycles, which is exactly
+the 8x throughput ratio of Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.schedule import IterationSchedule
+
+__all__ = ["ThroughputPoint", "ThroughputModel"]
+
+#: The iteration counts evaluated in Table 1 of the paper.
+TABLE1_ITERATIONS = (10, 18, 50)
+
+
+@dataclass(frozen=True)
+class ThroughputPoint:
+    """Throughput of one configuration at one iteration count."""
+
+    iterations: int
+    cycles_per_frame: int
+    frame_time_s: float
+    throughput_bps: float
+
+    @property
+    def throughput_mbps(self) -> float:
+        """Output throughput in Mbps (the unit Table 1 uses)."""
+        return self.throughput_bps / 1e6
+
+
+class ThroughputModel:
+    """Analytical throughput of one architecture configuration.
+
+    Parameters
+    ----------
+    params:
+        The :class:`~repro.core.parameters.ArchitectureParameters` instance.
+    """
+
+    def __init__(self, params):
+        self._params = params
+        self._schedule = IterationSchedule.from_parameters(params)
+
+    @property
+    def parameters(self):
+        """The architecture parameters."""
+        return self._params
+
+    @property
+    def schedule(self) -> IterationSchedule:
+        """The derived cycle schedule."""
+        return self._schedule
+
+    def point(self, iterations: int) -> ThroughputPoint:
+        """Throughput at a given (programmable) number of iterations."""
+        cycles = self._schedule.cycles_per_frame(iterations)
+        frame_time = cycles / self._params.clock_frequency_hz
+        bits = self._params.info_bits_per_frame * self._params.concurrent_frames
+        return ThroughputPoint(
+            iterations=iterations,
+            cycles_per_frame=cycles,
+            frame_time_s=frame_time,
+            throughput_bps=bits / frame_time,
+        )
+
+    def sweep(self, iteration_counts=TABLE1_ITERATIONS) -> list[ThroughputPoint]:
+        """Throughput at each iteration count (Table 1 rows)."""
+        return [self.point(i) for i in iteration_counts]
+
+    def effective_point(self, average_iterations: float) -> ThroughputPoint:
+        """Throughput when iterations stop early (syndrome-based termination).
+
+        The hardware of the paper runs a fixed decoding period, but a common
+        extension is to stop as soon as the syndrome clears and start the next
+        frame, in which case the *average* number of iterations (a fractional
+        value measured by simulation, e.g.
+        :attr:`repro.sim.results.SimulationPoint.average_iterations`) sets the
+        sustained throughput.
+        """
+        if average_iterations <= 0:
+            raise ValueError("average_iterations must be positive")
+        cycles = (
+            average_iterations * self._schedule.cycles_per_iteration
+            + self._schedule.frame_overhead_cycles
+        )
+        frame_time = cycles / self._params.clock_frequency_hz
+        bits = self._params.info_bits_per_frame * self._params.concurrent_frames
+        return ThroughputPoint(
+            iterations=int(np.ceil(average_iterations)),
+            cycles_per_frame=int(np.ceil(cycles)),
+            frame_time_s=frame_time,
+            throughput_bps=bits / frame_time,
+        )
+
+    def iterations_for_throughput(self, target_bps: float) -> int:
+        """Largest iteration count that still sustains ``target_bps``.
+
+        Useful for the "18 iterations is the best trade-off" discussion: it
+        answers how many iterations fit in the time budget of a required
+        data rate.
+        """
+        if target_bps <= 0:
+            raise ValueError("target_bps must be positive")
+        bits = self._params.info_bits_per_frame * self._params.concurrent_frames
+        max_cycles = bits / target_bps * self._params.clock_frequency_hz
+        available = max_cycles - self._schedule.frame_overhead_cycles
+        iterations = int(available // self._schedule.cycles_per_iteration)
+        return max(iterations, 0)

@@ -1,0 +1,52 @@
+"""Message-passing LDPC decoders.
+
+All decoders operate on channel LLRs (positive = bit 0 more likely), accept
+either a single frame or a batch of frames (the batch dimension mirrors the
+high-speed architecture's concurrent frames), and return a
+:class:`~repro.decode.result.DecodeResult`.
+
+* :class:`~repro.decode.sum_product.SumProductDecoder` — full belief
+  propagation (tanh rule), the reference algorithm.
+* :class:`~repro.decode.min_sum.MinSumDecoder` — the sign-min simplification.
+* :class:`~repro.decode.min_sum.NormalizedMinSumDecoder` — min-sum with the
+  paper's scaled correction factor ``1/alpha`` (equation 2).
+* :class:`~repro.decode.min_sum.OffsetMinSumDecoder` — offset-corrected
+  min-sum.
+* :class:`~repro.decode.layered.LayeredMinSumDecoder` — row-layered schedule.
+* :class:`~repro.decode.fixed_point.QuantizedMinSumDecoder` — normalized
+  min-sum with fixed-point messages, modelling the FPGA datapath.
+* :class:`~repro.decode.hard_decision.GallagerBDecoder` and
+  :class:`~repro.decode.hard_decision.WeightedBitFlippingDecoder` —
+  hard-decision baselines.
+"""
+
+from repro.decode.base import MessagePassingDecoder
+from repro.decode.fixed_point import QuantizedMinSumDecoder
+from repro.decode.hard_decision import GallagerBDecoder, WeightedBitFlippingDecoder
+from repro.decode.layered import LayeredMinSumDecoder
+from repro.decode.messages import EdgeStructure
+from repro.decode.min_sum import (
+    MinSumDecoder,
+    NormalizedMinSumDecoder,
+    OffsetMinSumDecoder,
+)
+from repro.decode.result import DecodeResult
+from repro.decode.stopping import StoppingCriterion, SyndromeStopping, FixedIterations
+from repro.decode.sum_product import SumProductDecoder
+
+__all__ = [
+    "EdgeStructure",
+    "DecodeResult",
+    "MessagePassingDecoder",
+    "SumProductDecoder",
+    "MinSumDecoder",
+    "NormalizedMinSumDecoder",
+    "OffsetMinSumDecoder",
+    "LayeredMinSumDecoder",
+    "QuantizedMinSumDecoder",
+    "GallagerBDecoder",
+    "WeightedBitFlippingDecoder",
+    "StoppingCriterion",
+    "SyndromeStopping",
+    "FixedIterations",
+]

@@ -1,0 +1,169 @@
+"""Common machinery of the flooding message-passing decoders.
+
+``MessagePassingDecoder`` implements the four-step iteration described in
+Section 2.1 of the paper (bit nodes send, check nodes process, check nodes
+send back, bit nodes process) with batching and optional early stopping;
+concrete decoders only provide the check-node kernel and, optionally, a
+message conditioning hook (used by the fixed-point decoder to quantize).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.decode.messages import EdgeStructure
+from repro.decode.result import DecodeResult
+from repro.decode.stopping import StoppingCriterion, SyndromeStopping
+from repro.encode.systematic import as_parity_check_matrix
+from repro.utils.bits import hard_decision
+
+__all__ = ["MessagePassingDecoder"]
+
+
+class MessagePassingDecoder(ABC):
+    """Base class for flooding-schedule message-passing decoders.
+
+    Parameters
+    ----------
+    code:
+        A code-like object (``QCLDPCCode``, ``ParityCheckMatrix``,
+        ``ShortenedCode`` or a dense H matrix).
+    max_iterations:
+        Maximum number of decoding iterations (the paper evaluates 10, 18
+        and 50).
+    stopping:
+        A :class:`~repro.decode.stopping.StoppingCriterion`; the default
+        stops a frame as soon as its syndrome clears.  Pass
+        :class:`~repro.decode.stopping.FixedIterations` to emulate the
+        hardware's fixed decoding period.
+    """
+
+    def __init__(
+        self,
+        code,
+        max_iterations: int = 18,
+        *,
+        stopping: StoppingCriterion | None = None,
+    ):
+        if max_iterations < 1:
+            raise ValueError("max_iterations must be at least 1")
+        self._pcm = as_parity_check_matrix(code)
+        self._edges = EdgeStructure(self._pcm)
+        self.max_iterations = int(max_iterations)
+        self.stopping = stopping if stopping is not None else SyndromeStopping()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def parity_check(self):
+        """The parity-check matrix being decoded against."""
+        return self._pcm
+
+    @property
+    def edge_structure(self) -> EdgeStructure:
+        """The precomputed edge arrays."""
+        return self._edges
+
+    @property
+    def block_length(self) -> int:
+        """Codeword length ``n``."""
+        return self._pcm.block_length
+
+    @property
+    def num_edges(self) -> int:
+        """Messages exchanged per direction per iteration."""
+        return self._edges.num_edges
+
+    # ------------------------------------------------------------------ #
+    # Hooks for subclasses
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def _check_node_update(self, bit_to_check: np.ndarray) -> np.ndarray:
+        """Compute check-to-bit messages from bit-to-check messages."""
+
+    def _condition_channel(self, channel_llrs: np.ndarray) -> np.ndarray:
+        """Hook: transform the channel LLRs before decoding (identity here)."""
+        return channel_llrs
+
+    def _condition_messages(self, messages: np.ndarray) -> np.ndarray:
+        """Hook: transform messages after each update (identity here)."""
+        return messages
+
+    # ------------------------------------------------------------------ #
+    # Decoding loop
+    # ------------------------------------------------------------------ #
+    def decode(self, channel_llrs) -> DecodeResult:
+        """Decode a frame or a batch of frames of channel LLRs.
+
+        Parameters
+        ----------
+        channel_llrs:
+            Array of shape ``(n,)`` or ``(batch, n)``; positive values mean
+            bit 0 is more likely.
+
+        Returns
+        -------
+        DecodeResult
+            Hard decisions, posterior LLRs, convergence flags and iteration
+            counts (squeezed back to 1-D when a single frame was passed).
+        """
+        llrs = np.asarray(channel_llrs, dtype=np.float64)
+        single = llrs.ndim == 1
+        if single:
+            llrs = llrs[None, :]
+        if llrs.ndim != 2 or llrs.shape[1] != self.block_length:
+            raise ValueError(
+                f"expected LLRs with trailing dimension {self.block_length}, "
+                f"got shape {llrs.shape}"
+            )
+
+        llrs = self._condition_channel(llrs)
+        batch = llrs.shape[0]
+        edges = self._edges
+
+        # Initial bit-to-check messages are the channel LLRs on every edge.
+        bit_to_check = self._condition_messages(edges.gather_bits(llrs))
+        check_to_bit = np.zeros_like(bit_to_check)
+        posterior = llrs.copy()
+
+        active = np.ones(batch, dtype=bool)
+        converged = np.zeros(batch, dtype=bool)
+        iterations = np.zeros(batch, dtype=np.int64)
+
+        for iteration in range(1, self.max_iterations + 1):
+            idx = np.nonzero(active)[0]
+            if idx.size == 0:
+                break
+            new_check_to_bit = self._condition_messages(
+                self._check_node_update(bit_to_check[idx])
+            )
+            check_to_bit[idx] = new_check_to_bit
+            new_bit_to_check, new_posterior = edges.bit_node_update(
+                llrs[idx], new_check_to_bit
+            )
+            bit_to_check[idx] = self._condition_messages(new_bit_to_check)
+            posterior[idx] = new_posterior
+            iterations[idx] = iteration
+
+            hard = hard_decision(new_posterior)
+            syndrome_ok = edges.syndrome_ok(hard)
+            converged[idx] = syndrome_ok
+            stop = self.stopping.should_stop(iteration, syndrome_ok)
+            active[idx[np.asarray(stop, dtype=bool)]] = False
+
+        bits = hard_decision(posterior)
+        result = DecodeResult(
+            bits=bits,
+            posterior_llrs=posterior,
+            converged=converged,
+            iterations=iterations,
+        )
+        if single:
+            result = DecodeResult(
+                bits=bits[0],
+                posterior_llrs=posterior[0],
+                converged=converged[0],
+                iterations=iterations[0],
+            )
+        return result

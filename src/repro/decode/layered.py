@@ -1,0 +1,184 @@
+"""Row-layered normalized min-sum decoder.
+
+In a *layered* (turbo-decoding message passing) schedule the check nodes are
+processed in groups ("layers"); after each layer the a-posteriori LLRs are
+updated immediately, so later layers in the same iteration already see the
+refreshed information.  For the same number of iterations this converges
+roughly twice as fast as the flooding schedule — one of the classic design
+knobs of LDPC decoder architectures and an ablation point for the paper's
+flooding-style base architecture.
+
+For Quasi-Cyclic codes the natural layers are the block rows of the circulant
+array (the CCSDS code has two), but any partition of the checks works.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.decode.messages import EdgeStructure
+from repro.decode.min_sum import DEFAULT_ALPHA
+from repro.decode.result import DecodeResult
+from repro.decode.stopping import StoppingCriterion, SyndromeStopping
+from repro.encode.systematic import as_parity_check_matrix
+from repro.utils.bits import hard_decision
+
+__all__ = ["LayeredMinSumDecoder"]
+
+
+class _Layer:
+    """Edge indexing restricted to one group of check nodes."""
+
+    def __init__(self, structure: EdgeStructure, check_mask: np.ndarray):
+        edge_mask = check_mask[structure.edge_check]
+        self.edge_indices = np.nonzero(edge_mask)[0]
+        layer_checks = structure.edge_check[self.edge_indices]
+        self.edge_bits = structure.edge_bit[self.edge_indices]
+        # Segment boundaries within the layer's (already check-sorted) edges.
+        _, self.check_starts = np.unique(layer_checks, return_index=True)
+
+    def min_sum_extrinsic(self, messages: np.ndarray, scale: float) -> np.ndarray:
+        """Scaled min-sum update over this layer's edges only."""
+        magnitudes = np.abs(messages)
+        signs = np.where(messages < 0, -1.0, 1.0)
+        starts = self.check_starts
+
+        negatives = (messages < 0).astype(np.int64)
+        negative_counts = np.add.reduceat(negatives, starts, axis=1)
+        total_sign = 1.0 - 2.0 * (negative_counts % 2).astype(np.float64)
+
+        min1 = np.minimum.reduceat(magnitudes, starts, axis=1)
+        # Map per-segment values back onto edges.
+        segment_of_edge = np.searchsorted(starts, np.arange(magnitudes.shape[1]), "right") - 1
+        min1_on_edges = min1[:, segment_of_edge]
+        is_min = magnitudes == min1_on_edges
+        min_counts = np.add.reduceat(is_min.astype(np.int64), starts, axis=1)
+        masked = np.where(is_min, np.inf, magnitudes)
+        min2 = np.minimum.reduceat(masked, starts, axis=1)
+        min2 = np.where(min_counts > 1, min1, min2)
+
+        extrinsic_sign = total_sign[:, segment_of_edge] * signs
+        extrinsic_mag = np.where(is_min, min2[:, segment_of_edge], min1_on_edges)
+        return extrinsic_sign * (scale * extrinsic_mag)
+
+
+class LayeredMinSumDecoder:
+    """Layered-schedule normalized min-sum decoder.
+
+    Parameters
+    ----------
+    code:
+        Code-like object.
+    max_iterations:
+        Number of full sweeps over all layers.
+    alpha:
+        Normalization factor of the scaled min-sum rule.
+    num_layers:
+        Number of contiguous check groups.  ``None`` uses the code's block
+        rows when the code is Quasi-Cyclic, otherwise 2.
+    stopping:
+        Early-stopping policy (syndrome-based by default).
+    """
+
+    def __init__(
+        self,
+        code,
+        max_iterations: int = 18,
+        *,
+        alpha: float = DEFAULT_ALPHA,
+        num_layers: int | None = None,
+        stopping: StoppingCriterion | None = None,
+    ):
+        if max_iterations < 1:
+            raise ValueError("max_iterations must be at least 1")
+        if alpha < 1.0:
+            raise ValueError("alpha must be >= 1")
+        self._pcm = as_parity_check_matrix(code)
+        self._edges = EdgeStructure(self._pcm)
+        self.max_iterations = int(max_iterations)
+        self.alpha = float(alpha)
+        self.stopping = stopping if stopping is not None else SyndromeStopping()
+
+        if num_layers is None:
+            num_layers = getattr(getattr(code, "spec", None), "row_blocks", None) or 2
+        num_layers = max(1, min(int(num_layers), self._pcm.num_checks))
+        self.num_layers = num_layers
+        boundaries = np.linspace(0, self._pcm.num_checks, num_layers + 1, dtype=np.int64)
+        self._layers: list[_Layer] = []
+        for i in range(num_layers):
+            mask = np.zeros(self._pcm.num_checks, dtype=bool)
+            mask[boundaries[i] : boundaries[i + 1]] = True
+            self._layers.append(_Layer(self._edges, mask))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def scale(self) -> float:
+        """Multiplicative correction ``1 / alpha``."""
+        return 1.0 / self.alpha
+
+    @property
+    def block_length(self) -> int:
+        """Codeword length."""
+        return self._pcm.block_length
+
+    # ------------------------------------------------------------------ #
+    def decode(self, channel_llrs) -> DecodeResult:
+        """Decode a frame or batch of frames (same contract as the flooding decoders)."""
+        llrs = np.asarray(channel_llrs, dtype=np.float64)
+        single = llrs.ndim == 1
+        if single:
+            llrs = llrs[None, :]
+        if llrs.ndim != 2 or llrs.shape[1] != self.block_length:
+            raise ValueError(
+                f"expected LLRs with trailing dimension {self.block_length}, "
+                f"got shape {llrs.shape}"
+            )
+        batch = llrs.shape[0]
+        posterior = llrs.copy()
+        check_to_bit = np.zeros((batch, self._edges.num_edges), dtype=np.float64)
+
+        active = np.ones(batch, dtype=bool)
+        converged = np.zeros(batch, dtype=bool)
+        iterations = np.zeros(batch, dtype=np.int64)
+
+        for iteration in range(1, self.max_iterations + 1):
+            idx = np.nonzero(active)[0]
+            if idx.size == 0:
+                break
+            for layer in self._layers:
+                edge_idx = layer.edge_indices
+                old_c2b = check_to_bit[np.ix_(idx, edge_idx)]
+                bit_to_check = posterior[np.ix_(idx, layer.edge_bits)] - old_c2b
+                new_c2b = layer.min_sum_extrinsic(bit_to_check, self.scale)
+                # Immediate posterior update: subtract the old contribution,
+                # add the new one (scatter-add because a bit may appear on
+                # several edges of the same layer).
+                delta = new_c2b - old_c2b
+                np.add.at(
+                    posterior,
+                    (idx[:, None], layer.edge_bits[None, :]),
+                    delta,
+                )
+                check_to_bit[np.ix_(idx, edge_idx)] = new_c2b
+            iterations[idx] = iteration
+
+            hard = hard_decision(posterior[idx])
+            syndrome_ok = self._edges.syndrome_ok(hard)
+            converged[idx] = syndrome_ok
+            stop = self.stopping.should_stop(iteration, syndrome_ok)
+            active[idx[np.asarray(stop, dtype=bool)]] = False
+
+        bits = hard_decision(posterior)
+        if single:
+            return DecodeResult(
+                bits=bits[0],
+                posterior_llrs=posterior[0],
+                converged=converged[0],
+                iterations=iterations[0],
+            )
+        return DecodeResult(
+            bits=bits,
+            posterior_llrs=posterior,
+            converged=converged,
+            iterations=iterations,
+        )

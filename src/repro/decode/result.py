@@ -1,0 +1,63 @@
+"""Decoder output container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DecodeResult"]
+
+
+@dataclass
+class DecodeResult:
+    """Result of decoding a batch of frames.
+
+    Attributes
+    ----------
+    bits:
+        Hard-decision codeword estimates, shape ``(batch, n)`` (or ``(n,)``
+        when a single frame was decoded).
+    posterior_llrs:
+        A-posteriori LLRs after the final iteration, same shape as ``bits``.
+    converged:
+        Boolean per frame: ``True`` when the hard decisions satisfied every
+        parity check (the decoder found *a* codeword — not necessarily the
+        transmitted one).
+    iterations:
+        Number of iterations actually executed per frame (early stopping may
+        finish some frames before ``max_iterations``).
+    """
+
+    bits: np.ndarray
+    posterior_llrs: np.ndarray
+    converged: np.ndarray
+    iterations: np.ndarray
+
+    @property
+    def batch_size(self) -> int:
+        """Number of frames in the result."""
+        if self.bits.ndim == 1:
+            return 1
+        return int(self.bits.shape[0])
+
+    @property
+    def all_converged(self) -> bool:
+        """Whether every frame converged to a valid codeword."""
+        return bool(np.all(self.converged))
+
+    @property
+    def average_iterations(self) -> float:
+        """Mean number of iterations over the batch."""
+        return float(np.mean(self.iterations))
+
+    def squeeze(self) -> "DecodeResult":
+        """Collapse a batch of one frame to unbatched arrays."""
+        if self.bits.ndim == 1 or self.bits.shape[0] != 1:
+            return self
+        return DecodeResult(
+            bits=self.bits[0],
+            posterior_llrs=self.posterior_llrs[0],
+            converged=np.asarray(self.converged).reshape(-1)[0:1].reshape(()),
+            iterations=np.asarray(self.iterations).reshape(-1)[0:1].reshape(()),
+        )

@@ -1,0 +1,65 @@
+"""Stopping criteria for iterative decoding.
+
+The paper's hardware runs a *programmable, fixed* number of iterations
+(Table 1 relates that number to throughput); software simulations usually
+add syndrome-based early stopping, which does not change the error
+performance but greatly reduces simulation time at high SNR.  Both policies
+are modelled here so either behaviour can be selected explicitly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["StoppingCriterion", "SyndromeStopping", "FixedIterations"]
+
+
+class StoppingCriterion(ABC):
+    """Decides, per frame, whether iterations may stop early."""
+
+    @abstractmethod
+    def should_stop(self, iteration: int, syndrome_ok: np.ndarray) -> np.ndarray:
+        """Return a boolean array: frames that may stop after this iteration.
+
+        Parameters
+        ----------
+        iteration:
+            1-based index of the iteration that just completed.
+        syndrome_ok:
+            Boolean array, per frame, whether the current hard decisions
+            satisfy all parity checks.
+        """
+
+
+class SyndromeStopping(StoppingCriterion):
+    """Stop a frame as soon as its hard decisions form a valid codeword.
+
+    Parameters
+    ----------
+    min_iterations:
+        Number of iterations that must always be executed before early
+        stopping is allowed (0 = stop immediately when the syndrome clears).
+    """
+
+    def __init__(self, min_iterations: int = 0):
+        if min_iterations < 0:
+            raise ValueError("min_iterations must be non-negative")
+        self.min_iterations = int(min_iterations)
+
+    def should_stop(self, iteration: int, syndrome_ok: np.ndarray) -> np.ndarray:
+        if iteration < self.min_iterations:
+            return np.zeros_like(np.asarray(syndrome_ok, dtype=bool))
+        return np.asarray(syndrome_ok, dtype=bool)
+
+
+class FixedIterations(StoppingCriterion):
+    """Never stop early: always run the programmed number of iterations.
+
+    This reproduces the hardware behaviour assumed by Table 1 of the paper,
+    where the iteration count directly sets the output throughput.
+    """
+
+    def should_stop(self, iteration: int, syndrome_ok: np.ndarray) -> np.ndarray:
+        return np.zeros_like(np.asarray(syndrome_ok, dtype=bool))

@@ -1,0 +1,13 @@
+"""Encoders for LDPC codes.
+
+:class:`~repro.encode.systematic.SystematicEncoder` works for any
+parity-check matrix (it derives a systematic-like generator by GF(2) row
+reduction); :class:`~repro.encode.qc_encoder.QCCirculantEncoder` exploits the
+circulant structure of Quasi-Cyclic codes and models the linear-complexity
+shift-register encoder the paper attributes to the QC construction.
+"""
+
+from repro.encode.qc_encoder import QCCirculantEncoder, derive_circulant_generator
+from repro.encode.systematic import SystematicEncoder
+
+__all__ = ["SystematicEncoder", "QCCirculantEncoder", "derive_circulant_generator"]

@@ -1,0 +1,191 @@
+"""Circulant (shift-register) encoder for Quasi-Cyclic LDPC codes.
+
+The paper notes that the circulant construction "reduces the encoder
+complexity which is linear to the number of parity bits": a QC code whose
+parity-check matrix splits as ``H = [H_info | H_parity]`` with an invertible
+circulant block ``H_parity`` can be encoded with cyclic shift registers,
+because the generator's parity part ``P = (H_parity^{-1} H_info)^T`` is
+itself an array of circulants.
+
+``derive_circulant_generator`` performs that derivation symbolically in the
+circulant ring (no dense matrices), and :class:`QCCirculantEncoder` applies
+it frame by frame using only cyclic shifts and XORs — a faithful software
+model of the hardware encoder.
+
+Not every QC code has an invertible parity block; the CCSDS C2 matrix built
+from even-weight circulants is rank deficient, so its parity block is
+singular and the reference :class:`~repro.encode.systematic.SystematicEncoder`
+must be used instead.  ``derive_circulant_generator`` detects this and raises
+a descriptive error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codes.qc import CirculantSpec, QCLDPCCode
+from repro.gf2.circulant import Circulant
+from repro.utils.validation import check_binary_array
+
+__all__ = ["derive_circulant_generator", "QCCirculantEncoder"]
+
+
+def _block_matrix(spec: CirculantSpec) -> list[list[Circulant]]:
+    """The spec as a nested list of :class:`Circulant` objects."""
+    return [
+        [spec.circulant(j, k) for k in range(spec.col_blocks)]
+        for j in range(spec.row_blocks)
+    ]
+
+
+def _invert_block_matrix(blocks: list[list[Circulant]]) -> list[list[Circulant]]:
+    """Invert a square block matrix of circulants by block Gauss-Jordan.
+
+    All arithmetic happens in the circulant ring ``GF(2)[x]/(x^b - 1)``.
+    Raises ``ValueError`` when a pivot cannot be made invertible.
+    """
+    size = len(blocks)
+    b = blocks[0][0].size
+    work = [row[:] for row in blocks]
+    inverse = [
+        [Circulant.identity(b) if i == j else Circulant.zero(b) for j in range(size)]
+        for i in range(size)
+    ]
+    for col in range(size):
+        pivot_row = None
+        for row in range(col, size):
+            try:
+                pivot_inverse = work[row][col].inverse()
+            except ValueError:
+                continue
+            pivot_row = row
+            break
+        if pivot_row is None:
+            raise ValueError(
+                "parity block matrix is singular over the circulant ring; "
+                "use SystematicEncoder for this code"
+            )
+        work[col], work[pivot_row] = work[pivot_row], work[col]
+        inverse[col], inverse[pivot_row] = inverse[pivot_row], inverse[col]
+        # Normalize the pivot row.
+        work[col] = [pivot_inverse @ c for c in work[col]]
+        inverse[col] = [pivot_inverse @ c for c in inverse[col]]
+        # Eliminate the column from every other row.
+        for row in range(size):
+            if row == col or work[row][col].is_zero:
+                continue
+            factor = work[row][col]
+            work[row] = [work[row][k] + (factor @ work[col][k]) for k in range(size)]
+            inverse[row] = [
+                inverse[row][k] + (factor @ inverse[col][k]) for k in range(size)
+            ]
+    return inverse
+
+
+def derive_circulant_generator(
+    code: QCLDPCCode | CirculantSpec, *, parity_block_columns: int | None = None
+) -> list[list[Circulant]]:
+    """Derive the circulant parity generator ``P`` of a QC code.
+
+    The last ``parity_block_columns`` block columns of H (default: as many as
+    there are block rows) are taken as the parity part.  The result ``P`` is
+    a nested list of circulants with shape
+    ``(info_block_columns, parity_block_columns)`` such that for information
+    block vector ``u`` the parity block vector is ``p = P^T u`` — equivalently
+    ``parity_block[j] = sum_k P[k][j].matvec(info_block[k])``.
+    """
+    spec = code.spec if isinstance(code, QCLDPCCode) else code
+    if parity_block_columns is None:
+        parity_block_columns = spec.row_blocks
+    if parity_block_columns != spec.row_blocks:
+        raise ValueError(
+            "the parity part must be square: parity_block_columns must equal row_blocks"
+        )
+    split = spec.col_blocks - parity_block_columns
+    if split <= 0:
+        raise ValueError("the code has no information block columns")
+    blocks = _block_matrix(spec)
+    parity_part = [row[split:] for row in blocks]
+    info_part = [row[:split] for row in blocks]
+    parity_inverse = _invert_block_matrix(parity_part)
+    # P[k][j] = sum_r (H_parity^{-1})[j][r] @ H_info[r][k]; parity block j of a
+    # codeword with info blocks u_k is sum_k P[k][j] u_k.
+    b = spec.circulant_size
+    generator: list[list[Circulant]] = []
+    for k in range(split):
+        row = []
+        for j in range(parity_block_columns):
+            acc = Circulant.zero(b)
+            for r in range(spec.row_blocks):
+                acc = acc + (parity_inverse[j][r] @ info_part[r][k])
+            row.append(acc)
+        generator.append(row)
+    return generator
+
+
+class QCCirculantEncoder:
+    """Shift-register style encoder for QC codes with invertible parity blocks.
+
+    Parameters
+    ----------
+    code:
+        The :class:`~repro.codes.qc.QCLDPCCode` to encode.  Its last
+        ``row_blocks`` block columns are used as parity positions.
+    """
+
+    def __init__(self, code: QCLDPCCode):
+        self._code = code
+        self._spec = code.spec
+        self._generator = derive_circulant_generator(code)
+        self._info_blocks = self._spec.col_blocks - self._spec.row_blocks
+        self._parity_blocks = self._spec.row_blocks
+
+    # ------------------------------------------------------------------ #
+    @property
+    def code(self) -> QCLDPCCode:
+        """The code being encoded."""
+        return self._code
+
+    @property
+    def dimension(self) -> int:
+        """Number of information bits (info block columns times circulant size)."""
+        return self._info_blocks * self._spec.circulant_size
+
+    @property
+    def block_length(self) -> int:
+        """Codeword length."""
+        return self._spec.block_length
+
+    @property
+    def generator_blocks(self) -> list[list[Circulant]]:
+        """The derived parity-generator circulants (info blocks x parity blocks)."""
+        return [row[:] for row in self._generator]
+
+    # ------------------------------------------------------------------ #
+    def encode(self, information_bits) -> np.ndarray:
+        """Encode information bits using only cyclic shifts and XORs."""
+        info = check_binary_array("information_bits", information_bits)
+        single = info.ndim == 1
+        if single:
+            info = info[None, :]
+        if info.shape[1] != self.dimension:
+            raise ValueError(
+                f"expected {self.dimension} information bits per frame, "
+                f"got {info.shape[1]}"
+            )
+        b = self._spec.circulant_size
+        batch = info.shape[0]
+        parity = np.zeros((batch, self._parity_blocks, b), dtype=np.uint8)
+        info_blocks = info.reshape(batch, self._info_blocks, b)
+        # parity_block[j] ^= P[k][j] applied to info_block[k] (the circulant
+        # ring is commutative, so the block product is a plain matvec).
+        for k in range(self._info_blocks):
+            for j in range(self._parity_blocks):
+                circulant = self._generator[k][j]
+                if circulant.is_zero:
+                    continue
+                parity[:, j, :] ^= circulant.matvec(info_blocks[:, k, :])
+        codewords = np.concatenate(
+            [info_blocks.reshape(batch, -1), parity.reshape(batch, -1)], axis=1
+        )
+        return codewords[0] if single else codewords

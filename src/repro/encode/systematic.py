@@ -1,0 +1,128 @@
+"""General systematic encoder derived from a parity-check matrix.
+
+The encoder row-reduces H once, splits the columns into *parity positions*
+(the pivot columns of the reduced matrix) and *information positions* (the
+free columns), and precomputes the dense map from information bits to parity
+bits.  Encoding a frame (or a batch of frames) is then a single GF(2)
+matrix product.
+
+This is the reference encoder used by the Monte-Carlo simulations; the
+hardware-style circulant encoder lives in :mod:`repro.encode.qc_encoder`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codes.parity_check import ParityCheckMatrix
+from repro.gf2.dense import gf2_row_reduce
+from repro.utils.validation import check_binary_array
+
+__all__ = ["SystematicEncoder", "as_parity_check_matrix"]
+
+
+def as_parity_check_matrix(code) -> ParityCheckMatrix:
+    """Coerce a code-like object into a :class:`ParityCheckMatrix`.
+
+    Accepts a ``ParityCheckMatrix``, any object exposing a
+    ``parity_check_matrix()`` method (``QCLDPCCode``), an object with a
+    ``base_code`` attribute (``ShortenedCode``), or a dense 0/1 array.
+    """
+    if isinstance(code, ParityCheckMatrix):
+        return code
+    if hasattr(code, "parity_check_matrix"):
+        return code.parity_check_matrix()
+    if hasattr(code, "base_code"):
+        return as_parity_check_matrix(code.base_code)
+    return ParityCheckMatrix(np.asarray(code))
+
+
+class SystematicEncoder:
+    """Encoder mapping information bits to codewords of an LDPC code.
+
+    Parameters
+    ----------
+    code:
+        Either a :class:`~repro.codes.parity_check.ParityCheckMatrix`, an
+        object with a ``parity_check_matrix()`` method (such as
+        :class:`~repro.codes.qc.QCLDPCCode`), or a dense 0/1 H matrix.
+    """
+
+    def __init__(self, code):
+        pcm = as_parity_check_matrix(code)
+        self._pcm = pcm
+        h_dense = pcm.to_dense()
+        rref, pivots = gf2_row_reduce(h_dense)
+        n = pcm.block_length
+        pivot_cols = np.array(pivots, dtype=np.int64)
+        info_cols = np.setdiff1d(np.arange(n, dtype=np.int64), pivot_cols)
+        # Parity equations: for pivot row r with pivot column pivots[r],
+        #   c[pivots[r]] = sum over info columns f of rref[r, f] * c[f].
+        self._parity_map = rref[: pivot_cols.size][:, info_cols].astype(np.uint8)
+        self._pivot_cols = pivot_cols
+        self._info_cols = info_cols
+
+    # ------------------------------------------------------------------ #
+    @property
+    def parity_check(self) -> ParityCheckMatrix:
+        """The parity-check matrix this encoder was derived from."""
+        return self._pcm
+
+    @property
+    def block_length(self) -> int:
+        """Codeword length ``n``."""
+        return self._pcm.block_length
+
+    @property
+    def dimension(self) -> int:
+        """Number of information bits ``k``."""
+        return int(self._info_cols.size)
+
+    @property
+    def information_positions(self) -> np.ndarray:
+        """Codeword positions that carry the information bits (in order)."""
+        return self._info_cols.copy()
+
+    @property
+    def parity_positions(self) -> np.ndarray:
+        """Codeword positions that carry parity bits."""
+        return self._pivot_cols.copy()
+
+    # ------------------------------------------------------------------ #
+    def encode(self, information_bits) -> np.ndarray:
+        """Encode information bits into a codeword.
+
+        Parameters
+        ----------
+        information_bits:
+            Array of shape ``(k,)`` or ``(batch, k)``.
+
+        Returns
+        -------
+        numpy.ndarray
+            Codewords of shape ``(n,)`` or ``(batch, n)`` satisfying every
+            parity check of H.
+        """
+        info = check_binary_array("information_bits", information_bits)
+        single = info.ndim == 1
+        if single:
+            info = info[None, :]
+        if info.shape[1] != self.dimension:
+            raise ValueError(
+                f"expected {self.dimension} information bits per frame, "
+                f"got {info.shape[1]}"
+            )
+        parity = (info.astype(np.int64) @ self._parity_map.T.astype(np.int64)) % 2
+        codewords = np.zeros((info.shape[0], self.block_length), dtype=np.uint8)
+        codewords[:, self._info_cols] = info
+        codewords[:, self._pivot_cols] = parity.astype(np.uint8)
+        return codewords[0] if single else codewords
+
+    def extract_information(self, codeword) -> np.ndarray:
+        """Recover the information bits from a (decoded) codeword."""
+        word = check_binary_array("codeword", codeword)
+        if word.shape[-1] != self.block_length:
+            raise ValueError(
+                f"expected codewords of length {self.block_length}, got {word.shape[-1]}"
+            )
+        return word[..., self._info_cols]

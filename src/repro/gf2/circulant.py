@@ -1,0 +1,194 @@
+"""Circulant matrices over GF(2).
+
+A ``b x b`` circulant is fully specified by its first row; every subsequent
+row is the previous row cyclically shifted one position to the right.  The
+CCSDS C2 parity-check matrix is a 2 x 16 array of 511 x 511 circulants of
+row weight 2, so circulants are the central structural object of the code
+construction, the encoder, and the hardware address generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gf2.polynomial import (
+    poly_inverse_mod_xn1,
+    poly_mul_mod_xn1,
+    poly_trim,
+)
+
+__all__ = ["Circulant", "identity_circulant", "circulant_from_polynomial"]
+
+
+@dataclass(frozen=True)
+class Circulant:
+    """A binary circulant matrix described by its size and first-row support.
+
+    Parameters
+    ----------
+    size:
+        Matrix dimension ``b`` (the circulant is ``b x b``).
+    positions:
+        Sorted tuple of column indices holding a 1 in the *first row*.
+        An empty tuple denotes the all-zero block.
+    """
+
+    size: int
+    positions: tuple[int, ...]
+
+    def __post_init__(self):
+        if self.size <= 0:
+            raise ValueError("circulant size must be positive")
+        normalized = tuple(sorted(int(p) % self.size for p in self.positions))
+        if len(set(normalized)) != len(normalized):
+            raise ValueError("duplicate positions in circulant first row")
+        object.__setattr__(self, "positions", normalized)
+
+    # ------------------------------------------------------------------ #
+    # Constructors and simple properties
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def zero(cls, size: int) -> "Circulant":
+        """The all-zero block of the given size."""
+        return cls(size, ())
+
+    @classmethod
+    def identity(cls, size: int) -> "Circulant":
+        """The identity circulant (single 1 at position 0)."""
+        return cls(size, (0,))
+
+    @classmethod
+    def shift(cls, size: int, offset: int) -> "Circulant":
+        """A cyclic-shift permutation circulant with a single 1 at ``offset``."""
+        return cls(size, (offset % size,))
+
+    @property
+    def weight(self) -> int:
+        """Row (= column) weight of the circulant."""
+        return len(self.positions)
+
+    @property
+    def is_zero(self) -> bool:
+        """``True`` when the circulant is the all-zero block."""
+        return not self.positions
+
+    # ------------------------------------------------------------------ #
+    # Conversions
+    # ------------------------------------------------------------------ #
+    def first_row(self) -> np.ndarray:
+        """First row as a dense 0/1 vector of length ``size``."""
+        row = np.zeros(self.size, dtype=np.uint8)
+        for p in self.positions:
+            row[p] = 1
+        return row
+
+    def first_column(self) -> np.ndarray:
+        """First column as a dense 0/1 vector (row positions of the ones)."""
+        col = np.zeros(self.size, dtype=np.uint8)
+        for p in self.positions:
+            col[(-p) % self.size] = 1
+        return col
+
+    def to_dense(self) -> np.ndarray:
+        """Expand to the full ``size x size`` dense matrix.
+
+        Row ``i`` contains ones at columns ``(p + i) mod size`` for every
+        first-row position ``p``.
+        """
+        dense = np.zeros((self.size, self.size), dtype=np.uint8)
+        if not self.positions:
+            return dense
+        rows = np.arange(self.size)
+        for p in self.positions:
+            dense[rows, (rows + p) % self.size] = 1
+        return dense
+
+    def nonzero_coordinates(self) -> tuple[np.ndarray, np.ndarray]:
+        """Coordinates ``(rows, cols)`` of every 1, without densifying.
+
+        Useful for building sparse scatter plots of very large matrices
+        (Figure 2 of the paper).
+        """
+        if not self.positions:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        rows = np.tile(np.arange(self.size, dtype=np.int64), self.weight)
+        cols = np.concatenate(
+            [(np.arange(self.size, dtype=np.int64) + p) % self.size for p in self.positions]
+        )
+        return rows, cols
+
+    # ------------------------------------------------------------------ #
+    # Ring arithmetic (isomorphic to GF(2)[x]/(x^b - 1))
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: "Circulant") -> "Circulant":
+        self._check_compatible(other)
+        symmetric_difference = set(self.positions) ^ set(other.positions)
+        return Circulant(self.size, tuple(sorted(symmetric_difference)))
+
+    def __matmul__(self, other: "Circulant") -> "Circulant":
+        self._check_compatible(other)
+        product = poly_mul_mod_xn1(self.first_row(), other.first_row(), self.size)
+        return Circulant(self.size, tuple(int(i) for i in np.nonzero(product)[0]))
+
+    def transpose(self) -> "Circulant":
+        """Transpose: first-row positions are negated modulo the size."""
+        return Circulant(self.size, tuple((-p) % self.size for p in self.positions))
+
+    def inverse(self) -> "Circulant":
+        """Multiplicative inverse in the circulant ring.
+
+        Raises
+        ------
+        ValueError
+            If the circulant is not invertible (its first-row polynomial is
+            not coprime to ``x^b - 1``).
+        """
+        inverse_poly = poly_inverse_mod_xn1(self.first_row(), self.size)
+        if inverse_poly is None:
+            raise ValueError("circulant is not invertible over GF(2)")
+        return Circulant(self.size, tuple(int(i) for i in np.nonzero(inverse_poly)[0]))
+
+    def matvec(self, vector: np.ndarray) -> np.ndarray:
+        """Multiply this circulant by a length-``size`` column vector over GF(2).
+
+        ``y[i] = sum_j C[i, j] * x[j] = sum_p x[(i + p) mod b]`` which is a
+        correlation of the input with the first-row support — exactly the
+        shift-register view the hardware encoder uses.
+        """
+        vec = np.asarray(vector, dtype=np.uint8)
+        if vec.shape[-1] != self.size:
+            raise ValueError(
+                f"vector length {vec.shape[-1]} does not match circulant size {self.size}"
+            )
+        result = np.zeros_like(vec)
+        indices = np.arange(self.size)
+        for p in self.positions:
+            result ^= vec[..., (indices + p) % self.size]
+        return result
+
+    def _check_compatible(self, other: "Circulant") -> None:
+        if not isinstance(other, Circulant):
+            raise TypeError(f"expected a Circulant, got {type(other).__name__}")
+        if other.size != self.size:
+            raise ValueError(
+                f"circulant size mismatch: {self.size} vs {other.size}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Circulant(size={self.size}, positions={self.positions})"
+
+
+def identity_circulant(size: int) -> Circulant:
+    """Convenience wrapper for :meth:`Circulant.identity`."""
+    return Circulant.identity(size)
+
+
+def circulant_from_polynomial(poly, size: int) -> Circulant:
+    """Build a circulant from a first-row polynomial (ascending coefficients)."""
+    trimmed = poly_trim(poly)
+    if trimmed.size > size and np.any(trimmed[size:]):
+        raise ValueError("polynomial degree exceeds circulant size")
+    positions = tuple(int(i) for i in np.nonzero(trimmed[:size])[0])
+    return Circulant(size, positions)

@@ -1,0 +1,154 @@
+"""Polynomial arithmetic over GF(2).
+
+A polynomial is represented as a 1-D ``uint8`` numpy array of coefficients in
+*ascending* degree order: ``[c0, c1, c2, ...]`` stands for
+``c0 + c1*x + c2*x^2 + ...``.
+
+Circulant ``b x b`` matrices over GF(2) form a ring isomorphic to
+``GF(2)[x] / (x^b - 1)``; the CCSDS Quasi-Cyclic encoder and the circulant
+algebra in :mod:`repro.gf2.circulant` use these routines for multiplication
+and inversion of circulant blocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_binary_array
+
+__all__ = [
+    "poly_trim",
+    "poly_degree",
+    "poly_add",
+    "poly_mul",
+    "poly_mod",
+    "poly_divmod",
+    "poly_gcd",
+    "poly_mul_mod_xn1",
+    "poly_inverse_mod_xn1",
+]
+
+
+def poly_trim(poly) -> np.ndarray:
+    """Remove trailing zero coefficients (the zero polynomial becomes ``[0]``)."""
+    arr = check_binary_array("poly", poly).ravel()
+    nonzero = np.nonzero(arr)[0]
+    if nonzero.size == 0:
+        return np.zeros(1, dtype=np.uint8)
+    return arr[: int(nonzero[-1]) + 1].copy()
+
+
+def poly_degree(poly) -> int:
+    """Degree of the polynomial; the zero polynomial has degree -1."""
+    trimmed = poly_trim(poly)
+    if trimmed.size == 1 and trimmed[0] == 0:
+        return -1
+    return trimmed.size - 1
+
+
+def poly_add(a, b) -> np.ndarray:
+    """Sum (= difference) of two polynomials over GF(2)."""
+    a = poly_trim(a)
+    b = poly_trim(b)
+    size = max(a.size, b.size)
+    result = np.zeros(size, dtype=np.uint8)
+    result[: a.size] ^= a
+    result[: b.size] ^= b
+    return poly_trim(result)
+
+
+def poly_mul(a, b) -> np.ndarray:
+    """Product of two polynomials over GF(2) (full convolution mod 2)."""
+    a = poly_trim(a)
+    b = poly_trim(b)
+    if poly_degree(a) < 0 or poly_degree(b) < 0:
+        return np.zeros(1, dtype=np.uint8)
+    product = np.convolve(a.astype(np.int64), b.astype(np.int64)) % 2
+    return poly_trim(product.astype(np.uint8))
+
+
+def poly_divmod(dividend, divisor) -> tuple[np.ndarray, np.ndarray]:
+    """Quotient and remainder of polynomial division over GF(2)."""
+    dividend = poly_trim(dividend)
+    divisor = poly_trim(divisor)
+    if poly_degree(divisor) < 0:
+        raise ZeroDivisionError("polynomial division by zero")
+    remainder = dividend.astype(np.uint8).copy()
+    deg_divisor = poly_degree(divisor)
+    deg_remainder = poly_degree(remainder)
+    if deg_remainder < deg_divisor:
+        return np.zeros(1, dtype=np.uint8), poly_trim(remainder)
+    quotient = np.zeros(deg_remainder - deg_divisor + 1, dtype=np.uint8)
+    while deg_remainder >= deg_divisor and deg_remainder >= 0:
+        shift = deg_remainder - deg_divisor
+        quotient[shift] ^= 1
+        remainder[shift : shift + deg_divisor + 1] ^= divisor[: deg_divisor + 1]
+        deg_remainder = poly_degree(remainder)
+    return poly_trim(quotient), poly_trim(remainder)
+
+
+def poly_mod(poly, modulus) -> np.ndarray:
+    """Remainder of ``poly`` modulo ``modulus`` over GF(2)."""
+    _, remainder = poly_divmod(poly, modulus)
+    return remainder
+
+
+def poly_gcd(a, b) -> np.ndarray:
+    """Greatest common divisor of two GF(2) polynomials (monic by construction)."""
+    a = poly_trim(a)
+    b = poly_trim(b)
+    while poly_degree(b) >= 0:
+        a, b = b, poly_mod(a, b)
+    return a
+
+
+def _xn1(n: int) -> np.ndarray:
+    """The modulus polynomial ``x^n + 1`` (= ``x^n - 1`` over GF(2))."""
+    modulus = np.zeros(n + 1, dtype=np.uint8)
+    modulus[0] = 1
+    modulus[n] = 1
+    return modulus
+
+
+def poly_mul_mod_xn1(a, b, n: int) -> np.ndarray:
+    """Product of two polynomials modulo ``x^n - 1``, returned with length ``n``.
+
+    This is exactly the first-row arithmetic of ``n x n`` circulant matrices:
+    multiplying circulants corresponds to cyclic convolution of their first
+    rows.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    product = poly_mul(a, b)
+    # Reduce modulo x^n - 1 by folding coefficient k onto k mod n.
+    reduced = np.zeros(n, dtype=np.uint8)
+    for k, coeff in enumerate(product):
+        if coeff:
+            reduced[k % n] ^= 1
+    return reduced
+
+
+def poly_inverse_mod_xn1(poly, n: int) -> np.ndarray | None:
+    """Inverse of ``poly`` in ``GF(2)[x]/(x^n - 1)`` or ``None`` if not invertible.
+
+    Uses the extended Euclidean algorithm.  A circulant matrix is invertible
+    exactly when its first-row polynomial is coprime to ``x^n - 1``.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    modulus = _xn1(n)
+    # Extended Euclid: maintain r = s*poly + t*modulus (t not needed).
+    r_prev, r_curr = modulus, poly_mod(poly, modulus)
+    s_prev, s_curr = np.zeros(1, dtype=np.uint8), np.ones(1, dtype=np.uint8)
+    while poly_degree(r_curr) > 0:
+        quotient, remainder = poly_divmod(r_prev, r_curr)
+        r_prev, r_curr = r_curr, remainder
+        s_prev, s_curr = s_curr, poly_add(s_prev, poly_mul(quotient, s_curr))
+    if poly_degree(r_curr) != 0:
+        # gcd has positive degree -> not coprime -> no inverse.
+        return None
+    inverse = poly_mod(s_curr, modulus)
+    result = np.zeros(n, dtype=np.uint8)
+    trimmed = poly_trim(inverse)
+    result[: trimmed.size] = trimmed
+    return result

@@ -1,0 +1,156 @@
+"""A light sparse binary matrix in coordinate form.
+
+The CCSDS parity-check matrix is 1022 x 8176 with only ~32k ones; the
+decoders never densify it.  ``SparseBinaryMatrix`` stores the coordinates of
+the ones and provides exactly the operations the rest of the library needs:
+syndrome computation, row/column degree profiles, slicing into the dense
+form for small codes, and conversion to the edge arrays used by the
+message-passing decoders.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SparseBinaryMatrix"]
+
+
+class SparseBinaryMatrix:
+    """Sparse 0/1 matrix stored as sorted (row, col) coordinates.
+
+    Parameters
+    ----------
+    shape:
+        Matrix dimensions ``(rows, cols)``.
+    rows, cols:
+        Equal-length integer arrays with the coordinates of the ones.
+        Duplicate coordinates are rejected (GF(2) would cancel them, which is
+        almost always a construction bug).
+    """
+
+    def __init__(self, shape: tuple[int, int], rows, cols):
+        n_rows, n_cols = int(shape[0]), int(shape[1])
+        if n_rows <= 0 or n_cols <= 0:
+            raise ValueError("shape must be positive")
+        row_idx = np.asarray(rows, dtype=np.int64).ravel()
+        col_idx = np.asarray(cols, dtype=np.int64).ravel()
+        if row_idx.shape != col_idx.shape:
+            raise ValueError("rows and cols must have the same length")
+        if row_idx.size:
+            if row_idx.min() < 0 or row_idx.max() >= n_rows:
+                raise ValueError("row index out of range")
+            if col_idx.min() < 0 or col_idx.max() >= n_cols:
+                raise ValueError("column index out of range")
+        order = np.lexsort((col_idx, row_idx))
+        row_idx = row_idx[order]
+        col_idx = col_idx[order]
+        keys = row_idx * n_cols + col_idx
+        if keys.size and np.any(np.diff(keys) == 0):
+            raise ValueError("duplicate coordinates in sparse matrix")
+        self._shape = (n_rows, n_cols)
+        self._rows = row_idx
+        self._cols = col_idx
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_dense(cls, dense) -> "SparseBinaryMatrix":
+        """Build from a dense 0/1 matrix."""
+        arr = np.asarray(dense)
+        if arr.ndim != 2:
+            raise ValueError("dense matrix must be 2-D")
+        rows, cols = np.nonzero(arr)
+        return cls(arr.shape, rows, cols)
+
+    # ------------------------------------------------------------------ #
+    # Properties
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Matrix dimensions ``(rows, cols)``."""
+        return self._shape
+
+    @property
+    def nnz(self) -> int:
+        """Number of ones."""
+        return int(self._rows.size)
+
+    @property
+    def row_indices(self) -> np.ndarray:
+        """Row coordinates of the ones (sorted by row, then column)."""
+        return self._rows
+
+    @property
+    def col_indices(self) -> np.ndarray:
+        """Column coordinates of the ones (aligned with :attr:`row_indices`)."""
+        return self._cols
+
+    @property
+    def density(self) -> float:
+        """Fraction of entries that are 1."""
+        return self.nnz / (self._shape[0] * self._shape[1])
+
+    # ------------------------------------------------------------------ #
+    # Degree profiles
+    # ------------------------------------------------------------------ #
+    def row_degrees(self) -> np.ndarray:
+        """Number of ones in each row."""
+        return np.bincount(self._rows, minlength=self._shape[0]).astype(np.int64)
+
+    def col_degrees(self) -> np.ndarray:
+        """Number of ones in each column."""
+        return np.bincount(self._cols, minlength=self._shape[1]).astype(np.int64)
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic
+    # ------------------------------------------------------------------ #
+    def matvec(self, vector) -> np.ndarray:
+        """GF(2) matrix-vector product (syndrome computation).
+
+        ``vector`` may be a single length-``n`` vector or a batch of shape
+        ``(batch, n)``.
+        """
+        vec = np.asarray(vector, dtype=np.uint8)
+        n_rows, n_cols = self._shape
+        if vec.shape[-1] != n_cols:
+            raise ValueError(
+                f"vector length {vec.shape[-1]} does not match matrix columns {n_cols}"
+            )
+        if vec.ndim == 1:
+            contributions = vec[self._cols].astype(np.int64)
+            sums = np.bincount(self._rows, weights=contributions, minlength=n_rows)
+            return (sums.astype(np.int64) % 2).astype(np.uint8)
+        if vec.ndim == 2:
+            gathered = vec[:, self._cols].astype(np.int64)
+            sums = np.zeros((vec.shape[0], n_rows), dtype=np.int64)
+            np.add.at(sums, (slice(None), self._rows), gathered)
+            return (sums % 2).astype(np.uint8)
+        raise ValueError("vector must be 1-D or 2-D")
+
+    def to_dense(self) -> np.ndarray:
+        """Expand to a dense ``uint8`` matrix."""
+        dense = np.zeros(self._shape, dtype=np.uint8)
+        dense[self._rows, self._cols] = 1
+        return dense
+
+    def transpose(self) -> "SparseBinaryMatrix":
+        """Transpose of the matrix."""
+        return SparseBinaryMatrix(
+            (self._shape[1], self._shape[0]), self._cols, self._rows
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, SparseBinaryMatrix):
+            return NotImplemented
+        return (
+            self._shape == other._shape
+            and np.array_equal(self._rows, other._rows)
+            and np.array_equal(self._cols, other._cols)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SparseBinaryMatrix(shape={self._shape}, nnz={self.nnz}, "
+            f"density={self.density:.2e})"
+        )

@@ -1,0 +1,18 @@
+"""File formats: alist parity-check matrices and circulant specification tables."""
+
+from repro.io.alist import read_alist, write_alist
+from repro.io.circulant_table import (
+    load_circulant_spec,
+    save_circulant_spec,
+    spec_from_dict,
+    spec_to_dict,
+)
+
+__all__ = [
+    "read_alist",
+    "write_alist",
+    "load_circulant_spec",
+    "save_circulant_spec",
+    "spec_from_dict",
+    "spec_to_dict",
+]

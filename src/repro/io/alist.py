@@ -1,0 +1,87 @@
+"""Reader / writer for the MacKay "alist" sparse-matrix format.
+
+The alist format is the de-facto interchange format for LDPC parity-check
+matrices (used by MacKay's database, aff3ct, and most research codebases).
+Layout::
+
+    n m
+    max_col_degree max_row_degree
+    col degrees (n integers)
+    row degrees (m integers)
+    for each column: the 1-based row indices of its ones (padded with 0s)
+    for each row:    the 1-based column indices of its ones (padded with 0s)
+
+Reading tolerates both padded and unpadded variants.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.codes.parity_check import ParityCheckMatrix
+from repro.gf2.sparse import SparseBinaryMatrix
+
+__all__ = ["read_alist", "write_alist"]
+
+
+def write_alist(parity_check: ParityCheckMatrix, path) -> None:
+    """Write a parity-check matrix to an alist file."""
+    sparse = parity_check.sparse
+    m, n = sparse.shape
+    col_degrees = parity_check.bit_degrees()
+    row_degrees = parity_check.check_degrees()
+    max_col = int(col_degrees.max()) if n else 0
+    max_row = int(row_degrees.max()) if m else 0
+
+    check_idx, bit_idx = parity_check.edges()
+    cols_of_row: list[list[int]] = [[] for _ in range(m)]
+    rows_of_col: list[list[int]] = [[] for _ in range(n)]
+    for check, bit in zip(check_idx, bit_idx):
+        cols_of_row[int(check)].append(int(bit) + 1)
+        rows_of_col[int(bit)].append(int(check) + 1)
+
+    lines = [f"{n} {m}", f"{max_col} {max_row}"]
+    lines.append(" ".join(str(int(d)) for d in col_degrees))
+    lines.append(" ".join(str(int(d)) for d in row_degrees))
+    for col in range(n):
+        entries = rows_of_col[col] + [0] * (max_col - len(rows_of_col[col]))
+        lines.append(" ".join(str(e) for e in entries))
+    for row in range(m):
+        entries = cols_of_row[row] + [0] * (max_row - len(cols_of_row[row]))
+        lines.append(" ".join(str(e) for e in entries))
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def read_alist(path) -> ParityCheckMatrix:
+    """Read a parity-check matrix from an alist file."""
+    tokens_per_line = [
+        [int(tok) for tok in line.split()]
+        for line in Path(path).read_text().splitlines()
+        if line.strip()
+    ]
+    if len(tokens_per_line) < 4:
+        raise ValueError("alist file too short")
+    n, m = tokens_per_line[0]
+    col_degrees = tokens_per_line[2]
+    if len(col_degrees) != n:
+        raise ValueError("column degree list length does not match n")
+    column_lines = tokens_per_line[4 : 4 + n]
+    if len(column_lines) < n:
+        raise ValueError("alist file truncated: missing column adjacency lines")
+
+    rows: list[int] = []
+    cols: list[int] = []
+    for col, line in enumerate(column_lines):
+        entries = [e for e in line if e > 0]
+        if len(entries) != col_degrees[col]:
+            raise ValueError(
+                f"column {col} lists {len(entries)} entries but declares degree "
+                f"{col_degrees[col]}"
+            )
+        for row_index in entries:
+            rows.append(row_index - 1)
+            cols.append(col)
+    sparse = SparseBinaryMatrix((m, n), np.array(rows), np.array(cols))
+    return ParityCheckMatrix(sparse)

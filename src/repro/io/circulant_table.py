@@ -1,0 +1,59 @@
+"""JSON serialization of Quasi-Cyclic circulant specifications.
+
+The CCSDS standard specifies its code as a table of circulant first-row
+positions; this module reads and writes that table so users who have the
+official CCSDS 131.1-O-2 values (or any other QC code definition) can load
+them and obtain a drop-in replacement for the library's reconstructed code.
+
+Schema::
+
+    {
+      "circulant_size": 511,
+      "block_positions": [
+        [[p, p, ...], ...],   # block row 0: one list of positions per block column
+        [[p, p, ...], ...]    # block row 1
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.codes.qc import CirculantSpec
+
+__all__ = ["spec_to_dict", "spec_from_dict", "save_circulant_spec", "load_circulant_spec"]
+
+
+def spec_to_dict(spec: CirculantSpec) -> dict:
+    """Convert a :class:`CirculantSpec` to a JSON-serializable dictionary."""
+    return {
+        "circulant_size": spec.circulant_size,
+        "block_positions": [
+            [list(positions) for positions in row] for row in spec.block_positions
+        ],
+    }
+
+
+def spec_from_dict(data: dict) -> CirculantSpec:
+    """Build a :class:`CirculantSpec` from the dictionary schema."""
+    try:
+        circulant_size = int(data["circulant_size"])
+        raw_rows = data["block_positions"]
+    except (KeyError, TypeError) as exc:
+        raise ValueError("invalid circulant table: missing required keys") from exc
+    block_rows = tuple(
+        tuple(tuple(int(p) for p in positions) for positions in row) for row in raw_rows
+    )
+    return CirculantSpec(circulant_size, block_rows)
+
+
+def save_circulant_spec(spec: CirculantSpec, path) -> None:
+    """Write a circulant specification to a JSON file."""
+    Path(path).write_text(json.dumps(spec_to_dict(spec), indent=2) + "\n")
+
+
+def load_circulant_spec(path) -> CirculantSpec:
+    """Load a circulant specification from a JSON file."""
+    return spec_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,27 @@
+"""Monte-Carlo BER/PER simulation framework (reproduces paper Figure 4).
+
+:class:`~repro.sim.montecarlo.MonteCarloSimulator` runs the full coded link
+(encode → BPSK → AWGN → LLR → decode) in batches, counting bit and frame
+errors until a target error count or frame budget is reached;
+:class:`~repro.sim.sweep.EbN0Sweep` runs it across an Eb/N0 grid and collects
+:class:`~repro.sim.results.SimulationCurve` objects that can be serialized,
+compared and printed as the rows of a waterfall plot.
+"""
+
+from repro.sim.montecarlo import MonteCarloSimulator, SimulationConfig
+from repro.sim.reference import shannon_limit_ebn0_db, uncoded_bpsk_ber
+from repro.sim.results import SimulationCurve, SimulationPoint
+from repro.sim.statistics import ErrorCounter, wilson_interval
+from repro.sim.sweep import EbN0Sweep
+
+__all__ = [
+    "MonteCarloSimulator",
+    "SimulationConfig",
+    "EbN0Sweep",
+    "SimulationPoint",
+    "SimulationCurve",
+    "ErrorCounter",
+    "wilson_interval",
+    "uncoded_bpsk_ber",
+    "shannon_limit_ebn0_db",
+]

@@ -1,0 +1,183 @@
+"""Monte-Carlo simulation of the coded BPSK/AWGN link.
+
+One simulator instance owns a code, an encoder, a decoder and a modulator;
+``run_point`` simulates frames in batches at one Eb/N0 value until either a
+target number of frame errors has been observed (good statistical practice:
+the relative accuracy is set by the error count, not the frame count) or a
+frame budget is exhausted.
+
+The simulator understands both plain codes (``QCLDPCCode`` /
+``ParityCheckMatrix``) and :class:`~repro.codes.shortening.ShortenedCode`
+wrappers; for the latter it transmits only the non-shortened bits and feeds
+the decoder saturated LLRs for the virtual fill, exactly like the hardware
+front-end does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channel.awgn import AWGNChannel, ebn0_to_sigma
+from repro.channel.llr import channel_llrs
+from repro.channel.modulation import BPSKModulator
+from repro.codes.shortening import ShortenedCode
+from repro.encode.systematic import SystematicEncoder
+from repro.sim.results import SimulationPoint
+from repro.sim.statistics import ErrorCounter
+from repro.utils.rng import ensure_rng
+
+__all__ = ["SimulationConfig", "MonteCarloSimulator"]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Stopping rules and batching of a Monte-Carlo run.
+
+    Attributes
+    ----------
+    max_frames:
+        Hard budget of simulated frames per Eb/N0 point.
+    target_frame_errors:
+        Stop a point early once this many frame errors have been counted.
+    batch_frames:
+        Frames simulated per decoder call (vectorized batch).
+    all_zero_codeword:
+        When ``True`` the all-zero codeword is transmitted instead of random
+        information bits.  For a linear code over a symmetric channel the
+        error statistics are identical, and encoding time is saved; the
+        default is ``False`` to exercise the full encode path.
+    """
+
+    max_frames: int = 1000
+    target_frame_errors: int = 50
+    batch_frames: int = 32
+    all_zero_codeword: bool = False
+
+    def __post_init__(self):
+        if self.max_frames < 1 or self.batch_frames < 1:
+            raise ValueError("max_frames and batch_frames must be positive")
+        if self.target_frame_errors < 1:
+            raise ValueError("target_frame_errors must be positive")
+
+
+class MonteCarloSimulator:
+    """End-to-end BER/PER simulator for one code + decoder pair.
+
+    Parameters
+    ----------
+    code:
+        ``QCLDPCCode``, ``ParityCheckMatrix`` or ``ShortenedCode``.
+    decoder:
+        Any object with a ``decode(llrs) -> DecodeResult`` method operating
+        on base-codeword LLRs.
+    config:
+        Batching and stopping rules.
+    rng:
+        Seed or generator for information bits and noise.
+    """
+
+    def __init__(self, code, decoder, *, config: SimulationConfig | None = None, rng=None):
+        self._shortened = code if isinstance(code, ShortenedCode) else None
+        self._base_code = code.base_code if self._shortened is not None else code
+        self._decoder = decoder
+        self.config = config or SimulationConfig()
+        self._rng = ensure_rng(rng)
+        self._modulator = BPSKModulator()
+        self._encoder: SystematicEncoder | None = None
+        self._forced_zero_info: np.ndarray | None = None
+        if not self.config.all_zero_codeword:
+            self._encoder = SystematicEncoder(self._base_code)
+            if self._shortened is not None:
+                # The virtual-fill positions must be information positions so
+                # that they can be forced to zero before encoding.
+                info_positions = self._encoder.information_positions
+                shortened = self._shortened.shortened_positions()
+                is_info = np.isin(shortened, info_positions)
+                if not bool(np.all(is_info)):
+                    raise ValueError(
+                        "the shortened positions of this ShortenedCode are not "
+                        "information positions of the systematic encoder; build "
+                        "the shortened code with ShortenedCode.from_encoder(...) "
+                        "or simulate with all_zero_codeword=True"
+                    )
+                self._forced_zero_info = np.nonzero(np.isin(info_positions, shortened))[0]
+
+    # ------------------------------------------------------------------ #
+    @property
+    def code_rate(self) -> float:
+        """Rate used for the Eb/N0 to noise conversion.
+
+        For a shortened code the *transmitted* rate (info bits per frame bit)
+        is the physically meaningful one.
+        """
+        if self._shortened is not None:
+            return self._shortened.rate
+        return self._base_code.dimension / self._base_code.block_length
+
+    @property
+    def block_length(self) -> int:
+        """Base codeword length handled by the decoder."""
+        return self._base_code.block_length
+
+    # ------------------------------------------------------------------ #
+    def _generate_codewords(self, batch: int) -> np.ndarray:
+        """Sample transmitted base codewords for one batch."""
+        if self.config.all_zero_codeword or self._encoder is None:
+            return np.zeros((batch, self.block_length), dtype=np.uint8)
+        info = self._rng.integers(0, 2, size=(batch, self._encoder.dimension), dtype=np.uint8)
+        if self._forced_zero_info is not None:
+            info[:, self._forced_zero_info] = 0
+        return self._encoder.encode(info)
+
+    def _transmit(self, codewords: np.ndarray, sigma: float) -> np.ndarray:
+        """Modulate, add noise and produce base-codeword LLRs for the decoder."""
+        if self._shortened is None:
+            symbols = self._modulator.modulate(codewords)
+            received = symbols + self._rng.normal(0.0, sigma, size=symbols.shape)
+            return channel_llrs(received, sigma)
+        transmitted = self._shortened.extract_transmitted(codewords)
+        frame = self._shortened.build_frame(transmitted)
+        symbols = self._modulator.modulate(frame)
+        received = symbols + self._rng.normal(0.0, sigma, size=symbols.shape)
+        frame_llrs = channel_llrs(received, sigma)
+        return self._shortened.base_llrs_from_frame_llrs(frame_llrs)
+
+    # ------------------------------------------------------------------ #
+    def run_point(self, ebn0_db: float) -> SimulationPoint:
+        """Simulate one Eb/N0 point until the stopping rule triggers."""
+        sigma = ebn0_to_sigma(ebn0_db, self.code_rate)
+        counter = ErrorCounter()
+        config = self.config
+        while (
+            counter.frames < config.max_frames
+            and counter.frame_errors < config.target_frame_errors
+        ):
+            batch = min(config.batch_frames, config.max_frames - counter.frames)
+            codewords = self._generate_codewords(batch)
+            llrs = self._transmit(codewords, sigma)
+            result = self._decoder.decode(llrs)
+            decoded = np.atleast_2d(result.bits)
+            errors_per_frame = (decoded != codewords).sum(axis=1)
+            frame_error_mask = errors_per_frame > 0
+            converged = np.atleast_1d(result.converged)
+            undetected = int(np.count_nonzero(frame_error_mask & converged))
+            counter.update(
+                bit_errors=int(errors_per_frame.sum()),
+                frame_errors=int(frame_error_mask.sum()),
+                bits=batch * self.block_length,
+                frames=batch,
+                undetected_frame_errors=undetected,
+                iterations=int(np.sum(np.atleast_1d(result.iterations))),
+            )
+        return SimulationPoint(
+            ebn0_db=float(ebn0_db),
+            ber=counter.ber,
+            fer=counter.fer,
+            bit_errors=counter.bit_errors,
+            frame_errors=counter.frame_errors,
+            bits=counter.bits,
+            frames=counter.frames,
+            average_iterations=counter.average_iterations,
+        )

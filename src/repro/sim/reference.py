@@ -1,0 +1,40 @@
+"""Reference curves: uncoded BPSK and the Shannon limit.
+
+These are the classical sanity anchors of a waterfall plot: the coded curves
+of Figure 4 must fall between the uncoded BPSK performance and the
+rate-dependent Shannon limit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy import sqrt
+
+__all__ = ["qfunc", "uncoded_bpsk_ber", "shannon_limit_ebn0_db"]
+
+
+def qfunc(x) -> np.ndarray:
+    """Gaussian tail probability Q(x) via the complementary error function."""
+    from math import erfc
+
+    arr = np.asarray(x, dtype=np.float64)
+    vectorized = np.vectorize(lambda v: 0.5 * erfc(v / sqrt(2.0)))
+    return vectorized(arr) if arr.ndim else float(vectorized(arr))
+
+
+def uncoded_bpsk_ber(ebn0_db) -> np.ndarray:
+    """Bit error rate of uncoded BPSK over AWGN at the given Eb/N0 (dB)."""
+    ebn0 = 10.0 ** (np.asarray(ebn0_db, dtype=np.float64) / 10.0)
+    return qfunc(np.sqrt(2.0 * ebn0))
+
+
+def shannon_limit_ebn0_db(rate: float) -> float:
+    """Minimum Eb/N0 (dB) at which a rate-``rate`` code can be reliable.
+
+    Uses the unconstrained AWGN capacity ``C = rate`` condition
+    ``Eb/N0 >= (2^(2R) - 1) / (2R)`` for real (one-dimensional) signalling.
+    """
+    if not 0 < rate < 1:
+        raise ValueError("rate must be in (0, 1)")
+    ebn0_linear = (2.0 ** (2.0 * rate) - 1.0) / (2.0 * rate)
+    return float(10.0 * np.log10(ebn0_linear))

@@ -1,0 +1,125 @@
+"""Simulation result containers and serialization.
+
+A :class:`SimulationPoint` holds the error statistics measured at one Eb/N0
+value; a :class:`SimulationCurve` is an ordered collection of points for one
+decoder configuration — one curve of the paper's Figure 4.  Curves can be
+saved to / loaded from JSON so long simulations can be resumed or compared
+across runs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["SimulationPoint", "SimulationCurve"]
+
+
+@dataclass(frozen=True)
+class SimulationPoint:
+    """Error statistics at a single Eb/N0 value."""
+
+    ebn0_db: float
+    ber: float
+    fer: float
+    bit_errors: int
+    frame_errors: int
+    bits: int
+    frames: int
+    average_iterations: float = 0.0
+
+    def as_dict(self) -> dict:
+        """Plain-dictionary form (for JSON serialization)."""
+        return asdict(self)
+
+
+@dataclass
+class SimulationCurve:
+    """An Eb/N0 sweep for one decoder/label (one curve of Figure 4)."""
+
+    label: str
+    points: list[SimulationPoint] = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+
+    def add(self, point: SimulationPoint) -> None:
+        """Append a point (kept sorted by Eb/N0)."""
+        self.points.append(point)
+        self.points.sort(key=lambda p: p.ebn0_db)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def ebn0_values(self) -> np.ndarray:
+        """Eb/N0 grid of the curve (dB)."""
+        return np.array([p.ebn0_db for p in self.points])
+
+    @property
+    def ber_values(self) -> np.ndarray:
+        """Bit-error-rate values."""
+        return np.array([p.ber for p in self.points])
+
+    @property
+    def fer_values(self) -> np.ndarray:
+        """Frame-error-rate values."""
+        return np.array([p.fer for p in self.points])
+
+    def ebn0_at_ber(self, target_ber: float) -> float | None:
+        """Eb/N0 (dB) where the curve crosses a target BER (log-linear interpolation).
+
+        Returns ``None`` when the curve never reaches the target.  This is
+        the quantity used for "X dB better than Y" comparisons such as the
+        paper's 0.05 dB claim.
+        """
+        if target_ber <= 0:
+            raise ValueError("target_ber must be positive")
+        ebn0 = self.ebn0_values
+        ber = self.ber_values
+        usable = ber > 0
+        if usable.sum() < 2:
+            return None
+        ebn0 = ebn0[usable]
+        ber = ber[usable]
+        log_ber = np.log10(ber)
+        target = np.log10(target_ber)
+        for i in range(len(ebn0) - 1):
+            lo, hi = log_ber[i], log_ber[i + 1]
+            if (lo - target) * (hi - target) <= 0 and lo != hi:
+                fraction = (lo - target) / (lo - hi)
+                return float(ebn0[i] + fraction * (ebn0[i + 1] - ebn0[i]))
+        return None
+
+    def coding_gain_over(self, other: "SimulationCurve", target_ber: float) -> float | None:
+        """Eb/N0 advantage of this curve over ``other`` at a target BER (dB)."""
+        own = self.ebn0_at_ber(target_ber)
+        reference = other.ebn0_at_ber(target_ber)
+        if own is None or reference is None:
+            return None
+        return reference - own
+
+    # ------------------------------------------------------------------ #
+    def as_dict(self) -> dict:
+        """Plain-dictionary form."""
+        return {
+            "label": self.label,
+            "metadata": self.metadata,
+            "points": [p.as_dict() for p in self.points],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationCurve":
+        """Rebuild a curve from :meth:`as_dict` output."""
+        curve = cls(label=data["label"], metadata=dict(data.get("metadata", {})))
+        for point in data.get("points", []):
+            curve.add(SimulationPoint(**point))
+        return curve
+
+    def save(self, path) -> None:
+        """Write the curve to a JSON file."""
+        Path(path).write_text(json.dumps(self.as_dict(), indent=2))
+
+    @classmethod
+    def load(cls, path) -> "SimulationCurve":
+        """Load a curve from a JSON file."""
+        return cls.from_dict(json.loads(Path(path).read_text()))

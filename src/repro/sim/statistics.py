@@ -1,0 +1,104 @@
+"""Error counting and confidence intervals for Monte-Carlo simulations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ErrorCounter", "wilson_interval"]
+
+
+def wilson_interval(errors: int, trials: int, *, confidence_z: float = 1.96) -> tuple[float, float]:
+    """Wilson score interval for an error probability estimate.
+
+    Preferred over the normal approximation because simulated error rates are
+    often based on a small number of observed errors.
+
+    Parameters
+    ----------
+    errors:
+        Number of observed errors.
+    trials:
+        Number of trials (> 0).
+    confidence_z:
+        Normal quantile of the confidence level (1.96 for 95%).
+
+    Returns
+    -------
+    (low, high):
+        Interval bounds, both in [0, 1].
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if errors < 0 or errors > trials:
+        raise ValueError("errors must lie in [0, trials]")
+    z = confidence_z
+    p_hat = errors / trials
+    denominator = 1.0 + z**2 / trials
+    centre = (p_hat + z**2 / (2 * trials)) / denominator
+    margin = (
+        z
+        * np.sqrt(p_hat * (1 - p_hat) / trials + z**2 / (4 * trials**2))
+        / denominator
+    )
+    return max(0.0, centre - margin), min(1.0, centre + margin)
+
+
+@dataclass
+class ErrorCounter:
+    """Accumulates bit/frame error counts over simulation batches."""
+
+    bit_errors: int = 0
+    frame_errors: int = 0
+    bits: int = 0
+    frames: int = 0
+    undetected_frame_errors: int = 0
+    total_iterations: int = 0
+
+    def update(
+        self,
+        bit_errors: int,
+        frame_errors: int,
+        bits: int,
+        frames: int,
+        *,
+        undetected_frame_errors: int = 0,
+        iterations: int = 0,
+    ) -> None:
+        """Add the counts of one simulated batch."""
+        if min(bit_errors, frame_errors, bits, frames) < 0:
+            raise ValueError("counts must be non-negative")
+        self.bit_errors += int(bit_errors)
+        self.frame_errors += int(frame_errors)
+        self.bits += int(bits)
+        self.frames += int(frames)
+        self.undetected_frame_errors += int(undetected_frame_errors)
+        self.total_iterations += int(iterations)
+
+    @property
+    def ber(self) -> float:
+        """Bit error rate estimate."""
+        return self.bit_errors / self.bits if self.bits else 0.0
+
+    @property
+    def fer(self) -> float:
+        """Frame (packet) error rate estimate."""
+        return self.frame_errors / self.frames if self.frames else 0.0
+
+    @property
+    def average_iterations(self) -> float:
+        """Mean decoder iterations per frame."""
+        return self.total_iterations / self.frames if self.frames else 0.0
+
+    def ber_confidence(self, confidence_z: float = 1.96) -> tuple[float, float]:
+        """Wilson interval of the BER estimate."""
+        if not self.bits:
+            return 0.0, 1.0
+        return wilson_interval(self.bit_errors, self.bits, confidence_z=confidence_z)
+
+    def fer_confidence(self, confidence_z: float = 1.96) -> tuple[float, float]:
+        """Wilson interval of the FER estimate."""
+        if not self.frames:
+            return 0.0, 1.0
+        return wilson_interval(self.frame_errors, self.frames, confidence_z=confidence_z)

@@ -1,0 +1,90 @@
+"""Eb/N0 sweeps producing BER/PER waterfall curves (paper Figure 4)."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.sim.montecarlo import MonteCarloSimulator, SimulationConfig
+from repro.sim.results import SimulationCurve
+from repro.utils.formatting import format_table
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+__all__ = ["EbN0Sweep"]
+
+
+class EbN0Sweep:
+    """Run a Monte-Carlo simulation over a grid of Eb/N0 values.
+
+    Parameters
+    ----------
+    code:
+        Code (or :class:`~repro.codes.shortening.ShortenedCode`) to simulate.
+    decoder_factory:
+        Callable returning a fresh decoder; called once per sweep so the same
+        sweep object can be reused across decoders.
+    config:
+        Stopping/batching rules shared by every point.
+    rng:
+        Master seed; each Eb/N0 point receives an independent child stream so
+        results do not depend on the evaluation order.
+    """
+
+    def __init__(
+        self,
+        code,
+        decoder_factory: Callable[[], object],
+        *,
+        config: SimulationConfig | None = None,
+        rng=None,
+    ):
+        self._code = code
+        self._decoder_factory = decoder_factory
+        self._config = config or SimulationConfig()
+        self._rng = ensure_rng(rng)
+
+    def run(
+        self,
+        ebn0_grid: Sequence[float] | Iterable[float],
+        *,
+        label: str = "decoder",
+        metadata: dict | None = None,
+        progress: Callable[[str], None] | None = None,
+    ) -> SimulationCurve:
+        """Simulate every Eb/N0 value and return the resulting curve."""
+        grid = [float(x) for x in ebn0_grid]
+        curve = SimulationCurve(label=label, metadata=dict(metadata or {}))
+        decoder = self._decoder_factory()
+        streams = spawn_rngs(self._rng, len(grid))
+        for ebn0_db, stream in zip(grid, streams):
+            simulator = MonteCarloSimulator(
+                self._code, decoder, config=self._config, rng=stream
+            )
+            point = simulator.run_point(ebn0_db)
+            curve.add(point)
+            if progress is not None:
+                progress(
+                    f"Eb/N0 {ebn0_db:+.2f} dB: BER {point.ber:.3e} "
+                    f"FER {point.fer:.3e} ({point.frames} frames)"
+                )
+        return curve
+
+    @staticmethod
+    def format_curves(curves: Sequence[SimulationCurve]) -> str:
+        """Render several curves as an aligned waterfall table (Figure 4 data)."""
+        grid = sorted({float(e) for curve in curves for e in curve.ebn0_values})
+        headers = ["Eb/N0 (dB)"]
+        for curve in curves:
+            headers.extend([f"{curve.label} BER", f"{curve.label} PER"])
+        rows = []
+        for ebn0 in grid:
+            row: list[object] = [f"{ebn0:.2f}"]
+            for curve in curves:
+                match = [p for p in curve.points if np.isclose(p.ebn0_db, ebn0)]
+                if match:
+                    row.extend([f"{match[0].ber:.3e}", f"{match[0].fer:.3e}"])
+                else:
+                    row.extend(["-", "-"])
+            rows.append(row)
+        return format_table(headers, rows, title="BER / PER vs Eb/N0")

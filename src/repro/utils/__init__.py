@@ -1,0 +1,36 @@
+"""Shared utilities: bit manipulation, RNG handling, validation, formatting."""
+
+from repro.utils.bits import (
+    bits_to_bytes,
+    bytes_to_bits,
+    hard_decision,
+    hamming_distance,
+    hamming_weight,
+    random_bits,
+)
+from repro.utils.formatting import format_table, format_percentage, format_rate
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.validation import (
+    check_binary_array,
+    check_positive,
+    check_probability,
+    check_shape,
+)
+
+__all__ = [
+    "bits_to_bytes",
+    "bytes_to_bits",
+    "hard_decision",
+    "hamming_distance",
+    "hamming_weight",
+    "random_bits",
+    "format_table",
+    "format_percentage",
+    "format_rate",
+    "ensure_rng",
+    "spawn_rngs",
+    "check_binary_array",
+    "check_positive",
+    "check_probability",
+    "check_shape",
+]

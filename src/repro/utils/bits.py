@@ -1,0 +1,102 @@
+"""Bit-level helpers: packing, hard decisions, Hamming metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+__all__ = [
+    "random_bits",
+    "hard_decision",
+    "hamming_weight",
+    "hamming_distance",
+    "bits_to_bytes",
+    "bytes_to_bits",
+    "bits_to_int",
+    "int_to_bits",
+]
+
+
+def random_bits(n: int, rng=None, *, shape=None) -> np.ndarray:
+    """Generate uniformly random information bits.
+
+    Parameters
+    ----------
+    n:
+        Number of bits per vector.
+    rng:
+        ``numpy.random.Generator``, seed, or ``None``.
+    shape:
+        Optional leading shape; the result has shape ``(*shape, n)``.
+    """
+    rng = ensure_rng(rng)
+    if shape is None:
+        return rng.integers(0, 2, size=n, dtype=np.uint8)
+    return rng.integers(0, 2, size=(*tuple(shape), n), dtype=np.uint8)
+
+
+def hard_decision(llr: np.ndarray) -> np.ndarray:
+    """Map LLRs to bits using the convention ``LLR > 0 -> bit 0``.
+
+    Positive log-likelihood ratios indicate the bit is more likely to be 0
+    (the standard convention ``LLR = log(P(bit=0)/P(bit=1))``).  Ties (LLR
+    exactly zero) are resolved to bit 1, which is the pessimistic choice used
+    by the hardware datapath.
+    """
+    llr = np.asarray(llr)
+    return (llr <= 0).astype(np.uint8)
+
+
+def hamming_weight(bits) -> int:
+    """Number of ones in a bit vector."""
+    return int(np.count_nonzero(np.asarray(bits)))
+
+
+def hamming_distance(a, b) -> int:
+    """Number of positions where two bit vectors differ."""
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return int(np.count_nonzero(a ^ b))
+
+
+def bits_to_bytes(bits) -> bytes:
+    """Pack a bit vector (MSB first) into bytes, zero-padding the tail."""
+    arr = np.asarray(bits, dtype=np.uint8)
+    return np.packbits(arr).tobytes()
+
+
+def bytes_to_bits(data: bytes, n_bits: int | None = None) -> np.ndarray:
+    """Unpack bytes into a bit vector (MSB first).
+
+    Parameters
+    ----------
+    data:
+        Byte string to unpack.
+    n_bits:
+        Optional truncation length (to undo the padding added by
+        :func:`bits_to_bytes`).
+    """
+    bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8))
+    if n_bits is not None:
+        bits = bits[:n_bits]
+    return bits.astype(np.uint8)
+
+
+def bits_to_int(bits) -> int:
+    """Interpret a bit vector (MSB first) as an unsigned integer."""
+    value = 0
+    for bit in np.asarray(bits, dtype=np.uint8):
+        value = (value << 1) | int(bit)
+    return value
+
+
+def int_to_bits(value: int, width: int) -> np.ndarray:
+    """Expand an unsigned integer into a fixed-width bit vector (MSB first)."""
+    if value < 0:
+        raise ValueError("value must be non-negative")
+    if value >= (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return np.array([(value >> (width - 1 - i)) & 1 for i in range(width)], dtype=np.uint8)

@@ -1,0 +1,66 @@
+"""ASCII formatting helpers used by benchmark harnesses and reports.
+
+The benchmark scripts print the same rows the paper's tables report; these
+helpers keep that output aligned and readable without pulling in plotting
+dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_percentage", "format_rate", "format_engineering"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], *, title: str | None = None) -> str:
+    """Render a list of rows as a fixed-width ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column headers.
+    rows:
+        Iterable of rows; each row is converted with ``str``.
+    title:
+        Optional title printed above the table.
+    """
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_percentage(fraction: float, *, digits: int = 0) -> str:
+    """Format a fraction (0..1) as a percentage string, e.g. ``0.16 -> '16%'``."""
+    return f"{fraction * 100:.{digits}f}%"
+
+
+def format_rate(bits_per_second: float) -> str:
+    """Format a data rate with an engineering suffix (bps, kbps, Mbps, Gbps)."""
+    return format_engineering(bits_per_second, "bps")
+
+
+def format_engineering(value: float, unit: str) -> str:
+    """Format ``value`` with k/M/G engineering prefixes."""
+    if value < 0:
+        return "-" + format_engineering(-value, unit)
+    for factor, prefix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if value >= factor:
+            return f"{value / factor:.3g} {prefix}{unit}"
+    return f"{value:.3g} {unit}"

@@ -1,0 +1,39 @@
+"""Random number generator plumbing.
+
+Every stochastic component in the library (channels, Monte-Carlo engines,
+code constructions) accepts either a ``numpy.random.Generator``, an integer
+seed, or ``None``.  :func:`ensure_rng` normalizes those three cases so that
+experiments are reproducible when a seed is given and convenient when not.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ensure_rng", "spawn_rngs"]
+
+
+def ensure_rng(rng=None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` from a generator, seed, or ``None``."""
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    if isinstance(rng, np.random.SeedSequence):
+        return np.random.default_rng(rng)
+    raise TypeError(f"cannot build a Generator from {type(rng).__name__}")
+
+
+def spawn_rngs(rng, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` statistically independent child generators.
+
+    Used by the Monte-Carlo engine to give every Eb/N0 point its own stream
+    so results do not depend on the order points are simulated in.
+    """
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    rng = ensure_rng(rng)
+    seeds = rng.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(seed)) for seed in seeds]

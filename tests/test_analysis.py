@@ -1,0 +1,115 @@
+"""Unit tests for the analysis package (density evolution, alpha tuning, quantization)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.correction_factor import (
+    bp_check_mean,
+    empirical_mean_mismatch,
+    min_sum_check_mean,
+    optimize_alpha_density_evolution,
+    optimize_alpha_empirical,
+)
+from repro.analysis.density_evolution import (
+    gaussian_de_bp,
+    gaussian_de_normalized_min_sum,
+    phi_function,
+    phi_inverse,
+    threshold_search,
+)
+from repro.analysis.quantization_study import quantization_sweep
+from repro.sim.montecarlo import SimulationConfig
+
+
+class TestPhiFunction:
+    def test_boundary_values(self):
+        assert phi_function(np.array(0.0)) == pytest.approx(1.0)
+        assert phi_function(np.array(50.0)) < 1e-4
+
+    def test_monotone_decreasing(self):
+        x = np.linspace(0.1, 20, 50)
+        values = phi_function(x)
+        assert (np.diff(values) < 0).all()
+
+    def test_inverse_roundtrip(self):
+        x = np.array([0.5, 1.0, 3.0, 8.0])
+        assert np.allclose(phi_inverse(phi_function(x)), x, rtol=1e-3)
+
+
+class TestDensityEvolution:
+    def test_bp_converges_at_high_snr(self):
+        assert gaussian_de_bp(5.0).converged
+
+    def test_bp_fails_at_low_snr(self):
+        assert not gaussian_de_bp(0.5, max_iterations=100).converged
+
+    def test_trajectory_monotone_when_converging(self):
+        result = gaussian_de_bp(5.0)
+        trajectory = np.array(result.mean_trajectory)
+        assert (np.diff(trajectory) >= -1e-9).all()
+
+    def test_normalized_min_sum_converges_at_high_snr(self):
+        result = gaussian_de_normalized_min_sum(5.0, alpha=1.25, samples=1500, rng=0)
+        assert result.converged
+
+    def test_threshold_search_brackets(self):
+        threshold = threshold_search(
+            lambda ebn0: gaussian_de_bp(ebn0, max_iterations=150),
+            low_db=0.5,
+            high_db=6.0,
+            tolerance_db=0.1,
+        )
+        # The (4, 32)-regular ensemble threshold sits near 3 dB.
+        assert 2.0 < threshold < 4.0
+
+    def test_threshold_search_invalid_bracket(self):
+        with pytest.raises(ValueError):
+            threshold_search(lambda e: gaussian_de_bp(0.0, max_iterations=5), high_db=0.0)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            gaussian_de_normalized_min_sum(4.0, alpha=0.9)
+
+
+class TestCorrectionFactor:
+    def test_min_sum_overestimates_bp(self):
+        """The sign-min output magnitude exceeds the BP magnitude (the bias alpha fixes)."""
+        for mean in (1.0, 2.0, 4.0):
+            assert min_sum_check_mean(mean, 32, samples=8000, rng=0) > bp_check_mean(
+                mean, 32, samples=8000, rng=0
+            )
+
+    def test_optimized_alpha_is_above_one(self):
+        result = optimize_alpha_density_evolution(check_degree=32, samples=4000, rng=0)
+        assert result.alpha > 1.0
+        assert result.scale < 1.0
+        assert len(result.candidates) == len(result.mismatches)
+
+    def test_optimal_alpha_beats_no_correction(self):
+        result = optimize_alpha_density_evolution(check_degree=32, samples=4000, rng=0)
+        index_of_one = result.candidates.index(1.0)
+        assert result.mismatch < result.mismatches[index_of_one]
+
+    def test_empirical_optimization_on_scaled_code(self, scaled_code):
+        result = optimize_alpha_empirical(
+            scaled_code, ebn0_db=4.0, frames=2, iterations=2,
+            candidates=(1.0, 1.25, 1.5, 1.75), rng=0,
+        )
+        assert result.alpha > 1.0
+
+    def test_empirical_mismatch_positive(self, scaled_code):
+        assert empirical_mean_mismatch(scaled_code, 4.0, 1.25, frames=2, iterations=2) > 0
+
+
+class TestQuantizationStudy:
+    def test_sweep_structure(self, scaled_code):
+        config = SimulationConfig(
+            max_frames=20, target_frame_errors=20, batch_frames=10, all_zero_codeword=True
+        )
+        studies = quantization_sweep(
+            scaled_code, 3.0, total_bits_values=(4, 6), iterations=8, config=config, rng=1
+        )
+        assert len(studies) == 3  # float reference + two widths
+        assert studies[0].label == "float"
+        assert studies[1].label.startswith("Q")
+        assert all(s.point.frames > 0 for s in studies)

@@ -1,0 +1,83 @@
+"""Unit tests for repro.channel.llr and repro.channel.quantize."""
+
+import numpy as np
+import pytest
+
+from repro.channel.llr import channel_llrs, llr_scale_factor
+from repro.channel.quantize import FixedPointFormat, UniformQuantizer
+from repro.utils.bits import hard_decision
+
+
+class TestLLR:
+    def test_scale_factor(self):
+        assert llr_scale_factor(1.0) == pytest.approx(2.0)
+        assert llr_scale_factor(0.5, amplitude=2.0) == pytest.approx(16.0)
+
+    def test_sign_convention(self):
+        # A strongly positive received value means bit 0.
+        llrs = channel_llrs(np.array([2.0, -2.0]), sigma=1.0)
+        assert hard_decision(llrs).tolist() == [0, 1]
+
+    def test_llr_magnitude_grows_with_snr(self):
+        weak = channel_llrs(np.array([1.0]), sigma=2.0)
+        strong = channel_llrs(np.array([1.0]), sigma=0.5)
+        assert abs(strong[0]) > abs(weak[0])
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            channel_llrs(np.array([1.0]), sigma=0.0)
+
+
+class TestFixedPointFormat:
+    def test_q42_properties(self):
+        fmt = FixedPointFormat(total_bits=6, fractional_bits=2)
+        assert fmt.step == 0.25
+        assert fmt.max_value == 7.75
+        assert fmt.min_value == -8.0
+        assert fmt.num_levels == 64
+        assert str(fmt) == "Q4.2"
+
+    def test_invalid_formats(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(total_bits=1, fractional_bits=0)
+        with pytest.raises(ValueError):
+            FixedPointFormat(total_bits=4, fractional_bits=4)
+        with pytest.raises(ValueError):
+            FixedPointFormat(total_bits=4, fractional_bits=-1)
+
+
+class TestUniformQuantizer:
+    def test_rounding_to_grid(self):
+        quantizer = UniformQuantizer(FixedPointFormat(6, 2))
+        assert quantizer.quantize(np.array([0.1, 0.13, 0.4])).tolist() == [0.0, 0.25, 0.5]
+
+    def test_saturation_symmetric(self):
+        quantizer = UniformQuantizer(FixedPointFormat(6, 2))
+        out = quantizer.quantize(np.array([100.0, -100.0]))
+        assert out.tolist() == [7.75, -7.75]
+
+    def test_saturation_asymmetric(self):
+        quantizer = UniformQuantizer(FixedPointFormat(6, 2), symmetric=False)
+        assert quantizer.quantize(np.array([-100.0]))[0] == -8.0
+
+    def test_idempotent(self, rng):
+        quantizer = UniformQuantizer(FixedPointFormat(5, 1))
+        values = rng.normal(0, 3, size=100)
+        once = quantizer.quantize(values)
+        assert np.array_equal(quantizer.quantize(once), once)
+
+    def test_integer_roundtrip(self, rng):
+        quantizer = UniformQuantizer(FixedPointFormat(6, 2))
+        values = rng.normal(0, 2, size=50)
+        codes = quantizer.to_integers(values)
+        assert np.array_equal(quantizer.from_integers(codes), quantizer.quantize(values))
+
+    def test_quantization_snr_improves_with_bits(self, rng):
+        values = rng.normal(0, 2, size=2000)
+        coarse = UniformQuantizer(FixedPointFormat(4, 1)).quantization_snr_db(values)
+        fine = UniformQuantizer(FixedPointFormat(8, 4)).quantization_snr_db(values)
+        assert fine > coarse
+
+    def test_exact_values_have_infinite_snr(self):
+        quantizer = UniformQuantizer(FixedPointFormat(6, 2))
+        assert quantizer.quantization_snr_db(np.array([0.25, 0.5])) == float("inf")

@@ -1,0 +1,85 @@
+"""Unit tests for repro.channel.modulation and repro.channel.awgn."""
+
+import numpy as np
+import pytest
+
+from repro.channel.awgn import (
+    AWGNChannel,
+    ebn0_to_esn0,
+    ebn0_to_sigma,
+    esn0_to_sigma,
+    sigma_to_ebn0,
+)
+from repro.channel.modulation import BPSKModulator
+
+
+class TestBPSK:
+    def test_mapping_convention(self):
+        mod = BPSKModulator()
+        assert mod.modulate([0, 1]).tolist() == [1.0, -1.0]
+
+    def test_amplitude(self):
+        mod = BPSKModulator(amplitude=2.0)
+        assert mod.modulate([0]).tolist() == [2.0]
+        assert mod.symbol_energy == 4.0
+
+    def test_invalid_amplitude(self):
+        with pytest.raises(ValueError):
+            BPSKModulator(amplitude=0.0)
+
+    def test_hard_demodulation_roundtrip(self, rng):
+        mod = BPSKModulator()
+        bits = rng.integers(0, 2, size=100, dtype=np.uint8)
+        assert np.array_equal(mod.demodulate_hard(mod.modulate(bits)), bits)
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValueError):
+            BPSKModulator().modulate([0, 2])
+
+
+class TestConversions:
+    def test_esn0_accounts_for_rate(self):
+        assert ebn0_to_esn0(4.0, 1.0) == pytest.approx(4.0)
+        assert ebn0_to_esn0(4.0, 0.5) == pytest.approx(4.0 - 3.0103, abs=1e-3)
+
+    def test_sigma_decreases_with_snr(self):
+        assert ebn0_to_sigma(6.0, 0.875) < ebn0_to_sigma(2.0, 0.875)
+
+    def test_known_value(self):
+        # At Es/N0 = 0 dB and unit energy: sigma = sqrt(1/2).
+        assert esn0_to_sigma(0.0) == pytest.approx(np.sqrt(0.5))
+
+    def test_roundtrip(self):
+        sigma = ebn0_to_sigma(3.7, 0.875)
+        assert sigma_to_ebn0(sigma, 0.875) == pytest.approx(3.7)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            ebn0_to_sigma(3.0, 0.0)
+
+
+class TestAWGNChannel:
+    def test_noise_statistics(self):
+        channel = AWGNChannel(sigma=0.5, rng=0)
+        symbols = np.zeros(200_000)
+        received = channel.transmit(symbols)
+        assert np.mean(received) == pytest.approx(0.0, abs=5e-3)
+        assert np.std(received) == pytest.approx(0.5, abs=5e-3)
+
+    def test_seed_reproducibility(self):
+        a = AWGNChannel(0.3, rng=11).transmit(np.ones(10))
+        b = AWGNChannel(0.3, rng=11).transmit(np.ones(10))
+        assert np.array_equal(a, b)
+
+    def test_from_ebn0(self):
+        channel = AWGNChannel.from_ebn0(4.0, 0.875, rng=0)
+        assert channel.sigma == pytest.approx(ebn0_to_sigma(4.0, 0.875))
+        assert channel.noise_variance == pytest.approx(channel.sigma**2)
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            AWGNChannel(0.0)
+
+    def test_shape_preserved(self, rng):
+        channel = AWGNChannel(1.0, rng=rng)
+        assert channel.transmit(np.zeros((3, 5))).shape == (3, 5)

@@ -1,0 +1,101 @@
+"""Unit tests for the command-line interface (repro.cli)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.io.alist import read_alist
+from repro.io.circulant_table import load_circulant_spec
+
+
+class TestInfo:
+    def test_scaled_code_summary(self, capsys):
+        assert main(["info", "--circulant", "31"]) == 0
+        out = capsys.readouterr().out
+        assert "(496," in out            # scaled code length 16 * 31
+        assert "Table 1" in out
+
+    def test_deepspace_summary(self, capsys):
+        assert main(["info", "--deepspace", "1/2", "--circulant", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "(160," in out
+
+
+class TestBuildCode:
+    def test_writes_alist_and_spec(self, tmp_path, capsys):
+        alist_path = tmp_path / "code.alist"
+        spec_path = tmp_path / "code.json"
+        code_result = main([
+            "build-code", "--circulant", "31",
+            "--alist", str(alist_path), "--spec", str(spec_path),
+        ])
+        assert code_result == 0
+        pcm = read_alist(alist_path)
+        assert pcm.block_length == 16 * 31
+        spec = load_circulant_spec(spec_path)
+        assert spec.circulant_size == 31
+        assert json.loads(spec_path.read_text())["circulant_size"] == 31
+
+    def test_requires_an_output(self, capsys):
+        assert main(["build-code", "--circulant", "31"]) == 2
+
+
+class TestThroughput:
+    def test_default_table(self, capsys):
+        assert main(["throughput"]) == 0
+        out = capsys.readouterr().out
+        assert "130 Mbps" in out
+        assert "1038 Mbps" in out
+
+    def test_custom_iterations_and_clock(self, capsys):
+        assert main(["throughput", "--iterations", "20", "--clock", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "100 MHz" in out
+
+
+class TestResources:
+    def test_low_cost_default_device(self, capsys):
+        assert main(["resources", "--config", "low-cost"]) == 0
+        out = capsys.readouterr().out
+        assert "Cyclone II" in out
+        assert "Memory breakdown" in out
+
+    def test_high_speed_named_device(self, capsys):
+        assert main(["resources", "--config", "high-speed", "--device", "EP2S180"]) == 0
+        assert "Stratix II" in capsys.readouterr().out
+
+    def test_unknown_device(self, capsys):
+        assert main(["resources", "--device", "no-such-fpga"]) == 2
+
+
+class TestSimulate:
+    def test_quick_sweep(self, tmp_path, capsys):
+        save_path = tmp_path / "curve.json"
+        result = main([
+            "simulate", "--circulant", "31", "--ebn0", "4.0",
+            "--frames", "30", "--errors", "30", "--batch", "30",
+            "--iterations", "8", "--save", str(save_path),
+        ])
+        assert result == 0
+        out = capsys.readouterr().out
+        assert "BER / PER vs Eb/N0" in out
+        data = json.loads(save_path.read_text())
+        assert data["label"] == "nms"
+        assert len(data["points"]) == 1
+
+    def test_decoder_choices(self, capsys):
+        result = main([
+            "simulate", "--circulant", "31", "--decoder", "min-sum",
+            "--ebn0", "5.0", "--frames", "20", "--errors", "20", "--batch", "20",
+            "--iterations", "5",
+        ])
+        assert result == 0
+
+    def test_random_data_path(self, capsys):
+        result = main([
+            "simulate", "--circulant", "31", "--random-data",
+            "--ebn0", "6.0", "--frames", "10", "--errors", "10", "--batch", "10",
+            "--iterations", "5",
+        ])
+        assert result == 0

@@ -1,0 +1,185 @@
+"""Unit tests for the deep-space (AR4JA-style) extension and puncturing."""
+
+import numpy as np
+import pytest
+
+from repro.channel import BPSKModulator, channel_llrs, ebn0_to_sigma
+from repro.codes.construction import build_protograph_spec, spec_has_four_cycle
+from repro.codes.deepspace import (
+    AR4JA_RATES,
+    ar4ja_like_protograph,
+    ar4ja_punctured_proto_columns,
+    build_deepspace_code,
+    deepspace_architecture,
+)
+from repro.codes.puncturing import PuncturedCode
+from repro.codes.qc import QCLDPCCode
+from repro.core import ThroughputModel, estimate_resources
+from repro.decode import NormalizedMinSumDecoder
+from repro.encode import SystematicEncoder
+
+
+class TestPuncturedCode:
+    def test_dimensions(self, scaled_code):
+        punctured = PuncturedCode(scaled_code, np.arange(31))
+        assert punctured.num_punctured == 31
+        assert punctured.transmitted_length == scaled_code.block_length - 31
+        assert punctured.dimension == scaled_code.dimension
+        assert punctured.rate > scaled_code.rate
+
+    def test_extract_and_reinsert(self, scaled_code, rng):
+        punctured = PuncturedCode(scaled_code, [0, 5, 9])
+        word = rng.integers(0, 2, size=scaled_code.block_length, dtype=np.uint8)
+        transmitted = punctured.extract_transmitted(word)
+        assert transmitted.size == scaled_code.block_length - 3
+        llrs = punctured.base_llrs_from_transmitted_llrs(
+            np.ones(punctured.transmitted_length)
+        )
+        assert llrs.shape == (scaled_code.block_length,)
+        assert (llrs[punctured.punctured_positions()] == 0).all()
+        assert (llrs[punctured.transmitted_positions()] == 1).all()
+
+    def test_validation(self, scaled_code):
+        with pytest.raises(ValueError):
+            PuncturedCode(scaled_code, [scaled_code.block_length])
+        with pytest.raises(ValueError):
+            PuncturedCode(scaled_code, np.arange(scaled_code.block_length))
+        punctured = PuncturedCode(scaled_code, [0])
+        with pytest.raises(ValueError):
+            punctured.extract_transmitted(np.zeros(3, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            punctured.base_llrs_from_transmitted_llrs(np.zeros(3))
+
+
+class TestProtographLifting:
+    def test_lifted_spec_matches_base_matrix(self):
+        base = [[1, 2, 0], [0, 1, 3]]
+        spec = build_protograph_spec(base, 16, rng=0)
+        assert spec.block_weights().tolist() == base
+
+    def test_girth_aware_lifting_avoids_4_cycles_when_possible(self):
+        base = [[1, 1, 1, 1], [1, 1, 1, 1]]
+        spec = build_protograph_spec(base, 31, rng=1)
+        assert not spec_has_four_cycle(spec)
+
+    def test_rejects_invalid_base(self):
+        with pytest.raises(ValueError):
+            build_protograph_spec([[-1]], 8)
+        with pytest.raises(ValueError):
+            build_protograph_spec([[9]], 8)
+
+    def test_deterministic(self):
+        base = [[2, 1], [1, 2]]
+        assert build_protograph_spec(base, 16, rng=3) == build_protograph_spec(base, 16, rng=3)
+
+
+class TestAR4JAProtographs:
+    @pytest.mark.parametrize(
+        "rate,columns,expected_rate",
+        [("1/2", 5, 0.5), ("2/3", 7, 2 / 3), ("4/5", 11, 0.8)],
+    )
+    def test_rate_ladder(self, rate, columns, expected_rate):
+        proto = ar4ja_like_protograph(rate)
+        assert proto.num_check_types == 3
+        assert proto.num_bit_types == columns
+        punctured = len(ar4ja_punctured_proto_columns(rate))
+        design_rate = (proto.num_bit_types - proto.num_check_types) / (
+            proto.num_bit_types - punctured
+        )
+        assert design_rate == pytest.approx(expected_rate)
+
+    def test_hub_is_highest_degree_and_unique(self):
+        for rate in AR4JA_RATES:
+            proto = ar4ja_like_protograph(rate)
+            degrees = proto.bit_degrees()
+            hub = ar4ja_punctured_proto_columns(rate)[0]
+            assert degrees[hub] == degrees.max()
+            assert int((degrees == degrees.max()).sum()) == 1
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            ar4ja_like_protograph("3/4")
+
+
+class TestDeepSpaceCodes:
+    @pytest.mark.parametrize("rate", AR4JA_RATES)
+    def test_code_dimensions(self, rate):
+        code, punctured = build_deepspace_code(rate, 32)
+        proto = ar4ja_like_protograph(rate)
+        assert code.block_length == proto.num_bit_types * 32
+        # Full-rank lifting: information bits equal the design value.
+        assert code.dimension == (proto.num_bit_types - proto.num_check_types) * 32
+        assert punctured.num_punctured == 32
+
+    def test_transmitted_rate_matches_design(self):
+        for rate, expected in zip(AR4JA_RATES, (0.5, 2 / 3, 0.8)):
+            _, punctured = build_deepspace_code(rate, 32)
+            assert punctured.rate == pytest.approx(expected, rel=0.02)
+
+    def test_deterministic_construction(self):
+        a, _ = build_deepspace_code("1/2", 32)
+        b, _ = build_deepspace_code("1/2", 32)
+        assert a.spec == b.spec
+
+    def test_end_to_end_decoding_with_puncturing(self, rng):
+        """Encode, puncture, transmit, re-insert erasures, decode."""
+        code, punctured = build_deepspace_code("1/2", 64)
+        encoder = SystematicEncoder(code)
+        info = rng.integers(0, 2, size=(4, encoder.dimension), dtype=np.uint8)
+        codewords = encoder.encode(info)
+        transmitted = punctured.extract_transmitted(codewords)
+        sigma = ebn0_to_sigma(3.0, punctured.rate)
+        received = BPSKModulator().modulate(transmitted) + rng.normal(
+            0, sigma, transmitted.shape
+        )
+        llrs = punctured.base_llrs_from_transmitted_llrs(channel_llrs(received, sigma))
+        result = NormalizedMinSumDecoder(code, max_iterations=50).decode(llrs)
+        assert int((result.bits != codewords).sum()) == 0
+
+    def test_lower_rate_tolerates_lower_snr(self):
+        """Rate 1/2 decodes reliably at an Eb/N0 where rate 4/5 struggles."""
+        rng = np.random.default_rng(3)
+        ebn0_db = 2.0
+        failures = {}
+        for rate in ("1/2", "4/5"):
+            code, punctured = build_deepspace_code(rate, 64)
+            encoder = SystematicEncoder(code)
+            info = rng.integers(0, 2, size=(12, encoder.dimension), dtype=np.uint8)
+            codewords = encoder.encode(info)
+            transmitted = punctured.extract_transmitted(codewords)
+            sigma = ebn0_to_sigma(ebn0_db, punctured.rate)
+            received = BPSKModulator().modulate(transmitted) + rng.normal(
+                0, sigma, transmitted.shape
+            )
+            llrs = punctured.base_llrs_from_transmitted_llrs(channel_llrs(received, sigma))
+            result = NormalizedMinSumDecoder(code, max_iterations=30).decode(llrs)
+            failures[rate] = int((np.atleast_2d(result.bits) != codewords).any(axis=1).sum())
+        assert failures["1/2"] <= failures["4/5"]
+
+
+class TestDeepSpaceArchitecture:
+    def test_parameters_follow_protograph(self):
+        params = deepspace_architecture("1/2", 64)
+        assert params.row_blocks == 3
+        assert params.col_blocks == 5
+        assert params.bn_units_per_block == 5
+        assert params.cn_units_per_block == 3
+        assert params.info_bits_per_frame == 2 * 64
+
+    def test_throughput_and_resources_scale_with_rate(self):
+        low_rate = deepspace_architecture("1/2", 64)
+        high_rate = deepspace_architecture("4/5", 64)
+        tp_low = ThroughputModel(low_rate).point(18).throughput_bps
+        tp_high = ThroughputModel(high_rate).point(18).throughput_bps
+        # Higher-rate codes push more information bits per frame time.
+        assert tp_high > tp_low
+        assert estimate_resources(high_rate).aluts > estimate_resources(low_rate).aluts
+
+    def test_multi_frame_configuration(self):
+        single = deepspace_architecture("2/3", 64, processing_blocks=1)
+        multi = deepspace_architecture("2/3", 64, processing_blocks=4)
+        ratio = (
+            ThroughputModel(multi).point(18).throughput_bps
+            / ThroughputModel(single).point(18).throughput_bps
+        )
+        assert ratio == pytest.approx(4.0)

@@ -1,0 +1,82 @@
+"""Unit tests for repro.codes.parity_check."""
+
+import numpy as np
+import pytest
+
+from repro.codes.parity_check import ParityCheckMatrix
+
+
+class TestDimensions:
+    def test_hamming_dimensions(self, hamming_pcm):
+        assert hamming_pcm.num_checks == 3
+        assert hamming_pcm.block_length == 7
+        assert hamming_pcm.num_edges == 12
+        assert hamming_pcm.rank == 3
+        assert hamming_pcm.dimension == 4
+        assert hamming_pcm.rate == pytest.approx(4 / 7)
+
+    def test_design_rate(self, hamming_pcm):
+        assert hamming_pcm.design_rate == pytest.approx(4 / 7)
+
+    def test_scaled_code_rank_deficiency(self, scaled_code):
+        pcm = scaled_code.parity_check_matrix()
+        # Even column weight implies the rows of H sum to zero.
+        assert pcm.rank < pcm.num_checks
+        assert pcm.dimension == pcm.block_length - pcm.rank
+
+
+class TestDegrees:
+    def test_hamming_degrees(self, hamming_pcm):
+        assert hamming_pcm.check_degrees().tolist() == [4, 4, 4]
+        assert hamming_pcm.bit_degrees().tolist() == [2, 2, 2, 3, 1, 1, 1]
+
+    def test_regularity_detection(self, hamming_pcm, scaled_code):
+        assert not hamming_pcm.is_regular()
+        assert scaled_code.parity_check_matrix().is_regular()
+
+    def test_degree_profile(self, scaled_code):
+        profile = scaled_code.parity_check_matrix().degree_profile()
+        assert profile["check"] == {32: scaled_code.num_checks}
+        assert profile["bit"] == {4: scaled_code.block_length}
+
+
+class TestSyndrome:
+    def test_zero_codeword(self, hamming_pcm):
+        assert hamming_pcm.is_codeword(np.zeros(7, dtype=np.uint8))
+
+    def test_single_error_detected(self, hamming_pcm):
+        word = np.zeros(7, dtype=np.uint8)
+        word[2] = 1
+        assert not hamming_pcm.is_codeword(word)
+
+    def test_batch_codeword_check(self, hamming_pcm):
+        words = np.zeros((3, 7), dtype=np.uint8)
+        words[1, 0] = 1
+        flags = hamming_pcm.is_codeword(words)
+        assert flags.tolist() == [True, False, True]
+
+    def test_syndrome_matches_dense(self, hamming_pcm, rng):
+        word = rng.integers(0, 2, size=7, dtype=np.uint8)
+        dense = hamming_pcm.to_dense()
+        expected = (dense @ word) % 2
+        assert np.array_equal(hamming_pcm.syndrome(word), expected)
+
+
+class TestScatterViews:
+    def test_scatter_count(self, scaled_code):
+        pcm = scaled_code.parity_check_matrix()
+        rows, cols = pcm.scatter()
+        assert rows.size == pcm.num_edges
+        assert cols.size == pcm.num_edges
+
+    def test_density_grid_totals(self, scaled_code):
+        pcm = scaled_code.parity_check_matrix()
+        grid = pcm.density_grid(2, 16)
+        assert grid.shape == (2, 16)
+        assert grid.sum() == pcm.num_edges
+        # The CCSDS structure has weight-2 circulants in every block.
+        assert (grid == 2 * scaled_code.circulant_size).all()
+
+    def test_density_grid_invalid_bins(self, hamming_pcm):
+        with pytest.raises(ValueError):
+            hamming_pcm.density_grid(0, 4)

@@ -1,0 +1,73 @@
+"""Unit tests for repro.codes.protograph and repro.codes.properties."""
+
+import numpy as np
+import pytest
+
+from repro.codes.properties import enumerate_codewords, minimum_distance, weight_distribution
+from repro.codes.protograph import Protograph
+from repro.codes.qc import QCLDPCCode
+
+
+class TestProtograph:
+    def test_ccsds_base_matrix(self):
+        proto = Protograph.ccsds_c2()
+        assert proto.num_check_types == 2
+        assert proto.num_bit_types == 16
+        assert (proto.base_matrix == 2).all()
+        assert proto.design_rate() == pytest.approx(1 - 2 / 16)
+
+    def test_degrees(self):
+        proto = Protograph.ccsds_c2()
+        assert proto.check_degrees().tolist() == [32, 32]
+        assert proto.bit_degrees().tolist() == [4] * 16
+
+    def test_negative_entries_rejected(self):
+        with pytest.raises(ValueError):
+            Protograph([[1, -1]])
+
+    def test_lift_random_structure(self):
+        proto = Protograph([[2, 1], [1, 2]])
+        spec = proto.lift_random(13, rng=3)
+        assert spec.circulant_size == 13
+        assert spec.block_weights().tolist() == [[2, 1], [1, 2]]
+
+    def test_lift_random_deterministic(self):
+        proto = Protograph.ccsds_c2()
+        assert proto.lift_random(17, rng=1) == proto.lift_random(17, rng=1)
+
+    def test_lift_rejects_small_circulant(self):
+        proto = Protograph([[5]])
+        with pytest.raises(ValueError):
+            proto.lift_random(3, rng=0)
+
+    def test_lifted_code_has_expected_length(self):
+        proto = Protograph.ccsds_c2()
+        code = QCLDPCCode(proto.lift_random(11, rng=0))
+        assert code.block_length == 11 * 16
+
+
+class TestProperties:
+    def test_hamming_codewords(self, hamming_pcm):
+        codewords = enumerate_codewords(hamming_pcm.to_dense())
+        assert codewords.shape == (16, 7)
+        # All enumerated words satisfy the parity checks.
+        assert all(hamming_pcm.is_codeword(word) for word in codewords)
+
+    def test_hamming_minimum_distance(self, hamming_pcm):
+        assert minimum_distance(hamming_pcm.to_dense()) == 3
+
+    def test_hamming_weight_distribution(self, hamming_pcm):
+        distribution = weight_distribution(hamming_pcm.to_dense())
+        # The (7,4) Hamming code: 1 + 7z^3 + 7z^4 + z^7.
+        assert distribution == {0: 1, 3: 7, 4: 7, 7: 1}
+
+    def test_repetition_code(self):
+        h = np.array([[1, 1, 0], [0, 1, 1]], dtype=np.uint8)
+        assert minimum_distance(h) == 3
+        assert weight_distribution(h) == {0: 1, 3: 1}
+
+    def test_dimension_limit(self):
+        h = np.zeros((1, 25), dtype=np.uint8)
+        h[0, 0] = 1
+        with pytest.raises(ValueError):
+            enumerate_codewords(h)

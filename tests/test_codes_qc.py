@@ -1,0 +1,95 @@
+"""Unit tests for repro.codes.qc."""
+
+import numpy as np
+import pytest
+
+from repro.codes.qc import CirculantSpec, QCLDPCCode
+
+
+@pytest.fixture
+def small_spec():
+    """A 2 x 3 array of 5 x 5 circulants."""
+    return CirculantSpec(
+        5,
+        (
+            ((0, 1), (2,), (0, 3)),
+            ((1, 4), (0,), (2, 4)),
+        ),
+    )
+
+
+class TestCirculantSpec:
+    def test_shape_properties(self, small_spec):
+        assert small_spec.row_blocks == 2
+        assert small_spec.col_blocks == 3
+        assert small_spec.num_checks == 10
+        assert small_spec.block_length == 15
+
+    def test_block_weights(self, small_spec):
+        assert small_spec.block_weights().tolist() == [[2, 1, 2], [2, 1, 2]]
+        assert small_spec.total_edges() == 10 * 5
+
+    def test_positions_normalized(self):
+        spec = CirculantSpec(5, (((7, 1),),))
+        assert spec.block_positions[0][0] == (1, 2)
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError):
+            CirculantSpec(5, (((0,), (1,)), ((0,),)))
+
+    def test_duplicate_positions_rejected(self):
+        with pytest.raises(ValueError):
+            CirculantSpec(5, (((0, 5),),))
+
+    def test_row_and_column_weight(self, scaled_code):
+        spec = scaled_code.spec
+        assert spec.row_weight() == 32
+        assert spec.column_weight() == 4
+
+    def test_circulant_accessor(self, small_spec):
+        assert small_spec.circulant(0, 1).positions == (2,)
+        assert small_spec.circulant(1, 2).weight == 2
+
+
+class TestQCLDPCCode:
+    def test_expanded_shape(self, small_spec):
+        code = QCLDPCCode(small_spec)
+        pcm = code.parity_check_matrix()
+        assert pcm.num_checks == 10
+        assert pcm.block_length == 15
+        assert pcm.num_edges == small_spec.total_edges()
+
+    def test_expansion_matches_dense_circulants(self, small_spec):
+        code = QCLDPCCode(small_spec)
+        dense = code.parity_check_matrix().to_dense()
+        b = small_spec.circulant_size
+        for j in range(small_spec.row_blocks):
+            for k in range(small_spec.col_blocks):
+                block = dense[j * b : (j + 1) * b, k * b : (k + 1) * b]
+                assert np.array_equal(block, small_spec.circulant(j, k).to_dense())
+
+    def test_dimension_and_rate(self, scaled_code):
+        assert scaled_code.dimension == scaled_code.block_length - scaled_code.parity_check_matrix().rank
+        assert 0.85 < scaled_code.rate < 0.9
+
+    def test_block_coordinates(self, scaled_code):
+        b = scaled_code.circulant_size
+        assert scaled_code.block_coordinates_of_bit(0) == (0, 0)
+        assert scaled_code.block_coordinates_of_bit(b + 3) == (1, 3)
+        assert scaled_code.block_coordinates_of_check(b - 1) == (0, b - 1)
+        with pytest.raises(ValueError):
+            scaled_code.block_coordinates_of_bit(scaled_code.block_length)
+        with pytest.raises(ValueError):
+            scaled_code.block_coordinates_of_check(-1)
+
+    def test_pcm_cached(self, small_spec):
+        code = QCLDPCCode(small_spec)
+        assert code.parity_check_matrix() is code.parity_check_matrix()
+
+    def test_codeword_membership(self, scaled_code, scaled_encoder, rng):
+        info = rng.integers(0, 2, size=scaled_encoder.dimension, dtype=np.uint8)
+        codeword = scaled_encoder.encode(info)
+        assert scaled_code.is_codeword(codeword)
+        corrupted = codeword.copy()
+        corrupted[0] ^= 1
+        assert not scaled_code.is_codeword(corrupted)

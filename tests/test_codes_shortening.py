@@ -1,0 +1,108 @@
+"""Unit tests for repro.codes.shortening."""
+
+import numpy as np
+import pytest
+
+from repro.codes.shortening import ShortenedCode
+from repro.encode import SystematicEncoder
+
+
+@pytest.fixture(scope="module")
+def shortened(request):
+    code = request.getfixturevalue("scaled_code")
+    # Shorten by 10 information bits and pad the frame by 2.
+    info_bits = code.dimension - 10
+    frame_length = code.block_length - 10 + 2
+    return ShortenedCode(code, info_bits=info_bits, frame_length=frame_length)
+
+
+class TestDimensions:
+    def test_counts(self, scaled_code, shortened):
+        assert shortened.num_shortened == 10
+        assert shortened.num_pad == 2
+        assert shortened.transmitted_code_bits == scaled_code.block_length - 10
+        assert shortened.frame_length == scaled_code.block_length - 8
+        assert shortened.info_bits == scaled_code.dimension - 10
+
+    def test_rate(self, shortened):
+        assert shortened.rate == pytest.approx(
+            shortened.info_bits / shortened.frame_length
+        )
+
+    def test_invalid_info_bits(self, scaled_code):
+        with pytest.raises(ValueError):
+            ShortenedCode(scaled_code, info_bits=scaled_code.dimension + 1)
+        with pytest.raises(ValueError):
+            ShortenedCode(scaled_code, info_bits=0)
+
+    def test_frame_too_short(self, scaled_code):
+        with pytest.raises(ValueError):
+            ShortenedCode(
+                scaled_code,
+                info_bits=scaled_code.dimension - 5,
+                frame_length=scaled_code.block_length - 10,
+            )
+
+    def test_explicit_positions_validated(self, scaled_code):
+        with pytest.raises(ValueError):
+            ShortenedCode(
+                scaled_code,
+                info_bits=scaled_code.dimension - 2,
+                shortened_positions=[0, 0],  # not enough distinct positions
+            )
+
+
+class TestIndexConversions:
+    def test_expand_extract_roundtrip(self, shortened, rng):
+        payload = rng.integers(0, 2, size=shortened.transmitted_code_bits, dtype=np.uint8)
+        base = shortened.expand_to_base(payload)
+        assert base.shape[-1] == shortened.base_code.block_length
+        assert (base[shortened.shortened_positions()] == 0).all()
+        assert np.array_equal(shortened.extract_transmitted(base), payload)
+
+    def test_frame_roundtrip(self, shortened, rng):
+        payload = rng.integers(0, 2, size=shortened.transmitted_code_bits, dtype=np.uint8)
+        frame = shortened.build_frame(payload)
+        assert frame.shape[-1] == shortened.frame_length
+        assert np.array_equal(shortened.strip_frame(frame), payload)
+
+    def test_batch_conversion(self, shortened, rng):
+        payload = rng.integers(0, 2, size=(3, shortened.transmitted_code_bits), dtype=np.uint8)
+        base = shortened.expand_to_base(payload)
+        assert base.shape == (3, shortened.base_code.block_length)
+
+    def test_llr_mapping(self, shortened, rng):
+        frame_llrs = rng.normal(size=shortened.frame_length)
+        base_llrs = shortened.base_llrs_from_frame_llrs(frame_llrs, known_llr=50.0)
+        assert base_llrs.shape[-1] == shortened.base_code.block_length
+        assert (base_llrs[shortened.shortened_positions()] == 50.0).all()
+        transmitted = base_llrs[shortened.transmitted_positions()]
+        assert np.array_equal(transmitted, frame_llrs[: shortened.transmitted_code_bits])
+
+    def test_wrong_lengths_raise(self, shortened):
+        with pytest.raises(ValueError):
+            shortened.expand_to_base(np.zeros(3, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            shortened.strip_frame(np.zeros(3, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            shortened.base_llrs_from_frame_llrs(np.zeros(3))
+
+
+class TestFromEncoder:
+    def test_positions_are_information_positions(self, scaled_code, scaled_encoder):
+        shortened = ShortenedCode.from_encoder(
+            scaled_code, scaled_encoder, info_bits=scaled_code.dimension - 7
+        )
+        info_positions = set(scaled_encoder.information_positions.tolist())
+        assert set(shortened.shortened_positions().tolist()) <= info_positions
+
+    def test_shortened_codewords_stay_valid(self, scaled_code, scaled_encoder, rng):
+        shortened = ShortenedCode.from_encoder(
+            scaled_code, scaled_encoder, info_bits=scaled_code.dimension - 7
+        )
+        info = rng.integers(0, 2, size=scaled_encoder.dimension, dtype=np.uint8)
+        forced = np.isin(scaled_encoder.information_positions, shortened.shortened_positions())
+        info[forced] = 0
+        codeword = scaled_encoder.encode(info)
+        assert scaled_code.is_codeword(codeword)
+        assert (codeword[shortened.shortened_positions()] == 0).all()

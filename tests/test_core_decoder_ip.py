@@ -1,0 +1,89 @@
+"""Unit tests for repro.core.decoder_ip and repro.core.report."""
+
+import numpy as np
+import pytest
+
+from repro.channel.awgn import ebn0_to_sigma
+from repro.channel.llr import channel_llrs
+from repro.channel.modulation import BPSKModulator
+from repro.core.configs import (
+    high_speed_architecture,
+    low_cost_architecture,
+    scaled_architecture,
+)
+from repro.core.decoder_ip import CCSDSDecoderIP
+from repro.core.fpga import CYCLONE_II_EP2C50F, STRATIX_II_EP2S180
+from repro.core.report import implementation_report, throughput_table
+
+
+@pytest.fixture(scope="module")
+def scaled_ip(request):
+    code = request.getfixturevalue("scaled_code")
+    params = scaled_architecture(code.circulant_size)
+    return CCSDSDecoderIP(code, params, iterations=18)
+
+
+class TestConstruction:
+    def test_structure_mismatch_rejected(self, scaled_code):
+        with pytest.raises(ValueError):
+            CCSDSDecoderIP(scaled_code, low_cost_architecture())
+
+    def test_repr_mentions_config(self, scaled_ip):
+        assert "low-cost" in repr(scaled_ip)
+
+
+class TestFunctionalModel:
+    def test_decodes_noiseless_frame(self, scaled_ip, scaled_code, scaled_encoder, rng):
+        info = rng.integers(0, 2, size=scaled_encoder.dimension, dtype=np.uint8)
+        codeword = scaled_encoder.encode(info)
+        llrs = 6.0 * (1.0 - 2.0 * codeword.astype(np.float64))
+        result = scaled_ip.decode(llrs)
+        assert np.array_equal(result.bits, codeword)
+
+    def test_decodes_noisy_batch(self, scaled_ip, scaled_code, scaled_encoder):
+        rng = np.random.default_rng(5)
+        info = rng.integers(0, 2, size=(8, scaled_encoder.dimension), dtype=np.uint8)
+        codewords = scaled_encoder.encode(info)
+        sigma = ebn0_to_sigma(5.0, scaled_code.rate)
+        rx = BPSKModulator().modulate(codewords) + rng.normal(0, sigma, codewords.shape)
+        result = scaled_ip.decode(channel_llrs(rx, sigma))
+        errors = int((result.bits != codewords).sum())
+        assert errors / codewords.size < 0.01
+
+    def test_runs_fixed_iterations_like_hardware(self, scaled_ip, scaled_code):
+        llrs = np.full(scaled_code.block_length, 4.0)
+        result = scaled_ip.decode(llrs)
+        assert int(np.asarray(result.iterations)) == scaled_ip.iterations
+
+
+class TestAnalyticalModel:
+    def test_throughput_uses_programmed_iterations(self, scaled_ip):
+        default = scaled_ip.throughput()
+        explicit = scaled_ip.throughput(iterations=18)
+        assert default.throughput_bps == explicit.throughput_bps
+
+    def test_throughput_table_rows(self, scaled_ip):
+        rows = scaled_ip.throughput_table()
+        assert [row.iterations for row in rows] == [10, 18, 50]
+        assert rows[0].throughput_bps > rows[-1].throughput_bps
+
+    def test_resources_and_utilization(self, scaled_ip):
+        estimate = scaled_ip.resources()
+        assert estimate.aluts > 0 and estimate.memory_bits > 0
+        report = scaled_ip.utilization(CYCLONE_II_EP2C50F)
+        assert 0 < report.alut_fraction < 1
+
+
+class TestReports:
+    def test_throughput_table_text_matches_paper_numbers(self):
+        text = throughput_table([low_cost_architecture(), high_speed_architecture()])
+        assert "Table 1" in text
+        assert "130 Mbps" in text  # low-cost at 10 iterations
+        assert "26 Mbps" in text or "25 Mbps" in text
+
+    def test_implementation_report_text(self):
+        text = implementation_report(low_cost_architecture(), CYCLONE_II_EP2C50F)
+        assert "Cyclone II" in text
+        assert "Memory breakdown" in text
+        text_high = implementation_report(high_speed_architecture(), STRATIX_II_EP2S180)
+        assert "Stratix II" in text_high

@@ -1,0 +1,133 @@
+"""Unit tests for repro.core.memory, repro.core.processing, repro.core.controller."""
+
+import numpy as np
+import pytest
+
+from repro.core.configs import high_speed_architecture, low_cost_architecture
+from repro.core.controller import AddressGenerator, ControllerModel
+from repro.core.memory import (
+    MemoryBank,
+    MessageStorage,
+    build_memory_map,
+    compressed_check_word_bits,
+)
+from repro.core.processing import (
+    BitNodeUnitModel,
+    CheckNodeUnitModel,
+    ProcessingBlockModel,
+)
+
+
+class TestMemoryBank:
+    def test_total_bits(self):
+        bank = MemoryBank(name="m", words=511, word_bits=6, banks=16)
+        assert bank.total_bits == 511 * 6 * 16
+
+
+class TestMemoryMap:
+    def test_low_cost_totals_match_paper_table2(self):
+        """Table 2 reports ~290k memory bits (50% of the Cyclone II)."""
+        report = build_memory_map(low_cost_architecture())
+        assert report.total_bits == pytest.approx(290_000, rel=0.08)
+        # The message memory dominates: 32704 edges x 6 bits.
+        assert report.by_name("messages").total_bits == 32704 * 6
+
+    def test_high_speed_totals_match_paper_table3(self):
+        """Table 3 reports ~1300k memory bits for the 8-frame decoder."""
+        report = build_memory_map(high_speed_architecture())
+        assert report.total_bits == pytest.approx(1_300_000, rel=0.10)
+
+    def test_high_speed_scales_sublinearly(self):
+        low = build_memory_map(low_cost_architecture()).total_bits
+        high = build_memory_map(high_speed_architecture()).total_bits
+        ratio = high / low
+        # 8x the frames for well under 8x the memory (paper: "about four").
+        assert 3.5 < ratio < 6.0
+
+    def test_compressed_word_formula(self):
+        # 2 magnitudes of 5 bits + 5 index bits + 1 product sign + 32 signs.
+        assert compressed_check_word_bits(32, 6) == 2 * 5 + 5 + 1 + 32
+
+    def test_full_edge_vs_compressed_message_memory(self):
+        full = build_memory_map(
+            low_cost_architecture(message_storage=MessageStorage.FULL_EDGE)
+        )
+        compressed = build_memory_map(
+            low_cost_architecture(message_storage=MessageStorage.COMPRESSED_CHECK)
+        )
+        assert (
+            compressed.by_name("messages").total_bits
+            < full.by_name("messages").total_bits
+        )
+
+    def test_staging_buffer_optional(self):
+        with_staging = build_memory_map(low_cost_architecture())
+        without = build_memory_map(low_cost_architecture(separate_input_staging=False))
+        assert with_staging.total_bits > without.total_bits
+
+    def test_breakdown_sums_to_total(self):
+        report = build_memory_map(low_cost_architecture())
+        assert sum(report.breakdown().values()) == report.total_bits
+
+    def test_unknown_memory_name(self):
+        report = build_memory_map(low_cost_architecture())
+        with pytest.raises(KeyError):
+            report.by_name("does-not-exist")
+
+
+class TestProcessingUnits:
+    def test_bn_unit_width_accounts_for_growth(self):
+        unit = BitNodeUnitModel(message_bits=6, bit_degree=4)
+        assert unit.internal_width > 6
+        assert unit.adder_operands == 5
+
+    def test_cn_unit_index_bits(self):
+        unit = CheckNodeUnitModel(message_bits=6, check_degree=32)
+        assert unit.index_bits == 5
+        assert unit.magnitude_bits == 5
+
+    def test_costs_grow_with_width(self):
+        narrow = BitNodeUnitModel(message_bits=4, bit_degree=4)
+        wide = BitNodeUnitModel(message_bits=8, bit_degree=4)
+        assert wide.aluts() > narrow.aluts()
+        assert wide.registers() > narrow.registers()
+
+    def test_cn_cost_grows_with_degree(self):
+        small = CheckNodeUnitModel(message_bits=6, check_degree=8)
+        big = CheckNodeUnitModel(message_bits=6, check_degree=64)
+        assert big.aluts() > small.aluts()
+
+    def test_block_totals(self):
+        block = ProcessingBlockModel.from_parameters(low_cost_architecture())
+        expected_aluts = (
+            16 * block.bn_unit.aluts() + 2 * block.cn_unit.aluts() + block.interconnect_aluts()
+        )
+        assert block.aluts() == expected_aluts
+        assert block.registers() > 0
+
+
+class TestController:
+    def test_address_generator_sweep_covers_bank(self):
+        gen = AddressGenerator(circulant_size=31, first_row_positions=(3, 17))
+        sweep = gen.sweep()
+        assert sweep.shape == (31, 2)
+        assert gen.covers_all_addresses()
+        # Every address of the bank appears exactly twice (weight-2 circulant).
+        counts = np.bincount(sweep.ravel(), minlength=31)
+        assert (counts == 2).all()
+
+    def test_address_generator_offset(self):
+        gen = AddressGenerator(circulant_size=10, first_row_positions=(2, 7))
+        assert gen.addresses(5).tolist() == [7, 2]
+        with pytest.raises(ValueError):
+            gen.addresses(10)
+
+    def test_zero_weight_generator_covers_nothing(self):
+        gen = AddressGenerator(circulant_size=5, first_row_positions=())
+        assert not gen.covers_all_addresses()
+
+    def test_controller_cost_positive_and_width_dependent(self):
+        small = ControllerModel(circulant_size=31)
+        large = ControllerModel(circulant_size=511)
+        assert 0 < small.aluts() <= large.aluts()
+        assert 0 < small.registers() <= large.registers()

@@ -1,0 +1,86 @@
+"""Unit tests for repro.core.parameters and repro.core.configs."""
+
+import pytest
+
+from repro.core.configs import (
+    high_speed_architecture,
+    low_cost_architecture,
+    scaled_architecture,
+)
+from repro.core.memory import MessageStorage
+from repro.core.parameters import ArchitectureParameters
+
+
+class TestArchitectureParameters:
+    def test_ccsds_defaults(self):
+        params = ArchitectureParameters()
+        assert params.block_length == 8176
+        assert params.num_checks == 1022
+        assert params.num_edges == 32704
+        assert params.check_degree == 32
+        assert params.bit_degree == 4
+        assert params.info_bits_per_frame == 7136
+
+    def test_totals_scale_with_blocks(self):
+        params = ArchitectureParameters(processing_blocks=8)
+        assert params.total_bn_units == 16 * 8
+        assert params.total_cn_units == 2 * 8
+        assert params.concurrent_frames == 8
+
+    def test_with_updates_returns_new_object(self):
+        params = ArchitectureParameters()
+        updated = params.with_updates(processing_blocks=4)
+        assert updated.processing_blocks == 4
+        assert params.processing_blocks == 1
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("circulant_size", 0),
+            ("processing_blocks", 0),
+            ("message_bits", 0),
+            ("clock_frequency_hz", 0),
+            ("alpha", 0.5),
+            ("pipeline_overhead_cycles", -1),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            ArchitectureParameters(**{field: value})
+
+    def test_too_many_units_rejected(self):
+        with pytest.raises(ValueError):
+            ArchitectureParameters(circulant_size=3, bn_units_per_block=100)
+
+
+class TestConfigs:
+    def test_low_cost_matches_paper_section_3(self):
+        params = low_cost_architecture()
+        assert params.bn_units_per_block == 16
+        assert params.cn_units_per_block == 2
+        assert params.processing_blocks == 1
+        assert params.message_storage is MessageStorage.FULL_EDGE
+        assert params.clock_frequency_hz == pytest.approx(200e6)
+
+    def test_high_speed_is_eight_blocks(self):
+        params = high_speed_architecture()
+        assert params.processing_blocks == 8
+        assert params.message_storage is MessageStorage.COMPRESSED_CHECK
+        assert not params.separate_input_staging
+
+    def test_overrides(self):
+        params = low_cost_architecture(message_bits=5, clock_frequency_hz=100e6)
+        assert params.message_bits == 5
+        assert params.clock_frequency_hz == pytest.approx(100e6)
+
+    def test_scaled_architecture(self):
+        params = scaled_architecture(31)
+        assert params.circulant_size == 31
+        assert params.block_length == 31 * 16
+        # Info bits scale with the circulant size.
+        assert params.info_bits_per_frame == round(7136 * 31 / 511)
+
+    def test_scaled_architecture_from_high_speed_base(self):
+        params = scaled_architecture(63, base=high_speed_architecture())
+        assert params.processing_blocks == 8
+        assert params.circulant_size == 63

@@ -1,0 +1,105 @@
+"""Unit tests for repro.core.resources and repro.core.fpga (Tables 2 and 3)."""
+
+import pytest
+
+from repro.core.configs import high_speed_architecture, low_cost_architecture
+from repro.core.fpga import (
+    CYCLONE_II_EP2C50F,
+    STRATIX_II_EP2S180,
+    STRATIX_II_EP2S60,
+    device_library,
+)
+from repro.core.resources import estimate_resources
+
+
+class TestTable2LowCost:
+    """Paper Table 2: 8k ALUTs (16%), 6k registers (12%), 290k bits (50%)."""
+
+    def test_absolute_resources(self):
+        estimate = estimate_resources(low_cost_architecture())
+        assert estimate.aluts == pytest.approx(8_000, rel=0.10)
+        assert estimate.registers == pytest.approx(6_000, rel=0.10)
+        assert estimate.memory_bits == pytest.approx(290_000, rel=0.08)
+
+    def test_utilization_on_cyclone(self):
+        utilization = CYCLONE_II_EP2C50F.utilization(
+            estimate_resources(low_cost_architecture())
+        )
+        assert utilization.alut_fraction == pytest.approx(0.16, abs=0.02)
+        assert utilization.register_fraction == pytest.approx(0.12, abs=0.02)
+        assert utilization.memory_fraction == pytest.approx(0.50, abs=0.03)
+        assert utilization.fits
+
+    def test_report_row_format(self):
+        utilization = CYCLONE_II_EP2C50F.utilization(
+            estimate_resources(low_cost_architecture())
+        )
+        row = utilization.as_row()
+        assert set(row) == {"ALUTs", "Registers", "Total Memory Bits"}
+        assert row["ALUTs"].endswith("%)")
+
+
+class TestTable3HighSpeed:
+    """Paper Table 3: 38k ALUTs (27%), 30k registers (20%), ~1300k bits."""
+
+    def test_absolute_resources(self):
+        estimate = estimate_resources(high_speed_architecture())
+        assert estimate.aluts == pytest.approx(38_000, rel=0.10)
+        assert estimate.registers == pytest.approx(30_000, rel=0.10)
+        assert estimate.memory_bits == pytest.approx(1_300_000, rel=0.10)
+
+    def test_utilization_on_stratix(self):
+        utilization = STRATIX_II_EP2S180.utilization(
+            estimate_resources(high_speed_architecture())
+        )
+        assert utilization.alut_fraction == pytest.approx(0.27, abs=0.03)
+        assert utilization.register_fraction == pytest.approx(0.20, abs=0.03)
+        assert utilization.fits
+
+    def test_scaling_claim_of_section_4_2(self):
+        """8x the throughput for roughly 4-5x the resources."""
+        low = estimate_resources(low_cost_architecture())
+        high = estimate_resources(high_speed_architecture())
+        ratios = high.scaled_by(low)
+        assert 4.0 < ratios["aluts"] < 5.5
+        assert 4.0 < ratios["registers"] < 5.5
+        assert 3.5 < ratios["memory_bits"] < 6.0
+
+    def test_high_speed_does_not_fit_the_low_cost_device(self):
+        estimate = estimate_resources(high_speed_architecture())
+        assert not CYCLONE_II_EP2C50F.fits(estimate)
+
+
+class TestResourceBreakdown:
+    def test_logic_breakdown_sums(self):
+        estimate = estimate_resources(low_cost_architecture())
+        assert sum(estimate.logic_breakdown.values()) == estimate.aluts
+
+    def test_memory_breakdown_sums(self):
+        estimate = estimate_resources(low_cost_architecture())
+        assert sum(estimate.memory_breakdown.values()) == estimate.memory_bits
+
+    def test_logic_grows_with_message_bits(self):
+        narrow = estimate_resources(low_cost_architecture(message_bits=4, channel_bits=4))
+        wide = estimate_resources(low_cost_architecture(message_bits=8, channel_bits=8))
+        assert wide.aluts > narrow.aluts
+        assert wide.memory_bits > narrow.memory_bits
+
+
+class TestDeviceLibrary:
+    def test_library_contents(self):
+        library = device_library()
+        assert "Cyclone II EP2C50F" in library
+        assert "Stratix II EP2S180" in library
+        assert library["Stratix II EP2S180"].aluts == 143_520
+
+    def test_mid_range_devices(self):
+        from repro.core.fpga import CYCLONE_II_EP2C35
+
+        low = estimate_resources(low_cost_architecture())
+        high = estimate_resources(high_speed_architecture())
+        # The smaller Cyclone II still fits the low-cost decoder but lacks the
+        # memory for the eight-frame version.
+        assert CYCLONE_II_EP2C35.fits(low)
+        assert not CYCLONE_II_EP2C35.fits(high)
+        assert STRATIX_II_EP2S60.fits(low)

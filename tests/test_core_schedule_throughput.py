@@ -1,0 +1,93 @@
+"""Unit tests for repro.core.schedule and repro.core.throughput (Table 1)."""
+
+import pytest
+
+from repro.core.configs import high_speed_architecture, low_cost_architecture
+from repro.core.schedule import IterationSchedule, PhaseKind
+from repro.core.throughput import ThroughputModel
+
+
+class TestIterationSchedule:
+    def test_ccsds_phase_lengths(self):
+        schedule = IterationSchedule.from_parameters(low_cost_architecture())
+        # 8176 bits / 16 BN units = 511 cycles; 1022 checks / 2 CN units = 511.
+        assert schedule.bn_phase_cycles == 511
+        assert schedule.cn_phase_cycles == 511
+        assert schedule.cycles_per_iteration == 511 + 511 + 78
+
+    def test_cycles_per_frame_linear_in_iterations(self):
+        schedule = IterationSchedule.from_parameters(low_cost_architecture())
+        ten = schedule.cycles_per_frame(10)
+        twenty = schedule.cycles_per_frame(20)
+        assert twenty - ten == 10 * schedule.cycles_per_iteration
+
+    def test_high_speed_schedule_identical_to_low_cost(self):
+        """Extra processing blocks do not change the per-frame schedule."""
+        low = IterationSchedule.from_parameters(low_cost_architecture())
+        high = IterationSchedule.from_parameters(high_speed_architecture())
+        assert low.cycles_per_iteration == high.cycles_per_iteration
+
+    def test_phase_expansion(self):
+        schedule = IterationSchedule.from_parameters(
+            low_cost_architecture(frame_overhead_cycles=100)
+        )
+        phases = schedule.phases(3)
+        assert phases[0].kind is PhaseKind.FRAME_IO
+        assert sum(p.cycles for p in phases) == schedule.cycles_per_frame(3)
+        bn_phases = [p for p in phases if p.kind is PhaseKind.BIT_NODE]
+        assert len(bn_phases) == 3
+
+    def test_invalid_iterations(self):
+        schedule = IterationSchedule.from_parameters(low_cost_architecture())
+        with pytest.raises(ValueError):
+            schedule.cycles_per_frame(0)
+
+
+class TestThroughputTable1:
+    """Reproduce Table 1 of the paper: 130/70/25 Mbps and 1040/560/200 Mbps."""
+
+    @pytest.mark.parametrize(
+        "iterations,expected_mbps,tolerance",
+        [(10, 130.0, 0.08), (18, 70.0, 0.08), (50, 25.0, 0.08)],
+    )
+    def test_low_cost_throughput(self, iterations, expected_mbps, tolerance):
+        point = ThroughputModel(low_cost_architecture()).point(iterations)
+        assert point.throughput_mbps == pytest.approx(expected_mbps, rel=tolerance)
+
+    @pytest.mark.parametrize(
+        "iterations,expected_mbps,tolerance",
+        [(10, 1040.0, 0.08), (18, 560.0, 0.08), (50, 200.0, 0.08)],
+    )
+    def test_high_speed_throughput(self, iterations, expected_mbps, tolerance):
+        point = ThroughputModel(high_speed_architecture()).point(iterations)
+        assert point.throughput_mbps == pytest.approx(expected_mbps, rel=tolerance)
+
+    def test_high_speed_is_exactly_eight_times_low_cost(self):
+        low = ThroughputModel(low_cost_architecture())
+        high = ThroughputModel(high_speed_architecture())
+        for iterations in (10, 18, 50):
+            ratio = high.point(iterations).throughput_bps / low.point(iterations).throughput_bps
+            assert ratio == pytest.approx(8.0)
+
+    def test_throughput_decreases_with_iterations(self):
+        model = ThroughputModel(low_cost_architecture())
+        sweep = model.sweep((10, 18, 50))
+        rates = [p.throughput_bps for p in sweep]
+        assert rates[0] > rates[1] > rates[2]
+
+    def test_sweep_default_matches_table1_rows(self):
+        sweep = ThroughputModel(low_cost_architecture()).sweep()
+        assert [p.iterations for p in sweep] == [10, 18, 50]
+
+    def test_iterations_for_throughput(self):
+        model = ThroughputModel(low_cost_architecture())
+        # The paper: 18 iterations sustain ~70 Mbps.
+        assert model.iterations_for_throughput(70e6) >= 18
+        assert model.iterations_for_throughput(130e6) < 18
+        with pytest.raises(ValueError):
+            model.iterations_for_throughput(0)
+
+    def test_clock_scaling(self):
+        base = ThroughputModel(low_cost_architecture()).point(18)
+        slower = ThroughputModel(low_cost_architecture(clock_frequency_hz=100e6)).point(18)
+        assert slower.throughput_bps == pytest.approx(base.throughput_bps / 2)

@@ -1,0 +1,145 @@
+"""Unit tests for the flooding decoders (min-sum family and sum-product)."""
+
+import numpy as np
+import pytest
+
+from repro.channel.awgn import ebn0_to_sigma
+from repro.channel.llr import channel_llrs
+from repro.channel.modulation import BPSKModulator
+from repro.decode import (
+    FixedIterations,
+    MinSumDecoder,
+    NormalizedMinSumDecoder,
+    OffsetMinSumDecoder,
+    SumProductDecoder,
+)
+from repro.utils.bits import random_bits
+
+
+def transmit(codewords, ebn0_db, rate, rng):
+    sigma = ebn0_to_sigma(ebn0_db, rate)
+    symbols = BPSKModulator().modulate(codewords)
+    received = symbols + rng.normal(0.0, sigma, size=symbols.shape)
+    return channel_llrs(received, sigma)
+
+
+@pytest.fixture(scope="module")
+def noisy_batch(request):
+    """A batch of noisy codewords of the scaled code at a workable Eb/N0."""
+    code = request.getfixturevalue("scaled_code")
+    encoder = request.getfixturevalue("scaled_encoder")
+    rng = np.random.default_rng(77)
+    info = rng.integers(0, 2, size=(12, encoder.dimension), dtype=np.uint8)
+    codewords = encoder.encode(info)
+    llrs = transmit(codewords, 5.0, code.rate, rng)
+    return codewords, llrs
+
+
+DECODER_CLASSES = [
+    MinSumDecoder,
+    NormalizedMinSumDecoder,
+    OffsetMinSumDecoder,
+    SumProductDecoder,
+]
+
+
+class TestDecodersCommon:
+    @pytest.mark.parametrize("decoder_cls", DECODER_CLASSES)
+    def test_noiseless_decoding_is_exact(self, scaled_code, scaled_encoder, decoder_cls, rng):
+        info = random_bits(scaled_encoder.dimension, rng)
+        codeword = scaled_encoder.encode(info)
+        llrs = 10.0 * (1.0 - 2.0 * codeword.astype(np.float64))
+        result = decoder_cls(scaled_code, max_iterations=5).decode(llrs)
+        assert bool(result.converged)
+        assert np.array_equal(result.bits, codeword)
+        assert int(result.iterations) == 1  # syndrome clears immediately
+
+    @pytest.mark.parametrize("decoder_cls", DECODER_CLASSES)
+    def test_moderate_noise_mostly_corrected(self, scaled_code, noisy_batch, decoder_cls):
+        codewords, llrs = noisy_batch
+        result = decoder_cls(scaled_code, max_iterations=30).decode(llrs)
+        bit_errors = int((result.bits != codewords).sum())
+        total_bits = codewords.size
+        # At 5 dB the scaled code corrects the overwhelming majority of bits.
+        assert bit_errors / total_bits < 0.01
+
+    @pytest.mark.parametrize("decoder_cls", DECODER_CLASSES)
+    def test_single_frame_interface(self, scaled_code, noisy_batch, decoder_cls):
+        codewords, llrs = noisy_batch
+        result = decoder_cls(scaled_code, max_iterations=10).decode(llrs[0])
+        assert result.bits.shape == (scaled_code.block_length,)
+        assert result.posterior_llrs.shape == (scaled_code.block_length,)
+        assert result.batch_size == 1
+
+    def test_wrong_llr_length_rejected(self, scaled_code):
+        decoder = NormalizedMinSumDecoder(scaled_code)
+        with pytest.raises(ValueError):
+            decoder.decode(np.zeros(scaled_code.block_length + 1))
+
+    def test_invalid_iterations(self, scaled_code):
+        with pytest.raises(ValueError):
+            MinSumDecoder(scaled_code, max_iterations=0)
+
+
+class TestNormalizedMinSum:
+    def test_alpha_validation(self, scaled_code):
+        with pytest.raises(ValueError):
+            NormalizedMinSumDecoder(scaled_code, alpha=0.9)
+
+    def test_scale_property(self, scaled_code):
+        decoder = NormalizedMinSumDecoder(scaled_code, alpha=1.25)
+        assert decoder.scale == pytest.approx(0.8)
+
+    def test_normalization_beats_plain_min_sum(self, scaled_code, scaled_encoder):
+        """The paper's core algorithmic claim at the message level: scaled
+        min-sum needs fewer errors than plain min-sum at the same Eb/N0."""
+        rng = np.random.default_rng(3)
+        info = rng.integers(0, 2, size=(40, scaled_encoder.dimension), dtype=np.uint8)
+        codewords = scaled_encoder.encode(info)
+        llrs = transmit(codewords, 4.25, scaled_code.rate, rng)
+        plain = MinSumDecoder(scaled_code, max_iterations=18).decode(llrs)
+        scaled = NormalizedMinSumDecoder(scaled_code, max_iterations=18, alpha=1.25).decode(llrs)
+        plain_errors = int((plain.bits != codewords).sum())
+        scaled_errors = int((scaled.bits != codewords).sum())
+        assert scaled_errors <= plain_errors
+
+
+class TestOffsetMinSum:
+    def test_beta_validation(self, scaled_code):
+        with pytest.raises(ValueError):
+            OffsetMinSumDecoder(scaled_code, beta=-0.1)
+
+    def test_zero_beta_equals_plain_min_sum(self, scaled_code, noisy_batch):
+        codewords, llrs = noisy_batch
+        plain = MinSumDecoder(scaled_code, max_iterations=8).decode(llrs)
+        offset = OffsetMinSumDecoder(scaled_code, max_iterations=8, beta=0.0).decode(llrs)
+        assert np.array_equal(plain.bits, offset.bits)
+
+
+class TestStoppingBehaviour:
+    def test_fixed_iterations_runs_to_the_end(self, scaled_code, noisy_batch):
+        codewords, llrs = noisy_batch
+        decoder = NormalizedMinSumDecoder(
+            scaled_code, max_iterations=12, stopping=FixedIterations()
+        )
+        result = decoder.decode(llrs)
+        assert (np.asarray(result.iterations) == 12).all()
+
+    def test_early_stopping_uses_fewer_iterations(self, scaled_code, noisy_batch):
+        codewords, llrs = noisy_batch
+        result = NormalizedMinSumDecoder(scaled_code, max_iterations=30).decode(llrs)
+        converged = np.asarray(result.converged)
+        iterations = np.asarray(result.iterations)
+        assert iterations[converged].max() < 30
+
+    def test_converged_means_valid_codeword(self, scaled_code, noisy_batch):
+        _, llrs = noisy_batch
+        result = NormalizedMinSumDecoder(scaled_code, max_iterations=30).decode(llrs)
+        flags = np.asarray(scaled_code.is_codeword(np.atleast_2d(result.bits)))
+        assert np.array_equal(flags, np.asarray(result.converged))
+
+    def test_result_metadata(self, scaled_code, noisy_batch):
+        _, llrs = noisy_batch
+        result = NormalizedMinSumDecoder(scaled_code, max_iterations=10).decode(llrs)
+        assert result.batch_size == llrs.shape[0]
+        assert 1 <= result.average_iterations <= 10

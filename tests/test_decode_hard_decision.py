@@ -1,0 +1,121 @@
+"""Unit tests for the hard-decision decoders (Gallager-B, weighted bit flipping)."""
+
+import numpy as np
+import pytest
+
+from repro.channel.awgn import ebn0_to_sigma
+from repro.channel.llr import channel_llrs
+from repro.channel.modulation import BPSKModulator
+from repro.decode import GallagerBDecoder, NormalizedMinSumDecoder, WeightedBitFlippingDecoder
+
+
+def _corrupt(code, encoder, num_errors: int, frames: int = 6, seed: int = 17):
+    """Codewords with a handful of hard bit errors (within hard-decision reach)."""
+    rng = np.random.default_rng(seed)
+    info = rng.integers(0, 2, size=(frames, encoder.dimension), dtype=np.uint8)
+    codewords = encoder.encode(info)
+    llrs = 5.0 * (1.0 - 2.0 * codewords.astype(np.float64))
+    # Flip random positions per frame (also weaken their reliability so the
+    # weighted flipping metric can find them).
+    for frame in range(codewords.shape[0]):
+        positions = rng.choice(code.block_length, size=num_errors, replace=False)
+        llrs[frame, positions] *= -0.4
+    return codewords, llrs
+
+
+@pytest.fixture(scope="module")
+def lightly_corrupted(request):
+    """Two hard errors per frame — within Gallager-B reach for this dense code."""
+    code = request.getfixturevalue("scaled_code")
+    encoder = request.getfixturevalue("scaled_encoder")
+    codewords, llrs = _corrupt(code, encoder, num_errors=2)
+    return code, codewords, llrs
+
+
+@pytest.fixture(scope="module")
+def moderately_corrupted(request):
+    """Four hard errors per frame — the weighted-flipping test case."""
+    code = request.getfixturevalue("scaled_code")
+    encoder = request.getfixturevalue("scaled_encoder")
+    codewords, llrs = _corrupt(code, encoder, num_errors=4)
+    return code, codewords, llrs
+
+
+class TestGallagerB:
+    def test_noiseless_input_is_fixed_point(self, scaled_code, scaled_encoder, rng):
+        info = rng.integers(0, 2, size=scaled_encoder.dimension, dtype=np.uint8)
+        codeword = scaled_encoder.encode(info)
+        llrs = 3.0 * (1.0 - 2.0 * codeword.astype(np.float64))
+        result = GallagerBDecoder(scaled_code).decode(llrs)
+        assert bool(result.converged)
+        assert np.array_equal(result.bits, codeword)
+        assert int(result.iterations) == 1
+
+    def test_corrects_few_hard_errors(self, lightly_corrupted):
+        """With a couple of errors per frame the flipping rule helps; the very
+        high check degree (32) of this code makes hard-decision decoding weak
+        beyond that, which is exactly why the paper uses soft decoding."""
+        code, codewords, llrs = lightly_corrupted
+        result = GallagerBDecoder(code, max_iterations=30).decode(llrs)
+        errors_before = int(((llrs < 0).astype(np.uint8) != codewords).sum())
+        errors_after = int((result.bits != codewords).sum())
+        assert errors_after < errors_before
+        assert result.converged.sum() >= 1
+
+    def test_default_threshold_is_majority(self, scaled_code):
+        decoder = GallagerBDecoder(scaled_code)
+        assert decoder.flip_threshold == 3  # column weight 4 -> strict majority
+
+    def test_parameter_validation(self, scaled_code):
+        with pytest.raises(ValueError):
+            GallagerBDecoder(scaled_code, max_iterations=0)
+        with pytest.raises(ValueError):
+            GallagerBDecoder(scaled_code, flip_threshold=0)
+
+    def test_wrong_length_rejected(self, scaled_code):
+        with pytest.raises(ValueError):
+            GallagerBDecoder(scaled_code).decode(np.zeros(3))
+
+    def test_single_frame_interface(self, lightly_corrupted):
+        code, codewords, llrs = lightly_corrupted
+        result = GallagerBDecoder(code).decode(llrs[0])
+        assert result.bits.shape == (code.block_length,)
+
+
+class TestWeightedBitFlipping:
+    def test_noiseless_input_is_fixed_point(self, scaled_code, scaled_encoder, rng):
+        info = rng.integers(0, 2, size=scaled_encoder.dimension, dtype=np.uint8)
+        codeword = scaled_encoder.encode(info)
+        llrs = 3.0 * (1.0 - 2.0 * codeword.astype(np.float64))
+        result = WeightedBitFlippingDecoder(scaled_code).decode(llrs)
+        assert bool(result.converged)
+        assert np.array_equal(result.bits, codeword)
+
+    def test_corrects_few_soft_flagged_errors(self, moderately_corrupted):
+        code, codewords, llrs = moderately_corrupted
+        result = WeightedBitFlippingDecoder(code, max_iterations=60, flips_per_iteration=1).decode(llrs)
+        errors_after = int((result.bits != codewords).sum())
+        errors_before = int(((llrs < 0).astype(np.uint8) != codewords).sum())
+        assert errors_after < errors_before
+
+    def test_soft_decoder_is_stronger(self, scaled_code, scaled_encoder):
+        """Hard-decision decoding gives up coding gain vs the paper's NMS decoder."""
+        rng = np.random.default_rng(23)
+        info = rng.integers(0, 2, size=(20, scaled_encoder.dimension), dtype=np.uint8)
+        codewords = scaled_encoder.encode(info)
+        sigma = ebn0_to_sigma(4.5, scaled_code.rate)
+        received = BPSKModulator().modulate(codewords) + rng.normal(0, sigma, codewords.shape)
+        llrs = channel_llrs(received, sigma)
+        soft = NormalizedMinSumDecoder(scaled_code, 18).decode(llrs)
+        hard = GallagerBDecoder(scaled_code, 30).decode(llrs)
+        assert int((soft.bits != codewords).sum()) <= int((hard.bits != codewords).sum())
+
+    def test_parameter_validation(self, scaled_code):
+        with pytest.raises(ValueError):
+            WeightedBitFlippingDecoder(scaled_code, max_iterations=0)
+        with pytest.raises(ValueError):
+            WeightedBitFlippingDecoder(scaled_code, flips_per_iteration=0)
+
+    def test_wrong_length_rejected(self, scaled_code):
+        with pytest.raises(ValueError):
+            WeightedBitFlippingDecoder(scaled_code).decode(np.zeros(3))

@@ -1,0 +1,72 @@
+"""Unit tests for repro.decode.stopping and repro.decode.result."""
+
+import numpy as np
+import pytest
+
+from repro.decode.result import DecodeResult
+from repro.decode.stopping import FixedIterations, SyndromeStopping
+
+
+class TestSyndromeStopping:
+    def test_stops_converged_frames(self):
+        stopping = SyndromeStopping()
+        flags = stopping.should_stop(1, np.array([True, False, True]))
+        assert flags.tolist() == [True, False, True]
+
+    def test_min_iterations_blocks_early_stop(self):
+        stopping = SyndromeStopping(min_iterations=5)
+        assert not stopping.should_stop(3, np.array([True])).any()
+        assert stopping.should_stop(5, np.array([True])).all()
+
+    def test_negative_min_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            SyndromeStopping(min_iterations=-1)
+
+
+class TestFixedIterations:
+    def test_never_stops(self):
+        stopping = FixedIterations()
+        for iteration in (1, 10, 100):
+            assert not stopping.should_stop(iteration, np.array([True, True])).any()
+
+
+class TestDecodeResult:
+    def test_batch_properties(self):
+        result = DecodeResult(
+            bits=np.zeros((3, 8), dtype=np.uint8),
+            posterior_llrs=np.zeros((3, 8)),
+            converged=np.array([True, False, True]),
+            iterations=np.array([2, 10, 4]),
+        )
+        assert result.batch_size == 3
+        assert not result.all_converged
+        assert result.average_iterations == pytest.approx(16 / 3)
+
+    def test_single_frame_properties(self):
+        result = DecodeResult(
+            bits=np.zeros(8, dtype=np.uint8),
+            posterior_llrs=np.zeros(8),
+            converged=np.array(True),
+            iterations=np.array(3),
+        )
+        assert result.batch_size == 1
+        assert result.all_converged
+        assert result.average_iterations == 3.0
+
+    def test_squeeze(self):
+        result = DecodeResult(
+            bits=np.zeros((1, 8), dtype=np.uint8),
+            posterior_llrs=np.zeros((1, 8)),
+            converged=np.array([True]),
+            iterations=np.array([2]),
+        )
+        squeezed = result.squeeze()
+        assert squeezed.bits.shape == (8,)
+        # Squeezing a multi-frame result is a no-op.
+        multi = DecodeResult(
+            bits=np.zeros((2, 8), dtype=np.uint8),
+            posterior_llrs=np.zeros((2, 8)),
+            converged=np.array([True, True]),
+            iterations=np.array([1, 1]),
+        )
+        assert multi.squeeze() is multi

@@ -1,0 +1,79 @@
+"""Unit tests for repro.encode.qc_encoder (circulant shift-register encoder)."""
+
+import numpy as np
+import pytest
+
+from repro.codes.qc import CirculantSpec, QCLDPCCode
+from repro.encode.qc_encoder import QCCirculantEncoder, derive_circulant_generator
+from repro.encode.systematic import SystematicEncoder
+
+
+@pytest.fixture(scope="module")
+def invertible_qc_code():
+    """A small QC code whose parity block columns are invertible circulants.
+
+    Odd-weight circulants are used for the parity part so that the block
+    matrix can be inverted over the circulant ring (even-weight circulants
+    such as the CCSDS ones are never invertible).
+    """
+    spec = CirculantSpec(
+        7,
+        (
+            ((0, 2), (1,), (0, 1, 2), ()),
+            ((1, 5), (3,), (1,), (0, 1, 2)),
+        ),
+    )
+    return QCLDPCCode(spec)
+
+
+class TestDeriveGenerator:
+    def test_generator_shape(self, invertible_qc_code):
+        generator = derive_circulant_generator(invertible_qc_code)
+        spec = invertible_qc_code.spec
+        assert len(generator) == spec.col_blocks - spec.row_blocks
+        assert all(len(row) == spec.row_blocks for row in generator)
+
+    def test_singular_parity_block_raises(self, scaled_code):
+        # The CCSDS weight-2 circulants are never invertible.
+        with pytest.raises(ValueError):
+            derive_circulant_generator(scaled_code)
+
+    def test_rejects_non_square_parity_part(self, invertible_qc_code):
+        with pytest.raises(ValueError):
+            derive_circulant_generator(invertible_qc_code, parity_block_columns=3)
+
+
+class TestQCCirculantEncoder:
+    def test_codewords_satisfy_parity_checks(self, invertible_qc_code, rng):
+        encoder = QCCirculantEncoder(invertible_qc_code)
+        info = rng.integers(0, 2, size=(20, encoder.dimension), dtype=np.uint8)
+        codewords = encoder.encode(info)
+        assert codewords.shape == (20, invertible_qc_code.block_length)
+        assert bool(np.all(invertible_qc_code.is_codeword(codewords)))
+
+    def test_systematic_prefix(self, invertible_qc_code, rng):
+        encoder = QCCirculantEncoder(invertible_qc_code)
+        info = rng.integers(0, 2, size=encoder.dimension, dtype=np.uint8)
+        codeword = encoder.encode(info)
+        assert np.array_equal(codeword[: encoder.dimension], info)
+
+    def test_linear(self, invertible_qc_code, rng):
+        encoder = QCCirculantEncoder(invertible_qc_code)
+        a = rng.integers(0, 2, size=encoder.dimension, dtype=np.uint8)
+        b = rng.integers(0, 2, size=encoder.dimension, dtype=np.uint8)
+        assert np.array_equal(encoder.encode(a ^ b), encoder.encode(a) ^ encoder.encode(b))
+
+    def test_agrees_with_dense_encoder_on_codeword_set(self, invertible_qc_code, rng):
+        """Both encoders generate (possibly different) codewords of the same code."""
+        qc_encoder = QCCirculantEncoder(invertible_qc_code)
+        dense_encoder = SystematicEncoder(invertible_qc_code)
+        # Dimensions may differ if H is rank deficient; both must emit valid codewords.
+        info = rng.integers(0, 2, size=qc_encoder.dimension, dtype=np.uint8)
+        assert invertible_qc_code.is_codeword(qc_encoder.encode(info))
+        info2 = rng.integers(0, 2, size=dense_encoder.dimension, dtype=np.uint8)
+        assert invertible_qc_code.is_codeword(dense_encoder.encode(info2))
+
+    def test_wrong_length_rejected(self, invertible_qc_code):
+        encoder = QCCirculantEncoder(invertible_qc_code)
+        with pytest.raises(ValueError):
+            encoder.encode(np.zeros(encoder.dimension + 1, dtype=np.uint8))

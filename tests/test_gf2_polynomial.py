@@ -1,0 +1,112 @@
+"""Unit tests for repro.gf2.polynomial."""
+
+import numpy as np
+import pytest
+
+from repro.gf2.polynomial import (
+    poly_add,
+    poly_degree,
+    poly_divmod,
+    poly_gcd,
+    poly_inverse_mod_xn1,
+    poly_mod,
+    poly_mul,
+    poly_mul_mod_xn1,
+    poly_trim,
+)
+
+
+class TestBasics:
+    def test_trim(self):
+        assert poly_trim([1, 0, 1, 0, 0]).tolist() == [1, 0, 1]
+        assert poly_trim([0, 0]).tolist() == [0]
+
+    def test_degree(self):
+        assert poly_degree([1, 0, 1]) == 2
+        assert poly_degree([0]) == -1
+        assert poly_degree([1]) == 0
+
+    def test_add_is_xor(self):
+        # (1 + x) + (x + x^2) = 1 + x^2
+        assert poly_add([1, 1], [0, 1, 1]).tolist() == [1, 0, 1]
+
+    def test_add_self_is_zero(self):
+        assert poly_degree(poly_add([1, 0, 1], [1, 0, 1])) == -1
+
+    def test_mul(self):
+        # (1 + x)^2 = 1 + x^2 over GF(2)
+        assert poly_mul([1, 1], [1, 1]).tolist() == [1, 0, 1]
+
+    def test_mul_by_zero(self):
+        assert poly_degree(poly_mul([1, 1], [0])) == -1
+
+
+class TestDivision:
+    def test_divmod_identity(self, rng):
+        for _ in range(20):
+            a = rng.integers(0, 2, size=rng.integers(1, 12), dtype=np.uint8)
+            b = rng.integers(0, 2, size=rng.integers(1, 8), dtype=np.uint8)
+            if poly_degree(b) < 0:
+                continue
+            q, r = poly_divmod(a, b)
+            reconstructed = poly_add(poly_mul(q, b), r)
+            assert np.array_equal(poly_trim(reconstructed), poly_trim(a))
+            assert poly_degree(r) < poly_degree(b) or poly_degree(r) < 0
+
+    def test_divide_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            poly_divmod([1, 1], [0])
+
+    def test_mod(self):
+        # x^2 mod (x^2 + 1) = 1
+        assert poly_mod([0, 0, 1], [1, 0, 1]).tolist() == [1]
+
+
+class TestGcd:
+    def test_gcd_of_multiples(self):
+        # gcd((1+x)*(1+x+x^2), (1+x)) = (1+x)
+        a = poly_mul([1, 1], [1, 1, 1])
+        assert poly_gcd(a, [1, 1]).tolist() == [1, 1]
+
+    def test_gcd_coprime(self):
+        assert poly_degree(poly_gcd([1, 1], [1, 1, 1])) == 0
+
+
+class TestModXn1:
+    def test_cyclic_wraparound(self):
+        # x^2 * x^2 = x^4 = x (mod x^3 - 1)
+        assert poly_mul_mod_xn1([0, 0, 1], [0, 0, 1], 3).tolist() == [0, 1, 0]
+
+    def test_identity_element(self):
+        result = poly_mul_mod_xn1([1], [0, 1, 1, 0, 1], 5)
+        assert result.tolist() == [0, 1, 1, 0, 1]
+
+    def test_inverse_roundtrip(self):
+        # x is invertible mod x^7 - 1 with inverse x^6.
+        inverse = poly_inverse_mod_xn1([0, 1], 7)
+        assert inverse is not None
+        product = poly_mul_mod_xn1([0, 1], inverse, 7)
+        assert product.tolist() == [1, 0, 0, 0, 0, 0, 0]
+
+    def test_non_invertible(self):
+        # 1 + x divides x^2 - 1, so it is not invertible mod x^2 - 1.
+        assert poly_inverse_mod_xn1([1, 1], 2) is None
+
+    def test_random_inverse_roundtrip(self, rng):
+        n = 15
+        found = 0
+        for _ in range(30):
+            poly = rng.integers(0, 2, size=n, dtype=np.uint8)
+            inverse = poly_inverse_mod_xn1(poly, n)
+            if inverse is None:
+                continue
+            found += 1
+            product = poly_mul_mod_xn1(poly, inverse, n)
+            expected = np.zeros(n, dtype=np.uint8)
+            expected[0] = 1
+            assert np.array_equal(product, expected)
+        assert found > 0
+
+    def test_invalid_modulus_size(self):
+        with pytest.raises(ValueError):
+            poly_mul_mod_xn1([1], [1], 0)

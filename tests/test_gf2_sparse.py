@@ -1,0 +1,82 @@
+"""Unit tests for repro.gf2.sparse."""
+
+import numpy as np
+import pytest
+
+from repro.gf2.dense import gf2_matvec
+from repro.gf2.sparse import SparseBinaryMatrix
+
+
+class TestConstruction:
+    def test_from_dense_roundtrip(self, rng):
+        dense = rng.integers(0, 2, size=(6, 9), dtype=np.uint8)
+        sparse = SparseBinaryMatrix.from_dense(dense)
+        assert np.array_equal(sparse.to_dense(), dense)
+
+    def test_duplicate_coordinates_rejected(self):
+        with pytest.raises(ValueError):
+            SparseBinaryMatrix((2, 2), [0, 0], [1, 1])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            SparseBinaryMatrix((2, 2), [2], [0])
+        with pytest.raises(ValueError):
+            SparseBinaryMatrix((2, 2), [0], [5])
+
+    def test_rows_cols_length_mismatch(self):
+        with pytest.raises(ValueError):
+            SparseBinaryMatrix((2, 2), [0, 1], [0])
+
+    def test_empty_matrix(self):
+        sparse = SparseBinaryMatrix((3, 4), [], [])
+        assert sparse.nnz == 0
+        assert sparse.to_dense().sum() == 0
+
+    def test_coordinates_sorted_by_row(self):
+        sparse = SparseBinaryMatrix((3, 3), [2, 0, 1], [0, 2, 1])
+        assert sparse.row_indices.tolist() == [0, 1, 2]
+
+
+class TestProperties:
+    def test_degrees(self):
+        dense = np.array([[1, 1, 0], [1, 0, 0]], dtype=np.uint8)
+        sparse = SparseBinaryMatrix.from_dense(dense)
+        assert sparse.row_degrees().tolist() == [2, 1]
+        assert sparse.col_degrees().tolist() == [2, 1, 0]
+
+    def test_density(self):
+        sparse = SparseBinaryMatrix((2, 5), [0], [0])
+        assert sparse.density == pytest.approx(0.1)
+
+    def test_equality(self, rng):
+        dense = rng.integers(0, 2, size=(4, 4), dtype=np.uint8)
+        a = SparseBinaryMatrix.from_dense(dense)
+        b = SparseBinaryMatrix.from_dense(dense)
+        assert a == b
+
+
+class TestOperations:
+    def test_matvec_matches_dense(self, rng):
+        dense = rng.integers(0, 2, size=(7, 11), dtype=np.uint8)
+        sparse = SparseBinaryMatrix.from_dense(dense)
+        vec = rng.integers(0, 2, size=11, dtype=np.uint8)
+        assert np.array_equal(sparse.matvec(vec), gf2_matvec(dense, vec))
+
+    def test_matvec_batch(self, rng):
+        dense = rng.integers(0, 2, size=(5, 8), dtype=np.uint8)
+        sparse = SparseBinaryMatrix.from_dense(dense)
+        batch = rng.integers(0, 2, size=(3, 8), dtype=np.uint8)
+        out = sparse.matvec(batch)
+        assert out.shape == (3, 5)
+        for i in range(3):
+            assert np.array_equal(out[i], gf2_matvec(dense, batch[i]))
+
+    def test_matvec_wrong_length(self):
+        sparse = SparseBinaryMatrix((2, 3), [0], [0])
+        with pytest.raises(ValueError):
+            sparse.matvec(np.zeros(4, dtype=np.uint8))
+
+    def test_transpose(self, rng):
+        dense = rng.integers(0, 2, size=(4, 6), dtype=np.uint8)
+        sparse = SparseBinaryMatrix.from_dense(dense)
+        assert np.array_equal(sparse.transpose().to_dense(), dense.T)

@@ -1,0 +1,152 @@
+"""Integration tests: full encode -> channel -> decode -> architecture chains."""
+
+import numpy as np
+import pytest
+
+from repro.channel.awgn import AWGNChannel, ebn0_to_sigma
+from repro.channel.llr import channel_llrs
+from repro.channel.modulation import BPSKModulator
+from repro.codes import ShortenedCode, build_scaled_ccsds_code
+from repro.core import CCSDSDecoderIP, scaled_architecture, high_speed_architecture
+from repro.decode import (
+    LayeredMinSumDecoder,
+    MinSumDecoder,
+    NormalizedMinSumDecoder,
+    SumProductDecoder,
+)
+from repro.encode import SystematicEncoder
+from repro.io.alist import read_alist, write_alist
+from repro.io.circulant_table import load_circulant_spec, save_circulant_spec
+from repro.codes.qc import QCLDPCCode
+from repro.sim import EbN0Sweep, MonteCarloSimulator, SimulationConfig
+
+
+class TestEndToEndLink:
+    """The complete coded link on the scaled CCSDS twin."""
+
+    def test_error_free_at_high_snr(self, scaled_code, scaled_encoder, rng):
+        info = rng.integers(0, 2, size=(5, scaled_encoder.dimension), dtype=np.uint8)
+        codewords = scaled_encoder.encode(info)
+        sigma = ebn0_to_sigma(7.0, scaled_code.rate)
+        channel = AWGNChannel(sigma, rng=rng)
+        llrs = channel_llrs(channel.transmit(BPSKModulator().modulate(codewords)), sigma)
+        result = NormalizedMinSumDecoder(scaled_code, max_iterations=18).decode(llrs)
+        assert result.all_converged
+        recovered = scaled_encoder.extract_information(np.atleast_2d(result.bits))
+        assert np.array_equal(recovered, info)
+
+    def test_shortened_frame_pipeline(self, scaled_code, scaled_encoder, rng):
+        """Virtual fill -> transmit -> LLR mapping -> decode -> info recovery."""
+        shortened = ShortenedCode.from_encoder(
+            scaled_code, scaled_encoder, info_bits=scaled_code.dimension - 12,
+            frame_length=scaled_code.block_length - 12 + 4,
+        )
+        info = rng.integers(0, 2, size=scaled_encoder.dimension, dtype=np.uint8)
+        forced = np.isin(
+            scaled_encoder.information_positions, shortened.shortened_positions()
+        )
+        info[forced] = 0
+        codeword = scaled_encoder.encode(info)
+        frame = shortened.build_frame(shortened.extract_transmitted(codeword))
+        sigma = ebn0_to_sigma(6.5, shortened.rate)
+        received = BPSKModulator().modulate(frame) + rng.normal(0, sigma, frame.shape)
+        base_llrs = shortened.base_llrs_from_frame_llrs(channel_llrs(received, sigma))
+        result = NormalizedMinSumDecoder(scaled_code, max_iterations=18).decode(base_llrs)
+        assert bool(result.converged)
+        assert np.array_equal(result.bits, codeword)
+
+    def test_all_decoders_agree_at_high_snr(self, scaled_code, scaled_encoder, rng):
+        info = rng.integers(0, 2, size=scaled_encoder.dimension, dtype=np.uint8)
+        codeword = scaled_encoder.encode(info)
+        sigma = ebn0_to_sigma(7.5, scaled_code.rate)
+        received = BPSKModulator().modulate(codeword) + rng.normal(0, sigma, codeword.shape)
+        llrs = channel_llrs(received, sigma)
+        decoders = [
+            MinSumDecoder(scaled_code, 20),
+            NormalizedMinSumDecoder(scaled_code, 20),
+            SumProductDecoder(scaled_code, 20),
+            LayeredMinSumDecoder(scaled_code, 20),
+        ]
+        outputs = [decoder.decode(llrs).bits for decoder in decoders]
+        for bits in outputs:
+            assert np.array_equal(bits, codeword)
+
+
+class TestPaperHeadlineClaims:
+    """Shape-level checks of the paper's evaluation claims on the scaled code."""
+
+    def test_scaled_min_sum_18_matches_plain_50(self):
+        """Section 5: scaled min-sum at 18 iterations performs at least as well
+        as plain decoding at 50 iterations (same channel realizations)."""
+        code = build_scaled_ccsds_code(63)
+        config = SimulationConfig(
+            max_frames=150, target_frame_errors=150, batch_frames=50, all_zero_codeword=True
+        )
+        ebn0 = 4.0
+        scaled_18 = MonteCarloSimulator(
+            code, NormalizedMinSumDecoder(code, 18), config=config, rng=21
+        ).run_point(ebn0)
+        plain_50 = MonteCarloSimulator(
+            code, MinSumDecoder(code, 50), config=config, rng=21
+        ).run_point(ebn0)
+        assert scaled_18.fer <= plain_50.fer * 1.25 + 1e-9
+
+    def test_architecture_ip_end_to_end(self, scaled_code, scaled_encoder, rng):
+        """The functional IP model decodes what the analytical model sizes."""
+        params = scaled_architecture(scaled_code.circulant_size)
+        ip = CCSDSDecoderIP(scaled_code, params, iterations=18)
+        info = rng.integers(0, 2, size=(4, scaled_encoder.dimension), dtype=np.uint8)
+        codewords = scaled_encoder.encode(info)
+        sigma = ebn0_to_sigma(6.0, scaled_code.rate)
+        received = BPSKModulator().modulate(codewords) + rng.normal(0, sigma, codewords.shape)
+        result = ip.decode(channel_llrs(received, sigma))
+        assert int((result.bits != codewords).sum()) == 0
+        assert ip.throughput().throughput_bps > 0
+        assert ip.resources().memory_bits > 0
+
+    def test_high_speed_ip_is_eight_times_faster(self, scaled_code):
+        low = CCSDSDecoderIP(
+            scaled_code, scaled_architecture(scaled_code.circulant_size), iterations=18
+        )
+        high = CCSDSDecoderIP(
+            scaled_code,
+            scaled_architecture(scaled_code.circulant_size, base=high_speed_architecture()),
+            iterations=18,
+        )
+        ratio = high.throughput().throughput_bps / low.throughput().throughput_bps
+        assert ratio == pytest.approx(8.0)
+
+
+class TestInteropRoundtrips:
+    def test_alist_roundtrip_preserves_decoding(self, scaled_code, tmp_path):
+        """A code exported to alist and re-imported decodes identically."""
+        path = tmp_path / "code.alist"
+        write_alist(scaled_code.parity_check_matrix(), path)
+        reloaded_pcm = read_alist(path)
+        rng = np.random.default_rng(0)
+        llrs = rng.normal(0.5, 1.0, size=scaled_code.block_length)
+        original = NormalizedMinSumDecoder(scaled_code, 10).decode(llrs)
+        reloaded = NormalizedMinSumDecoder(reloaded_pcm, 10).decode(llrs)
+        assert np.array_equal(original.bits, reloaded.bits)
+
+    def test_circulant_table_roundtrip_preserves_code(self, scaled_code, tmp_path):
+        path = tmp_path / "spec.json"
+        save_circulant_spec(scaled_code.spec, path)
+        rebuilt = QCLDPCCode(load_circulant_spec(path))
+        assert rebuilt.parity_check_matrix().sparse == scaled_code.parity_check_matrix().sparse
+
+
+class TestSweepIntegration:
+    def test_waterfall_shape(self):
+        """BER decreases monotonically with Eb/N0 over a coarse sweep."""
+        code = build_scaled_ccsds_code(31)
+        config = SimulationConfig(
+            max_frames=120, target_frame_errors=40, batch_frames=40, all_zero_codeword=True
+        )
+        sweep = EbN0Sweep(
+            code, lambda: NormalizedMinSumDecoder(code, 18), config=config, rng=13
+        )
+        curve = sweep.run([2.0, 4.0, 6.0], label="nms")
+        ber = curve.ber_values
+        assert ber[0] > ber[2]
+        assert curve.fer_values[0] > curve.fer_values[2]

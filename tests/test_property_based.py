@@ -1,0 +1,263 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.channel.quantize import FixedPointFormat, UniformQuantizer
+from repro.codes.parity_check import ParityCheckMatrix
+from repro.codes.qc import CirculantSpec, QCLDPCCode
+from repro.decode.messages import EdgeStructure
+from repro.gf2.circulant import Circulant
+from repro.gf2.dense import gf2_matmul, gf2_matvec, gf2_null_space, gf2_rank
+from repro.gf2.polynomial import poly_add, poly_degree, poly_divmod, poly_mul, poly_trim
+from repro.gf2.sparse import SparseBinaryMatrix
+
+SETTINGS = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+# --------------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------------- #
+binary_matrices = st.integers(2, 8).flatmap(
+    lambda rows: st.integers(2, 10).flatmap(
+        lambda cols: st.lists(
+            st.lists(st.integers(0, 1), min_size=cols, max_size=cols),
+            min_size=rows,
+            max_size=rows,
+        ).map(lambda data: np.array(data, dtype=np.uint8))
+    )
+)
+
+polynomials = st.lists(st.integers(0, 1), min_size=1, max_size=12).map(
+    lambda coeffs: np.array(coeffs, dtype=np.uint8)
+)
+
+
+def circulants(max_size: int = 16):
+    return st.integers(2, max_size).flatmap(
+        lambda size: st.lists(
+            st.integers(0, size - 1), min_size=0, max_size=min(4, size), unique=True
+        ).map(lambda positions: Circulant(size, tuple(positions)))
+    )
+
+
+# --------------------------------------------------------------------------- #
+# GF(2) algebra invariants
+# --------------------------------------------------------------------------- #
+class TestGF2Properties:
+    @SETTINGS
+    @given(binary_matrices)
+    def test_rank_bounded_by_dimensions(self, matrix):
+        rank = gf2_rank(matrix)
+        assert 0 <= rank <= min(matrix.shape)
+
+    @SETTINGS
+    @given(binary_matrices)
+    def test_rank_equals_transpose_rank(self, matrix):
+        assert gf2_rank(matrix) == gf2_rank(matrix.T)
+
+    @SETTINGS
+    @given(binary_matrices)
+    def test_rank_nullity_theorem(self, matrix):
+        nullity = gf2_null_space(matrix).shape[0]
+        assert gf2_rank(matrix) + nullity == matrix.shape[1]
+
+    @SETTINGS
+    @given(binary_matrices)
+    def test_null_space_vectors_are_in_kernel(self, matrix):
+        for row in gf2_null_space(matrix):
+            assert not gf2_matvec(matrix, row).any()
+
+
+class TestPolynomialProperties:
+    @SETTINGS
+    @given(polynomials, polynomials)
+    def test_addition_commutes(self, a, b):
+        assert np.array_equal(poly_add(a, b), poly_add(b, a))
+
+    @SETTINGS
+    @given(polynomials, polynomials)
+    def test_multiplication_commutes(self, a, b):
+        assert np.array_equal(poly_mul(a, b), poly_mul(b, a))
+
+    @SETTINGS
+    @given(polynomials, polynomials)
+    def test_degree_of_product(self, a, b):
+        da, db = poly_degree(a), poly_degree(b)
+        dp = poly_degree(poly_mul(a, b))
+        if da < 0 or db < 0:
+            assert dp < 0
+        else:
+            assert dp == da + db
+
+    @SETTINGS
+    @given(polynomials, polynomials)
+    def test_division_identity(self, a, b):
+        if poly_degree(b) < 0:
+            return
+        quotient, remainder = poly_divmod(a, b)
+        reconstructed = poly_add(poly_mul(quotient, b), remainder)
+        assert np.array_equal(poly_trim(reconstructed), poly_trim(a))
+
+
+class TestCirculantProperties:
+    @SETTINGS
+    @given(circulants())
+    def test_dense_is_circulant(self, circulant):
+        dense = circulant.to_dense()
+        for i in range(1, circulant.size):
+            assert np.array_equal(dense[i], np.roll(dense[i - 1], 1))
+
+    @SETTINGS
+    @given(circulants(12), st.data())
+    def test_product_matches_dense(self, a, data):
+        b = data.draw(
+            st.lists(
+                st.integers(0, a.size - 1), min_size=0, max_size=min(3, a.size), unique=True
+            ).map(lambda positions: Circulant(a.size, tuple(positions)))
+        )
+        expected = gf2_matmul(a.to_dense(), b.to_dense())
+        assert np.array_equal((a @ b).to_dense(), expected)
+
+    @SETTINGS
+    @given(circulants(12))
+    def test_transpose_involution(self, circulant):
+        assert circulant.transpose().transpose() == circulant
+
+    @SETTINGS
+    @given(circulants(12))
+    def test_weight_preserved_in_dense(self, circulant):
+        dense = circulant.to_dense()
+        assert (dense.sum(axis=1) == circulant.weight).all()
+
+
+# --------------------------------------------------------------------------- #
+# Sparse matrix / code invariants
+# --------------------------------------------------------------------------- #
+class TestSparseProperties:
+    @SETTINGS
+    @given(binary_matrices)
+    def test_dense_sparse_roundtrip(self, matrix):
+        assert np.array_equal(SparseBinaryMatrix.from_dense(matrix).to_dense(), matrix)
+
+    @SETTINGS
+    @given(binary_matrices, st.integers(0, 2**32 - 1))
+    def test_matvec_matches_dense(self, matrix, seed):
+        rng = np.random.default_rng(seed)
+        vector = rng.integers(0, 2, size=matrix.shape[1], dtype=np.uint8)
+        sparse = SparseBinaryMatrix.from_dense(matrix)
+        assert np.array_equal(sparse.matvec(vector), gf2_matvec(matrix, vector))
+
+    @SETTINGS
+    @given(binary_matrices)
+    def test_degree_sums_equal_nnz(self, matrix):
+        pcm = ParityCheckMatrix(matrix)
+        assert pcm.check_degrees().sum() == pcm.num_edges
+        assert pcm.bit_degrees().sum() == pcm.num_edges
+
+
+class TestQCCodeProperties:
+    @SETTINGS
+    @given(
+        st.integers(3, 9),
+        st.integers(1, 3),
+        st.integers(2, 5),
+        st.integers(0, 2**32 - 1),
+    )
+    def test_expansion_dimensions_and_weights(self, circulant_size, row_blocks, col_blocks, seed):
+        rng = np.random.default_rng(seed)
+        rows = []
+        for _ in range(row_blocks):
+            row = []
+            for _ in range(col_blocks):
+                weight = int(rng.integers(0, min(2, circulant_size)) + 1)
+                positions = tuple(
+                    int(p) for p in rng.choice(circulant_size, size=weight, replace=False)
+                )
+                row.append(positions)
+            rows.append(tuple(row))
+        spec = CirculantSpec(circulant_size, tuple(rows))
+        code = QCLDPCCode(spec)
+        pcm = code.parity_check_matrix()
+        assert pcm.block_length == circulant_size * col_blocks
+        assert pcm.num_checks == circulant_size * row_blocks
+        assert pcm.num_edges == spec.total_edges()
+        # Column degrees within one block column are all equal (circulant property).
+        degrees = pcm.bit_degrees().reshape(col_blocks, circulant_size)
+        assert (degrees == degrees[:, :1]).all()
+
+
+# --------------------------------------------------------------------------- #
+# Decoder kernel invariants
+# --------------------------------------------------------------------------- #
+class TestDecoderKernelProperties:
+    @SETTINGS
+    @given(binary_matrices, st.integers(0, 2**32 - 1))
+    def test_min_sum_magnitude_never_exceeds_inputs(self, matrix, seed):
+        if not matrix.any():
+            return
+        pcm = ParityCheckMatrix(matrix)
+        structure = EdgeStructure(pcm)
+        rng = np.random.default_rng(seed)
+        messages = rng.normal(0, 3, size=(1, structure.num_edges))
+        out = structure.min_sum_extrinsic(messages)
+        max_in = np.abs(messages).max()
+        assert (np.abs(out) <= max_in + 1e-9).all()
+
+    @SETTINGS
+    @given(binary_matrices, st.integers(0, 2**32 - 1))
+    def test_bp_magnitude_bounded_by_min_sum(self, matrix, seed):
+        if not matrix.any():
+            return
+        pcm = ParityCheckMatrix(matrix)
+        structure = EdgeStructure(pcm)
+        rng = np.random.default_rng(seed)
+        messages = rng.normal(0, 2, size=(1, structure.num_edges))
+        bp = structure.sum_product_extrinsic(messages)
+        ms = structure.min_sum_extrinsic(messages)
+        assert (np.abs(bp) <= np.abs(ms) + 1e-6).all()
+
+    @SETTINGS
+    @given(binary_matrices, st.integers(0, 2**32 - 1))
+    def test_bit_node_update_linearity_in_channel(self, matrix, seed):
+        pcm = ParityCheckMatrix(matrix)
+        structure = EdgeStructure(pcm)
+        rng = np.random.default_rng(seed)
+        llrs = rng.normal(size=(1, pcm.block_length))
+        c2b = rng.normal(size=(1, structure.num_edges))
+        _, posterior = structure.bit_node_update(llrs, c2b)
+        _, posterior_shifted = structure.bit_node_update(llrs + 1.0, c2b)
+        assert np.allclose(posterior_shifted - posterior, 1.0)
+
+
+# --------------------------------------------------------------------------- #
+# Quantizer invariants
+# --------------------------------------------------------------------------- #
+class TestQuantizerProperties:
+    @SETTINGS
+    @given(
+        st.integers(2, 10),
+        st.integers(0, 5),
+        st.lists(st.floats(-100, 100, allow_nan=False), min_size=1, max_size=30),
+    )
+    def test_quantization_is_idempotent_and_bounded(self, total_bits, fractional_bits, values):
+        if fractional_bits >= total_bits:
+            return
+        quantizer = UniformQuantizer(FixedPointFormat(total_bits, fractional_bits))
+        arr = np.array(values)
+        once = quantizer.quantize(arr)
+        assert np.array_equal(quantizer.quantize(once), once)
+        low, high = quantizer.saturation
+        assert (once >= low - 1e-12).all() and (once <= high + 1e-12).all()
+
+    @SETTINGS
+    @given(st.lists(st.floats(-50, 50, allow_nan=False), min_size=1, max_size=30))
+    def test_quantization_error_bounded_by_half_step(self, values):
+        fmt = FixedPointFormat(8, 2)
+        quantizer = UniformQuantizer(fmt)
+        arr = np.clip(np.array(values), -fmt.max_value, fmt.max_value)
+        error = np.abs(quantizer.quantize(arr) - arr)
+        assert (error <= fmt.step / 2 + 1e-12).all()

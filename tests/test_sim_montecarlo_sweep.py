@@ -1,0 +1,144 @@
+"""Unit tests for repro.sim.montecarlo and repro.sim.sweep."""
+
+import numpy as np
+import pytest
+
+from repro.codes.shortening import ShortenedCode
+from repro.decode import NormalizedMinSumDecoder
+from repro.sim.montecarlo import MonteCarloSimulator, SimulationConfig
+from repro.sim.sweep import EbN0Sweep
+
+
+class TestSimulationConfig:
+    def test_defaults(self):
+        config = SimulationConfig()
+        assert config.max_frames >= 1
+        assert config.target_frame_errors >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(max_frames=0)
+        with pytest.raises(ValueError):
+            SimulationConfig(target_frame_errors=0)
+        with pytest.raises(ValueError):
+            SimulationConfig(batch_frames=0)
+
+
+class TestMonteCarloSimulator:
+    def test_high_snr_point_is_error_free(self, scaled_code):
+        decoder = NormalizedMinSumDecoder(scaled_code, max_iterations=20)
+        config = SimulationConfig(max_frames=40, target_frame_errors=10, batch_frames=20)
+        simulator = MonteCarloSimulator(scaled_code, decoder, config=config, rng=1)
+        point = simulator.run_point(8.0)
+        assert point.fer == 0.0
+        assert point.frames == 40
+
+    def test_low_snr_point_has_errors_and_stops_early(self, scaled_code):
+        decoder = NormalizedMinSumDecoder(scaled_code, max_iterations=10)
+        config = SimulationConfig(max_frames=500, target_frame_errors=5, batch_frames=10)
+        simulator = MonteCarloSimulator(scaled_code, decoder, config=config, rng=2)
+        point = simulator.run_point(0.0)
+        assert point.frame_errors >= 5
+        assert point.frames < 500  # stopped on the error target
+
+    def test_ber_decreases_with_snr(self, scaled_code):
+        decoder = NormalizedMinSumDecoder(scaled_code, max_iterations=15)
+        config = SimulationConfig(max_frames=60, target_frame_errors=60, batch_frames=30)
+        simulator_lo = MonteCarloSimulator(scaled_code, decoder, config=config, rng=3)
+        simulator_hi = MonteCarloSimulator(scaled_code, decoder, config=config, rng=3)
+        assert simulator_hi.run_point(6.0).ber <= simulator_lo.run_point(2.0).ber
+
+    def test_all_zero_and_random_data_agree_statistically(self, scaled_code):
+        """Linear code + symmetric channel: the transmitted codeword does not matter."""
+        config_rand = SimulationConfig(max_frames=60, target_frame_errors=60, batch_frames=30)
+        config_zero = SimulationConfig(
+            max_frames=60, target_frame_errors=60, batch_frames=30, all_zero_codeword=True
+        )
+        decoder = NormalizedMinSumDecoder(scaled_code, max_iterations=15)
+        ber_rand = MonteCarloSimulator(scaled_code, decoder, config=config_rand, rng=4).run_point(4.0).ber
+        ber_zero = MonteCarloSimulator(scaled_code, decoder, config=config_zero, rng=4).run_point(4.0).ber
+        # Same order of magnitude is all that can be asserted at these counts.
+        assert abs(np.log10(ber_rand + 1e-6) - np.log10(ber_zero + 1e-6)) < 1.0
+
+    def test_code_rate_property(self, scaled_code):
+        decoder = NormalizedMinSumDecoder(scaled_code, max_iterations=5)
+        simulator = MonteCarloSimulator(scaled_code, decoder, rng=0)
+        assert simulator.code_rate == pytest.approx(scaled_code.rate)
+
+    def test_shortened_code_all_zero(self, scaled_code):
+        shortened = ShortenedCode(scaled_code, info_bits=scaled_code.dimension - 8)
+        decoder = NormalizedMinSumDecoder(scaled_code, max_iterations=15)
+        config = SimulationConfig(max_frames=20, target_frame_errors=20, batch_frames=10,
+                                  all_zero_codeword=True)
+        simulator = MonteCarloSimulator(shortened, decoder, config=config, rng=5)
+        point = simulator.run_point(6.0)
+        assert point.frames == 20
+        assert simulator.code_rate == pytest.approx(shortened.rate)
+
+    def test_shortened_code_random_data_via_from_encoder(self, scaled_code, scaled_encoder):
+        shortened = ShortenedCode.from_encoder(
+            scaled_code, scaled_encoder, info_bits=scaled_code.dimension - 8
+        )
+        decoder = NormalizedMinSumDecoder(scaled_code, max_iterations=15)
+        config = SimulationConfig(max_frames=10, target_frame_errors=10, batch_frames=5)
+        simulator = MonteCarloSimulator(shortened, decoder, config=config, rng=6)
+        point = simulator.run_point(7.0)
+        assert point.frames == 10
+
+    def test_shortened_code_random_data_with_bad_positions_raises(self, scaled_code):
+        shortened = ShortenedCode(scaled_code, info_bits=scaled_code.dimension - 8)
+        decoder = NormalizedMinSumDecoder(scaled_code, max_iterations=5)
+        with pytest.raises(ValueError):
+            MonteCarloSimulator(shortened, decoder, rng=0)
+
+
+class TestEbN0Sweep:
+    def test_sweep_produces_sorted_curve(self, scaled_code):
+        config = SimulationConfig(max_frames=30, target_frame_errors=10, batch_frames=15,
+                                  all_zero_codeword=True)
+        sweep = EbN0Sweep(
+            scaled_code,
+            lambda: NormalizedMinSumDecoder(scaled_code, max_iterations=10),
+            config=config,
+            rng=7,
+        )
+        curve = sweep.run([5.0, 3.0], label="nms")
+        assert curve.label == "nms"
+        assert curve.ebn0_values.tolist() == [3.0, 5.0]
+        assert curve.points[0].ber >= curve.points[1].ber
+
+    def test_progress_callback(self, scaled_code):
+        messages = []
+        config = SimulationConfig(max_frames=10, target_frame_errors=10, batch_frames=10,
+                                  all_zero_codeword=True)
+        sweep = EbN0Sweep(
+            scaled_code,
+            lambda: NormalizedMinSumDecoder(scaled_code, max_iterations=5),
+            config=config,
+            rng=8,
+        )
+        sweep.run([4.0], progress=messages.append)
+        assert len(messages) == 1
+        assert "Eb/N0" in messages[0]
+
+    def test_format_curves(self, scaled_code):
+        config = SimulationConfig(max_frames=10, target_frame_errors=10, batch_frames=10,
+                                  all_zero_codeword=True)
+        sweep = EbN0Sweep(
+            scaled_code,
+            lambda: NormalizedMinSumDecoder(scaled_code, max_iterations=5),
+            config=config,
+            rng=9,
+        )
+        curve = sweep.run([4.0], label="a")
+        text = EbN0Sweep.format_curves([curve])
+        assert "a BER" in text and "a PER" in text
+
+    def test_reproducible_with_seed(self, scaled_code):
+        config = SimulationConfig(max_frames=20, target_frame_errors=20, batch_frames=10,
+                                  all_zero_codeword=True)
+        def factory():
+            return NormalizedMinSumDecoder(scaled_code, max_iterations=8)
+        curve_a = EbN0Sweep(scaled_code, factory, config=config, rng=11).run([3.0])
+        curve_b = EbN0Sweep(scaled_code, factory, config=config, rng=11).run([3.0])
+        assert curve_a.points[0].ber == curve_b.points[0].ber

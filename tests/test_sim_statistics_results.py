@@ -1,0 +1,126 @@
+"""Unit tests for repro.sim.statistics, repro.sim.results, repro.sim.reference."""
+
+import numpy as np
+import pytest
+
+from repro.sim.reference import shannon_limit_ebn0_db, uncoded_bpsk_ber
+from repro.sim.results import SimulationCurve, SimulationPoint
+from repro.sim.statistics import ErrorCounter, wilson_interval
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        low, high = wilson_interval(5, 100)
+        assert low < 0.05 < high
+
+    def test_zero_errors(self):
+        low, high = wilson_interval(0, 1000)
+        assert low == 0.0
+        assert high < 0.01
+
+    def test_narrower_with_more_trials(self):
+        low_small, high_small = wilson_interval(10, 100)
+        low_large, high_large = wilson_interval(100, 1000)
+        assert (high_large - low_large) < (high_small - low_small)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+
+
+class TestErrorCounter:
+    def test_accumulation(self):
+        counter = ErrorCounter()
+        counter.update(bit_errors=3, frame_errors=1, bits=100, frames=10, iterations=40)
+        counter.update(bit_errors=2, frame_errors=0, bits=100, frames=10, iterations=20)
+        assert counter.ber == pytest.approx(0.025)
+        assert counter.fer == pytest.approx(0.05)
+        assert counter.average_iterations == pytest.approx(3.0)
+
+    def test_empty_counter(self):
+        counter = ErrorCounter()
+        assert counter.ber == 0.0 and counter.fer == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ErrorCounter().update(-1, 0, 10, 1)
+
+    def test_confidence_intervals(self):
+        counter = ErrorCounter()
+        counter.update(bit_errors=10, frame_errors=2, bits=1000, frames=20)
+        low, high = counter.ber_confidence()
+        assert low < counter.ber < high
+
+
+class TestSimulationCurve:
+    def _point(self, ebn0, ber, fer=0.1):
+        return SimulationPoint(
+            ebn0_db=ebn0, ber=ber, fer=fer, bit_errors=int(ber * 1e6),
+            frame_errors=10, bits=10**6, frames=100,
+        )
+
+    def test_points_kept_sorted(self):
+        curve = SimulationCurve("test")
+        curve.add(self._point(4.0, 1e-4))
+        curve.add(self._point(3.0, 1e-2))
+        assert curve.ebn0_values.tolist() == [3.0, 4.0]
+
+    def test_crossing_interpolation(self):
+        curve = SimulationCurve("test")
+        curve.add(self._point(3.0, 1e-2))
+        curve.add(self._point(4.0, 1e-4))
+        crossing = curve.ebn0_at_ber(1e-3)
+        assert 3.0 < crossing < 4.0
+
+    def test_crossing_not_reached(self):
+        curve = SimulationCurve("test")
+        curve.add(self._point(3.0, 1e-2))
+        curve.add(self._point(4.0, 1e-3))
+        assert curve.ebn0_at_ber(1e-8) is None
+
+    def test_coding_gain(self):
+        better = SimulationCurve("better")
+        worse = SimulationCurve("worse")
+        for e, b in [(3.0, 1e-2), (4.0, 1e-5)]:
+            better.add(self._point(e, b))
+        for e, b in [(3.5, 1e-2), (4.5, 1e-5)]:
+            worse.add(self._point(e, b))
+        gain = better.coding_gain_over(worse, 1e-4)
+        assert gain == pytest.approx(0.5, abs=0.05)
+
+    def test_serialization_roundtrip(self, tmp_path):
+        curve = SimulationCurve("nms", metadata={"iterations": 18})
+        curve.add(self._point(4.0, 1e-3))
+        path = tmp_path / "curve.json"
+        curve.save(path)
+        loaded = SimulationCurve.load(path)
+        assert loaded.label == "nms"
+        assert loaded.metadata == {"iterations": 18}
+        assert loaded.points[0].ber == pytest.approx(1e-3)
+
+    def test_invalid_target_ber(self):
+        with pytest.raises(ValueError):
+            SimulationCurve("x").ebn0_at_ber(0.0)
+
+
+class TestReferenceCurves:
+    def test_uncoded_bpsk_known_value(self):
+        # At Eb/N0 = 9.6 dB uncoded BPSK is ~1e-5.
+        assert uncoded_bpsk_ber(9.6) == pytest.approx(1e-5, rel=0.15)
+
+    def test_uncoded_monotone(self):
+        values = uncoded_bpsk_ber(np.array([0.0, 2.0, 4.0, 6.0]))
+        assert (np.diff(values) < 0).all()
+
+    def test_shannon_limit_below_operating_point(self):
+        # The unconstrained-input limit for rate 0.875 is ~1.3 dB; the
+        # paper's decoder operates around 3.5-4.5 dB, comfortably above it.
+        limit = shannon_limit_ebn0_db(7136 / 8160)
+        assert 1.0 < limit < 2.0
+        assert limit < 3.5
+
+    def test_shannon_limit_invalid_rate(self):
+        with pytest.raises(ValueError):
+            shannon_limit_ebn0_db(1.5)

@@ -1,0 +1,80 @@
+"""Unit tests for repro.utils.bits."""
+
+import numpy as np
+import pytest
+
+from repro.utils.bits import (
+    bits_to_bytes,
+    bits_to_int,
+    bytes_to_bits,
+    hamming_distance,
+    hamming_weight,
+    hard_decision,
+    int_to_bits,
+    random_bits,
+)
+
+
+class TestRandomBits:
+    def test_length_and_alphabet(self, rng):
+        bits = random_bits(100, rng)
+        assert bits.shape == (100,)
+        assert set(np.unique(bits)).issubset({0, 1})
+
+    def test_batch_shape(self, rng):
+        bits = random_bits(10, rng, shape=(4, 3))
+        assert bits.shape == (4, 3, 10)
+
+    def test_seed_reproducibility(self):
+        assert np.array_equal(random_bits(50, 7), random_bits(50, 7))
+
+
+class TestHardDecision:
+    def test_positive_llr_is_zero_bit(self):
+        assert hard_decision(np.array([3.0, -2.0, 0.5])).tolist() == [0, 1, 0]
+
+    def test_zero_llr_resolves_to_one(self):
+        assert hard_decision(np.array([0.0]))[0] == 1
+
+    def test_batch(self):
+        llrs = np.array([[1.0, -1.0], [-0.1, 0.1]])
+        assert hard_decision(llrs).tolist() == [[0, 1], [1, 0]]
+
+
+class TestHammingMetrics:
+    def test_weight(self):
+        assert hamming_weight([0, 1, 1, 0, 1]) == 3
+
+    def test_distance(self):
+        assert hamming_distance([0, 1, 1], [1, 1, 0]) == 2
+
+    def test_distance_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            hamming_distance([0, 1], [0, 1, 0])
+
+    def test_distance_zero_for_equal(self, rng):
+        v = random_bits(64, rng)
+        assert hamming_distance(v, v) == 0
+
+
+class TestPacking:
+    def test_roundtrip(self, rng):
+        bits = random_bits(37, rng)
+        packed = bits_to_bytes(bits)
+        assert np.array_equal(bytes_to_bits(packed, 37), bits)
+
+    def test_known_value(self):
+        assert bits_to_bytes([1, 0, 1, 0, 0, 0, 0, 0]) == b"\xa0"
+
+    def test_int_roundtrip(self):
+        for value in (0, 1, 5, 255, 1023):
+            width = 10
+            assert bits_to_int(int_to_bits(value, width)) == value
+
+    def test_int_too_wide(self):
+        with pytest.raises(ValueError):
+            int_to_bits(16, 4)
+
+    def test_negative_int_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_bits(-1, 4)

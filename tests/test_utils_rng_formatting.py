@@ -1,0 +1,78 @@
+"""Unit tests for repro.utils.rng and repro.utils.formatting."""
+
+import numpy as np
+import pytest
+
+from repro.utils.formatting import (
+    format_engineering,
+    format_percentage,
+    format_rate,
+    format_table,
+)
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_seed_is_deterministic(self):
+        a = ensure_rng(3).integers(0, 100, 10)
+        b = ensure_rng(3).integers(0, 100, 10)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_invalid_type(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        children = spawn_rngs(0, 5)
+        assert len(children) == 5
+
+    def test_streams_differ(self):
+        children = spawn_rngs(0, 2)
+        a = children[0].integers(0, 1000, 20)
+        b = children[1].integers(0, 1000, 20)
+        assert not np.array_equal(a, b)
+
+    def test_deterministic_from_seed(self):
+        a = [g.integers(0, 100) for g in spawn_rngs(9, 3)]
+        b = [g.integers(0, 100) for g in spawn_rngs(9, 3)]
+        assert a == b
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestFormatting:
+    def test_table_alignment(self):
+        table = format_table(["a", "bbb"], [[1, 2], [333, 4]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_table_title(self):
+        assert format_table(["x"], [[1]], title="T").splitlines()[0] == "T"
+
+    def test_table_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_percentage(self):
+        assert format_percentage(0.16) == "16%"
+        assert format_percentage(0.505, digits=1) == "50.5%"
+
+    def test_rate_prefixes(self):
+        assert format_rate(70e6) == "70 Mbps"
+        assert format_rate(1.04e9) == "1.04 Gbps"
+        assert format_rate(500.0) == "500 bps"
+
+    def test_engineering_negative(self):
+        assert format_engineering(-2e3, "b") == "-2 kb"
