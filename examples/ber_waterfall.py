@@ -41,6 +41,11 @@ def parse_args() -> argparse.Namespace:
                         help="iterations of the normalized min-sum decoder")
     parser.add_argument("--save", type=str, default=None,
                         help="directory to write the curves as JSON")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="shard each Eb/N0 point over this many worker "
+                             "processes (same seed => identical counts)")
+    parser.add_argument("--adaptive-batch", action="store_true",
+                        help="grow batches geometrically at high SNR")
     return parser.parse_args()
 
 
@@ -59,15 +64,20 @@ def main() -> None:
         target_frame_errors=args.errors,
         batch_frames=8 if args.full else 60,
         all_zero_codeword=True,
+        adaptive_batch=args.adaptive_batch,
     )
     print(f"Code: n = {code.block_length}, rate = {code.rate:.3f}")
-    print(f"Shannon limit for this rate: {shannon_limit_ebn0_db(code.rate):.2f} dB\n")
+    print(f"Shannon limit for this rate: {shannon_limit_ebn0_db(code.rate):.2f} dB")
+    if args.workers:
+        print(f"Sharding each point over {args.workers} worker processes")
+    print()
 
     nms = EbN0Sweep(
         code,
         lambda: QuantizedMinSumDecoder(code, max_iterations=args.iterations, alpha=1.25),
         config=config,
         rng=2025,
+        workers=args.workers,
     ).run(grid, label=f"NMS-{args.iterations}", progress=print)
     print()
     baseline = EbN0Sweep(
@@ -75,6 +85,7 @@ def main() -> None:
         lambda: MinSumDecoder(code, max_iterations=50),
         config=config,
         rng=2025,
+        workers=args.workers,
     ).run(grid, label="MS-50", progress=print)
 
     print()

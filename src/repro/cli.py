@@ -144,12 +144,14 @@ def _cmd_simulate(args) -> int:
         target_frame_errors=args.errors,
         batch_frames=min(args.frames, args.batch),
         all_zero_codeword=not args.random_data,
+        adaptive_batch=args.adaptive_batch,
     )
     sweep = EbN0Sweep(
         code,
         lambda: factory(code, args.iterations),
         config=config,
         rng=args.seed,
+        workers=args.workers,
     )
     curve = sweep.run(args.ebn0, label=args.decoder, progress=print)
     print()
@@ -200,6 +202,14 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument("--random-data", action="store_true",
                           help="encode random data instead of the all-zero codeword")
+    simulate.add_argument("--workers", type=int, default=None,
+                          help="shard each Eb/N0 point over this many worker "
+                               "processes (default: serial; same seed gives "
+                               "identical counts either way, but progress "
+                               "lines print in completion order)")
+    simulate.add_argument("--adaptive-batch", action="store_true",
+                          help="grow the batch size geometrically at high SNR "
+                               "where frame errors are rare")
     simulate.add_argument("--save", type=str, default=None, help="write the curve as JSON")
     simulate.set_defaults(func=_cmd_simulate)
 

@@ -36,6 +36,17 @@ class _Layer:
         self.edge_bits = structure.edge_bit[self.edge_indices]
         # Segment boundaries within the layer's (already check-sorted) edges.
         _, self.check_starts = np.unique(layer_checks, return_index=True)
+        # Per-edge segment index and check degree, precomputed once.  A
+        # degree-1 check (possible after puncturing/shortening) has no
+        # "other" incoming edges, hence no extrinsic information — without
+        # the guard its masked second minimum is +inf and poisons the
+        # posterior (mirrors EdgeStructure.min_sum_extrinsic).
+        num_edges = self.edge_indices.size
+        self.segment_of_edge = (
+            np.searchsorted(self.check_starts, np.arange(num_edges), "right") - 1
+        )
+        segment_sizes = np.diff(np.append(self.check_starts, num_edges))
+        self.edge_check_degree = segment_sizes[self.segment_of_edge]
 
     def min_sum_extrinsic(self, messages: np.ndarray, scale: float) -> np.ndarray:
         """Scaled min-sum update over this layer's edges only."""
@@ -49,7 +60,7 @@ class _Layer:
 
         min1 = np.minimum.reduceat(magnitudes, starts, axis=1)
         # Map per-segment values back onto edges.
-        segment_of_edge = np.searchsorted(starts, np.arange(magnitudes.shape[1]), "right") - 1
+        segment_of_edge = self.segment_of_edge
         min1_on_edges = min1[:, segment_of_edge]
         is_min = magnitudes == min1_on_edges
         min_counts = np.add.reduceat(is_min.astype(np.int64), starts, axis=1)
@@ -59,6 +70,7 @@ class _Layer:
 
         extrinsic_sign = total_sign[:, segment_of_edge] * signs
         extrinsic_mag = np.where(is_min, min2[:, segment_of_edge], min1_on_edges)
+        extrinsic_mag = np.where(self.edge_check_degree <= 1, 0.0, extrinsic_mag)
         return extrinsic_sign * (scale * extrinsic_mag)
 
 

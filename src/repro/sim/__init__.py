@@ -6,17 +6,29 @@ errors until a target error count or frame budget is reached;
 :class:`~repro.sim.sweep.EbN0Sweep` runs it across an Eb/N0 grid and collects
 :class:`~repro.sim.results.SimulationCurve` objects that can be serialized,
 compared and printed as the rows of a waterfall plot.
+
+:class:`~repro.sim.parallel.ParallelMonteCarloEngine` shards the same frame
+budgets over a ``multiprocessing`` worker pool (``EbN0Sweep(..., workers=N)``)
+and reproduces the serial engine's counts bit for bit for any worker count —
+the shard schedule and per-shard RNG streams live in
+:mod:`repro.sim.sharding` and are shared by both engines.
 """
 
-from repro.sim.montecarlo import MonteCarloSimulator, SimulationConfig
+from repro.sim.montecarlo import BatchResult, MonteCarloSimulator, SimulationConfig
+from repro.sim.parallel import ParallelMonteCarloEngine
 from repro.sim.reference import shannon_limit_ebn0_db, uncoded_bpsk_ber
 from repro.sim.results import SimulationCurve, SimulationPoint
+from repro.sim.sharding import consume_shard, iter_shard_sizes
 from repro.sim.statistics import ErrorCounter, wilson_interval
 from repro.sim.sweep import EbN0Sweep
 
 __all__ = [
     "MonteCarloSimulator",
     "SimulationConfig",
+    "BatchResult",
+    "ParallelMonteCarloEngine",
+    "iter_shard_sizes",
+    "consume_shard",
     "EbN0Sweep",
     "SimulationPoint",
     "SimulationCurve",

@@ -1,16 +1,25 @@
 """Monte-Carlo simulation of the coded BPSK/AWGN link.
 
 One simulator instance owns a code, an encoder, a decoder and a modulator;
-``run_point`` simulates frames in batches at one Eb/N0 value until either a
-target number of frame errors has been observed (good statistical practice:
-the relative accuracy is set by the error count, not the frame count) or a
-frame budget is exhausted.
+``run_point`` simulates frames in *shards* (independent batches, each with
+its own child RNG stream spawned from the simulator's seed sequence) at one
+Eb/N0 value until either a target number of frame errors has been observed
+(good statistical practice: the relative accuracy is set by the error count,
+not the frame count) or a frame budget is exhausted.
+
+The shard decomposition is deterministic given the configuration (see
+:mod:`repro.sim.sharding`), which is what lets the parallel engine in
+:mod:`repro.sim.parallel` distribute the same shards over a worker pool and
+reproduce this serial engine's counts exactly.
 
 The simulator understands both plain codes (``QCLDPCCode`` /
 ``ParityCheckMatrix``) and :class:`~repro.codes.shortening.ShortenedCode`
 wrappers; for the latter it transmits only the non-shortened bits and feeds
 the decoder saturated LLRs for the virtual fill, exactly like the hardware
-front-end does.
+front-end does.  Error statistics count *transmitted* code bits only — the
+virtual-fill bits are known to the receiver and must not inflate the BER
+denominator — and an information-bit BER is tracked alongside whenever the
+full encode path runs.
 """
 
 from __future__ import annotations
@@ -19,16 +28,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.channel.awgn import AWGNChannel, ebn0_to_sigma
+from repro.channel.awgn import ebn0_to_sigma
 from repro.channel.llr import channel_llrs
 from repro.channel.modulation import BPSKModulator
 from repro.codes.shortening import ShortenedCode
 from repro.encode.systematic import SystematicEncoder
 from repro.sim.results import SimulationPoint
+from repro.sim.sharding import consume_shard, iter_shard_sizes
 from repro.sim.statistics import ErrorCounter
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import as_seed_sequence, ensure_rng
 
-__all__ = ["SimulationConfig", "MonteCarloSimulator"]
+__all__ = ["SimulationConfig", "BatchResult", "MonteCarloSimulator"]
 
 
 @dataclass(frozen=True)
@@ -42,24 +52,65 @@ class SimulationConfig:
     target_frame_errors:
         Stop a point early once this many frame errors have been counted.
     batch_frames:
-        Frames simulated per decoder call (vectorized batch).
+        Frames simulated per decoder call (vectorized batch); with
+        ``adaptive_batch`` this is the *initial* batch size.
     all_zero_codeword:
         When ``True`` the all-zero codeword is transmitted instead of random
         information bits.  For a linear code over a symmetric channel the
         error statistics are identical, and encoding time is saved; the
         default is ``False`` to exercise the full encode path.
+    adaptive_batch:
+        Grow the batch size geometrically from ``batch_frames`` up to
+        ``max_batch_frames`` while the stopping rule has not triggered.  At
+        high SNR, where frame errors are rare and a point typically burns its
+        whole frame budget, this amortizes the per-batch overhead over much
+        larger vectorized batches.
+    batch_growth:
+        Geometric growth factor of the adaptive batch size (> 1).
+    max_batch_frames:
+        Cap of the adaptive batch size; ``None`` defaults to 64x
+        ``batch_frames``.
     """
 
     max_frames: int = 1000
     target_frame_errors: int = 50
     batch_frames: int = 32
     all_zero_codeword: bool = False
+    adaptive_batch: bool = False
+    batch_growth: float = 2.0
+    max_batch_frames: int | None = None
 
     def __post_init__(self):
         if self.max_frames < 1 or self.batch_frames < 1:
             raise ValueError("max_frames and batch_frames must be positive")
         if self.target_frame_errors < 1:
             raise ValueError("target_frame_errors must be positive")
+        if self.batch_growth <= 1.0:
+            raise ValueError("batch_growth must be > 1")
+        if self.max_batch_frames is not None and self.max_batch_frames < self.batch_frames:
+            raise ValueError("max_batch_frames must be >= batch_frames")
+
+    def effective_max_batch_frames(self) -> int:
+        """Adaptive batch-size cap (``batch_frames`` when not adaptive)."""
+        if not self.adaptive_batch:
+            return self.batch_frames
+        if self.max_batch_frames is not None:
+            return self.max_batch_frames
+        return self.batch_frames * 64
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Error counts of one simulated shard (picklable, for the worker pool)."""
+
+    frames: int
+    bits: int
+    bit_errors: int
+    frame_errors: int
+    undetected_frame_errors: int
+    iterations: int
+    info_bits: int
+    info_bit_errors: int
 
 
 class MonteCarloSimulator:
@@ -75,7 +126,9 @@ class MonteCarloSimulator:
     config:
         Batching and stopping rules.
     rng:
-        Seed or generator for information bits and noise.
+        Seed or generator for information bits and noise.  Each shard of a
+        ``run_point`` call draws from its own child stream spawned from this
+        seed's :class:`numpy.random.SeedSequence`.
     """
 
     def __init__(self, code, decoder, *, config: SimulationConfig | None = None, rng=None):
@@ -103,6 +156,27 @@ class MonteCarloSimulator:
                         "or simulate with all_zero_codeword=True"
                     )
                 self._forced_zero_info = np.nonzero(np.isin(info_positions, shortened))[0]
+        # Base-codeword positions whose errors are counted: every position of
+        # a plain code, the transmitted positions of a shortened one (the
+        # virtual fill is known to the receiver, so it is excluded from both
+        # the BER numerator and denominator).
+        if self._shortened is not None:
+            self._counted_positions: np.ndarray | None = (
+                self._shortened.transmitted_positions()
+            )
+            self._bits_per_frame = int(self._shortened.transmitted_code_bits)
+        else:
+            self._counted_positions = None
+            self._bits_per_frame = int(self._base_code.block_length)
+        # Information positions for the info-bit BER (only known when the
+        # systematic encoder was built).
+        self._info_positions: np.ndarray | None = None
+        if self._encoder is not None:
+            info_positions = np.asarray(self._encoder.information_positions, dtype=np.int64)
+            if self._shortened is not None:
+                transmitted = self._shortened.transmitted_positions()
+                info_positions = info_positions[np.isin(info_positions, transmitted)]
+            self._info_positions = info_positions
 
     # ------------------------------------------------------------------ #
     @property
@@ -121,63 +195,110 @@ class MonteCarloSimulator:
         """Base codeword length handled by the decoder."""
         return self._base_code.block_length
 
+    @property
+    def counted_bits_per_frame(self) -> int:
+        """Transmitted code bits per frame — the per-frame BER denominator."""
+        return self._bits_per_frame
+
     # ------------------------------------------------------------------ #
-    def _generate_codewords(self, batch: int) -> np.ndarray:
+    def _generate_codewords(self, batch: int, rng: np.random.Generator) -> np.ndarray:
         """Sample transmitted base codewords for one batch."""
         if self.config.all_zero_codeword or self._encoder is None:
             return np.zeros((batch, self.block_length), dtype=np.uint8)
-        info = self._rng.integers(0, 2, size=(batch, self._encoder.dimension), dtype=np.uint8)
+        info = rng.integers(0, 2, size=(batch, self._encoder.dimension), dtype=np.uint8)
         if self._forced_zero_info is not None:
             info[:, self._forced_zero_info] = 0
         return self._encoder.encode(info)
 
-    def _transmit(self, codewords: np.ndarray, sigma: float) -> np.ndarray:
+    def _transmit(
+        self, codewords: np.ndarray, sigma: float, rng: np.random.Generator
+    ) -> np.ndarray:
         """Modulate, add noise and produce base-codeword LLRs for the decoder."""
         if self._shortened is None:
             symbols = self._modulator.modulate(codewords)
-            received = symbols + self._rng.normal(0.0, sigma, size=symbols.shape)
+            received = symbols + rng.normal(0.0, sigma, size=symbols.shape)
             return channel_llrs(received, sigma)
         transmitted = self._shortened.extract_transmitted(codewords)
         frame = self._shortened.build_frame(transmitted)
         symbols = self._modulator.modulate(frame)
-        received = symbols + self._rng.normal(0.0, sigma, size=symbols.shape)
+        received = symbols + rng.normal(0.0, sigma, size=symbols.shape)
         frame_llrs = channel_llrs(received, sigma)
         return self._shortened.base_llrs_from_frame_llrs(frame_llrs)
 
     # ------------------------------------------------------------------ #
+    def run_batch(
+        self, batch: int, sigma: float, rng: np.random.Generator | None = None
+    ) -> BatchResult:
+        """Simulate one shard of ``batch`` frames and return its counts.
+
+        This is the unit of work the parallel engine ships to pool workers:
+        it is stateless apart from the decoder object, so the same
+        ``(batch, sigma, rng)`` triple produces the same counts in any
+        process.
+        """
+        if batch < 1:
+            raise ValueError("batch must be positive")
+        rng = self._rng if rng is None else rng
+        codewords = self._generate_codewords(batch, rng)
+        llrs = self._transmit(codewords, sigma, rng)
+        result = self._decoder.decode(llrs)
+        decoded = np.atleast_2d(result.bits)
+        errors = decoded != codewords
+        if self._counted_positions is not None:
+            counted = errors[:, self._counted_positions]
+        else:
+            counted = errors
+        errors_per_frame = counted.sum(axis=1)
+        frame_error_mask = errors_per_frame > 0
+        converged = np.atleast_1d(result.converged)
+        undetected = int(np.count_nonzero(frame_error_mask & converged))
+        if self._info_positions is not None:
+            info_bit_errors = int(errors[:, self._info_positions].sum())
+            info_bits = batch * int(self._info_positions.size)
+        else:
+            info_bit_errors = 0
+            info_bits = 0
+        return BatchResult(
+            frames=batch,
+            bits=batch * self._bits_per_frame,
+            bit_errors=int(errors_per_frame.sum()),
+            frame_errors=int(frame_error_mask.sum()),
+            undetected_frame_errors=undetected,
+            iterations=int(np.sum(np.atleast_1d(result.iterations))),
+            info_bits=info_bits,
+            info_bit_errors=info_bit_errors,
+        )
+
     def run_point(self, ebn0_db: float) -> SimulationPoint:
-        """Simulate one Eb/N0 point until the stopping rule triggers."""
+        """Simulate one Eb/N0 point until the stopping rule triggers.
+
+        Shards are executed in order, each with a child stream spawned from
+        the simulator's seed sequence; repeated calls continue spawning fresh
+        children, so each point of a sweep gets independent noise.
+        """
         sigma = ebn0_to_sigma(ebn0_db, self.code_rate)
         counter = ErrorCounter()
-        config = self.config
-        while (
-            counter.frames < config.max_frames
-            and counter.frame_errors < config.target_frame_errors
-        ):
-            batch = min(config.batch_frames, config.max_frames - counter.frames)
-            codewords = self._generate_codewords(batch)
-            llrs = self._transmit(codewords, sigma)
-            result = self._decoder.decode(llrs)
-            decoded = np.atleast_2d(result.bits)
-            errors_per_frame = (decoded != codewords).sum(axis=1)
-            frame_error_mask = errors_per_frame > 0
-            converged = np.atleast_1d(result.converged)
-            undetected = int(np.count_nonzero(frame_error_mask & converged))
-            counter.update(
-                bit_errors=int(errors_per_frame.sum()),
-                frame_errors=int(frame_error_mask.sum()),
-                bits=batch * self.block_length,
-                frames=batch,
-                undetected_frame_errors=undetected,
-                iterations=int(np.sum(np.atleast_1d(result.iterations))),
-            )
-        return SimulationPoint(
-            ebn0_db=float(ebn0_db),
-            ber=counter.ber,
-            fer=counter.fer,
-            bit_errors=counter.bit_errors,
-            frame_errors=counter.frame_errors,
-            bits=counter.bits,
-            frames=counter.frames,
-            average_iterations=counter.average_iterations,
-        )
+        seed_seq = as_seed_sequence(self._rng)
+        for size in iter_shard_sizes(self.config):
+            (child,) = seed_seq.spawn(1)
+            shard = self.run_batch(size, sigma, rng=np.random.default_rng(child))
+            if not consume_shard(counter, shard, self.config):
+                break
+        return point_from_counter(ebn0_db, counter)
+
+
+def point_from_counter(ebn0_db: float, counter: ErrorCounter) -> SimulationPoint:
+    """Package an :class:`ErrorCounter` as a :class:`SimulationPoint`."""
+    return SimulationPoint(
+        ebn0_db=float(ebn0_db),
+        ber=counter.ber,
+        fer=counter.fer,
+        bit_errors=counter.bit_errors,
+        frame_errors=counter.frame_errors,
+        bits=counter.bits,
+        frames=counter.frames,
+        average_iterations=counter.average_iterations,
+        info_ber=counter.info_ber,
+        info_bit_errors=counter.info_bit_errors,
+        info_bits=counter.info_bits,
+    )

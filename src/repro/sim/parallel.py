@@ -1,0 +1,321 @@
+"""Sharded parallel Monte-Carlo engine.
+
+:class:`ParallelMonteCarloEngine` distributes the frame budget of each Eb/N0
+point over a ``multiprocessing`` worker pool and keeps several points in
+flight at once, while reproducing the serial
+:class:`~repro.sim.montecarlo.MonteCarloSimulator` *exactly*:
+
+* the shard sizes come from the same deterministic schedule
+  (:func:`repro.sim.sharding.iter_shard_sizes`), so they do not depend on
+  the worker count;
+* shard ``i`` of a point always draws from child ``i`` of the point's
+  :class:`numpy.random.SeedSequence` (spawned in shard order), so the noise
+  realizations match the serial engine's bit for bit;
+* shard results are folded into the point's
+  :class:`~repro.sim.statistics.ErrorCounter` in shard order, and the
+  stopping rule is applied to that ordered prefix — speculative shards that
+  were dispatched beyond the stopping point are discarded, never counted.
+
+Together these give the determinism contract: for a fixed master seed,
+``run_point``/``run_sweep`` return bit-identical counts for any number of
+workers, including the serial engine itself.
+
+Workers are long-lived: each pool process builds one simulator (code +
+decoder) in its initializer and then serves shard requests, so the expensive
+construction cost (systematic encoder, edge structure) is paid once per
+worker.  On platforms whose default start method is ``fork`` (Linux) the
+code and decoder factory are inherited by the workers without pickling, so
+lambdas work; with ``spawn`` start methods they must be picklable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from collections import deque
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.channel.awgn import ebn0_to_sigma
+from repro.sim.montecarlo import (
+    BatchResult,
+    MonteCarloSimulator,
+    SimulationConfig,
+    point_from_counter,
+)
+from repro.sim.results import SimulationPoint
+from repro.sim.sharding import consume_shard, iter_shard_sizes
+from repro.sim.statistics import ErrorCounter
+from repro.utils.rng import as_seed_sequence, spawn_seed_sequences
+
+__all__ = ["ParallelMonteCarloEngine"]
+
+# Worker-process state: one simulator per worker, built by _init_worker.
+_WORKER_SIMULATOR: MonteCarloSimulator | None = None
+
+
+def _init_worker(code, decoder_factory, config) -> None:
+    """Pool initializer: build this worker's simulator once."""
+    global _WORKER_SIMULATOR
+    _WORKER_SIMULATOR = MonteCarloSimulator(
+        code, decoder_factory(), config=config, rng=0
+    )
+
+
+def _worker_code_rate() -> float:
+    """Trivial task used by :meth:`ParallelMonteCarloEngine.warmup`."""
+    if _WORKER_SIMULATOR is None:  # pragma: no cover - initializer always ran
+        raise RuntimeError("worker pool was not initialized")
+    return _WORKER_SIMULATOR.code_rate
+
+
+def _run_shard(ebn0_db: float, size: int, seed_seq) -> BatchResult:
+    """Task body: simulate one shard on the worker's simulator."""
+    simulator = _WORKER_SIMULATOR
+    if simulator is None:  # pragma: no cover - defensive; initializer always ran
+        raise RuntimeError("worker pool was not initialized")
+    sigma = ebn0_to_sigma(ebn0_db, simulator.code_rate)
+    return simulator.run_batch(size, sigma, rng=np.random.default_rng(seed_seq))
+
+
+class _PointState:
+    """Book-keeping of one in-flight Eb/N0 point."""
+
+    def __init__(self, ebn0_db: float, seed_seq, config: SimulationConfig):
+        self.ebn0_db = float(ebn0_db)
+        self.seed_seq = seed_seq
+        self.config = config
+        self.sizes = iter_shard_sizes(config)
+        self.pending: deque = deque()  # AsyncResults, in shard order
+        self.counter = ErrorCounter()
+        self.stopped = False  # stopping rule triggered; discard further shards
+        self.exhausted = False  # shard schedule fully dispatched
+
+    @property
+    def done(self) -> bool:
+        return self.stopped or (self.exhausted and not self.pending)
+
+    def next_shard(self):
+        """Next ``(size, child_seed)`` to dispatch, or ``None``."""
+        if self.stopped or self.exhausted:
+            return None
+        try:
+            size = next(self.sizes)
+        except StopIteration:
+            self.exhausted = True
+            return None
+        (child,) = self.seed_seq.spawn(1)
+        return size, child
+
+    def consume_ready(self) -> bool:
+        """Fold completed shards (in shard order) into the counter.
+
+        Returns ``True`` when at least one shard was consumed.
+        """
+        progressed = False
+        while self.pending and self.pending[0].ready():
+            result = self.pending.popleft().get()
+            progressed = True
+            if not self.stopped and not consume_shard(self.counter, result, self.config):
+                # Stopping rule hit: everything already dispatched beyond
+                # this shard is speculative and must not be counted.
+                self.stopped = True
+                self.pending.clear()
+        return progressed
+
+    def to_point(self) -> SimulationPoint:
+        return point_from_counter(self.ebn0_db, self.counter)
+
+
+class ParallelMonteCarloEngine:
+    """Worker-pool Monte-Carlo engine for one code + decoder-factory pair.
+
+    Parameters
+    ----------
+    code:
+        Code (or ``ShortenedCode``) to simulate.
+    decoder_factory:
+        Zero-argument callable returning a fresh decoder; called once in
+        every worker process.
+    config:
+        Batching and stopping rules (shared by every point).
+    workers:
+        Pool size; defaults to ``os.cpu_count()``.
+    mp_context:
+        ``multiprocessing`` context (or start-method name); defaults to
+        ``fork`` when available so non-picklable factories work.
+
+    The engine is a context manager; the pool is created lazily on first use
+    and torn down by :meth:`close` / ``with``-exit.
+    """
+
+    #: Dispatch at most this many shards per worker ahead of aggregation.
+    _INFLIGHT_PER_WORKER = 2
+
+    def __init__(
+        self,
+        code,
+        decoder_factory: Callable[[], object],
+        *,
+        config: SimulationConfig | None = None,
+        workers: int | None = None,
+        mp_context=None,
+    ):
+        self._code = code
+        self._decoder_factory = decoder_factory
+        self.config = config or SimulationConfig()
+        self.workers = max(1, int(workers or os.cpu_count() or 1))
+        if mp_context is None or isinstance(mp_context, str):
+            methods = multiprocessing.get_all_start_methods()
+            method = mp_context if isinstance(mp_context, str) else (
+                "fork" if "fork" in methods else None
+            )
+            mp_context = multiprocessing.get_context(method)
+        self._ctx = mp_context
+        self._pool = None
+
+    # ------------------------------------------------------------------ #
+    def __enter__(self) -> "ParallelMonteCarloEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Terminate the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            if self._ctx.get_start_method() != "fork":
+                # Spawn/forkserver pickle the initargs; fail with an
+                # actionable message instead of an opaque PicklingError deep
+                # inside Pool (every in-repo factory is a lambda, which only
+                # works under fork).
+                import pickle
+
+                try:
+                    pickle.dumps((self._code, self._decoder_factory))
+                except Exception as exc:
+                    raise TypeError(
+                        "the code/decoder_factory must be picklable with the "
+                        f"'{self._ctx.get_start_method()}' start method; use a "
+                        "module-level factory function (lambdas only work "
+                        "where 'fork' is available)"
+                    ) from exc
+            self._pool = self._ctx.Pool(
+                processes=self.workers,
+                initializer=_init_worker,
+                initargs=(self._code, self._decoder_factory, self.config),
+            )
+        return self._pool
+
+    def warmup(self) -> None:
+        """Start the pool and wait until it serves one trivial task per worker.
+
+        Useful before timing measurements: worker start-up (process fork plus
+        per-worker simulator construction) otherwise lands inside the first
+        measured run.
+        """
+        pool = self._ensure_pool()
+        sigma_probe = [
+            pool.apply_async(_worker_code_rate, ()) for _ in range(self.workers)
+        ]
+        for result in sigma_probe:
+            result.get()
+
+    # ------------------------------------------------------------------ #
+    def run_point(self, ebn0_db: float, *, rng=None) -> SimulationPoint:
+        """Simulate one Eb/N0 point across the pool.
+
+        ``rng`` seeds the point exactly like the serial simulator's ``rng``
+        argument: the same seed gives bit-identical counts.
+        """
+        (point,) = self._run_points([float(ebn0_db)], rng=rng, spawn_points=False)
+        return point
+
+    def run_sweep(
+        self,
+        ebn0_grid: Sequence[float],
+        *,
+        rng=None,
+        progress: Callable[[SimulationPoint], None] | None = None,
+    ) -> list[SimulationPoint]:
+        """Simulate every grid point, keeping independent points in flight.
+
+        ``rng`` is the master seed; every point receives child stream ``i``
+        of :func:`repro.utils.rng.spawn_seed_sequences` — the same derivation
+        the serial sweep uses, so serial and parallel sweeps agree exactly.
+        ``progress`` is invoked with each :class:`SimulationPoint` as it
+        completes (completion order, not grid order).
+        """
+        return self._run_points(
+            [float(x) for x in ebn0_grid], rng=rng, spawn_points=True, progress=progress
+        )
+
+    # ------------------------------------------------------------------ #
+    def _run_points(
+        self,
+        grid: list[float],
+        *,
+        rng,
+        spawn_points: bool,
+        progress: Callable[[SimulationPoint], None] | None = None,
+    ) -> list[SimulationPoint]:
+        if not grid:
+            return []
+        pool = self._ensure_pool()
+        if spawn_points:
+            seeds = spawn_seed_sequences(rng, len(grid))
+        else:
+            seeds = [as_seed_sequence(rng)]
+        states = [
+            _PointState(ebn0, seed, self.config) for ebn0, seed in zip(grid, seeds)
+        ]
+        max_inflight = self.workers * self._INFLIGHT_PER_WORKER
+        active = list(states)
+        while active:
+            # Top up dispatches round-robin so every active point keeps the
+            # pool fed and early-stopping points release capacity quickly.
+            inflight = sum(len(state.pending) for state in active)
+            made_submission = True
+            while inflight < max_inflight and made_submission:
+                made_submission = False
+                for state in active:
+                    if inflight >= max_inflight:
+                        break
+                    shard = state.next_shard()
+                    if shard is None:
+                        continue
+                    size, child = shard
+                    state.pending.append(
+                        pool.apply_async(_run_shard, (state.ebn0_db, size, child))
+                    )
+                    inflight += 1
+                    made_submission = True
+
+            progressed = False
+            for state in active:
+                if state.consume_ready():
+                    progressed = True
+            finished = [state for state in active if state.done]
+            for state in finished:
+                active.remove(state)
+                if progress is not None:
+                    progress(state.to_point())
+            if active and not progressed and not finished:
+                # Nothing ready yet: block briefly on an outstanding shard
+                # instead of spinning.
+                outstanding = next(
+                    (state.pending[0] for state in active if state.pending), None
+                )
+                if outstanding is not None:
+                    outstanding.wait(0.01)
+                else:  # pragma: no cover - all pending empty implies done
+                    time.sleep(0.001)
+        return [state.to_point() for state in states]

@@ -20,7 +20,14 @@ __all__ = ["SimulationPoint", "SimulationCurve"]
 
 @dataclass(frozen=True)
 class SimulationPoint:
-    """Error statistics at a single Eb/N0 value."""
+    """Error statistics at a single Eb/N0 value.
+
+    ``bits`` counts *transmitted* code bits (for a shortened code the
+    virtual-fill positions are known to the receiver and excluded from the
+    BER denominator).  ``info_ber`` is the error rate over information bits
+    only; it is 0 with ``info_bits == 0`` when the run used the all-zero
+    codeword shortcut and no systematic encoder was built.
+    """
 
     ebn0_db: float
     ber: float
@@ -30,6 +37,9 @@ class SimulationPoint:
     bits: int
     frames: int
     average_iterations: float = 0.0
+    info_ber: float = 0.0
+    info_bit_errors: int = 0
+    info_bits: int = 0
 
     def as_dict(self) -> dict:
         """Plain-dictionary form (for JSON serialization)."""

@@ -55,6 +55,8 @@ class ErrorCounter:
     frames: int = 0
     undetected_frame_errors: int = 0
     total_iterations: int = 0
+    info_bit_errors: int = 0
+    info_bits: int = 0
 
     def update(
         self,
@@ -65,9 +67,13 @@ class ErrorCounter:
         *,
         undetected_frame_errors: int = 0,
         iterations: int = 0,
+        info_bit_errors: int = 0,
+        info_bits: int = 0,
     ) -> None:
         """Add the counts of one simulated batch."""
         if min(bit_errors, frame_errors, bits, frames) < 0:
+            raise ValueError("counts must be non-negative")
+        if min(info_bit_errors, info_bits) < 0:
             raise ValueError("counts must be non-negative")
         self.bit_errors += int(bit_errors)
         self.frame_errors += int(frame_errors)
@@ -75,6 +81,8 @@ class ErrorCounter:
         self.frames += int(frames)
         self.undetected_frame_errors += int(undetected_frame_errors)
         self.total_iterations += int(iterations)
+        self.info_bit_errors += int(info_bit_errors)
+        self.info_bits += int(info_bits)
 
     @property
     def ber(self) -> float:
@@ -85,6 +93,11 @@ class ErrorCounter:
     def fer(self) -> float:
         """Frame (packet) error rate estimate."""
         return self.frame_errors / self.frames if self.frames else 0.0
+
+    @property
+    def info_ber(self) -> float:
+        """Information-bit error rate estimate (0 when no info bits counted)."""
+        return self.info_bit_errors / self.info_bits if self.info_bits else 0.0
 
     @property
     def average_iterations(self) -> float:

@@ -7,11 +7,14 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 from repro.sim.montecarlo import MonteCarloSimulator, SimulationConfig
-from repro.sim.results import SimulationCurve
+from repro.sim.parallel import ParallelMonteCarloEngine
+from repro.sim.results import SimulationCurve, SimulationPoint
 from repro.utils.formatting import format_table
-from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.rng import ensure_rng, spawn_seed_sequences
 
 __all__ = ["EbN0Sweep"]
+
+_UNSET = object()
 
 
 class EbN0Sweep:
@@ -23,12 +26,18 @@ class EbN0Sweep:
         Code (or :class:`~repro.codes.shortening.ShortenedCode`) to simulate.
     decoder_factory:
         Callable returning a fresh decoder; called once per sweep so the same
-        sweep object can be reused across decoders.
+        sweep object can be reused across decoders (and once per worker
+        process when ``workers`` is set).
     config:
         Stopping/batching rules shared by every point.
     rng:
         Master seed; each Eb/N0 point receives an independent child stream so
         results do not depend on the evaluation order.
+    workers:
+        Default worker count for :meth:`run`.  ``None`` (the default) runs
+        serially in-process; any positive count shards the frame budgets over
+        a :class:`~repro.sim.parallel.ParallelMonteCarloEngine` pool.  For a
+        fixed master seed the counts are identical either way.
     """
 
     def __init__(
@@ -38,11 +47,13 @@ class EbN0Sweep:
         *,
         config: SimulationConfig | None = None,
         rng=None,
+        workers: int | None = None,
     ):
         self._code = code
         self._decoder_factory = decoder_factory
         self._config = config or SimulationConfig()
         self._rng = ensure_rng(rng)
+        self._workers = workers
 
     def run(
         self,
@@ -51,24 +62,58 @@ class EbN0Sweep:
         label: str = "decoder",
         metadata: dict | None = None,
         progress: Callable[[str], None] | None = None,
+        workers: int | None = _UNSET,  # type: ignore[assignment]
     ) -> SimulationCurve:
-        """Simulate every Eb/N0 value and return the resulting curve."""
+        """Simulate every Eb/N0 value and return the resulting curve.
+
+        ``workers`` overrides the constructor default for this run only.
+        The curve (and its counts) is identical either way; only the
+        ``progress`` callback order differs — grid order serially, point
+        *completion* order under a worker pool.
+        """
         grid = [float(x) for x in ebn0_grid]
         curve = SimulationCurve(label=label, metadata=dict(metadata or {}))
+        if workers is _UNSET:
+            workers = self._workers
+        if workers:
+            points = self._run_parallel(grid, int(workers), progress)
+        else:
+            points = self._run_serial(grid, progress)
+        for point in points:
+            curve.add(point)
+        return curve
+
+    # ------------------------------------------------------------------ #
+    def _run_serial(
+        self, grid: list[float], progress: Callable[[str], None] | None
+    ) -> list[SimulationPoint]:
         decoder = self._decoder_factory()
-        streams = spawn_rngs(self._rng, len(grid))
+        streams = spawn_seed_sequences(self._rng, len(grid))
+        points = []
         for ebn0_db, stream in zip(grid, streams):
             simulator = MonteCarloSimulator(
-                self._code, decoder, config=self._config, rng=stream
+                self._code, decoder, config=self._config, rng=np.random.default_rng(stream)
             )
             point = simulator.run_point(ebn0_db)
-            curve.add(point)
+            points.append(point)
             if progress is not None:
-                progress(
-                    f"Eb/N0 {ebn0_db:+.2f} dB: BER {point.ber:.3e} "
-                    f"FER {point.fer:.3e} ({point.frames} frames)"
-                )
-        return curve
+                progress(_progress_line(point))
+        return points
+
+    def _run_parallel(
+        self, grid: list[float], workers: int, progress: Callable[[str], None] | None
+    ) -> list[SimulationPoint]:
+        def emit(point: SimulationPoint) -> None:
+            if progress is not None:
+                progress(_progress_line(point))
+
+        with ParallelMonteCarloEngine(
+            self._code,
+            self._decoder_factory,
+            config=self._config,
+            workers=workers,
+        ) as engine:
+            return engine.run_sweep(grid, rng=self._rng, progress=emit)
 
     @staticmethod
     def format_curves(curves: Sequence[SimulationCurve]) -> str:
@@ -88,3 +133,10 @@ class EbN0Sweep:
                     row.extend(["-", "-"])
             rows.append(row)
         return format_table(headers, rows, title="BER / PER vs Eb/N0")
+
+
+def _progress_line(point: SimulationPoint) -> str:
+    return (
+        f"Eb/N0 {point.ebn0_db:+.2f} dB: BER {point.ber:.3e} "
+        f"FER {point.fer:.3e} ({point.frames} frames)"
+    )

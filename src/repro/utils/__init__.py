@@ -9,7 +9,12 @@ from repro.utils.bits import (
     random_bits,
 )
 from repro.utils.formatting import format_table, format_percentage, format_rate
-from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.rng import (
+    as_seed_sequence,
+    ensure_rng,
+    spawn_rngs,
+    spawn_seed_sequences,
+)
 from repro.utils.validation import (
     check_binary_array,
     check_positive,
@@ -28,6 +33,8 @@ __all__ = [
     "format_percentage",
     "format_rate",
     "ensure_rng",
+    "as_seed_sequence",
+    "spawn_seed_sequences",
     "spawn_rngs",
     "check_binary_array",
     "check_positive",

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["ensure_rng", "spawn_rngs"]
+__all__ = ["ensure_rng", "as_seed_sequence", "spawn_seed_sequences", "spawn_rngs"]
 
 
 def ensure_rng(rng=None) -> np.random.Generator:
@@ -26,14 +26,53 @@ def ensure_rng(rng=None) -> np.random.Generator:
     raise TypeError(f"cannot build a Generator from {type(rng).__name__}")
 
 
-def spawn_rngs(rng, count: int) -> list[np.random.Generator]:
-    """Derive ``count`` statistically independent child generators.
+def as_seed_sequence(rng=None) -> np.random.SeedSequence:
+    """Return the :class:`numpy.random.SeedSequence` behind a seed-like object.
 
-    Used by the Monte-Carlo engine to give every Eb/N0 point its own stream
-    so results do not depend on the order points are simulated in.
+    Accepts ``None`` (fresh OS entropy), an integer seed, a ``SeedSequence``,
+    or a ``Generator`` (whose bit generator's seed sequence is returned).
+    Spawning children from the result advances its spawn counter, so repeated
+    calls on the *same* generator yield fresh, non-overlapping children while
+    integer seeds always rebuild the same root sequence.
+    """
+    if rng is None:
+        return np.random.SeedSequence()
+    if isinstance(rng, np.random.SeedSequence):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.SeedSequence(int(rng))
+    if isinstance(rng, np.random.Generator):
+        bit_generator = rng.bit_generator
+        seed_seq = getattr(bit_generator, "seed_seq", None)
+        if seed_seq is None:  # pragma: no cover - very old numpy spelling
+            seed_seq = getattr(bit_generator, "_seed_seq", None)
+        if isinstance(seed_seq, np.random.SeedSequence):
+            return seed_seq
+        raise TypeError(
+            "the Generator's bit generator does not expose a SeedSequence"
+        )
+    raise TypeError(f"cannot build a SeedSequence from {type(rng).__name__}")
+
+
+def spawn_seed_sequences(rng, count: int) -> list[np.random.SeedSequence]:
+    """Spawn ``count`` independent child seed sequences from a seed-like object.
+
+    This is the primitive behind every stream split in the library (per
+    Eb/N0 point, per Monte-Carlo shard): ``SeedSequence.spawn`` guarantees
+    statistically independent, collision-free children, unlike deriving
+    child seeds from integer draws.
     """
     if count < 0:
         raise ValueError("count must be >= 0")
-    rng = ensure_rng(rng)
-    seeds = rng.integers(0, 2**63 - 1, size=count, dtype=np.int64)
-    return [np.random.default_rng(int(seed)) for seed in seeds]
+    return as_seed_sequence(rng).spawn(count)
+
+
+def spawn_rngs(rng, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` statistically independent child generators.
+
+    Children are derived via :meth:`numpy.random.SeedSequence.spawn` (not
+    integer draws, which can collide), so the independence promise holds and
+    the parallel Monte-Carlo engine can reproduce the exact same streams from
+    the shared :func:`spawn_seed_sequences` primitive.
+    """
+    return [np.random.default_rng(seed) for seed in spawn_seed_sequences(rng, count)]

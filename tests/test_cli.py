@@ -99,3 +99,18 @@ class TestSimulate:
             "--iterations", "5",
         ])
         assert result == 0
+
+    def test_workers_and_adaptive_batch(self, capsys):
+        """--workers shards the sweep over a pool; same seed, same counts."""
+        args = [
+            "simulate", "--circulant", "31", "--ebn0", "4.0",
+            "--frames", "20", "--errors", "20", "--batch", "5",
+            "--iterations", "5", "--adaptive-batch", "--seed", "3",
+        ]
+        assert main(args) == 0
+        serial_out = capsys.readouterr().out
+        assert main(args + ["--workers", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        serial_rows = [l for l in serial_out.splitlines() if l.startswith("Eb/N0")]
+        parallel_rows = [l for l in parallel_out.splitlines() if l.startswith("Eb/N0")]
+        assert serial_rows == parallel_rows

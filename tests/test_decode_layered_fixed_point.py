@@ -66,6 +66,56 @@ class TestLayeredDecoder:
         with pytest.raises(ValueError):
             LayeredMinSumDecoder(scaled_code).decode(np.zeros(5))
 
+    def test_degree_one_check_does_not_poison_posterior(self):
+        """Regression: a degree-1 check (e.g. after puncturing/shortening) used
+        to emit an infinite extrinsic magnitude in the layered schedule."""
+        from repro.codes.parity_check import ParityCheckMatrix
+
+        h = np.array(
+            [
+                [1, 1, 0, 1, 1, 0, 0],
+                [1, 0, 1, 1, 0, 1, 0],
+                [0, 1, 1, 1, 0, 0, 1],
+                [0, 0, 0, 0, 0, 0, 1],  # degree-1 check
+            ],
+            dtype=np.uint8,
+        )
+        decoder = LayeredMinSumDecoder(ParityCheckMatrix(h), max_iterations=5, num_layers=2)
+        rng = np.random.default_rng(0)
+        result = decoder.decode(rng.normal(2.0, 1.0, size=(4, 7)))
+        assert np.isfinite(result.posterior_llrs).all()
+        # A clean all-zero codeword still decodes exactly.
+        clean = decoder.decode(np.full(7, 5.0))
+        assert bool(clean.converged)
+        assert not clean.bits.any()
+
+    def test_degree_one_check_matches_flooding_decoder(self):
+        """The layered and flooding schedules agree on degree-1 handling.
+
+        With one layer and one iteration the layered update degenerates to a
+        flooding iteration (the posterior starts at the channel LLRs), so the
+        posteriors must match exactly — including the zeroed extrinsic of the
+        degree-1 check.
+        """
+        from repro.codes.parity_check import ParityCheckMatrix
+
+        h = np.array(
+            [
+                [1, 1, 0, 1, 1, 0, 0],
+                [1, 0, 1, 1, 0, 1, 0],
+                [0, 1, 1, 1, 0, 0, 1],
+                [0, 0, 0, 1, 0, 0, 0],  # degree-1 check on an interior bit
+            ],
+            dtype=np.uint8,
+        )
+        pcm = ParityCheckMatrix(h)
+        rng = np.random.default_rng(3)
+        llrs = rng.normal(1.0, 2.0, size=(8, 7))
+        layered = LayeredMinSumDecoder(pcm, max_iterations=1, num_layers=1).decode(llrs)
+        flooding = NormalizedMinSumDecoder(pcm, max_iterations=1).decode(llrs)
+        assert np.isfinite(layered.posterior_llrs).all()
+        np.testing.assert_allclose(layered.posterior_llrs, flooding.posterior_llrs)
+
 
 class TestQuantizedDecoder:
     def test_noiseless_exact(self, scaled_code, scaled_encoder, rng):

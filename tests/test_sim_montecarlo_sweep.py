@@ -91,6 +91,47 @@ class TestMonteCarloSimulator:
         with pytest.raises(ValueError):
             MonteCarloSimulator(shortened, decoder, rng=0)
 
+    def test_shortened_ber_counts_transmitted_bits_only(self, scaled_code):
+        """Regression: the BER denominator used to include never-transmitted
+        virtual-fill bits, silently underestimating the BER."""
+        shortened = ShortenedCode(scaled_code, info_bits=scaled_code.dimension - 8)
+        decoder = NormalizedMinSumDecoder(scaled_code, max_iterations=10)
+        config = SimulationConfig(max_frames=20, target_frame_errors=20, batch_frames=10,
+                                  all_zero_codeword=True)
+        simulator = MonteCarloSimulator(shortened, decoder, config=config, rng=5)
+        point = simulator.run_point(3.0)
+        assert simulator.counted_bits_per_frame == shortened.transmitted_code_bits
+        assert point.bits == point.frames * shortened.transmitted_code_bits
+        assert point.bits < point.frames * scaled_code.block_length
+
+    def test_plain_code_ber_denominator_unchanged(self, scaled_code):
+        decoder = NormalizedMinSumDecoder(scaled_code, max_iterations=5)
+        config = SimulationConfig(max_frames=10, target_frame_errors=10, batch_frames=10,
+                                  all_zero_codeword=True)
+        point = MonteCarloSimulator(scaled_code, decoder, config=config, rng=6).run_point(4.0)
+        assert point.bits == point.frames * scaled_code.block_length
+
+    def test_info_bit_ber_exposed_with_encoder(self, scaled_code, scaled_encoder):
+        shortened = ShortenedCode.from_encoder(
+            scaled_code, scaled_encoder, info_bits=scaled_code.dimension - 8
+        )
+        decoder = NormalizedMinSumDecoder(scaled_code, max_iterations=10)
+        config = SimulationConfig(max_frames=10, target_frame_errors=10, batch_frames=5)
+        point = MonteCarloSimulator(shortened, decoder, config=config, rng=7).run_point(2.0)
+        assert point.info_bits == point.frames * shortened.info_bits
+        assert 0.0 <= point.info_ber <= 1.0
+        # Info bits are a subset of transmitted bits, so errors cannot exceed
+        # the overall bit errors.
+        assert point.info_bit_errors <= point.bit_errors
+
+    def test_info_bit_ber_zero_without_encoder(self, scaled_code):
+        decoder = NormalizedMinSumDecoder(scaled_code, max_iterations=5)
+        config = SimulationConfig(max_frames=10, target_frame_errors=10, batch_frames=10,
+                                  all_zero_codeword=True)
+        point = MonteCarloSimulator(scaled_code, decoder, config=config, rng=8).run_point(4.0)
+        assert point.info_bits == 0
+        assert point.info_ber == 0.0
+
 
 class TestEbN0Sweep:
     def test_sweep_produces_sorted_curve(self, scaled_code):

@@ -1,0 +1,202 @@
+"""Tests for the sharded parallel Monte-Carlo engine and shard planning."""
+
+import numpy as np
+import pytest
+
+from repro.decode import NormalizedMinSumDecoder
+from repro.sim import (
+    EbN0Sweep,
+    MonteCarloSimulator,
+    ParallelMonteCarloEngine,
+    SimulationConfig,
+    iter_shard_sizes,
+)
+
+
+def _factory_for(code, iterations=8):
+    def factory():
+        return NormalizedMinSumDecoder(code, max_iterations=iterations)
+
+    return factory
+
+
+class TestShardSchedule:
+    def test_constant_without_adaptive(self):
+        config = SimulationConfig(max_frames=100, target_frame_errors=10, batch_frames=32)
+        sizes = list(iter_shard_sizes(config))
+        assert sizes == [32, 32, 32, 4]
+
+    def test_sizes_sum_to_budget(self):
+        config = SimulationConfig(
+            max_frames=777, target_frame_errors=10, batch_frames=10, adaptive_batch=True
+        )
+        assert sum(iter_shard_sizes(config)) == 777
+
+    def test_adaptive_growth_is_geometric_and_capped(self):
+        config = SimulationConfig(
+            max_frames=10_000,
+            target_frame_errors=10,
+            batch_frames=8,
+            adaptive_batch=True,
+            batch_growth=2.0,
+            max_batch_frames=100,
+        )
+        sizes = list(iter_shard_sizes(config))
+        assert sizes[:4] == [8, 16, 32, 64]
+        assert max(sizes) == 100
+        # Once at the cap the size stays there (apart from the final remnant).
+        assert sizes[4:-1] == [100] * (len(sizes) - 5)
+        assert sum(sizes) == 10_000
+
+    def test_adaptive_cap_default(self):
+        config = SimulationConfig(
+            max_frames=10**6, target_frame_errors=10, batch_frames=4, adaptive_batch=True
+        )
+        assert config.effective_max_batch_frames() == 256
+        assert max(iter_shard_sizes(config)) == 256
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(batch_growth=1.0)
+        with pytest.raises(ValueError):
+            SimulationConfig(batch_frames=16, max_batch_frames=8)
+
+
+class TestParallelDeterminism:
+    def test_run_point_matches_serial_for_any_worker_count(self, scaled_code):
+        config = SimulationConfig(
+            max_frames=60, target_frame_errors=6, batch_frames=10, all_zero_codeword=True
+        )
+        factory = _factory_for(scaled_code)
+        serial = MonteCarloSimulator(
+            scaled_code, factory(), config=config, rng=42
+        ).run_point(2.0)
+        assert serial.frame_errors >= 6  # the early-stop path is exercised
+        for workers in (1, 2, 4):
+            with ParallelMonteCarloEngine(
+                scaled_code, factory, config=config, workers=workers
+            ) as engine:
+                point = engine.run_point(2.0, rng=42)
+            assert point == serial
+
+    def test_run_point_matches_serial_with_adaptive_batching(self, scaled_code):
+        config = SimulationConfig(
+            max_frames=80,
+            target_frame_errors=50,
+            batch_frames=5,
+            all_zero_codeword=True,
+            adaptive_batch=True,
+            max_batch_frames=40,
+        )
+        factory = _factory_for(scaled_code)
+        serial = MonteCarloSimulator(
+            scaled_code, factory(), config=config, rng=9
+        ).run_point(7.0)
+        assert serial.frames == 80  # high SNR: budget exhausted, batches grew
+        with ParallelMonteCarloEngine(
+            scaled_code, factory, config=config, workers=2
+        ) as engine:
+            assert engine.run_point(7.0, rng=9) == serial
+
+    def test_sweep_matches_serial(self, scaled_code):
+        config = SimulationConfig(
+            max_frames=40, target_frame_errors=5, batch_frames=10, all_zero_codeword=True
+        )
+        factory = _factory_for(scaled_code)
+        grid = [2.0, 4.0, 6.0]
+        serial = EbN0Sweep(scaled_code, factory, config=config, rng=11).run(grid)
+        parallel = EbN0Sweep(
+            scaled_code, factory, config=config, rng=11, workers=3
+        ).run(grid)
+        assert serial.points == parallel.points
+
+    def test_run_overrides_constructor_workers(self, scaled_code):
+        config = SimulationConfig(
+            max_frames=20, target_frame_errors=5, batch_frames=10, all_zero_codeword=True
+        )
+        factory = _factory_for(scaled_code)
+        sweep = EbN0Sweep(scaled_code, factory, config=config, rng=13, workers=2)
+        parallel = sweep.run([3.0])
+        serial = EbN0Sweep(scaled_code, factory, config=config, rng=13).run(
+            [3.0], workers=None
+        )
+        assert parallel.points == serial.points
+
+
+class TestParallelEngineBehaviour:
+    def test_progress_reports_every_point(self, scaled_code):
+        config = SimulationConfig(
+            max_frames=20, target_frame_errors=5, batch_frames=10, all_zero_codeword=True
+        )
+        messages = []
+        EbN0Sweep(
+            scaled_code, _factory_for(scaled_code), config=config, rng=5, workers=2
+        ).run([3.0, 5.0], progress=messages.append)
+        assert len(messages) == 2
+        assert all("Eb/N0" in m for m in messages)
+
+    def test_empty_grid(self, scaled_code):
+        with ParallelMonteCarloEngine(
+            scaled_code, _factory_for(scaled_code), workers=2
+        ) as engine:
+            assert engine.run_sweep([]) == []
+
+    def test_pool_is_reused_across_points(self, scaled_code):
+        config = SimulationConfig(
+            max_frames=10, target_frame_errors=5, batch_frames=5, all_zero_codeword=True
+        )
+        with ParallelMonteCarloEngine(
+            scaled_code, _factory_for(scaled_code), config=config, workers=2
+        ) as engine:
+            engine.run_point(4.0, rng=1)
+            pool = engine._pool
+            engine.run_point(5.0, rng=1)
+            assert engine._pool is pool
+        assert engine._pool is None  # closed on exit
+
+    def test_warmup_does_not_change_results(self, scaled_code):
+        config = SimulationConfig(
+            max_frames=20, target_frame_errors=5, batch_frames=10, all_zero_codeword=True
+        )
+        factory = _factory_for(scaled_code)
+        serial = MonteCarloSimulator(
+            scaled_code, factory(), config=config, rng=21
+        ).run_point(3.0)
+        with ParallelMonteCarloEngine(
+            scaled_code, factory, config=config, workers=2
+        ) as engine:
+            engine.warmup()
+            assert engine.run_point(3.0, rng=21) == serial
+
+    def test_spawn_context_rejects_unpicklable_factory(self, scaled_code):
+        import multiprocessing
+
+        if "spawn" not in multiprocessing.get_all_start_methods():  # pragma: no cover
+            pytest.skip("spawn start method unavailable")
+        engine = ParallelMonteCarloEngine(
+            scaled_code,
+            _factory_for(scaled_code),  # closure: not picklable
+            workers=2,
+            mp_context="spawn",
+        )
+        with pytest.raises(TypeError, match="picklable"):
+            engine._ensure_pool()
+        engine.close()
+
+    def test_shortened_code_random_data_parallel(self, scaled_code, scaled_encoder):
+        from repro.codes.shortening import ShortenedCode
+
+        shortened = ShortenedCode.from_encoder(
+            scaled_code, scaled_encoder, info_bits=scaled_code.dimension - 8
+        )
+        config = SimulationConfig(max_frames=10, target_frame_errors=10, batch_frames=5)
+        factory = _factory_for(scaled_code, iterations=10)
+        serial = MonteCarloSimulator(
+            shortened, factory(), config=config, rng=6
+        ).run_point(6.0)
+        with ParallelMonteCarloEngine(
+            shortened, factory, config=config, workers=2
+        ) as engine:
+            parallel = engine.run_point(6.0, rng=6)
+        assert parallel == serial
+        assert parallel.bits == parallel.frames * shortened.transmitted_code_bits

@@ -9,7 +9,12 @@ from repro.utils.formatting import (
     format_rate,
     format_table,
 )
-from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.rng import (
+    as_seed_sequence,
+    ensure_rng,
+    spawn_rngs,
+    spawn_seed_sequences,
+)
 
 
 class TestEnsureRng:
@@ -49,6 +54,55 @@ class TestSpawnRngs:
     def test_negative_count_rejected(self):
         with pytest.raises(ValueError):
             spawn_rngs(0, -1)
+
+    def test_children_come_from_seed_sequence_spawn(self):
+        """Regression: children must be SeedSequence.spawn derived (collision
+        free), not built from 63-bit integer draws."""
+        expected = [
+            np.random.default_rng(ss) for ss in np.random.SeedSequence(17).spawn(4)
+        ]
+        children = spawn_rngs(17, 4)
+        for child, reference in zip(children, expected):
+            assert np.array_equal(
+                child.integers(0, 2**32, 16), reference.integers(0, 2**32, 16)
+            )
+
+    def test_generator_input_spawns_fresh_children_per_call(self):
+        gen = np.random.default_rng(5)
+        first = spawn_rngs(gen, 2)
+        second = spawn_rngs(gen, 2)
+        a = first[0].integers(0, 2**32, 8)
+        b = second[0].integers(0, 2**32, 8)
+        assert not np.array_equal(a, b)
+
+
+class TestSeedSequences:
+    def test_as_seed_sequence_from_int(self):
+        ss = as_seed_sequence(7)
+        assert isinstance(ss, np.random.SeedSequence)
+        assert ss.entropy == 7
+
+    def test_as_seed_sequence_passthrough(self):
+        ss = np.random.SeedSequence(1)
+        assert as_seed_sequence(ss) is ss
+
+    def test_as_seed_sequence_from_generator(self):
+        gen = np.random.default_rng(3)
+        assert as_seed_sequence(gen) is gen.bit_generator.seed_seq
+
+    def test_as_seed_sequence_invalid(self):
+        with pytest.raises(TypeError):
+            as_seed_sequence("seed")
+
+    def test_spawn_seed_sequences_deterministic(self):
+        a = spawn_seed_sequences(9, 3)
+        b = spawn_seed_sequences(9, 3)
+        assert [s.spawn_key for s in a] == [s.spawn_key for s in b]
+        assert len({s.spawn_key for s in a}) == 3
+
+    def test_spawn_seed_sequences_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_seed_sequences(0, -2)
 
 
 class TestFormatting:
