@@ -8,7 +8,10 @@ writing any Python:
   export it as an alist file and/or a circulant-table JSON;
 * ``throughput``  — Table 1 style throughput report;
 * ``resources``   — Table 2/3 style implementation report for a device;
-* ``simulate``    — a BER/PER Eb/N0 sweep with a chosen decoder.
+* ``simulate``    — a BER/PER Eb/N0 sweep with a chosen decoder (resumable
+  from a saved curve via ``--resume``);
+* ``campaign``    — run/status/resume a declarative multi-experiment
+  campaign (:mod:`repro.sim.campaign`) from a JSON spec file.
 
 Every command prints plain ASCII tables (the same helpers the benchmark
 harness uses), so output can be diffed against ``benchmarks/output/``.
@@ -18,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 
 from repro.codes import build_ccsds_c2_code, build_scaled_ccsds_code
@@ -40,7 +44,14 @@ from repro.decode import (
 )
 from repro.io.alist import write_alist
 from repro.io.circulant_table import save_circulant_spec
-from repro.sim import EbN0Sweep, SimulationConfig
+from repro.sim import EbN0Sweep, SimulationConfig, SimulationCurve
+from repro.sim.campaign import (
+    CampaignScheduler,
+    CampaignSpec,
+    ResultStore,
+    StoreMismatchError,
+)
+from repro.utils.formatting import format_table
 
 __all__ = ["main", "build_parser"]
 
@@ -146,6 +157,21 @@ def _cmd_simulate(args) -> int:
         all_zero_codeword=not args.random_data,
         adaptive_batch=args.adaptive_batch,
     )
+    resume = None
+    if args.resume:
+        resume_path = Path(args.resume)
+        if resume_path.exists():
+            try:
+                resume = SimulationCurve.load(resume_path)
+            except (OSError, ValueError, KeyError, TypeError) as exc:
+                print(f"cannot load resume curve {resume_path}: {exc}",
+                      file=sys.stderr)
+                return 2
+            skipped = sorted(resume.completed_ebn0() & {float(x) for x in args.ebn0})
+            if skipped:
+                print(f"resuming from {resume_path}: skipping "
+                      f"{len(skipped)} completed point(s) "
+                      f"({', '.join(f'{e:g} dB' for e in skipped)})")
     sweep = EbN0Sweep(
         code,
         lambda: factory(code, args.iterations),
@@ -153,13 +179,98 @@ def _cmd_simulate(args) -> int:
         rng=args.seed,
         workers=args.workers,
     )
-    curve = sweep.run(args.ebn0, label=args.decoder, progress=print)
+    curve = sweep.run(args.ebn0, label=args.decoder, resume=resume, progress=print)
+    # Persist before printing the summary: a broken output pipe must not
+    # cost the measured points.
+    save_path = args.save or args.resume
+    if save_path:
+        curve.save(save_path)
     print()
     print(EbN0Sweep.format_curves([curve]))
-    if args.save:
-        curve.save(args.save)
-        print(f"\ncurve written to {args.save}")
+    if save_path:
+        print(f"\ncurve written to {save_path}")
     return 0
+
+
+def _campaign_progress(label: str, point) -> None:
+    print(f"[{label}] Eb/N0 {point.ebn0_db:+.2f} dB: BER {point.ber:.3e} "
+          f"FER {point.fer:.3e} ({point.frames} frames)")
+
+
+def _campaign_status_table(store: ResultStore) -> str:
+    rows = []
+    for row in store.status():
+        rows.append([
+            row["label"],
+            f"{row['points_done']}/{row['points_total']}",
+            f"{row['frames']:,}",
+            f"{row['frame_errors']:,}",
+            "done" if row["complete"] else "partial",
+        ])
+    return format_table(
+        ["Experiment", "Points", "Frames", "Frame errors", "Status"],
+        rows,
+        title=f"Campaign '{store.spec.name}' ({store.directory})",
+    )
+
+
+def _run_campaign(store: ResultStore, workers) -> int:
+    scheduler = CampaignScheduler(store.spec, store, workers=workers)
+    # Count progress from the store summary; scheduler.run() derives the
+    # job list itself, so don't compute plan()/pending() twice.
+    total = store.spec.total_points()
+    pending = total - sum(row["points_done"] for row in store.status())
+    print(f"campaign '{store.spec.name}': {total - pending}/{total} points done, "
+          f"{pending} to run "
+          f"({'serial' if not workers else f'{workers} workers, one shared pool'})")
+    curves = scheduler.run(progress=_campaign_progress)
+    print()
+    print(_campaign_status_table(store))
+    print()
+    print(EbN0Sweep.format_curves(list(curves.values())))
+    print(f"\nresults stored in {store.directory}")
+    return 0
+
+
+def _cmd_campaign_run(args) -> int:
+    # Exit code 2 for usage errors (bad spec/directory), so scripts can tell
+    # them apart from 1 = "campaign incomplete" (status) and real crashes.
+    try:
+        spec = CampaignSpec.load(args.spec)
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        print(f"cannot load campaign spec {args.spec}: {exc}", file=sys.stderr)
+        return 2
+    directory = args.dir or (Path("campaigns") / spec.name)
+    try:
+        store = ResultStore.create(directory, spec, fresh=args.fresh)
+    except StoreMismatchError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    return _run_campaign(store, args.workers)
+
+
+def _open_store(directory) -> ResultStore | None:
+    """Open a campaign directory, or print the problem and return ``None``."""
+    try:
+        return ResultStore.open(directory)
+    except (OSError, StoreMismatchError, ValueError, KeyError, TypeError) as exc:
+        print(f"cannot open campaign directory {directory}: {exc}", file=sys.stderr)
+        return None
+
+
+def _cmd_campaign_resume(args) -> int:
+    store = _open_store(args.dir)
+    if store is None:
+        return 2
+    return _run_campaign(store, args.workers)
+
+
+def _cmd_campaign_status(args) -> int:
+    store = _open_store(args.dir)
+    if store is None:
+        return 2
+    print(_campaign_status_table(store))
+    return 0 if store.is_complete() else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -211,7 +322,44 @@ def build_parser() -> argparse.ArgumentParser:
                           help="grow the batch size geometrically at high SNR "
                                "where frame errors are rare")
     simulate.add_argument("--save", type=str, default=None, help="write the curve as JSON")
+    simulate.add_argument("--resume", type=str, default=None,
+                          help="previously saved curve JSON: its Eb/N0 points "
+                               "are skipped and the completed curve is written "
+                               "back (same seed => counts identical to an "
+                               "uninterrupted run)")
     simulate.set_defaults(func=_cmd_simulate)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="declarative multi-experiment campaigns over one shared pool",
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    run = campaign_sub.add_parser("run", help="run a campaign from a JSON spec")
+    run.add_argument("spec", type=str, help="campaign spec JSON file")
+    run.add_argument("--dir", type=str, default=None,
+                     help="result directory (default: campaigns/<name>); an "
+                          "existing store of the same spec is resumed")
+    run.add_argument("--workers", type=int, default=None,
+                     help="size of the shared worker pool (default: serial)")
+    run.add_argument("--fresh", action="store_true",
+                     help="discard any existing results in the directory")
+    run.set_defaults(func=_cmd_campaign_run)
+
+    resume = campaign_sub.add_parser(
+        "resume", help="finish an interrupted campaign from its directory"
+    )
+    resume.add_argument("dir", type=str, help="campaign result directory")
+    resume.add_argument("--workers", type=int, default=None,
+                        help="size of the shared worker pool (default: serial)")
+    resume.set_defaults(func=_cmd_campaign_resume)
+
+    status = campaign_sub.add_parser(
+        "status", help="progress summary of a campaign directory "
+                       "(exit code 1 while incomplete)"
+    )
+    status.add_argument("dir", type=str, help="campaign result directory")
+    status.set_defaults(func=_cmd_campaign_status)
 
     return parser
 

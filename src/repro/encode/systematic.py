@@ -8,9 +8,24 @@ matrix product.
 
 This is the reference encoder used by the Monte-Carlo simulations; the
 hardware-style circulant encoder lives in :mod:`repro.encode.qc_encoder`.
+
+Because the row reduction is by far the most expensive part (minutes for the
+full 8176-bit CCSDS code) and every Monte-Carlo *worker process* builds its
+own encoder, the reduction result is memoized to an on-disk cache keyed by a
+hash of the parity-check matrix.  The cache lives under
+``~/.cache/repro/encoders`` by default; the ``REPRO_ENCODER_CACHE``
+environment variable overrides the directory, and setting it to ``0`` /
+``off`` / ``none`` disables caching entirely.  Cache reads and writes are
+best-effort — any I/O problem or corrupt file silently falls back to the
+direct computation.
 """
 
 from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from pathlib import Path
 
 import numpy as np
 
@@ -18,7 +33,43 @@ from repro.codes.parity_check import ParityCheckMatrix
 from repro.gf2.dense import gf2_row_reduce
 from repro.utils.validation import check_binary_array
 
-__all__ = ["SystematicEncoder", "as_parity_check_matrix"]
+__all__ = [
+    "SystematicEncoder",
+    "as_parity_check_matrix",
+    "default_encoder_cache_dir",
+    "parity_check_fingerprint",
+]
+
+_CACHE_ENV = "REPRO_ENCODER_CACHE"
+_CACHE_DISABLED = {"", "0", "off", "none", "disabled", "false"}
+_DEFAULT_CACHE = object()
+
+
+def default_encoder_cache_dir() -> Path | None:
+    """Directory of the encoder cache, or ``None`` when caching is disabled.
+
+    Controlled by the ``REPRO_ENCODER_CACHE`` environment variable: unset
+    means ``~/.cache/repro/encoders``, a path means that path, and ``0`` /
+    ``off`` / ``none`` / ``false`` disables the cache.
+    """
+    value = os.environ.get(_CACHE_ENV)
+    if value is None:
+        return Path.home() / ".cache" / "repro" / "encoders"
+    if value.strip().lower() in _CACHE_DISABLED:
+        return None
+    return Path(value)
+
+
+def parity_check_fingerprint(pcm: ParityCheckMatrix) -> str:
+    """Content hash of a parity-check matrix (shape + bit pattern)."""
+    return _dense_fingerprint(pcm.to_dense())
+
+
+def _dense_fingerprint(h_dense: np.ndarray) -> str:
+    digest = hashlib.sha256()
+    digest.update(np.asarray(h_dense.shape, dtype=np.int64).tobytes())
+    digest.update(np.packbits(h_dense, axis=None).tobytes())
+    return digest.hexdigest()
 
 
 def as_parity_check_matrix(code) -> ParityCheckMatrix:
@@ -46,21 +97,90 @@ class SystematicEncoder:
         Either a :class:`~repro.codes.parity_check.ParityCheckMatrix`, an
         object with a ``parity_check_matrix()`` method (such as
         :class:`~repro.codes.qc.QCLDPCCode`), or a dense 0/1 H matrix.
+    cache_dir:
+        Directory of the on-disk row-reduction cache.  Defaults to
+        :func:`default_encoder_cache_dir` (environment-controlled); pass
+        ``None`` to disable caching for this encoder.
     """
 
-    def __init__(self, code):
+    def __init__(self, code, *, cache_dir=_DEFAULT_CACHE):
         pcm = as_parity_check_matrix(code)
         self._pcm = pcm
-        h_dense = pcm.to_dense()
-        rref, pivots = gf2_row_reduce(h_dense)
+        if cache_dir is _DEFAULT_CACHE:
+            cache_dir = default_encoder_cache_dir()
         n = pcm.block_length
-        pivot_cols = np.array(pivots, dtype=np.int64)
-        info_cols = np.setdiff1d(np.arange(n, dtype=np.int64), pivot_cols)
-        # Parity equations: for pivot row r with pivot column pivots[r],
-        #   c[pivots[r]] = sum over info columns f of rref[r, f] * c[f].
-        self._parity_map = rref[: pivot_cols.size][:, info_cols].astype(np.uint8)
+        # Materialize the dense H (and hash it) exactly once per build: both
+        # the fingerprint and the row reduction need it, and for the full
+        # 8176-bit code each dense build is ~8M entries.
+        h_dense = None
+        cache_path = None
+        if cache_dir is not None:
+            h_dense = pcm.to_dense()
+            cache_path = Path(cache_dir) / f"{_dense_fingerprint(h_dense)}.npz"
+        cached = self._load_cached(cache_path, n)
+        if cached is not None:
+            parity_map, pivot_cols, info_cols = cached
+        else:
+            if h_dense is None:
+                h_dense = pcm.to_dense()
+            rref, pivots = gf2_row_reduce(h_dense)
+            pivot_cols = np.array(pivots, dtype=np.int64)
+            info_cols = np.setdiff1d(np.arange(n, dtype=np.int64), pivot_cols)
+            # Parity equations: for pivot row r with pivot column pivots[r],
+            #   c[pivots[r]] = sum over info columns f of rref[r, f] * c[f].
+            parity_map = rref[: pivot_cols.size][:, info_cols].astype(np.uint8)
+            self._store_cached(cache_path, parity_map, pivot_cols, info_cols)
+        self._parity_map = parity_map
         self._pivot_cols = pivot_cols
         self._info_cols = info_cols
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _load_cached(path: Path | None, n: int):
+        """Load (parity_map, pivot_cols, info_cols) or ``None``.
+
+        Any corruption — missing arrays, wrong shapes, unreadable file —
+        falls back to recomputation; the cache can never make an encoder
+        wrong, only fast.
+        """
+        if path is None or not path.exists():
+            return None
+        try:
+            with np.load(path) as data:
+                parity_map = np.asarray(data["parity_map"], dtype=np.uint8)
+                pivot_cols = np.asarray(data["pivot_cols"], dtype=np.int64)
+                info_cols = np.asarray(data["info_cols"], dtype=np.int64)
+        except Exception:
+            return None
+        if pivot_cols.size + info_cols.size != n:
+            return None
+        if parity_map.shape != (pivot_cols.size, info_cols.size):
+            return None
+        return parity_map, pivot_cols, info_cols
+
+    @staticmethod
+    def _store_cached(path: Path | None, parity_map, pivot_cols, info_cols) -> None:
+        if path is None:
+            return
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=path.stem, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    np.savez(
+                        handle,
+                        parity_map=parity_map,
+                        pivot_cols=pivot_cols,
+                        info_cols=info_cols,
+                    )
+                os.replace(tmp_name, path)
+            except BaseException:
+                os.unlink(tmp_name)
+                raise
+        except Exception:  # pragma: no cover - cache writes are best-effort
+            return
 
     # ------------------------------------------------------------------ #
     @property

@@ -12,10 +12,14 @@ budgets over a ``multiprocessing`` worker pool (``EbN0Sweep(..., workers=N)``)
 and reproduces the serial engine's counts bit for bit for any worker count —
 the shard schedule and per-shard RNG streams live in
 :mod:`repro.sim.sharding` and are shared by both engines.
+
+:mod:`repro.sim.campaign` builds on the same pool to run whole experiment
+grids — many (code, decoder, config) combinations — through one shared
+worker pool with an incrementally persisted, resumable result store.
 """
 
 from repro.sim.montecarlo import BatchResult, MonteCarloSimulator, SimulationConfig
-from repro.sim.parallel import ParallelMonteCarloEngine
+from repro.sim.parallel import ParallelMonteCarloEngine, PoolEntry, SharedWorkerPool
 from repro.sim.reference import shannon_limit_ebn0_db, uncoded_bpsk_ber
 from repro.sim.results import SimulationCurve, SimulationPoint
 from repro.sim.sharding import consume_shard, iter_shard_sizes
@@ -27,6 +31,8 @@ __all__ = [
     "SimulationConfig",
     "BatchResult",
     "ParallelMonteCarloEngine",
+    "SharedWorkerPool",
+    "PoolEntry",
     "iter_shard_sizes",
     "consume_shard",
     "EbN0Sweep",

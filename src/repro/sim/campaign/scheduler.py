@@ -1,0 +1,200 @@
+"""Campaign scheduling: one shard stream, one shared worker pool.
+
+The scheduler flattens every (experiment, Eb/N0) combination of a
+:class:`~repro.sim.campaign.spec.CampaignSpec` into a deterministic list of
+:class:`PointJob`\\ s and drives them through a *single*
+:class:`~repro.sim.parallel.SharedWorkerPool` — experiments do not pay a
+pool each, and early-stopping points of one configuration release workers to
+the others.  Jobs are interleaved round-robin across experiments so every
+curve grows from its most informative (lowest-index) points first.
+
+Seeds are a pure function of the spec: experiment ``i`` owns child ``i`` of
+``SeedSequence(spec.seed)`` and point ``j`` of that experiment owns child
+``j`` of the experiment's sequence.  Combined with the per-point shard
+determinism of :mod:`repro.sim.parallel`, a campaign therefore produces
+bit-identical counts for any worker count — and a *resumed* campaign (jobs
+already in the :class:`~repro.sim.campaign.store.ResultStore` are skipped,
+but every seed is re-derived from scratch) completes to exactly the counts
+of an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.sim.campaign.spec import CampaignSpec
+from repro.sim.campaign.store import ResultStore
+from repro.sim.montecarlo import MonteCarloSimulator
+from repro.sim.parallel import PointState, PoolEntry, SharedWorkerPool
+from repro.sim.results import SimulationCurve, SimulationPoint
+from repro.utils.rng import as_seed_sequence
+
+__all__ = ["PointJob", "CampaignScheduler"]
+
+
+@dataclass(frozen=True)
+class PointJob:
+    """One schedulable (experiment, Eb/N0) unit of a campaign."""
+
+    experiment_index: int
+    label: str
+    point_index: int
+    ebn0_db: float
+    seed: np.random.SeedSequence
+
+
+class CampaignScheduler:
+    """Run a campaign's point jobs through one shared worker pool.
+
+    Parameters
+    ----------
+    spec:
+        The campaign description.
+    store:
+        Result store; every completed point is persisted immediately and
+        already-persisted points are skipped.
+    workers:
+        ``None``/``0`` runs serially in-process (bit-identical to any pooled
+        run); a positive count dispatches over a
+        :class:`~repro.sim.parallel.SharedWorkerPool` of that size.
+    mp_context:
+        Optional ``multiprocessing`` context or start-method name.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        store: ResultStore,
+        *,
+        workers: int | None = None,
+        mp_context=None,
+    ):
+        self.spec = spec
+        self.store = store
+        self.workers = workers
+        self._mp_context = mp_context
+
+    # ------------------------------------------------------------------ #
+    def plan(self) -> list[PointJob]:
+        """Every point job of the campaign, in deterministic dispatch order.
+
+        The order interleaves experiments round-robin by point index; it
+        affects only scheduling (which points complete first), never counts.
+        """
+        root = as_seed_sequence(int(self.spec.seed))
+        experiment_seeds = root.spawn(len(self.spec.experiments))
+        jobs: list[PointJob] = []
+        for index, experiment in enumerate(self.spec.experiments):
+            grid = experiment.resolve_ebn0(self.spec.ebn0)
+            seeds = experiment_seeds[index].spawn(len(grid))
+            for point_index, (ebn0, seed) in enumerate(zip(grid, seeds)):
+                jobs.append(
+                    PointJob(index, experiment.label, point_index, float(ebn0), seed)
+                )
+        jobs.sort(key=lambda job: (job.point_index, job.experiment_index))
+        return jobs
+
+    def pending(self) -> list[PointJob]:
+        """The planned jobs whose points are not yet in the store."""
+        completed = {
+            experiment.label: self.store.completed_ebn0(experiment.label)
+            for experiment in self.spec.experiments
+        }
+        return [job for job in self.plan() if job.ebn0_db not in completed[job.label]]
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        *,
+        progress: Callable[[str, SimulationPoint], None] | None = None,
+    ) -> dict[str, SimulationCurve]:
+        """Execute every pending job; return the completed curves by label.
+
+        ``progress`` is called with ``(label, point)`` as each point lands in
+        the store — completion order under a pool, plan order serially.  An
+        interrupted run (``KeyboardInterrupt``, ``SIGKILL``, …) leaves the
+        store with every point completed so far; rerunning finishes the rest.
+        """
+        jobs = self.pending()
+        if jobs:
+            if self.workers:
+                self._run_pooled(jobs, progress)
+            else:
+                self._run_serial(jobs, progress)
+        return self.store.curves()
+
+    # ------------------------------------------------------------------ #
+    def _built_codes(self, labels: set[str]) -> dict[str, object]:
+        """Build each distinct code once; map experiment label -> code."""
+        by_spec: dict = {}
+        codes: dict[str, object] = {}
+        for experiment in self.spec.experiments:
+            if experiment.label not in labels:
+                continue
+            if experiment.code not in by_spec:
+                by_spec[experiment.code] = experiment.code.build()
+            codes[experiment.label] = by_spec[experiment.code]
+        return codes
+
+    def _record(
+        self,
+        label: str,
+        point: SimulationPoint,
+        progress: Callable[[str, SimulationPoint], None] | None,
+    ) -> None:
+        self.store.record_point(label, point)
+        if progress is not None:
+            progress(label, point)
+
+    def _run_serial(self, jobs, progress) -> None:
+        codes = self._built_codes({job.label for job in jobs})
+        experiments = {e.label: e for e in self.spec.experiments}
+        simulators: dict[str, MonteCarloSimulator] = {}
+        for job in jobs:
+            simulator = simulators.get(job.label)
+            if simulator is None:
+                experiment = experiments[job.label]
+                code = codes[job.label]
+                simulator = MonteCarloSimulator(
+                    code,
+                    experiment.decoder.build(code),
+                    config=experiment.resolve_config(self.spec.config),
+                    rng=0,
+                )
+                simulators[job.label] = simulator
+            point = simulator.run_point(job.ebn0_db, rng=job.seed)
+            self._record(job.label, point, progress)
+
+    def _run_pooled(self, jobs, progress) -> None:
+        labels = {job.label for job in jobs}
+        codes = self._built_codes(labels)
+        entries: dict[str, PoolEntry] = {}
+        for experiment in self.spec.experiments:
+            if experiment.label not in labels:
+                continue
+            code = codes[experiment.label]
+            entries[experiment.label] = PoolEntry(
+                code,
+                experiment.decoder.factory(code),
+                experiment.resolve_config(self.spec.config),
+            )
+        states = [
+            PointState(
+                job.label,
+                job.ebn0_db,
+                job.seed,
+                entries[job.label].config,
+                tag=job,
+            )
+            for job in jobs
+        ]
+        with SharedWorkerPool(
+            entries, workers=self.workers, mp_context=self._mp_context
+        ) as pool:
+            pool.run_states(
+                states,
+                on_point=lambda state, point: self._record(state.key, point, progress),
+            )

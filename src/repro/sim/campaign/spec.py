@@ -1,0 +1,515 @@
+"""Declarative experiment-campaign specifications.
+
+A campaign is a *grid* of Monte-Carlo experiments — the paper's Figure 4 and
+its ablations are not one curve but every (code, decoder, quantization,
+iteration budget, alpha) combination swept over Eb/N0.  This module turns
+that grid into data:
+
+* :class:`CodeSpec` / :class:`DecoderSpec` name a code construction and a
+  decoder configuration symbolically (JSON-friendly, picklable, buildable);
+* :class:`ExperimentSpec` pairs them with an optional per-experiment Eb/N0
+  grid and :class:`~repro.sim.montecarlo.SimulationConfig` override — one
+  experiment produces one :class:`~repro.sim.results.SimulationCurve`;
+* :class:`CampaignSpec` owns the campaign-wide defaults (grid, config, master
+  seed) and the experiment list, round-trips through dicts/JSON, and can
+  *expand* a compact cartesian ``grid`` description (lists of codes ×
+  decoders with list-valued parameters × configs) into labelled experiments.
+
+Everything here is declarative: nothing expensive is built until
+:meth:`CodeSpec.build` / :meth:`DecoderSpec.factory` are called by the
+scheduler, so specs are cheap to validate, hash, store in manifests and ship
+to worker processes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import asdict, dataclass, field, fields
+from pathlib import Path
+from typing import Callable, Mapping, Sequence
+
+from repro.channel.quantize import FixedPointFormat
+from repro.codes import build_ccsds_c2_code, build_scaled_ccsds_code
+from repro.codes.ccsds_c2 import CCSDS_C2_CIRCULANT_SIZE
+from repro.codes.deepspace import AR4JA_RATES, build_deepspace_code
+from repro.decode import (
+    LayeredMinSumDecoder,
+    MinSumDecoder,
+    NormalizedMinSumDecoder,
+    OffsetMinSumDecoder,
+    QuantizedMinSumDecoder,
+    SumProductDecoder,
+)
+from repro.sim.montecarlo import SimulationConfig
+from repro.utils.files import atomic_write_text
+
+__all__ = [
+    "CodeSpec",
+    "DecoderSpec",
+    "ExperimentSpec",
+    "CampaignSpec",
+    "config_to_dict",
+    "config_from_dict",
+    "expand_grid",
+]
+
+_CODE_FAMILIES = ("ccsds-c2", "scaled", "deepspace")
+
+_DECODER_KINDS: dict[str, Callable] = {
+    "nms": NormalizedMinSumDecoder,
+    "min-sum": MinSumDecoder,
+    "offset": OffsetMinSumDecoder,
+    "sum-product": SumProductDecoder,
+    "quantized": QuantizedMinSumDecoder,
+    "layered": LayeredMinSumDecoder,
+}
+
+#: Decoder parameters that name a fixed-point format and accept a
+#: ``[total_bits, fractional_bits]`` pair in specs.
+_FORMAT_PARAMS = ("message_format", "channel_format")
+
+
+def config_to_dict(config: SimulationConfig) -> dict:
+    """Plain-dictionary form of a :class:`SimulationConfig`."""
+    return asdict(config)
+
+
+def config_from_dict(data: Mapping) -> SimulationConfig:
+    """Rebuild a :class:`SimulationConfig`, ignoring unknown keys."""
+    known = {f.name for f in fields(SimulationConfig)}
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(f"unknown SimulationConfig keys: {sorted(unknown)}")
+    return SimulationConfig(**{k: v for k, v in data.items() if k in known})
+
+
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class CodeSpec:
+    """Symbolic description of a code construction.
+
+    ``family`` selects the builder: ``"ccsds-c2"`` (the paper's full
+    8176-bit code), ``"scaled"`` (its smaller structural twin, requires
+    ``circulant``), or ``"deepspace"`` (an AR4JA-style code, requires
+    ``rate``; ``circulant`` defaults to 64).
+    """
+
+    family: str = "scaled"
+    circulant: int | None = None
+    rate: str | None = None
+
+    def __post_init__(self):
+        if self.family not in _CODE_FAMILIES:
+            raise ValueError(
+                f"unknown code family {self.family!r}; choose from {_CODE_FAMILIES}"
+            )
+        if self.family == "scaled" and not self.circulant:
+            raise ValueError("a 'scaled' CodeSpec needs a circulant size")
+        if self.family == "deepspace":
+            if self.rate not in AR4JA_RATES:
+                raise ValueError(
+                    f"a 'deepspace' CodeSpec needs rate from {tuple(AR4JA_RATES)}"
+                )
+
+    @property
+    def key(self) -> str:
+        """Short stable identifier (used in labels and store addressing)."""
+        if self.family == "ccsds-c2":
+            if self.circulant in (None, CCSDS_C2_CIRCULANT_SIZE):
+                return "ccsds-c2"
+            # A circulant override builds the scaled twin — the key must say
+            # so, or the stored curve would claim the full code's results.
+            return f"ccsds-c2-c{self.circulant}"
+        if self.family == "scaled":
+            return f"scaled{self.circulant}"
+        rate = str(self.rate).replace("/", "-")
+        return f"ar4ja-r{rate}-c{self.circulant or 64}"
+
+    def build(self):
+        """Construct the code object this spec names."""
+        if self.family == "ccsds-c2":
+            if self.circulant in (None, CCSDS_C2_CIRCULANT_SIZE):
+                return build_ccsds_c2_code()
+            return build_scaled_ccsds_code(self.circulant)
+        if self.family == "scaled":
+            return build_scaled_ccsds_code(self.circulant)
+        code, _ = build_deepspace_code(self.rate, self.circulant or 64)
+        return code
+
+    def as_dict(self) -> dict:
+        data: dict = {"family": self.family}
+        if self.circulant is not None:
+            data["circulant"] = self.circulant
+        if self.rate is not None:
+            data["rate"] = self.rate
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "CodeSpec":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown CodeSpec keys: {sorted(unknown)}")
+        return cls(**dict(data))
+
+
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class DecoderSpec:
+    """Symbolic description of a decoder configuration.
+
+    ``params`` is passed through to the decoder constructor as keyword
+    arguments (``alpha``, ``beta``, …).  The fixed-point decoder's
+    ``message_format`` / ``channel_format`` may be given as a
+    ``[total_bits, fractional_bits]`` pair and are converted to
+    :class:`~repro.channel.quantize.FixedPointFormat` at build time, keeping
+    the spec JSON-native.
+    """
+
+    kind: str = "nms"
+    iterations: int = 18
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.kind not in _DECODER_KINDS:
+            raise ValueError(
+                f"unknown decoder kind {self.kind!r}; choose from "
+                f"{tuple(sorted(_DECODER_KINDS))}"
+            )
+        if int(self.iterations) < 1:
+            raise ValueError("iterations must be positive")
+
+    @property
+    def key(self) -> str:
+        """Short stable identifier including every parameter."""
+        parts = [self.kind, f"it{self.iterations}"]
+        for name in sorted(self.params):
+            parts.append(f"{name.replace('_', '-')}{_value_slug(self.params[name])}")
+        return "-".join(parts)
+
+    def build(self, code):
+        """Construct the decoder for ``code``."""
+        kwargs = dict(self.params)
+        for name in _FORMAT_PARAMS:
+            value = kwargs.get(name)
+            if isinstance(value, (list, tuple)):
+                kwargs[name] = FixedPointFormat(int(value[0]), int(value[1]))
+        return _DECODER_KINDS[self.kind](
+            code, max_iterations=int(self.iterations), **kwargs
+        )
+
+    def factory(self, code) -> "BoundDecoderFactory":
+        """Zero-argument factory bound to ``code``.
+
+        Unlike a closure this is *picklable* (spec + code), so campaign
+        worker pools also start on platforms whose ``multiprocessing`` start
+        method is ``spawn`` (macOS/Windows), provided the code object
+        pickles.
+        """
+        return BoundDecoderFactory(self, code)
+
+    def as_dict(self) -> dict:
+        data: dict = {"kind": self.kind, "iterations": self.iterations}
+        if self.params:
+            data["params"] = dict(self.params)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "DecoderSpec":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown DecoderSpec keys: {sorted(unknown)}")
+        payload = dict(data)
+        payload["params"] = dict(payload.get("params") or {})
+        return cls(**payload)
+
+
+def _value_slug(value) -> str:
+    if isinstance(value, (list, tuple)):
+        return "q" + "p".join(str(v) for v in value)
+    return str(value)
+
+
+@dataclass(frozen=True)
+class BoundDecoderFactory:
+    """Picklable zero-argument decoder factory (a spec bound to its code)."""
+
+    decoder: DecoderSpec
+    code: object
+
+    def __call__(self):
+        return self.decoder.build(self.code)
+
+
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One (code, decoder) experiment of a campaign — one result curve.
+
+    ``ebn0`` and ``config`` override the campaign-wide defaults when given.
+    ``label`` is the experiment's identity inside the campaign: it must be
+    unique and is the addressing key of the result store.
+    """
+
+    label: str
+    code: CodeSpec
+    decoder: DecoderSpec
+    ebn0: tuple[float, ...] | None = None
+    config: SimulationConfig | None = None
+
+    def __post_init__(self):
+        if not self.label or not str(self.label).strip():
+            raise ValueError("every experiment needs a non-empty label")
+        if self.ebn0 is not None:
+            object.__setattr__(self, "ebn0", tuple(float(x) for x in self.ebn0))
+
+    def resolve_ebn0(self, default: Sequence[float]) -> tuple[float, ...]:
+        grid = self.ebn0 if self.ebn0 is not None else tuple(default)
+        if not grid:
+            raise ValueError(
+                f"experiment {self.label!r} has no Eb/N0 grid (none of its own "
+                "and no campaign default)"
+            )
+        values = tuple(float(x) for x in grid)
+        if len(set(values)) != len(values):
+            # A duplicated value would create two jobs racing for one store
+            # slot — whichever finished first would win, breaking the
+            # any-worker-count determinism guarantee.
+            raise ValueError(
+                f"experiment {self.label!r} has duplicate Eb/N0 values: {values}"
+            )
+        return values
+
+    def resolve_config(self, default: SimulationConfig) -> SimulationConfig:
+        return self.config if self.config is not None else default
+
+    def as_dict(self) -> dict:
+        data: dict = {
+            "label": self.label,
+            "code": self.code.as_dict(),
+            "decoder": self.decoder.as_dict(),
+        }
+        if self.ebn0 is not None:
+            data["ebn0"] = list(self.ebn0)
+        if self.config is not None:
+            data["config"] = config_to_dict(self.config)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ExperimentSpec":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown ExperimentSpec keys: {sorted(unknown)}")
+        return cls(
+            label=str(data["label"]),
+            code=CodeSpec.from_dict(data["code"]),
+            decoder=DecoderSpec.from_dict(data["decoder"]),
+            ebn0=tuple(data["ebn0"]) if data.get("ebn0") is not None else None,
+            config=(
+                config_from_dict(data["config"])
+                if data.get("config") is not None
+                else None
+            ),
+        )
+
+
+# --------------------------------------------------------------------------- #
+def expand_grid(grid: Mapping) -> list[ExperimentSpec]:
+    """Expand a compact cartesian grid into labelled experiments.
+
+    ``grid`` is a mapping with:
+
+    * ``codes`` — list of :class:`CodeSpec` dicts (default: one full CCSDS
+      C2 code);
+    * ``decoders`` — list of :class:`DecoderSpec`-like dicts where
+      ``iterations`` and any value inside ``params`` may be a *list*; each
+      list is a cartesian axis;
+    * ``configs`` — optional list of :class:`SimulationConfig` dicts (each a
+      campaign-config override); omitted means "use the campaign default";
+    * ``ebn0`` — optional Eb/N0 grid shared by the expanded experiments
+      (omitted means "use the campaign default").
+
+    Labels are generated from the varying axes only (the code key is always
+    included when several codes are present, the decoder kind always), so a
+    two-alpha sweep reads ``nms-it18-alpha1.25`` / ``nms-it18-alpha1.5``.
+    """
+    unknown = set(grid) - {"codes", "decoders", "configs", "ebn0"}
+    if unknown:
+        raise ValueError(f"unknown grid keys: {sorted(unknown)}")
+    codes = [CodeSpec.from_dict(c) for c in grid.get("codes") or [{"family": "ccsds-c2"}]]
+    decoder_entries = grid.get("decoders") or [{"kind": "nms"}]
+    config_entries = grid.get("configs")
+    configs: list[SimulationConfig | None] = (
+        [config_from_dict(c) for c in config_entries] if config_entries else [None]
+    )
+    grid_ebn0 = grid.get("ebn0")
+    ebn0 = tuple(float(x) for x in grid_ebn0) if grid_ebn0 is not None else None
+
+    decoders: list[DecoderSpec] = []
+    for entry in decoder_entries:
+        decoders.extend(_expand_decoder_entry(entry))
+
+    experiments: list[ExperimentSpec] = []
+    many_codes = len(codes) > 1
+    many_configs = len(configs) > 1
+    for code, decoder, (config_index, config) in itertools.product(
+        codes, decoders, enumerate(configs)
+    ):
+        parts = []
+        if many_codes:
+            parts.append(code.key)
+        parts.append(decoder.key)
+        if many_configs:
+            parts.append(f"cfg{config_index}")
+        experiments.append(
+            ExperimentSpec(
+                label="-".join(parts),
+                code=code,
+                decoder=decoder,
+                ebn0=ebn0,
+                config=config,
+            )
+        )
+    return experiments
+
+
+def _expand_decoder_entry(entry: Mapping) -> list[DecoderSpec]:
+    """Expand list-valued ``iterations``/``params`` axes of one decoder dict."""
+    unknown = set(entry) - {"kind", "iterations", "params"}
+    if unknown:
+        raise ValueError(f"unknown decoder grid keys: {sorted(unknown)}")
+    kind = entry.get("kind", "nms")
+    iterations = entry.get("iterations", 18)
+    iteration_axis = list(iterations) if isinstance(iterations, (list, tuple)) else [iterations]
+    params = dict(entry.get("params") or {})
+    axis_names: list[str] = []
+    axes: list[list] = []
+    for name in sorted(params):
+        value = params[name]
+        # A [total, fractional] pair is a single fixed-point format, not an
+        # axis; a list of pairs is an axis of formats.
+        if name in _FORMAT_PARAMS:
+            if value and isinstance(value[0], (list, tuple)):
+                axis_names.append(name)
+                axes.append([list(v) for v in value])
+            continue
+        if isinstance(value, (list, tuple)):
+            axis_names.append(name)
+            axes.append(list(value))
+    specs = []
+    for iters in iteration_axis:
+        for combo in itertools.product(*axes) if axes else [()]:
+            combined = dict(params)
+            combined.update(zip(axis_names, combo))
+            specs.append(DecoderSpec(kind=kind, iterations=int(iters), params=combined))
+    return specs
+
+
+# --------------------------------------------------------------------------- #
+@dataclass
+class CampaignSpec:
+    """A named set of experiments with campaign-wide defaults.
+
+    Attributes
+    ----------
+    name:
+        Campaign identifier (also the default result-directory name).
+    experiments:
+        The expanded experiment list; labels must be unique.
+    ebn0:
+        Default Eb/N0 grid for experiments without one of their own.
+    config:
+        Default :class:`SimulationConfig`.
+    seed:
+        Master seed.  Every experiment receives child stream ``i`` of the
+        root :class:`numpy.random.SeedSequence`, and every point child ``j``
+        of its experiment — a pure function of the spec, which is what lets
+        a resumed campaign reproduce an uninterrupted one bit for bit.
+    """
+
+    name: str
+    experiments: list[ExperimentSpec] = field(default_factory=list)
+    ebn0: tuple[float, ...] = ()
+    config: SimulationConfig = field(default_factory=SimulationConfig)
+    seed: int = 0
+
+    def __post_init__(self):
+        if not self.name or not str(self.name).strip():
+            raise ValueError("a campaign needs a non-empty name")
+        self.ebn0 = tuple(float(x) for x in self.ebn0)
+        self.validate()
+
+    def validate(self) -> None:
+        """Check label uniqueness and that every experiment has a grid."""
+        if not self.experiments:
+            raise ValueError("a campaign needs at least one experiment")
+        seen: set[str] = set()
+        slugs: set[str] = set()
+        for experiment in self.experiments:
+            if experiment.label in seen:
+                raise ValueError(f"duplicate experiment label {experiment.label!r}")
+            seen.add(experiment.label)
+            slug = slugify(experiment.label)
+            if slug in slugs:
+                raise ValueError(
+                    f"experiment labels collide after slugification: {slug!r}"
+                )
+            slugs.add(slug)
+            experiment.resolve_ebn0(self.ebn0)  # raises when empty
+
+    # ------------------------------------------------------------------ #
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "ebn0": list(self.ebn0),
+            "config": config_to_dict(self.config),
+            "experiments": [e.as_dict() for e in self.experiments],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "CampaignSpec":
+        unknown = set(data) - {"name", "seed", "ebn0", "config", "experiments", "grid"}
+        if unknown:
+            raise ValueError(f"unknown CampaignSpec keys: {sorted(unknown)}")
+        ebn0 = tuple(float(x) for x in data.get("ebn0") or ())
+        experiments = [
+            ExperimentSpec.from_dict(e) for e in data.get("experiments") or []
+        ]
+        if data.get("grid"):
+            experiments.extend(expand_grid(data["grid"]))
+        return cls(
+            name=str(data.get("name", "campaign")),
+            experiments=experiments,
+            ebn0=ebn0,
+            config=(
+                config_from_dict(data["config"])
+                if data.get("config") is not None
+                else SimulationConfig()
+            ),
+            seed=int(data.get("seed", 0)),
+        )
+
+    def save(self, path) -> None:
+        """Write the spec as JSON."""
+        atomic_write_text(path, json.dumps(self.as_dict(), indent=2))
+
+    @classmethod
+    def load(cls, path) -> "CampaignSpec":
+        """Load a spec from a JSON file (``grid`` sections are expanded)."""
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    # ------------------------------------------------------------------ #
+    def total_points(self) -> int:
+        """Number of (experiment, Eb/N0) point jobs in the campaign."""
+        return sum(len(e.resolve_ebn0(self.ebn0)) for e in self.experiments)
+
+
+def slugify(label: str) -> str:
+    """File-system-safe form of an experiment label."""
+    cleaned = "".join(c if c.isalnum() or c in "._-" else "-" for c in label)
+    cleaned = cleaned.strip("-.")
+    return cleaned or "experiment"

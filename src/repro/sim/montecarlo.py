@@ -269,16 +269,21 @@ class MonteCarloSimulator:
             info_bit_errors=info_bit_errors,
         )
 
-    def run_point(self, ebn0_db: float) -> SimulationPoint:
+    def run_point(self, ebn0_db: float, *, rng=None) -> SimulationPoint:
         """Simulate one Eb/N0 point until the stopping rule triggers.
 
         Shards are executed in order, each with a child stream spawned from
         the simulator's seed sequence; repeated calls continue spawning fresh
         children, so each point of a sweep gets independent noise.
+
+        ``rng`` overrides the simulator's seed for this point only, so one
+        simulator instance can serve many independently seeded points (the
+        sweep and campaign engines derive one child seed per point and rely
+        on this for their resume guarantee).
         """
         sigma = ebn0_to_sigma(ebn0_db, self.code_rate)
         counter = ErrorCounter()
-        seed_seq = as_seed_sequence(self._rng)
+        seed_seq = as_seed_sequence(self._rng if rng is None else rng)
         for size in iter_shard_sizes(self.config):
             (child,) = seed_seq.spawn(1)
             shard = self.run_batch(size, sigma, rng=np.random.default_rng(child))

@@ -1,30 +1,38 @@
-"""Sharded parallel Monte-Carlo engine.
+"""Sharded parallel Monte-Carlo engines built on one shared worker pool.
 
-:class:`ParallelMonteCarloEngine` distributes the frame budget of each Eb/N0
-point over a ``multiprocessing`` worker pool and keeps several points in
-flight at once, while reproducing the serial
-:class:`~repro.sim.montecarlo.MonteCarloSimulator` *exactly*:
+Two layers live here:
 
-* the shard sizes come from the same deterministic schedule
-  (:func:`repro.sim.sharding.iter_shard_sizes`), so they do not depend on
-  the worker count;
+* :class:`SharedWorkerPool` — a ``multiprocessing`` pool whose workers hold a
+  *registry* of simulators, one per :class:`PoolEntry` (code + decoder
+  factory + config), built lazily on first use.  Any mix of experiments can
+  therefore be dispatched through a single pool: the campaign scheduler in
+  :mod:`repro.sim.campaign` flattens every configuration of a campaign into
+  one stream of shard tasks instead of paying a pool per sweep.
+* :class:`ParallelMonteCarloEngine` — the single-experiment engine from PR 1,
+  now a thin wrapper around a one-entry :class:`SharedWorkerPool`.  Its API
+  and determinism contract are unchanged.
+
+The determinism contract is per Eb/N0 point and holds for both layers:
+
+* the shard sizes come from the deterministic schedule
+  (:func:`repro.sim.sharding.iter_shard_sizes`) of the point's *own* config,
+  so they do not depend on the worker count or on what else shares the pool;
 * shard ``i`` of a point always draws from child ``i`` of the point's
-  :class:`numpy.random.SeedSequence` (spawned in shard order), so the noise
-  realizations match the serial engine's bit for bit;
+  :class:`numpy.random.SeedSequence` (spawned in shard order);
 * shard results are folded into the point's
   :class:`~repro.sim.statistics.ErrorCounter` in shard order, and the
   stopping rule is applied to that ordered prefix — speculative shards that
   were dispatched beyond the stopping point are discarded, never counted.
 
-Together these give the determinism contract: for a fixed master seed,
-``run_point``/``run_sweep`` return bit-identical counts for any number of
-workers, including the serial engine itself.
+For a fixed seed a point therefore yields bit-identical counts for any
+number of workers (including the serial engine) and for any co-scheduled
+workload.
 
-Workers are long-lived: each pool process builds one simulator (code +
-decoder) in its initializer and then serves shard requests, so the expensive
-construction cost (systematic encoder, edge structure) is paid once per
-worker.  On platforms whose default start method is ``fork`` (Linux) the
-code and decoder factory are inherited by the workers without pickling, so
+Workers are long-lived: each pool process builds one simulator per entry in
+its initializer registry the first time a shard for that entry arrives, so
+expensive construction (systematic encoder, edge structure) is paid once per
+worker per experiment.  On platforms whose default start method is ``fork``
+(Linux) codes and decoder factories are inherited without pickling, so
 lambdas work; with ``spawn`` start methods they must be picklable.
 """
 
@@ -34,7 +42,8 @@ import multiprocessing
 import os
 import time
 from collections import deque
-from typing import Callable, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -50,43 +59,83 @@ from repro.sim.sharding import consume_shard, iter_shard_sizes
 from repro.sim.statistics import ErrorCounter
 from repro.utils.rng import as_seed_sequence, spawn_seed_sequences
 
-__all__ = ["ParallelMonteCarloEngine"]
+__all__ = ["PoolEntry", "PointState", "SharedWorkerPool", "ParallelMonteCarloEngine"]
 
-# Worker-process state: one simulator per worker, built by _init_worker.
-_WORKER_SIMULATOR: MonteCarloSimulator | None = None
-
-
-def _init_worker(code, decoder_factory, config) -> None:
-    """Pool initializer: build this worker's simulator once."""
-    global _WORKER_SIMULATOR
-    _WORKER_SIMULATOR = MonteCarloSimulator(
-        code, decoder_factory(), config=config, rng=0
-    )
+# Worker-process state: the entry registry shipped by the initializer and the
+# simulators built (lazily, per entry key) from it.
+_WORKER_ENTRIES: dict = {}
+_WORKER_SIMULATORS: dict = {}
 
 
-def _worker_code_rate() -> float:
-    """Trivial task used by :meth:`ParallelMonteCarloEngine.warmup`."""
-    if _WORKER_SIMULATOR is None:  # pragma: no cover - initializer always ran
+@dataclass(frozen=True)
+class PoolEntry:
+    """One simulatable configuration a :class:`SharedWorkerPool` can serve.
+
+    ``decoder_factory`` is a zero-argument callable returning a fresh
+    decoder; it runs once per worker process (per entry).
+    """
+
+    code: object
+    decoder_factory: Callable[[], object]
+    config: SimulationConfig = field(default_factory=SimulationConfig)
+
+
+def _init_worker(entries: dict, eager: bool) -> None:
+    """Pool initializer: receive the entry registry.
+
+    With ``eager`` every simulator is built here, inside the initializer —
+    the single-experiment engine uses this so :meth:`SharedWorkerPool.warmup`
+    keeps construction cost out of timed runs; campaigns build lazily so a
+    worker only pays for the experiments it actually serves.
+    """
+    global _WORKER_ENTRIES, _WORKER_SIMULATORS
+    _WORKER_ENTRIES = dict(entries)
+    _WORKER_SIMULATORS = {}
+    if eager:
+        for key in _WORKER_ENTRIES:
+            _simulator_for(key)
+
+
+def _simulator_for(key) -> MonteCarloSimulator:
+    simulator = _WORKER_SIMULATORS.get(key)
+    if simulator is None:
+        entry = _WORKER_ENTRIES.get(key)
+        if entry is None:  # pragma: no cover - defensive; keys come from entries
+            raise RuntimeError(f"worker pool has no entry {key!r}")
+        simulator = MonteCarloSimulator(
+            entry.code, entry.decoder_factory(), config=entry.config, rng=0
+        )
+        _WORKER_SIMULATORS[key] = simulator
+    return simulator
+
+
+def _worker_probe() -> int:
+    """Trivial task used by :meth:`SharedWorkerPool.warmup`."""
+    if not _WORKER_ENTRIES:  # pragma: no cover - initializer always ran
         raise RuntimeError("worker pool was not initialized")
-    return _WORKER_SIMULATOR.code_rate
+    return len(_WORKER_ENTRIES)
 
 
-def _run_shard(ebn0_db: float, size: int, seed_seq) -> BatchResult:
-    """Task body: simulate one shard on the worker's simulator."""
-    simulator = _WORKER_SIMULATOR
-    if simulator is None:  # pragma: no cover - defensive; initializer always ran
-        raise RuntimeError("worker pool was not initialized")
+def _run_shard(key, ebn0_db: float, size: int, seed_seq) -> BatchResult:
+    """Task body: simulate one shard on this worker's simulator for ``key``."""
+    simulator = _simulator_for(key)
     sigma = ebn0_to_sigma(ebn0_db, simulator.code_rate)
     return simulator.run_batch(size, sigma, rng=np.random.default_rng(seed_seq))
 
 
-class _PointState:
-    """Book-keeping of one in-flight Eb/N0 point."""
+class PointState:
+    """Book-keeping of one in-flight Eb/N0 point.
 
-    def __init__(self, ebn0_db: float, seed_seq, config: SimulationConfig):
+    ``key`` selects the worker-side simulator (the :class:`PoolEntry`),
+    ``tag`` is opaque caller metadata handed back with the completed point.
+    """
+
+    def __init__(self, key, ebn0_db: float, seed_seq, config: SimulationConfig, tag=None):
+        self.key = key
         self.ebn0_db = float(ebn0_db)
         self.seed_seq = seed_seq
         self.config = config
+        self.tag = tag
         self.sizes = iter_shard_sizes(config)
         self.pending: deque = deque()  # AsyncResults, in shard order
         self.counter = ErrorCounter()
@@ -129,6 +178,171 @@ class _PointState:
         return point_from_counter(self.ebn0_db, self.counter)
 
 
+class SharedWorkerPool:
+    """One worker pool serving shard tasks for any number of experiments.
+
+    Parameters
+    ----------
+    entries:
+        Mapping from an arbitrary hashable key to the :class:`PoolEntry`
+        (code, decoder factory, config) that key simulates.  Every worker
+        can serve every entry; simulators are built lazily on first use.
+    workers:
+        Pool size; defaults to ``os.cpu_count()``.
+    mp_context:
+        ``multiprocessing`` context (or start-method name); defaults to
+        ``fork`` when available so non-picklable factories work.
+    eager_build:
+        Build every entry's simulator in each worker's initializer instead
+        of lazily on first shard.  With this set, :meth:`warmup` guarantees
+        construction cost stays out of subsequent runs.
+
+    The pool is a context manager; processes start lazily on first use and
+    are torn down by :meth:`close` / ``with``-exit.
+    """
+
+    #: Dispatch at most this many shards per worker ahead of aggregation.
+    _INFLIGHT_PER_WORKER = 2
+
+    def __init__(
+        self,
+        entries: Mapping[object, PoolEntry],
+        *,
+        workers: int | None = None,
+        mp_context=None,
+        eager_build: bool = False,
+    ):
+        if not entries:
+            raise ValueError("a SharedWorkerPool needs at least one entry")
+        self.entries = dict(entries)
+        self.eager_build = bool(eager_build)
+        self.workers = max(1, int(workers or os.cpu_count() or 1))
+        if mp_context is None or isinstance(mp_context, str):
+            methods = multiprocessing.get_all_start_methods()
+            method = mp_context if isinstance(mp_context, str) else (
+                "fork" if "fork" in methods else None
+            )
+            mp_context = multiprocessing.get_context(method)
+        self._ctx = mp_context
+        self._pool = None
+
+    # ------------------------------------------------------------------ #
+    def __enter__(self) -> "SharedWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Terminate the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            if self._ctx.get_start_method() != "fork":
+                # Spawn/forkserver pickle the initargs; fail with an
+                # actionable message instead of an opaque PicklingError deep
+                # inside Pool (every in-repo factory is a lambda or closure,
+                # which only works under fork).
+                import pickle
+
+                try:
+                    pickle.dumps(self.entries)
+                except Exception as exc:
+                    raise TypeError(
+                        "every code/decoder_factory must be picklable with "
+                        f"the '{self._ctx.get_start_method()}' start method; "
+                        "use module-level factory functions (lambdas and "
+                        "closures only work where 'fork' is available)"
+                    ) from exc
+            self._pool = self._ctx.Pool(
+                processes=self.workers,
+                initializer=_init_worker,
+                initargs=(self.entries, self.eager_build),
+            )
+        return self._pool
+
+    def warmup(self) -> None:
+        """Start the pool and wait until it serves one trivial task per worker.
+
+        Useful before timing measurements: worker start-up (process fork,
+        registry transfer, and — with ``eager_build`` — per-worker simulator
+        construction) otherwise lands inside the first measured run.
+        Without ``eager_build`` simulators still build lazily on the first
+        shard of each entry.
+        """
+        pool = self._ensure_pool()
+        probes = [pool.apply_async(_worker_probe, ()) for _ in range(self.workers)]
+        for result in probes:
+            result.get()
+
+    # ------------------------------------------------------------------ #
+    def run_states(
+        self,
+        states: Sequence[PointState],
+        *,
+        on_point: Callable[[PointState, SimulationPoint], None] | None = None,
+    ) -> list[SimulationPoint]:
+        """Drive every :class:`PointState` to completion over the pool.
+
+        Dispatch is round-robin across the active states, so every point
+        keeps the pool fed and early-stopping points release capacity
+        quickly; ``on_point`` fires as each point completes (completion
+        order, not input order).  Returns the points in input order.
+        """
+        for state in states:
+            if state.key not in self.entries:
+                raise KeyError(f"state references unknown pool entry {state.key!r}")
+        if not states:
+            return []
+        pool = self._ensure_pool()
+        max_inflight = self.workers * self._INFLIGHT_PER_WORKER
+        active = list(states)
+        while active:
+            inflight = sum(len(state.pending) for state in active)
+            made_submission = True
+            while inflight < max_inflight and made_submission:
+                made_submission = False
+                for state in active:
+                    if inflight >= max_inflight:
+                        break
+                    shard = state.next_shard()
+                    if shard is None:
+                        continue
+                    size, child = shard
+                    state.pending.append(
+                        pool.apply_async(
+                            _run_shard, (state.key, state.ebn0_db, size, child)
+                        )
+                    )
+                    inflight += 1
+                    made_submission = True
+
+            progressed = False
+            for state in active:
+                if state.consume_ready():
+                    progressed = True
+            finished = [state for state in active if state.done]
+            for state in finished:
+                active.remove(state)
+                if on_point is not None:
+                    on_point(state, state.to_point())
+            if active and not progressed and not finished:
+                # Nothing ready yet: block briefly on an outstanding shard
+                # instead of spinning.
+                outstanding = next(
+                    (state.pending[0] for state in active if state.pending), None
+                )
+                if outstanding is not None:
+                    outstanding.wait(0.01)
+                else:  # pragma: no cover - all pending empty implies done
+                    time.sleep(0.001)
+        return [state.to_point() for state in states]
+
+
 class ParallelMonteCarloEngine:
     """Worker-pool Monte-Carlo engine for one code + decoder-factory pair.
 
@@ -151,8 +365,7 @@ class ParallelMonteCarloEngine:
     and torn down by :meth:`close` / ``with``-exit.
     """
 
-    #: Dispatch at most this many shards per worker ahead of aggregation.
-    _INFLIGHT_PER_WORKER = 2
+    _ENTRY_KEY = "point"
 
     def __init__(
         self,
@@ -163,20 +376,28 @@ class ParallelMonteCarloEngine:
         workers: int | None = None,
         mp_context=None,
     ):
-        self._code = code
-        self._decoder_factory = decoder_factory
         self.config = config or SimulationConfig()
-        self.workers = max(1, int(workers or os.cpu_count() or 1))
-        if mp_context is None or isinstance(mp_context, str):
-            methods = multiprocessing.get_all_start_methods()
-            method = mp_context if isinstance(mp_context, str) else (
-                "fork" if "fork" in methods else None
-            )
-            mp_context = multiprocessing.get_context(method)
-        self._ctx = mp_context
-        self._pool = None
+        self._shared = SharedWorkerPool(
+            {self._ENTRY_KEY: PoolEntry(code, decoder_factory, self.config)},
+            workers=workers,
+            mp_context=mp_context,
+            # One entry that every worker will serve: build it in the
+            # initializer so warmup() excludes construction from timed runs.
+            eager_build=True,
+        )
 
     # ------------------------------------------------------------------ #
+    @property
+    def workers(self) -> int:
+        return self._shared.workers
+
+    @property
+    def _pool(self):
+        return self._shared._pool
+
+    def _ensure_pool(self):
+        return self._shared._ensure_pool()
+
     def __enter__(self) -> "ParallelMonteCarloEngine":
         return self
 
@@ -185,49 +406,11 @@ class ParallelMonteCarloEngine:
 
     def close(self) -> None:
         """Terminate the worker pool (idempotent)."""
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
-
-    def _ensure_pool(self):
-        if self._pool is None:
-            if self._ctx.get_start_method() != "fork":
-                # Spawn/forkserver pickle the initargs; fail with an
-                # actionable message instead of an opaque PicklingError deep
-                # inside Pool (every in-repo factory is a lambda, which only
-                # works under fork).
-                import pickle
-
-                try:
-                    pickle.dumps((self._code, self._decoder_factory))
-                except Exception as exc:
-                    raise TypeError(
-                        "the code/decoder_factory must be picklable with the "
-                        f"'{self._ctx.get_start_method()}' start method; use a "
-                        "module-level factory function (lambdas only work "
-                        "where 'fork' is available)"
-                    ) from exc
-            self._pool = self._ctx.Pool(
-                processes=self.workers,
-                initializer=_init_worker,
-                initargs=(self._code, self._decoder_factory, self.config),
-            )
-        return self._pool
+        self._shared.close()
 
     def warmup(self) -> None:
-        """Start the pool and wait until it serves one trivial task per worker.
-
-        Useful before timing measurements: worker start-up (process fork plus
-        per-worker simulator construction) otherwise lands inside the first
-        measured run.
-        """
-        pool = self._ensure_pool()
-        sigma_probe = [
-            pool.apply_async(_worker_code_rate, ()) for _ in range(self.workers)
-        ]
-        for result in sigma_probe:
-            result.get()
+        """Start the pool and wait until every worker served a trivial task."""
+        self._shared.warmup()
 
     # ------------------------------------------------------------------ #
     def run_point(self, ebn0_db: float, *, rng=None) -> SimulationPoint:
@@ -236,7 +419,7 @@ class ParallelMonteCarloEngine:
         ``rng`` seeds the point exactly like the serial simulator's ``rng``
         argument: the same seed gives bit-identical counts.
         """
-        (point,) = self._run_points([float(ebn0_db)], rng=rng, spawn_points=False)
+        (point,) = self.run_point_jobs([(float(ebn0_db), as_seed_sequence(rng))])
         return point
 
     def run_sweep(
@@ -254,68 +437,27 @@ class ParallelMonteCarloEngine:
         ``progress`` is invoked with each :class:`SimulationPoint` as it
         completes (completion order, not grid order).
         """
-        return self._run_points(
-            [float(x) for x in ebn0_grid], rng=rng, spawn_points=True, progress=progress
-        )
+        grid = [float(x) for x in ebn0_grid]
+        seeds = spawn_seed_sequences(rng, len(grid))
+        return self.run_point_jobs(list(zip(grid, seeds)), progress=progress)
 
-    # ------------------------------------------------------------------ #
-    def _run_points(
+    def run_point_jobs(
         self,
-        grid: list[float],
+        jobs: Sequence[tuple[float, np.random.SeedSequence]],
         *,
-        rng,
-        spawn_points: bool,
         progress: Callable[[SimulationPoint], None] | None = None,
     ) -> list[SimulationPoint]:
-        if not grid:
-            return []
-        pool = self._ensure_pool()
-        if spawn_points:
-            seeds = spawn_seed_sequences(rng, len(grid))
-        else:
-            seeds = [as_seed_sequence(rng)]
-        states = [
-            _PointState(ebn0, seed, self.config) for ebn0, seed in zip(grid, seeds)
-        ]
-        max_inflight = self.workers * self._INFLIGHT_PER_WORKER
-        active = list(states)
-        while active:
-            # Top up dispatches round-robin so every active point keeps the
-            # pool fed and early-stopping points release capacity quickly.
-            inflight = sum(len(state.pending) for state in active)
-            made_submission = True
-            while inflight < max_inflight and made_submission:
-                made_submission = False
-                for state in active:
-                    if inflight >= max_inflight:
-                        break
-                    shard = state.next_shard()
-                    if shard is None:
-                        continue
-                    size, child = shard
-                    state.pending.append(
-                        pool.apply_async(_run_shard, (state.ebn0_db, size, child))
-                    )
-                    inflight += 1
-                    made_submission = True
+        """Simulate explicit ``(ebn0_db, seed_sequence)`` jobs over the pool.
 
-            progressed = False
-            for state in active:
-                if state.consume_ready():
-                    progressed = True
-            finished = [state for state in active if state.done]
-            for state in finished:
-                active.remove(state)
-                if progress is not None:
-                    progress(state.to_point())
-            if active and not progressed and not finished:
-                # Nothing ready yet: block briefly on an outstanding shard
-                # instead of spinning.
-                outstanding = next(
-                    (state.pending[0] for state in active if state.pending), None
-                )
-                if outstanding is not None:
-                    outstanding.wait(0.01)
-                else:  # pragma: no cover - all pending empty implies done
-                    time.sleep(0.001)
-        return [state.to_point() for state in states]
+        This is the resume primitive: a caller that re-derives the full
+        grid's seed sequences but submits only the missing points gets counts
+        bit-identical to an uninterrupted run.
+        """
+        states = [
+            PointState(self._ENTRY_KEY, ebn0, seed, self.config)
+            for ebn0, seed in jobs
+        ]
+        on_point = None
+        if progress is not None:
+            on_point = lambda state, point: progress(point)  # noqa: E731
+        return self._shared.run_states(states, on_point=on_point)

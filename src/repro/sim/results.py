@@ -10,12 +10,34 @@ across runs.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
 
 import numpy as np
 
+from repro.utils.files import atomic_write_text
+
 __all__ = ["SimulationPoint", "SimulationCurve"]
+
+
+def _jsonable(value):
+    """JSON encoder fallback: numpy scalars/arrays and paths degrade cleanly.
+
+    Sweep metadata routinely carries numpy-typed values (an ``np.float64``
+    alpha, an ``ndarray`` grid); saving must not lose them or crash, and the
+    round-tripped curve must compare equal to the original.
+    """
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, Path):
+        return str(value)
+    raise TypeError(f"cannot serialize {type(value).__name__} to JSON")
 
 
 @dataclass(frozen=True)
@@ -58,6 +80,10 @@ class SimulationCurve:
         """Append a point (kept sorted by Eb/N0)."""
         self.points.append(point)
         self.points.sort(key=lambda p: p.ebn0_db)
+
+    def completed_ebn0(self) -> set[float]:
+        """Eb/N0 values already measured — the points a resumed run skips."""
+        return {float(p.ebn0_db) for p in self.points}
 
     # ------------------------------------------------------------------ #
     @property
@@ -119,15 +145,25 @@ class SimulationCurve:
 
     @classmethod
     def from_dict(cls, data: dict) -> "SimulationCurve":
-        """Rebuild a curve from :meth:`as_dict` output."""
-        curve = cls(label=data["label"], metadata=dict(data.get("metadata", {})))
+        """Rebuild a curve from :meth:`as_dict` output.
+
+        Tolerant of evolution in both directions: a missing ``label`` or
+        ``metadata`` falls back to an empty value, and point dictionaries may
+        carry keys this version does not know (written by a newer version) —
+        they are ignored instead of crashing the load.
+        """
+        curve = cls(
+            label=str(data.get("label", "")),
+            metadata=dict(data.get("metadata") or {}),
+        )
+        known = {f.name for f in fields(SimulationPoint)}
         for point in data.get("points", []):
-            curve.add(SimulationPoint(**point))
+            curve.add(SimulationPoint(**{k: v for k, v in point.items() if k in known}))
         return curve
 
     def save(self, path) -> None:
-        """Write the curve to a JSON file."""
-        Path(path).write_text(json.dumps(self.as_dict(), indent=2))
+        """Write the curve to a JSON file (atomically: write + rename)."""
+        atomic_write_text(path, json.dumps(self.as_dict(), indent=2, default=_jsonable))
 
     @classmethod
     def load(cls, path) -> "SimulationCurve":

@@ -1,4 +1,12 @@
-"""Eb/N0 sweeps producing BER/PER waterfall curves (paper Figure 4)."""
+"""Eb/N0 sweeps producing BER/PER waterfall curves (paper Figure 4).
+
+An :class:`EbN0Sweep` is the one-configuration special case of the campaign
+layer (:mod:`repro.sim.campaign`): it derives one child seed stream per grid
+point, runs the missing points serially or over a worker pool, and can
+*resume* from a previously saved :class:`SimulationCurve` — because the seed
+of point ``i`` depends only on the master seed and the grid position, a
+resumed sweep completes with counts bit-identical to an uninterrupted one.
+"""
 
 from __future__ import annotations
 
@@ -59,10 +67,11 @@ class EbN0Sweep:
         self,
         ebn0_grid: Sequence[float] | Iterable[float],
         *,
-        label: str = "decoder",
+        label: str = _UNSET,  # type: ignore[assignment]
         metadata: dict | None = None,
         progress: Callable[[str], None] | None = None,
         workers: int | None = _UNSET,  # type: ignore[assignment]
+        resume: SimulationCurve | None = None,
     ) -> SimulationCurve:
         """Simulate every Eb/N0 value and return the resulting curve.
 
@@ -70,39 +79,81 @@ class EbN0Sweep:
         The curve (and its counts) is identical either way; only the
         ``progress`` callback order differs — grid order serially, point
         *completion* order under a worker pool.
+
+        ``resume`` is a previously measured curve (e.g. loaded from JSON):
+        its points are kept and their grid positions skipped, so only the
+        missing points are simulated.  Seeds are still derived for the *full*
+        grid, one child per position, which makes the completed curve
+        bit-identical to a single uninterrupted run with the same master seed
+        and the same grid (a resumed point's seed depends on its grid
+        position, so resume with the grid the interrupted run used).  Unless
+        overridden, the resumed curve's label and metadata are preserved.
         """
-        grid = [float(x) for x in ebn0_grid]
-        curve = SimulationCurve(label=label, metadata=dict(metadata or {}))
+        grid = []
+        for value in ebn0_grid:
+            value = float(value)
+            # A duplicated grid value would be simulated twice (different
+            # child seeds) and yield two points at one Eb/N0; keep the first
+            # occurrence so seeds stay positional and the curve stays a
+            # function of Eb/N0.
+            if value not in grid:
+                grid.append(value)
+        if label is _UNSET:
+            label = resume.label if resume is not None and resume.label else "decoder"
+        if resume is not None:
+            merged = dict(resume.metadata)
+            merged.update(metadata or {})
+            curve = SimulationCurve(label=label, metadata=merged)
+            for point in resume.points:
+                curve.add(point)
+            completed = resume.completed_ebn0()
+        else:
+            curve = SimulationCurve(label=label, metadata=dict(metadata or {}))
+            completed = set()
+        streams = spawn_seed_sequences(self._rng, len(grid))
+        jobs = [
+            (ebn0, stream)
+            for ebn0, stream in zip(grid, streams)
+            if ebn0 not in completed
+        ]
         if workers is _UNSET:
             workers = self._workers
         if workers:
-            points = self._run_parallel(grid, int(workers), progress)
+            points = self._run_parallel(jobs, int(workers), progress)
         else:
-            points = self._run_serial(grid, progress)
+            points = self._run_serial(jobs, progress)
         for point in points:
             curve.add(point)
         return curve
 
     # ------------------------------------------------------------------ #
     def _run_serial(
-        self, grid: list[float], progress: Callable[[str], None] | None
+        self,
+        jobs: list[tuple[float, np.random.SeedSequence]],
+        progress: Callable[[str], None] | None,
     ) -> list[SimulationPoint]:
-        decoder = self._decoder_factory()
-        streams = spawn_seed_sequences(self._rng, len(grid))
+        if not jobs:
+            return []
+        simulator = MonteCarloSimulator(
+            self._code, self._decoder_factory(), config=self._config, rng=0
+        )
         points = []
-        for ebn0_db, stream in zip(grid, streams):
-            simulator = MonteCarloSimulator(
-                self._code, decoder, config=self._config, rng=np.random.default_rng(stream)
-            )
-            point = simulator.run_point(ebn0_db)
+        for ebn0_db, stream in jobs:
+            point = simulator.run_point(ebn0_db, rng=stream)
             points.append(point)
             if progress is not None:
                 progress(_progress_line(point))
         return points
 
     def _run_parallel(
-        self, grid: list[float], workers: int, progress: Callable[[str], None] | None
+        self,
+        jobs: list[tuple[float, np.random.SeedSequence]],
+        workers: int,
+        progress: Callable[[str], None] | None,
     ) -> list[SimulationPoint]:
+        if not jobs:
+            return []
+
         def emit(point: SimulationPoint) -> None:
             if progress is not None:
                 progress(_progress_line(point))
@@ -113,7 +164,7 @@ class EbN0Sweep:
             config=self._config,
             workers=workers,
         ) as engine:
-            return engine.run_sweep(grid, rng=self._rng, progress=emit)
+            return engine.run_point_jobs(jobs, progress=emit)
 
     @staticmethod
     def format_curves(curves: Sequence[SimulationCurve]) -> str:

@@ -1,0 +1,32 @@
+"""Small filesystem helpers shared by the persistence layers."""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["atomic_write_text"]
+
+
+def atomic_write_text(path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (unique temp file + rename).
+
+    Readers never observe a partial file, and concurrent writers of the same
+    target cannot interleave into a corrupt result — the temp name is unique
+    per writer and ``os.replace`` is atomic on POSIX and Windows.
+    """
+    target = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=target.parent, prefix=target.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise

@@ -100,6 +100,36 @@ class TestSimulate:
         ])
         assert result == 0
 
+    def test_resume_skips_completed_points_and_updates_file(self, tmp_path, capsys):
+        """--resume: kill-and-rerun completes to the uninterrupted counts."""
+        curve_path = tmp_path / "curve.json"
+        base = [
+            "simulate", "--circulant", "31", "--frames", "30", "--errors", "30",
+            "--batch", "10", "--iterations", "5", "--seed", "9",
+        ]
+        # Uninterrupted reference over the full grid.
+        full_path = tmp_path / "full.json"
+        assert main(base + ["--ebn0", "3.0", "5.0", "--save", str(full_path)]) == 0
+        # "Interrupted" run measured only the first grid point...
+        assert main(base + ["--ebn0", "3.0", "--save", str(curve_path)]) == 0
+        capsys.readouterr()
+        # ...resuming the full grid skips it and writes back in place.
+        assert main(base + ["--ebn0", "3.0", "5.0", "--resume", str(curve_path)]) == 0
+        out = capsys.readouterr().out
+        assert "skipping 1 completed point(s)" in out
+        resumed = json.loads(curve_path.read_text())
+        assert resumed["points"] == json.loads(full_path.read_text())["points"]
+
+    def test_resume_with_missing_file_starts_fresh(self, tmp_path, capsys):
+        curve_path = tmp_path / "new.json"
+        result = main([
+            "simulate", "--circulant", "31", "--ebn0", "4.0",
+            "--frames", "20", "--errors", "20", "--batch", "10",
+            "--iterations", "5", "--resume", str(curve_path),
+        ])
+        assert result == 0
+        assert len(json.loads(curve_path.read_text())["points"]) == 1
+
     def test_workers_and_adaptive_batch(self, capsys):
         """--workers shards the sweep over a pool; same seed, same counts."""
         args = [

@@ -1,0 +1,527 @@
+"""Tests for the declarative campaign layer (repro.sim.campaign)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.sim import EbN0Sweep, SimulationConfig
+from repro.sim.campaign import (
+    CampaignScheduler,
+    CampaignSpec,
+    CodeSpec,
+    DecoderSpec,
+    ExperimentSpec,
+    ResultStore,
+    StoreMismatchError,
+    expand_grid,
+)
+from repro.sim.campaign.spec import BoundDecoderFactory, slugify
+from repro.sim.results import SimulationCurve, SimulationPoint
+
+
+TINY_CONFIG = SimulationConfig(
+    max_frames=40, target_frame_errors=6, batch_frames=10, all_zero_codeword=True
+)
+
+
+def tiny_spec(name="test-campaign", seed=7, ebn0=(2.0, 4.0)) -> CampaignSpec:
+    """Two decoder configurations on the scaled code — fast but non-trivial."""
+    code = CodeSpec(family="scaled", circulant=31)
+    return CampaignSpec(
+        name=name,
+        seed=seed,
+        ebn0=tuple(ebn0),
+        config=TINY_CONFIG,
+        experiments=[
+            ExperimentSpec(label="nms", code=code, decoder=DecoderSpec("nms", 8)),
+            ExperimentSpec(
+                label="min-sum", code=code, decoder=DecoderSpec("min-sum", 8)
+            ),
+        ],
+    )
+
+
+class TestSpecs:
+    def test_campaign_round_trips_through_json(self):
+        spec = tiny_spec()
+        restored = CampaignSpec.from_dict(json.loads(json.dumps(spec.as_dict())))
+        assert restored.as_dict() == spec.as_dict()
+
+    def test_save_and_load(self, tmp_path):
+        spec = tiny_spec()
+        path = tmp_path / "spec.json"
+        spec.save(path)
+        assert CampaignSpec.load(path).as_dict() == spec.as_dict()
+
+    def test_experiment_overrides_survive_round_trip(self):
+        override = SimulationConfig(max_frames=99, target_frame_errors=9)
+        experiment = ExperimentSpec(
+            label="override",
+            code=CodeSpec(family="scaled", circulant=31),
+            decoder=DecoderSpec("nms", 8, params={"alpha": 1.5}),
+            ebn0=(1.0, 2.0, 3.0),
+            config=override,
+        )
+        spec = CampaignSpec(name="o", experiments=[experiment], ebn0=(5.0,))
+        restored = CampaignSpec.from_dict(spec.as_dict()).experiments[0]
+        assert restored.ebn0 == (1.0, 2.0, 3.0)
+        assert restored.config.max_frames == 99
+        assert restored.decoder.params == {"alpha": 1.5}
+        assert restored.resolve_ebn0(spec.ebn0) == (1.0, 2.0, 3.0)
+
+    def test_decoder_factory_is_picklable(self, scaled_code):
+        """Campaign pool entries must survive spawn-start-method pickling."""
+        import pickle
+
+        factory = DecoderSpec("nms", 8, params={"alpha": 1.25}).factory(scaled_code)
+        assert isinstance(factory, BoundDecoderFactory)
+        rebuilt = pickle.loads(pickle.dumps(factory))
+        decoder = rebuilt()
+        assert decoder.alpha == 1.25
+        assert decoder.max_iterations == 8
+
+    def test_decoder_spec_builds_with_fixed_point_format(self, scaled_code):
+        decoder = DecoderSpec(
+            "quantized", 8, params={"alpha": 1.25, "message_format": [6, 2]}
+        ).build(scaled_code)
+        assert decoder.message_format.total_bits == 6
+        assert decoder.message_format.fractional_bits == 2
+
+    def test_validation_errors(self):
+        code = CodeSpec(family="scaled", circulant=31)
+        with pytest.raises(ValueError, match="family"):
+            CodeSpec(family="mystery")
+        with pytest.raises(ValueError, match="circulant"):
+            CodeSpec(family="scaled")
+        with pytest.raises(ValueError, match="kind"):
+            DecoderSpec(kind="turbo")
+        with pytest.raises(ValueError, match="duplicate"):
+            CampaignSpec(
+                name="dup",
+                ebn0=(1.0,),
+                experiments=[
+                    ExperimentSpec("a", code, DecoderSpec("nms")),
+                    ExperimentSpec("a", code, DecoderSpec("min-sum")),
+                ],
+            )
+        with pytest.raises(ValueError, match="Eb/N0"):
+            CampaignSpec(
+                name="nogrid",
+                experiments=[ExperimentSpec("a", code, DecoderSpec("nms"))],
+            )
+        with pytest.raises(ValueError, match="at least one"):
+            CampaignSpec(name="empty", ebn0=(1.0,), experiments=[])
+
+    def test_duplicate_ebn0_values_rejected(self):
+        """Two jobs at one Eb/N0 would race for one store slot."""
+        code = CodeSpec(family="scaled", circulant=31)
+        with pytest.raises(ValueError, match="duplicate Eb/N0"):
+            CampaignSpec(
+                name="dup-grid",
+                ebn0=(3.0, 3.0),
+                experiments=[ExperimentSpec("a", code, DecoderSpec("nms"))],
+            )
+        with pytest.raises(ValueError, match="duplicate Eb/N0"):
+            CampaignSpec(
+                name="dup-own",
+                ebn0=(1.0,),
+                experiments=[
+                    ExperimentSpec("a", code, DecoderSpec("nms"), ebn0=(2.0, 2.0))
+                ],
+            )
+
+    def test_ccsds_key_reflects_circulant_override(self):
+        assert CodeSpec(family="ccsds-c2").key == "ccsds-c2"
+        scaled_twin = CodeSpec(family="ccsds-c2", circulant=31)
+        assert scaled_twin.key == "ccsds-c2-c31"
+        assert scaled_twin.key != CodeSpec(family="ccsds-c2").key
+
+    def test_slugify(self):
+        assert slugify("nms/alpha=1.25") == "nms-alpha-1.25"
+        assert slugify("///") == "experiment"
+
+
+class TestGridExpansion:
+    def test_cartesian_axes_over_params_and_iterations(self):
+        experiments = expand_grid(
+            {
+                "codes": [{"family": "scaled", "circulant": 31}],
+                "decoders": [
+                    {
+                        "kind": "nms",
+                        "iterations": [10, 18],
+                        "params": {"alpha": [1.25, 1.5]},
+                    },
+                    {"kind": "min-sum", "iterations": 50},
+                ],
+            }
+        )
+        labels = [e.label for e in experiments]
+        assert len(experiments) == 5  # 2 x 2 + 1
+        assert len(set(labels)) == 5
+        assert "nms-it10-alpha1.25" in labels
+        assert "nms-it18-alpha1.5" in labels
+        assert "min-sum-it50" in labels
+
+    def test_codes_and_configs_are_axes_too(self):
+        experiments = expand_grid(
+            {
+                "codes": [
+                    {"family": "scaled", "circulant": 31},
+                    {"family": "scaled", "circulant": 63},
+                ],
+                "decoders": [{"kind": "nms", "iterations": 8}],
+                "configs": [
+                    {"max_frames": 10, "target_frame_errors": 2},
+                    {"max_frames": 20, "target_frame_errors": 2},
+                ],
+            }
+        )
+        assert len(experiments) == 4
+        labels = {e.label for e in experiments}
+        assert "scaled31-nms-it8-cfg0" in labels
+        assert {e.config.max_frames for e in experiments} == {10, 20}
+
+    def test_format_pair_is_value_but_pair_list_is_axis(self):
+        single = expand_grid(
+            {"decoders": [{"kind": "quantized", "params": {"message_format": [6, 2]}}]}
+        )
+        assert len(single) == 1
+        assert single[0].decoder.params["message_format"] == [6, 2]
+        axis = expand_grid(
+            {
+                "decoders": [
+                    {
+                        "kind": "quantized",
+                        "params": {"message_format": [[4, 1], [6, 2]]},
+                    }
+                ]
+            }
+        )
+        assert len(axis) == 2
+        assert [e.decoder.params["message_format"] for e in axis] == [[4, 1], [6, 2]]
+
+    def test_grid_inside_campaign_dict(self):
+        spec = CampaignSpec.from_dict(
+            {
+                "name": "g",
+                "ebn0": [3.0],
+                "grid": {
+                    "codes": [{"family": "scaled", "circulant": 31}],
+                    "decoders": [{"kind": "nms", "iterations": [8, 18]}],
+                },
+            }
+        )
+        assert [e.label for e in spec.experiments] == ["nms-it8", "nms-it18"]
+        assert spec.total_points() == 2
+
+    def test_unknown_grid_keys_rejected(self):
+        with pytest.raises(ValueError, match="grid keys"):
+            expand_grid({"decoder": [{"kind": "nms"}]})
+
+
+class TestResultStore:
+    def test_create_open_round_trip(self, tmp_path):
+        spec = tiny_spec()
+        store = ResultStore.create(tmp_path / "c", spec)
+        reopened = ResultStore.open(tmp_path / "c")
+        assert reopened.spec.as_dict() == spec.as_dict()
+
+    def test_mismatched_spec_rejected_unless_fresh(self, tmp_path):
+        ResultStore.create(tmp_path / "c", tiny_spec(seed=7))
+        with pytest.raises(StoreMismatchError):
+            ResultStore.create(tmp_path / "c", tiny_spec(seed=8))
+        store = ResultStore.create(tmp_path / "c", tiny_spec(seed=8), fresh=True)
+        assert store.spec.seed == 8
+
+    def test_record_point_persists_incrementally(self, tmp_path, scaled_code):
+        spec = tiny_spec()
+        store = ResultStore.create(tmp_path / "c", spec)
+        point = (
+            EbN0Sweep(
+                scaled_code,
+                lambda: DecoderSpec("nms", 8).build(scaled_code),
+                config=TINY_CONFIG,
+                rng=1,
+            )
+            .run([2.0], label="nms")
+            .points[0]
+        )
+        store.record_point("nms", point)
+        # Visible to a completely fresh store object (i.e. on disk, valid JSON).
+        fresh = ResultStore.open(tmp_path / "c")
+        assert fresh.completed_ebn0("nms") == {2.0}
+        # Recording the same Eb/N0 again is a no-op, not a duplicate.
+        store.record_point("nms", point)
+        assert len(store.curve("nms").points) == 1
+
+    def test_curve_metadata_addresses_the_experiment(self, tmp_path):
+        spec = tiny_spec()
+        store = ResultStore.create(tmp_path / "c", spec)
+        metadata = store.curve("min-sum").metadata
+        assert metadata["campaign"] == spec.name
+        assert metadata["experiment"] == "min-sum"
+        assert metadata["experiment_index"] == 1
+        assert metadata["seed"] == spec.seed
+        assert metadata["decoder"]["kind"] == "min-sum"
+        assert metadata["config"]["max_frames"] == TINY_CONFIG.max_frames
+        assert metadata["ebn0_grid"] == [2.0, 4.0]
+
+    def test_unknown_label_rejected(self, tmp_path):
+        store = ResultStore.create(tmp_path / "c", tiny_spec())
+        with pytest.raises(KeyError):
+            store.curve("nope")
+
+    def test_fresh_discards_stray_curves_even_without_manifest(self, tmp_path):
+        directory = tmp_path / "c"
+        directory.mkdir()
+        stray = directory / "nms.curve.json"
+        stray.write_text(json.dumps({"label": "nms", "points": []}))
+        ResultStore.create(directory, tiny_spec(), fresh=True)
+        assert not stray.exists()
+
+    def test_stray_curve_from_other_spec_rejected(self, tmp_path):
+        """A curve measured under a different spec must not be adopted."""
+        other = tiny_spec(seed=99)
+        directory = tmp_path / "c"
+        other_store = ResultStore.create(directory, other)
+        other_store.curve("nms")  # stamp metadata
+        other_store.record_point(
+            "nms",
+            SimulationPoint(
+                ebn0_db=2.0, ber=0.1, fer=0.5, bit_errors=1, frame_errors=1,
+                bits=10, frames=2,
+            ),
+        )
+        (directory / "campaign.json").unlink()  # simulate manual recovery
+        store = ResultStore.create(directory, tiny_spec(seed=7))
+        with pytest.raises(StoreMismatchError, match="different campaign spec"):
+            store.curve("nms")
+
+
+class TestScheduler:
+    def test_plan_interleaves_experiments_round_robin(self, tmp_path):
+        spec = tiny_spec()
+        store = ResultStore.create(tmp_path / "c", spec)
+        jobs = CampaignScheduler(spec, store).plan()
+        assert [(j.label, j.point_index) for j in jobs] == [
+            ("nms", 0),
+            ("min-sum", 0),
+            ("nms", 1),
+            ("min-sum", 1),
+        ]
+
+    def test_seed_derivation_is_pure(self, tmp_path):
+        spec = tiny_spec()
+        store = ResultStore.create(tmp_path / "c", spec)
+        scheduler = CampaignScheduler(spec, store)
+        first = [j.seed.entropy for j in scheduler.plan()]
+        second = [j.seed.entropy for j in scheduler.plan()]
+        assert first == second
+
+    def test_serial_campaign_matches_standalone_sweeps(self, tmp_path, scaled_code):
+        """A campaign experiment == an EbN0Sweep seeded with its child stream."""
+        import numpy as np
+
+        spec = tiny_spec()
+        store = ResultStore.create(tmp_path / "c", spec)
+        curves = CampaignScheduler(spec, store, workers=None).run()
+        children = np.random.SeedSequence(spec.seed).spawn(2)
+        for index, (label, kind) in enumerate([("nms", "nms"), ("min-sum", "min-sum")]):
+            sweep = EbN0Sweep(
+                scaled_code,
+                lambda k=kind: DecoderSpec(k, 8).build(scaled_code),
+                config=TINY_CONFIG,
+                rng=children[index],
+            )
+            assert curves[label].points == sweep.run(spec.ebn0).points
+
+    def test_pooled_campaign_matches_serial_for_any_worker_count(self, tmp_path):
+        spec = tiny_spec()
+        reference = CampaignScheduler(
+            spec, ResultStore.create(tmp_path / "serial", spec), workers=None
+        ).run()
+        for workers in (1, 3):
+            curves = CampaignScheduler(
+                spec,
+                ResultStore.create(tmp_path / f"w{workers}", spec),
+                workers=workers,
+            ).run()
+            for label, curve in reference.items():
+                assert curves[label].points == curve.points
+
+    def test_pooled_campaign_works_under_spawn_start_method(self, tmp_path):
+        """Campaign entries are picklable: the pool starts without fork."""
+        import multiprocessing
+
+        if "spawn" not in multiprocessing.get_all_start_methods():  # pragma: no cover
+            pytest.skip("spawn start method unavailable")
+        spec = tiny_spec(ebn0=(2.0,))
+        reference = CampaignScheduler(
+            spec, ResultStore.create(tmp_path / "serial", spec), workers=None
+        ).run()
+        curves = CampaignScheduler(
+            spec,
+            ResultStore.create(tmp_path / "spawned", spec),
+            workers=2,
+            mp_context="spawn",
+        ).run()
+        for label, curve in reference.items():
+            assert curves[label].points == curve.points
+
+    def test_resume_after_partial_store_is_bit_identical(self, tmp_path):
+        spec = tiny_spec()
+        reference = CampaignScheduler(
+            spec, ResultStore.create(tmp_path / "ref", spec), workers=None
+        ).run()
+        # Pre-populate a fresh store with an arbitrary subset of points, as a
+        # killed campaign would leave behind.
+        partial = ResultStore.create(tmp_path / "partial", spec)
+        partial.record_point("nms", reference["nms"].points[1])
+        partial.record_point("min-sum", reference["min-sum"].points[0])
+        scheduler = CampaignScheduler(spec, partial, workers=2)
+        assert len(scheduler.pending()) == 2
+        resumed = scheduler.run()
+        for label, curve in reference.items():
+            assert resumed[label].points == curve.points
+
+    def test_interrupted_serial_run_resumes_to_identical_counts(self, tmp_path):
+        spec = tiny_spec()
+        reference = CampaignScheduler(
+            spec, ResultStore.create(tmp_path / "ref", spec), workers=None
+        ).run()
+
+        class Stop(Exception):
+            pass
+
+        def explode_after_first(label, point):
+            raise Stop
+
+        store = ResultStore.create(tmp_path / "int", spec)
+        with pytest.raises(Stop):
+            CampaignScheduler(spec, store, workers=None).run(
+                progress=explode_after_first
+            )
+        # The first point survived the crash on disk...
+        survivor = ResultStore.open(tmp_path / "int")
+        assert sum(r["points_done"] for r in survivor.status()) == 1
+        # ...and resuming completes to the uninterrupted counts.
+        resumed = CampaignScheduler(spec, survivor, workers=None).run()
+        for label, curve in reference.items():
+            assert resumed[label].points == curve.points
+
+    def test_progress_callback_sees_every_point(self, tmp_path):
+        spec = tiny_spec()
+        store = ResultStore.create(tmp_path / "c", spec)
+        seen = []
+        CampaignScheduler(spec, store, workers=2).run(
+            progress=lambda label, point: seen.append((label, point.ebn0_db))
+        )
+        assert sorted(seen) == [
+            ("min-sum", 2.0),
+            ("min-sum", 4.0),
+            ("nms", 2.0),
+            ("nms", 4.0),
+        ]
+
+    def test_completed_campaign_runs_nothing(self, tmp_path):
+        spec = tiny_spec()
+        store = ResultStore.create(tmp_path / "c", spec)
+        CampaignScheduler(spec, store, workers=None).run()
+        scheduler = CampaignScheduler(spec, store, workers=None)
+        assert scheduler.pending() == []
+        assert store.is_complete()
+
+
+class TestCampaignCLI:
+    @pytest.fixture()
+    def spec_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "name": "cli",
+                    "seed": 3,
+                    "ebn0": [2.0, 4.0],
+                    "config": {
+                        "max_frames": 30,
+                        "target_frame_errors": 6,
+                        "batch_frames": 10,
+                        "all_zero_codeword": True,
+                    },
+                    "grid": {
+                        "codes": [{"family": "scaled", "circulant": 31}],
+                        "decoders": [
+                            {"kind": "nms", "iterations": 8},
+                            {"kind": "min-sum", "iterations": 8},
+                        ],
+                    },
+                }
+            )
+        )
+        return path
+
+    def test_run_status_resume(self, tmp_path, spec_file, capsys):
+        out_dir = tmp_path / "out"
+        assert main(["campaign", "run", str(spec_file), "--dir", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "4 to run" in out
+        assert "results stored in" in out
+        assert (out_dir / "campaign.json").exists()
+        assert (out_dir / "nms-it8.curve.json").exists()
+        curve = SimulationCurve.load(out_dir / "nms-it8.curve.json")
+        assert curve.metadata["experiment"] == "nms-it8"
+        assert len(curve.points) == 2
+
+        assert main(["campaign", "status", str(out_dir)]) == 0
+        assert "done" in capsys.readouterr().out
+
+        # Everything done: resume has nothing to run but succeeds.
+        assert main(["campaign", "resume", str(out_dir)]) == 0
+        assert "0 to run" in capsys.readouterr().out
+
+    def test_status_of_partial_store_exits_nonzero(self, tmp_path, spec_file, capsys):
+        out_dir = tmp_path / "out"
+        spec = CampaignSpec.load(spec_file)
+        ResultStore.create(out_dir, spec)
+        assert main(["campaign", "status", str(out_dir)]) == 1
+        assert "partial" in capsys.readouterr().out
+
+    def test_run_with_workers_matches_serial(self, tmp_path, spec_file, capsys):
+        serial_dir = tmp_path / "serial"
+        pooled_dir = tmp_path / "pooled"
+        assert main(["campaign", "run", str(spec_file), "--dir", str(serial_dir)]) == 0
+        assert main([
+            "campaign", "run", str(spec_file), "--dir", str(pooled_dir),
+            "--workers", "2",
+        ]) == 0
+        capsys.readouterr()
+        for path in serial_dir.glob("*.curve.json"):
+            serial = json.loads(path.read_text())
+            pooled = json.loads((pooled_dir / path.name).read_text())
+            assert serial["points"] == pooled["points"]
+
+    def test_mismatched_rerun_needs_fresh(self, tmp_path, spec_file, capsys):
+        out_dir = tmp_path / "out"
+        assert main(["campaign", "run", str(spec_file), "--dir", str(out_dir)]) == 0
+        changed = json.loads(spec_file.read_text())
+        changed["seed"] = 99
+        spec_file.write_text(json.dumps(changed))
+        capsys.readouterr()
+        # Usage errors exit 2 (distinct from status's 1 = incomplete).
+        assert main(["campaign", "run", str(spec_file), "--dir", str(out_dir)]) == 2
+        assert "different spec" in capsys.readouterr().err
+        assert main([
+            "campaign", "run", str(spec_file), "--dir", str(out_dir), "--fresh",
+        ]) == 0
+
+    def test_bad_directory_and_bad_spec_exit_2(self, tmp_path, capsys):
+        assert main(["campaign", "status", str(tmp_path / "nope")]) == 2
+        assert "cannot open" in capsys.readouterr().err
+        assert main(["campaign", "resume", str(tmp_path / "nope")]) == 2
+        capsys.readouterr()
+        bad_spec = tmp_path / "bad.json"
+        bad_spec.write_text("{not json")
+        assert main(["campaign", "run", str(bad_spec)]) == 2
+        assert "cannot load campaign spec" in capsys.readouterr().err

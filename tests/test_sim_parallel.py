@@ -3,14 +3,18 @@
 import numpy as np
 import pytest
 
-from repro.decode import NormalizedMinSumDecoder
+from repro.decode import MinSumDecoder, NormalizedMinSumDecoder
 from repro.sim import (
     EbN0Sweep,
     MonteCarloSimulator,
     ParallelMonteCarloEngine,
+    PoolEntry,
+    SharedWorkerPool,
     SimulationConfig,
     iter_shard_sizes,
 )
+from repro.sim.parallel import PointState
+from repro.utils.rng import spawn_seed_sequences
 
 
 def _factory_for(code, iterations=8):
@@ -200,3 +204,119 @@ class TestParallelEngineBehaviour:
             parallel = engine.run_point(6.0, rng=6)
         assert parallel == serial
         assert parallel.bits == parallel.frames * shortened.transmitted_code_bits
+
+
+class TestSharedWorkerPool:
+    """The multi-experiment pool underneath the campaign scheduler."""
+
+    def test_mixed_entries_reproduce_their_serial_engines(self, scaled_code):
+        config_a = SimulationConfig(
+            max_frames=40, target_frame_errors=6, batch_frames=10, all_zero_codeword=True
+        )
+        config_b = SimulationConfig(
+            max_frames=30, target_frame_errors=4, batch_frames=5, all_zero_codeword=True
+        )
+        entries = {
+            "nms": PoolEntry(scaled_code, _factory_for(scaled_code), config_a),
+            "ms": PoolEntry(
+                scaled_code,
+                lambda: MinSumDecoder(scaled_code, max_iterations=8),
+                config_b,
+            ),
+        }
+        seeds = spawn_seed_sequences(17, 4)
+        states = [
+            PointState("nms", 2.0, seeds[0], config_a),
+            PointState("ms", 2.0, seeds[1], config_b),
+            PointState("nms", 4.0, seeds[2], config_a),
+            PointState("ms", 4.0, seeds[3], config_b),
+        ]
+        with SharedWorkerPool(entries, workers=3) as pool:
+            points = pool.run_states(states)
+        # Each point must match the serial engine for its own entry+seed.
+        seeds = spawn_seed_sequences(17, 4)
+        serial_nms = MonteCarloSimulator(
+            scaled_code, _factory_for(scaled_code)(), config=config_a, rng=0
+        )
+        serial_ms = MonteCarloSimulator(
+            scaled_code, MinSumDecoder(scaled_code, max_iterations=8), config=config_b, rng=0
+        )
+        assert points[0] == serial_nms.run_point(2.0, rng=seeds[0])
+        assert points[1] == serial_ms.run_point(2.0, rng=seeds[1])
+        assert points[2] == serial_nms.run_point(4.0, rng=seeds[2])
+        assert points[3] == serial_ms.run_point(4.0, rng=seeds[3])
+
+    def test_on_point_receives_state_and_tag(self, scaled_code):
+        config = SimulationConfig(
+            max_frames=10, target_frame_errors=50, batch_frames=5, all_zero_codeword=True
+        )
+        entries = {"only": PoolEntry(scaled_code, _factory_for(scaled_code), config)}
+        (seed,) = spawn_seed_sequences(1, 1)
+        states = [PointState("only", 3.0, seed, config, tag={"marker": 42})]
+        seen = []
+        with SharedWorkerPool(entries, workers=2) as pool:
+            pool.run_states(states, on_point=lambda s, p: seen.append((s.tag, p.frames)))
+        assert seen == [({"marker": 42}, 10)]
+
+    def test_unknown_state_key_rejected(self, scaled_code):
+        config = SimulationConfig(max_frames=10, target_frame_errors=5, batch_frames=5)
+        entries = {"only": PoolEntry(scaled_code, _factory_for(scaled_code), config)}
+        (seed,) = spawn_seed_sequences(1, 1)
+        with SharedWorkerPool(entries, workers=1) as pool:
+            with pytest.raises(KeyError):
+                pool.run_states([PointState("other", 3.0, seed, config)])
+
+    def test_empty_entries_rejected(self):
+        with pytest.raises(ValueError):
+            SharedWorkerPool({})
+
+
+class TestSweepResume:
+    def test_resumed_sweep_is_bit_identical(self, scaled_code):
+        config = SimulationConfig(
+            max_frames=30, target_frame_errors=5, batch_frames=10, all_zero_codeword=True
+        )
+        factory = _factory_for(scaled_code)
+        grid = [2.0, 4.0, 6.0]
+        full = EbN0Sweep(scaled_code, factory, config=config, rng=23).run(
+            grid, label="nms", metadata={"alpha": 1.25}
+        )
+        # A killed run of the same grid leaves behind a subset of the points
+        # (each measured at its own grid position).
+        from repro.sim import SimulationCurve
+
+        partial = SimulationCurve(label="nms", metadata={"alpha": 1.25})
+        partial.add(full.points[0])
+        partial.add(full.points[2])
+        # Resume fills in the missing middle point — serially and pooled.
+        for workers in (None, 2):
+            resumed = EbN0Sweep(
+                scaled_code, factory, config=config, rng=23, workers=workers
+            ).run(grid, resume=partial)
+            assert resumed.points == full.points
+            assert resumed.label == "nms"
+            assert resumed.metadata == {"alpha": 1.25}
+
+    def test_duplicate_grid_values_simulated_once(self, scaled_code):
+        config = SimulationConfig(
+            max_frames=20, target_frame_errors=5, batch_frames=10, all_zero_codeword=True
+        )
+        factory = _factory_for(scaled_code)
+        deduped = EbN0Sweep(scaled_code, factory, config=config, rng=3).run([3.0, 5.0])
+        duplicated = EbN0Sweep(scaled_code, factory, config=config, rng=3).run(
+            [3.0, 5.0, 3.0]
+        )
+        assert duplicated.points == deduped.points
+
+    def test_resume_with_everything_done_runs_nothing(self, scaled_code):
+        config = SimulationConfig(
+            max_frames=20, target_frame_errors=5, batch_frames=10, all_zero_codeword=True
+        )
+        factory = _factory_for(scaled_code)
+        full = EbN0Sweep(scaled_code, factory, config=config, rng=5).run([3.0])
+        calls = []
+        resumed = EbN0Sweep(scaled_code, factory, config=config, rng=5).run(
+            [3.0], resume=full, progress=calls.append
+        )
+        assert calls == []
+        assert resumed.points == full.points

@@ -104,6 +104,60 @@ class TestSimulationCurve:
         with pytest.raises(ValueError):
             SimulationCurve("x").ebn0_at_ber(0.0)
 
+    def test_metadata_with_numpy_values_survives_roundtrip(self, tmp_path):
+        """Regression: numpy-typed metadata used to crash save (not JSON-able)."""
+        curve = SimulationCurve(
+            "nms α=1.25",
+            metadata={
+                "alpha": np.float64(1.25),
+                "iterations": np.int64(18),
+                "adaptive": np.bool_(True),
+                "grid": np.array([3.0, 4.0]),
+                "nested": {"code": {"family": "scaled", "circulant": 31}},
+            },
+        )
+        curve.add(self._point(4.0, 1e-3))
+        path = tmp_path / "curve.json"
+        curve.save(path)
+        loaded = SimulationCurve.load(path)
+        assert loaded.label == "nms α=1.25"
+        assert loaded.metadata["alpha"] == 1.25
+        assert loaded.metadata["iterations"] == 18
+        assert loaded.metadata["adaptive"] is True
+        assert loaded.metadata["grid"] == [3.0, 4.0]
+        assert loaded.metadata["nested"] == {"code": {"family": "scaled", "circulant": 31}}
+        # A second round trip is the identity: nothing left to degrade.
+        loaded.save(path)
+        assert SimulationCurve.load(path).as_dict() == loaded.as_dict()
+
+    def test_from_dict_tolerates_missing_and_unknown_fields(self):
+        """Curves from other versions load: extra point keys are ignored,
+        missing label/metadata default to empty."""
+        data = {
+            "points": [
+                {
+                    "ebn0_db": 4.0,
+                    "ber": 1e-3,
+                    "fer": 1e-2,
+                    "bit_errors": 10,
+                    "frame_errors": 2,
+                    "bits": 10_000,
+                    "frames": 200,
+                    "exotic_future_field": 123,
+                }
+            ]
+        }
+        curve = SimulationCurve.from_dict(data)
+        assert curve.label == ""
+        assert curve.metadata == {}
+        assert curve.points[0].frames == 200
+
+    def test_completed_ebn0(self):
+        curve = SimulationCurve("x")
+        curve.add(self._point(3.0, 1e-2))
+        curve.add(self._point(4.0, 1e-3))
+        assert curve.completed_ebn0() == {3.0, 4.0}
+
 
 class TestReferenceCurves:
     def test_uncoded_bpsk_known_value(self):
