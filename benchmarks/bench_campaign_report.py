@@ -1,0 +1,123 @@
+"""Campaign report generation — store load + analysis + rendering cost.
+
+The analysis layer (:mod:`repro.analysis.campaign`) is meant to run after
+*every* campaign, including mid-flight on partial stores, so building a
+report must stay cheap next to the Monte-Carlo work it summarizes.  This
+benchmark fabricates a store with paper-scale shape (a grid of decoder
+configurations, a dense Eb/N0 grid each, analytic waterfall values) and
+times: loading + analyzing the store (crossings, coding gain, Shannon gap
+— one code build for the rate) and rendering each output format.  It also
+asserts the report is deterministic: two independent loads of the same
+store render byte-identical markdown.
+"""
+
+from __future__ import annotations
+
+import time
+
+from scale_config import DEFAULT_SCALED_CIRCULANT, full_scale
+
+from repro.analysis.campaign import CampaignReport
+from repro.sim import SimulationConfig
+from repro.sim.campaign import (
+    CampaignSpec,
+    CodeSpec,
+    DecoderSpec,
+    ExperimentSpec,
+    ResultStore,
+)
+from repro.sim.results import SimulationPoint
+from repro.utils.formatting import format_table
+
+#: Grid shape of the fabricated campaign (experiments x Eb/N0 points).
+N_ALPHAS = 6
+N_ITERATIONS = 4
+EBN0_POINTS = 15
+
+
+def _fabricated_store(directory) -> ResultStore:
+    code = CodeSpec(family="scaled", circulant=DEFAULT_SCALED_CIRCULANT)
+    ebn0 = tuple(2.0 + 0.25 * i for i in range(EBN0_POINTS))
+    experiments = []
+    for alpha_index in range(N_ALPHAS):
+        alpha = 1.0 + 0.125 * alpha_index
+        for iteration_index in range(N_ITERATIONS):
+            iterations = 10 + 10 * iteration_index
+            experiments.append(
+                ExperimentSpec(
+                    label=f"nms-it{iterations}-a{alpha:g}",
+                    code=code,
+                    decoder=DecoderSpec("nms", iterations, params={"alpha": alpha}),
+                )
+            )
+    spec = CampaignSpec(
+        name="bench-report",
+        seed=7,
+        ebn0=ebn0,
+        config=SimulationConfig(max_frames=1000, target_frame_errors=100,
+                                batch_frames=50, all_zero_codeword=True),
+        experiments=experiments,
+    )
+    store = ResultStore.create(directory, spec, fresh=True)
+    for index, experiment in enumerate(experiments):
+        shift = 0.05 * index
+        for value in ebn0:
+            ber = min(0.5, 10 ** (-1.0 - 1.2 * (value - shift - 2.0)))
+            store.record_point(
+                experiment.label,
+                SimulationPoint(
+                    ebn0_db=value, ber=ber, fer=min(1.0, ber * 20),
+                    bit_errors=int(ber * 1e6), frame_errors=100,
+                    bits=10**6, frames=1000,
+                ),
+            )
+    return store
+
+
+def test_campaign_report_generation(benchmark, report_sink, tmp_path):
+    store = _fabricated_store(tmp_path / "report-bench")
+    n_experiments = len(store.spec.experiments)
+    n_points = store.spec.total_points()
+
+    def build():
+        return CampaignReport.from_store(
+            store.directory, target_ber=1e-3, target_fer=1e-2
+        )
+
+    start = time.perf_counter()
+    report = build()
+    cold_seconds = time.perf_counter() - start  # includes the one code build
+
+    renders = {}
+    for fmt in ("text", "markdown", "csv", "json"):
+        start = time.perf_counter()
+        renders[fmt] = report.render(fmt)
+        renders[f"{fmt}_seconds"] = time.perf_counter() - start
+
+    warm = benchmark.pedantic(build, rounds=3, iterations=1)
+
+    rows = [
+        ["load + analyze (cold, incl. code build)", f"{cold_seconds * 1e3:.1f}"],
+    ]
+    for fmt in ("text", "markdown", "csv", "json"):
+        rows.append([f"render {fmt}", f"{renders[f'{fmt}_seconds'] * 1e3:.2f}"])
+    text = format_table(
+        ["stage", "time (ms)"],
+        rows,
+        title=(
+            f"Campaign report over {n_experiments} experiments x "
+            f"{EBN0_POINTS} Eb/N0 points ({n_points} curve points"
+            f"{', full scale' if full_scale() else ''})"
+        ),
+    )
+    text += (
+        "\n\nDeterminism: two independent loads of the same store render "
+        "byte-identical markdown."
+    )
+    report_sink("campaign_report", text)
+
+    # Every experiment crossed somewhere on the dense fabricated grid.
+    crossed = [e for e in report.experiments if e.ber_crossing is not None]
+    assert len(crossed) == n_experiments
+    # Determinism: a second, independent load renders identically.
+    assert warm.to_markdown() == report.to_markdown()

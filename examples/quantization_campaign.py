@@ -18,7 +18,11 @@ Usage::
     python examples/quantization_campaign.py --dir out/quant  # resumable dir
 
 The spec is also written to ``<dir>/spec.json`` so the same study can be
-driven entirely from the CLI: ``python -m repro campaign run <dir>/spec.json``.
+driven entirely from the CLI: ``python -m repro campaign run <dir>/spec.json``,
+and when the campaign is done a paper-style analysis report (threshold
+crossings, coding gain vs uncoded BPSK, per-code ranking) is printed and
+archived as ``<dir>/report.md`` — the same artifact as
+``python -m repro campaign report <dir>``.
 """
 
 from __future__ import annotations
@@ -26,6 +30,7 @@ from __future__ import annotations
 import argparse
 from pathlib import Path
 
+from repro.analysis.campaign import CampaignReport
 from repro.sim import EbN0Sweep
 from repro.sim.campaign import CampaignScheduler, CampaignSpec, ResultStore
 
@@ -55,6 +60,8 @@ def parse_args() -> argparse.Namespace:
                         help="resumable result directory")
     parser.add_argument("--fresh", action="store_true",
                         help="discard existing results in --dir first")
+    parser.add_argument("--target-ber", type=float, default=1e-3,
+                        help="BER target of the report's crossing analysis")
     return parser.parse_args()
 
 
@@ -123,23 +130,17 @@ def main() -> None:
 
     print()
     print(EbN0Sweep.format_curves(list(curves.values())))
-    reference = curves["float"]
-    at_ebn0 = max(args.ebn0)  # curves keep points sorted, CLI order may not be
-    print("\nFER cost of quantization vs the floating-point reference "
-          f"(Eb/N0 = {at_ebn0:g} dB):")
 
-    def point_at(curve, ebn0):
-        return next(p for p in curve.points if p.ebn0_db == ebn0)
-
-    ref_point = point_at(reference, at_ebn0)
-    for label, curve in curves.items():
-        if label == "float":
-            continue
-        point = point_at(curve, at_ebn0)
-        ratio = point.fer / ref_point.fer if ref_point.fer else float("inf")
-        print(f"  {label:>40s}: FER {point.fer:.3e} ({ratio:5.2f}x float)")
-    print(f"\nresults stored in {directory} "
-          f"(resume: python -m repro campaign resume {directory})")
+    # Paper-style analysis straight from the store: threshold crossings,
+    # coding gain vs uncoded BPSK, gap to capacity, and a per-code ranking
+    # placing each word length relative to the floating-point reference.
+    report = CampaignReport.from_store(store, target_ber=args.target_ber)
+    print()
+    print(report.to_text())
+    (directory / "report.md").write_text(report.to_markdown())
+    print(f"results stored in {directory} "
+          f"(resume: python -m repro campaign resume {directory}; "
+          f"report archived as {directory / 'report.md'})")
 
 
 if __name__ == "__main__":

@@ -8,6 +8,12 @@ both analytically (via the Gaussian-approximation density evolution of
 :mod:`repro.analysis.density_evolution`) and empirically (via Monte-Carlo
 message statistics); :mod:`repro.analysis.quantization_study` quantifies the
 implementation loss of the fixed-point datapath widths.
+
+:mod:`repro.analysis.campaign` sits one level up: it loads a finished
+campaign's :class:`~repro.sim.campaign.store.ResultStore` and produces the
+paper-style artifacts (waterfall summaries, threshold crossings, coding-gain
+and gap-to-capacity tables) — see :class:`~repro.analysis.campaign.
+CampaignReport` and the ``campaign report`` CLI subcommand.
 """
 
 from repro.analysis.correction_factor import (

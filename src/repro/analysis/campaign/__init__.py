@@ -1,0 +1,39 @@
+"""Campaign-level analysis: from a result store to paper-ready artifacts.
+
+This package closes the loop opened by :mod:`repro.sim.campaign`:
+declarative spec → shared-pool execution → persistent store → **report**.
+Its three modules map onto the paper's deliverables:
+
+* :mod:`~repro.analysis.campaign.crossing` — log-domain threshold-crossing
+  interpolation, coding gain vs uncoded BPSK and gap to the Shannon limit
+  (the horizontal comparisons drawn on Figure 4's waterfalls);
+* :mod:`~repro.analysis.campaign.curveset` — :class:`CurveSet`, a query API
+  (filter / group / sort by spec fields) over the addressing metadata every
+  stored curve carries;
+* :mod:`~repro.analysis.campaign.report` — :class:`CampaignReport`, the
+  per-experiment summaries, crossing tables and cross-experiment
+  comparisons with text / markdown / CSV / JSON exporters (CLI:
+  ``python -m repro campaign report <dir>``).
+"""
+
+from repro.analysis.campaign.crossing import (
+    Crossing,
+    coding_gain_db,
+    crossing_ebn0,
+    curve_crossing,
+    shannon_gap_db,
+)
+from repro.analysis.campaign.curveset import CurveRecord, CurveSet
+from repro.analysis.campaign.report import CampaignReport, ExperimentReport
+
+__all__ = [
+    "Crossing",
+    "crossing_ebn0",
+    "curve_crossing",
+    "coding_gain_db",
+    "shannon_gap_db",
+    "CurveRecord",
+    "CurveSet",
+    "CampaignReport",
+    "ExperimentReport",
+]

@@ -1,0 +1,245 @@
+"""Query API over a campaign's result curves.
+
+A finished campaign directory is a set of :class:`~repro.sim.results.
+SimulationCurve` files, each stamped with the addressing metadata of its
+experiment (campaign name, seed, code/decoder/config description — see
+:mod:`repro.sim.campaign.store`).  :class:`CurveSet` turns that directory
+back into something queryable: filter by any spec field, group by the axes
+of the original grid (code × decoder × params), sort deterministically —
+the operations a report needs to rebuild the paper's per-figure groupings
+(all curves of Figure 4 share a code; the quantization ablation groups by
+``decoder.params.message_format``).
+
+Fields are addressed by dotted path into the curve metadata::
+
+    curves.filter(**{"decoder.kind": "quantized"})
+    curves.group_by("code")
+    curves.sorted_by("decoder.params.alpha")
+
+Top-level conveniences (``label``, ``campaign``, ``seed``, ``code``,
+``decoder``, ``config``) resolve against the metadata dict; ``code`` and
+``decoder`` compare whole spec dictionaries, so a group key is exactly one
+grid axis value.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterator, Mapping, Sequence
+
+from repro.sim.campaign.spec import CodeSpec, DecoderSpec
+from repro.sim.campaign.store import ResultStore
+from repro.sim.results import SimulationCurve
+
+__all__ = ["CurveRecord", "CurveSet"]
+
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class CurveRecord:
+    """One experiment's curve plus its addressing metadata."""
+
+    label: str
+    curve: SimulationCurve
+
+    @property
+    def metadata(self) -> dict:
+        return self.curve.metadata or {}
+
+    # -- convenient metadata accessors --------------------------------- #
+    @property
+    def campaign(self) -> str | None:
+        return self.metadata.get("campaign")
+
+    @property
+    def code(self) -> dict | None:
+        return self.metadata.get("code")
+
+    @property
+    def decoder(self) -> dict | None:
+        return self.metadata.get("decoder")
+
+    @property
+    def config(self) -> dict | None:
+        return self.metadata.get("config")
+
+    @property
+    def code_key(self) -> str | None:
+        """Short stable code identifier (``scaled31``, ``ccsds-c2``, …)."""
+        if self.code is None:
+            return None
+        try:
+            return CodeSpec.from_dict(self.code).key
+        except (ValueError, TypeError):
+            return None
+
+    @property
+    def decoder_key(self) -> str | None:
+        """Short stable decoder identifier including every parameter."""
+        if self.decoder is None:
+            return None
+        try:
+            return DecoderSpec.from_dict(self.decoder).key
+        except (ValueError, TypeError):
+            return None
+
+    def field(self, path: str, default=None):
+        """Resolve a dotted path against ``label``/metadata.
+
+        ``"label"`` returns the experiment label; anything else walks the
+        metadata dict (``"decoder.params.alpha"``, ``"config.max_frames"``,
+        ``"seed"``).  Missing segments yield ``default``.
+        """
+        if path == "label":
+            return self.label
+        value: object = self.metadata
+        for part in path.split("."):
+            if not isinstance(value, Mapping) or part not in value:
+                return default
+            value = value[part]
+        return value
+
+
+def _sort_token(value) -> tuple:
+    """Total order over heterogeneous field values (None < numbers < rest)."""
+    if value is None:
+        return (0, "")
+    if isinstance(value, bool):
+        return (1, float(value))
+    if isinstance(value, (int, float)):
+        return (1, float(value))
+    if isinstance(value, str):
+        return (2, value)
+    return (3, json.dumps(value, sort_keys=True, default=str))
+
+
+class CurveSet(Sequence[CurveRecord]):
+    """An immutable, queryable collection of campaign curves.
+
+    Build one with :meth:`from_store` (a campaign directory) or
+    :meth:`from_curves` (in-memory curves, e.g. straight from a
+    :class:`~repro.sim.campaign.scheduler.CampaignScheduler` run).
+    ``problems`` lists experiments whose files could not be loaded — a
+    report can name them instead of failing.
+    """
+
+    def __init__(self, records: Sequence[CurveRecord], *, problems: Mapping[str, str] | None = None):
+        self._records = list(records)
+        self.problems: dict[str, str] = dict(problems or {})
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_store(cls, store: "ResultStore | str | Path") -> "CurveSet":
+        """Load every experiment curve of a campaign directory.
+
+        Corrupt files (mismatched addressing metadata, unreadable JSON) are
+        collected into :attr:`problems` keyed by experiment label rather
+        than raised, mirroring ``campaign status``.
+        """
+        if not isinstance(store, ResultStore):
+            store = ResultStore.open(store)
+        records: list[CurveRecord] = []
+        problems: dict[str, str] = {}
+        for experiment in store.spec.experiments:
+            error = store.curve_problem(experiment.label)
+            if error is not None:
+                problems[experiment.label] = error
+                continue
+            records.append(CurveRecord(experiment.label, store.curve(experiment.label)))
+        return cls(records, problems=problems)
+
+    @classmethod
+    def from_curves(cls, curves: Mapping[str, SimulationCurve]) -> "CurveSet":
+        """Wrap label-keyed curves (e.g. ``CampaignScheduler.run()`` output)."""
+        return cls([CurveRecord(label, curve) for label, curve in curves.items()])
+
+    # -- Sequence protocol --------------------------------------------- #
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[CurveRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return CurveSet(self._records[index], problems=self.problems)
+        return self._records[index]
+
+    # ------------------------------------------------------------------ #
+    @property
+    def labels(self) -> list[str]:
+        return [record.label for record in self._records]
+
+    def get(self, label: str) -> CurveRecord:
+        """The record with this experiment label (raises ``KeyError``)."""
+        for record in self._records:
+            if record.label == label:
+                return record
+        raise KeyError(f"no curve labelled {label!r}")
+
+    def filter(
+        self,
+        predicate: Callable[[CurveRecord], bool] | None = None,
+        **fields,
+    ) -> "CurveSet":
+        """Records matching a predicate and/or dotted-path field values.
+
+        Keyword keys are dotted metadata paths with ``.`` optionally spelled
+        ``__`` so they stay valid Python identifiers::
+
+            curves.filter(decoder__kind="nms")
+            curves.filter(**{"decoder.params.alpha": 1.25})
+        """
+        selected = []
+        for record in self._records:
+            if predicate is not None and not predicate(record):
+                continue
+            if all(
+                record.field(key.replace("__", "."), _MISSING) == value
+                for key, value in fields.items()
+            ):
+                selected.append(record)
+        # Problems describe the store load, not the selection: a filtered
+        # view must still report the experiments that could not be read.
+        return CurveSet(selected, problems=self.problems)
+
+    def group_by(self, *paths: str) -> "dict[tuple, CurveSet]":
+        """Partition by the values at one or more dotted paths.
+
+        Keys are tuples of the (JSON-hashable) field values in ``paths``
+        order; groups preserve record order and the mapping iterates in
+        sorted key order, so downstream tables are deterministic.
+        """
+        if not paths:
+            raise ValueError("group_by needs at least one field path")
+        groups: dict[tuple, list[CurveRecord]] = {}
+        for record in self._records:
+            key = tuple(_hashable(record.field(path)) for path in paths)
+            groups.setdefault(key, []).append(record)
+        ordered = sorted(groups.items(), key=lambda item: tuple(_sort_token(v) for v in item[0]))
+        return {key: CurveSet(records) for key, records in ordered}
+
+    def sorted_by(self, *paths: str, reverse: bool = False) -> "CurveSet":
+        """Records sorted by the values at the given dotted paths."""
+        if not paths:
+            raise ValueError("sorted_by needs at least one field path")
+        records = sorted(
+            self._records,
+            key=lambda r: tuple(_sort_token(r.field(path)) for path in paths),
+            reverse=reverse,
+        )
+        return CurveSet(records, problems=self.problems)
+
+    def curves(self) -> dict[str, SimulationCurve]:
+        """Label-keyed view of the underlying curves."""
+        return {record.label: record.curve for record in self._records}
+
+
+def _hashable(value):
+    """Group keys must be hashable; dicts/lists become canonical JSON."""
+    if isinstance(value, (dict, list)):
+        return json.dumps(value, sort_keys=True, default=str)
+    return value

@@ -11,7 +11,10 @@ writing any Python:
 * ``simulate``    — a BER/PER Eb/N0 sweep with a chosen decoder (resumable
   from a saved curve via ``--resume``);
 * ``campaign``    — run/status/resume a declarative multi-experiment
-  campaign (:mod:`repro.sim.campaign`) from a JSON spec file.
+  campaign (:mod:`repro.sim.campaign`) from a JSON spec file, and
+  ``campaign report`` — paper-style analysis (threshold crossings, coding
+  gain, gap to capacity; :mod:`repro.analysis.campaign`) of a finished or
+  partial campaign directory in text/markdown/CSV/JSON.
 
 Every command prints plain ASCII tables (the same helpers the benchmark
 harness uses), so output can be diffed against ``benchmarks/output/``.
@@ -199,19 +202,28 @@ def _campaign_progress(label: str, point) -> None:
 
 def _campaign_status_table(store: ResultStore) -> str:
     rows = []
+    problems = []
     for row in store.status():
+        if row.get("error"):
+            status = "corrupt"
+            problems.append(f"  {row['label']}: {row['error']}")
+        else:
+            status = "done" if row["complete"] else "partial"
         rows.append([
             row["label"],
             f"{row['points_done']}/{row['points_total']}",
             f"{row['frames']:,}",
             f"{row['frame_errors']:,}",
-            "done" if row["complete"] else "partial",
+            status,
         ])
-    return format_table(
+    table = format_table(
         ["Experiment", "Points", "Frames", "Frame errors", "Status"],
         rows,
         title=f"Campaign '{store.spec.name}' ({store.directory})",
     )
+    if problems:
+        table += "\n\ncorrupt experiments:\n" + "\n".join(problems)
+    return table
 
 
 def _run_campaign(store: ResultStore, workers) -> int:
@@ -271,6 +283,39 @@ def _cmd_campaign_status(args) -> int:
         return 2
     print(_campaign_status_table(store))
     return 0 if store.is_complete() else 1
+
+
+def _cmd_campaign_report(args) -> int:
+    # Import here: the analysis layer is not needed by the other (hot-path)
+    # subcommands and keeps plain `campaign run` start-up lean.
+    from repro.analysis.campaign import CampaignReport
+
+    store = _open_store(args.dir)
+    if store is None:
+        return 2
+    try:
+        report = CampaignReport.from_store(
+            store,
+            target_ber=args.target_ber,
+            target_fer=args.target_fer,
+            include_rates=not args.no_rate,
+        )
+    except ValueError as exc:
+        print(f"cannot build report: {exc}", file=sys.stderr)
+        return 2
+    text = report.render(args.format)
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"report written to {args.output}")
+    else:
+        print(text, end="")
+    if report.problems:
+        print(
+            f"warning: {len(report.problems)} experiment(s) had unreadable "
+            f"results: {', '.join(sorted(report.problems))}",
+            file=sys.stderr,
+        )
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -360,6 +405,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     status.add_argument("dir", type=str, help="campaign result directory")
     status.set_defaults(func=_cmd_campaign_status)
+
+    report = campaign_sub.add_parser(
+        "report",
+        help="paper-style analysis report (crossings, coding gain, "
+             "gap to capacity) of a campaign directory",
+    )
+    report.add_argument("dir", type=str, help="campaign result directory")
+    report.add_argument("--format", choices=["text", "markdown", "csv", "json"],
+                        default="text", help="output format (default: text)")
+    report.add_argument("--target-ber", type=float, default=1e-4,
+                        help="BER target of the crossing analysis (default 1e-4)")
+    report.add_argument("--target-fer", type=float, default=None,
+                        help="optional FER target (adds a FER crossing column)")
+    report.add_argument("--no-rate", action="store_true",
+                        help="skip building codes for the rate / Shannon-gap "
+                             "columns (faster for the full 8176-bit code)")
+    report.add_argument("--output", "-o", type=str, default=None,
+                        help="write the report to this file instead of stdout")
+    report.set_defaults(func=_cmd_campaign_report)
 
     return parser
 

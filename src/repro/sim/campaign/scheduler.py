@@ -16,6 +16,11 @@ bit-identical counts for any worker count — and a *resumed* campaign (jobs
 already in the :class:`~repro.sim.campaign.store.ResultStore` are skipped,
 but every seed is re-derived from scratch) completes to exactly the counts
 of an uninterrupted run.
+
+This determinism is what makes the paper's measured figures reproducible
+artifacts rather than one-off runs: the Figure 4 waterfalls and Section 5
+ablation tables regenerate bit-for-bit from (spec, seed) alone, however
+many workers the machine has and however often the run was interrupted.
 """
 
 from __future__ import annotations

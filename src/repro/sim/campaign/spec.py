@@ -19,6 +19,12 @@ Everything here is declarative: nothing expensive is built until
 :meth:`CodeSpec.build` / :meth:`DecoderSpec.factory` are called by the
 scheduler, so specs are cheap to validate, hash, store in manifests and ship
 to worker processes.
+
+Paper cross-references: a grid over ``alpha`` reproduces the Section 5
+correction-factor study, a grid over ``message_format`` word lengths the
+quantization ablation behind the 6-bit operating point of Tables 2/3, and
+a grid over decoder kinds the Figure 4 waterfall comparison
+(``examples/quantization_campaign.py`` is the worked example).
 """
 
 from __future__ import annotations

@@ -12,7 +12,12 @@ and skips everything already measured.
 Each curve's metadata carries the addressing keys that tie it back to its
 experiment: campaign name, experiment label and index, master seed, and the
 full code/decoder/config description — enough to re-associate a curve file
-with its spec entry even outside the campaign directory.
+with its spec entry even outside the campaign directory.  That metadata is
+what lets the analysis layer (:mod:`repro.analysis.campaign`) rebuild the
+paper's groupings — all curves of one Figure 4 plot share a code, one
+quantization-ablation column shares a ``message_format`` — straight from
+the directory, and what lets :meth:`ResultStore.status` name a corrupt or
+foreign curve file instead of silently adopting its points.
 """
 
 from __future__ import annotations
@@ -138,6 +143,11 @@ class ResultStore:
         Loaded from disk on first access, then kept in memory and extended by
         :meth:`record_point`.  A curve that was never started is returned
         empty, already carrying its addressing metadata.
+
+        Raises :class:`StoreMismatchError` when the on-disk file was measured
+        under a different spec and ``ValueError``/``KeyError``/``TypeError``
+        when it is not a readable curve file; :meth:`curve_problem` probes
+        for those conditions without raising.
         """
         cached = self._curves.get(label)
         if cached is not None:
@@ -162,6 +172,21 @@ class ResultStore:
         self._curves[label] = curve
         return curve
 
+    def curve_problem(self, label: str) -> str | None:
+        """Why ``label``'s on-disk curve cannot be adopted, or ``None``.
+
+        ``campaign status`` and the analysis layer use this to *report* a
+        corrupt experiment (mismatched addressing metadata, unreadable JSON)
+        instead of aborting on the first bad file.
+        """
+        try:
+            self.curve(label)
+        except StoreMismatchError as exc:
+            return str(exc)
+        except (ValueError, KeyError, TypeError, OSError) as exc:
+            return f"{self.curve_path(label)} is not a readable curve file: {exc}"
+        return None
+
     def completed_ebn0(self, label: str) -> set[float]:
         """Eb/N0 values of ``label`` already persisted (skipped on resume)."""
         return self.curve(label).completed_ebn0()
@@ -180,10 +205,30 @@ class ResultStore:
         return {e.label: self.curve(e.label) for e in self.spec.experiments}
 
     def status(self) -> list[dict]:
-        """Per-experiment progress summary (for ``campaign status``)."""
+        """Per-experiment progress summary (for ``campaign status``).
+
+        A corrupt curve file (mismatched addressing metadata or unreadable
+        JSON) does not raise: its row carries the problem description under
+        ``"error"`` and counts as incomplete, so ``campaign status`` can name
+        the broken experiment instead of dying on it.
+        """
         rows = []
         for experiment in self.spec.experiments:
             grid = experiment.resolve_ebn0(self.spec.ebn0)
+            error = self.curve_problem(experiment.label)
+            if error is not None:
+                rows.append(
+                    {
+                        "label": experiment.label,
+                        "points_done": 0,
+                        "points_total": len(grid),
+                        "frames": 0,
+                        "frame_errors": 0,
+                        "complete": False,
+                        "error": error,
+                    }
+                )
+                continue
             curve = self.curve(experiment.label)
             done = curve.completed_ebn0() & {float(x) for x in grid}
             rows.append(
@@ -194,6 +239,7 @@ class ResultStore:
                     "frames": sum(p.frames for p in curve.points),
                     "frame_errors": sum(p.frame_errors for p in curve.points),
                     "complete": len(done) == len(grid),
+                    "error": None,
                 }
             )
         return rows

@@ -10,7 +10,12 @@ from __future__ import annotations
 import numpy as np
 from numpy import sqrt
 
-__all__ = ["qfunc", "uncoded_bpsk_ber", "shannon_limit_ebn0_db"]
+__all__ = [
+    "qfunc",
+    "uncoded_bpsk_ber",
+    "uncoded_bpsk_ebn0_db",
+    "shannon_limit_ebn0_db",
+]
 
 
 def qfunc(x) -> np.ndarray:
@@ -26,6 +31,32 @@ def uncoded_bpsk_ber(ebn0_db) -> np.ndarray:
     """Bit error rate of uncoded BPSK over AWGN at the given Eb/N0 (dB)."""
     ebn0 = 10.0 ** (np.asarray(ebn0_db, dtype=np.float64) / 10.0)
     return qfunc(np.sqrt(2.0 * ebn0))
+
+
+def uncoded_bpsk_ebn0_db(target_ber: float) -> float:
+    """Eb/N0 (dB) at which uncoded BPSK reaches ``target_ber``.
+
+    The inverse of :func:`uncoded_bpsk_ber`, solved by bisection (the BER is
+    strictly decreasing in Eb/N0), so coding-gain tables need no external
+    inverse-Q dependency.  Accurate to ~1e-9 dB over targets in (0, 0.5).
+    """
+    if not 0 < target_ber < 0.5:
+        raise ValueError("target_ber must be in (0, 0.5) for uncoded BPSK")
+    lo, hi = -60.0, 40.0
+    if not uncoded_bpsk_ber(lo) > target_ber:
+        # BER -> 0.5 only as Eb/N0 -> -inf dB, so targets within ~1e-3 of
+        # 0.5 have no crossing inside any finite bracket.
+        raise ValueError(
+            f"target_ber {target_ber} is too close to 0.5 to invert "
+            f"(supported up to {float(uncoded_bpsk_ber(lo)):.6f})"
+        )
+    for _ in range(80):
+        mid = 0.5 * (lo + hi)
+        if uncoded_bpsk_ber(mid) > target_ber:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
 
 
 def shannon_limit_ebn0_db(rate: float) -> float:

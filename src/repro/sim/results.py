@@ -106,25 +106,22 @@ class SimulationCurve:
 
         Returns ``None`` when the curve never reaches the target.  This is
         the quantity used for "X dB better than Y" comparisons such as the
-        paper's 0.05 dB claim.
+        paper's 0.05 dB claim.  Delegates to
+        :func:`repro.analysis.campaign.crossing.crossing_ebn0`, which also
+        handles non-monotone curves and zero-error floor points (a crossing
+        bracketed by a zero-error point is an upper bound on the true one).
         """
-        if target_ber <= 0:
-            raise ValueError("target_ber must be positive")
-        ebn0 = self.ebn0_values
-        ber = self.ber_values
-        usable = ber > 0
-        if usable.sum() < 2:
-            return None
-        ebn0 = ebn0[usable]
-        ber = ber[usable]
-        log_ber = np.log10(ber)
-        target = np.log10(target_ber)
-        for i in range(len(ebn0) - 1):
-            lo, hi = log_ber[i], log_ber[i + 1]
-            if (lo - target) * (hi - target) <= 0 and lo != hi:
-                fraction = (lo - target) / (lo - hi)
-                return float(ebn0[i] + fraction * (ebn0[i + 1] - ebn0[i]))
-        return None
+        from repro.analysis.campaign.crossing import crossing_ebn0
+
+        crossing = crossing_ebn0(self.ebn0_values, self.ber_values, target_ber)
+        return None if crossing is None else crossing.ebn0_db
+
+    def ebn0_at_fer(self, target_fer: float) -> float | None:
+        """Eb/N0 (dB) where the curve crosses a target FER (log-linear interpolation)."""
+        from repro.analysis.campaign.crossing import crossing_ebn0
+
+        crossing = crossing_ebn0(self.ebn0_values, self.fer_values, target_fer)
+        return None if crossing is None else crossing.ebn0_db
 
     def coding_gain_over(self, other: "SimulationCurve", target_ber: float) -> float | None:
         """Eb/N0 advantage of this curve over ``other`` at a target BER (dB)."""

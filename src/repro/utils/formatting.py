@@ -9,7 +9,14 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-__all__ = ["format_table", "format_percentage", "format_rate", "format_engineering"]
+__all__ = [
+    "format_table",
+    "format_markdown_table",
+    "format_csv",
+    "format_percentage",
+    "format_rate",
+    "format_engineering",
+]
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], *, title: str | None = None) -> str:
@@ -43,6 +50,60 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], *, ti
     lines.append(render_row(list(headers)))
     lines.append("-+-".join("-" * w for w in widths))
     lines.extend(render_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render rows as a GitHub-flavoured markdown table.
+
+    Same contract as :func:`format_table` (cells are converted with ``str``,
+    row widths validated); the optional title becomes a ``###`` heading.
+    Pipes inside cells are escaped so the table stays well-formed.
+    """
+    str_rows = [[str(cell).replace("|", "\\|") for cell in row] for row in rows]
+    header_cells = [str(h).replace("|", "\\|") for h in headers]
+    widths = [len(h) for h in header_cells]
+    for row in str_rows:
+        if len(row) != len(header_cells):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(header_cells)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)) + " |"
+
+    lines = []
+    if title:
+        lines.extend([f"### {title}", ""])
+    lines.append(render_row(header_cells))
+    lines.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    lines.extend(render_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_csv(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as RFC-4180-style CSV (quotes fields containing , " or newlines)."""
+
+    def escape(cell: object) -> str:
+        text = str(cell)
+        if any(c in text for c in ',"\n\r'):
+            return '"' + text.replace('"', '""') + '"'
+        return text
+
+    lines = [",".join(escape(h) for h in headers)]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        lines.append(",".join(escape(cell) for cell in row))
     return "\n".join(lines)
 
 

@@ -1,0 +1,390 @@
+"""Tests for the campaign analysis layer (repro.analysis.campaign)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.campaign import (
+    CampaignReport,
+    Crossing,
+    CurveSet,
+    coding_gain_db,
+    crossing_ebn0,
+    curve_crossing,
+    shannon_gap_db,
+)
+from repro.cli import main
+from repro.sim import SimulationConfig
+from repro.sim.campaign import (
+    CampaignSpec,
+    CodeSpec,
+    DecoderSpec,
+    ExperimentSpec,
+    ResultStore,
+)
+from repro.sim.reference import (
+    shannon_limit_ebn0_db,
+    uncoded_bpsk_ber,
+    uncoded_bpsk_ebn0_db,
+)
+from repro.sim.results import SimulationCurve, SimulationPoint
+
+
+def make_point(ebn0, ber, fer=None, frames=100):
+    return SimulationPoint(
+        ebn0_db=float(ebn0),
+        ber=float(ber),
+        fer=float(ber * 10 if fer is None else fer),
+        bit_errors=int(ber * 1e6),
+        frame_errors=min(frames, int((ber * 10 if fer is None else fer) * frames)),
+        bits=10**6,
+        frames=frames,
+    )
+
+
+def make_curve(label, points, metadata=None):
+    curve = SimulationCurve(label=label, metadata=dict(metadata or {}))
+    for ebn0, ber in points:
+        curve.add(make_point(ebn0, ber))
+    return curve
+
+
+class TestCrossing:
+    def test_basic_log_interpolation(self):
+        crossing = crossing_ebn0([3.0, 4.0], [1e-2, 1e-4], 1e-3)
+        assert crossing is not None and crossing.exact
+        assert crossing.ebn0_db == pytest.approx(3.5)
+
+    def test_grid_order_does_not_matter(self):
+        a = crossing_ebn0([4.0, 3.0], [1e-4, 1e-2], 1e-3)
+        b = crossing_ebn0([3.0, 4.0], [1e-2, 1e-4], 1e-3)
+        assert a == b
+
+    def test_non_monotone_curve_uses_first_downward_crossing(self):
+        # Monte-Carlo noise bump: dips below the target, pops back up, then
+        # falls for good.  The threshold is the first downward crossing.
+        ebn0 = [1.0, 2.0, 3.0, 4.0]
+        ber = [1e-2, 1e-4, 5e-3, 1e-6]
+        crossing = crossing_ebn0(ebn0, ber, 1e-3)
+        assert crossing is not None
+        assert 1.0 < crossing.ebn0_db < 2.0
+
+    def test_target_outside_measured_range(self):
+        ebn0 = [3.0, 4.0]
+        ber = [1e-2, 1e-3]
+        # Curve never gets down to 1e-8, and never up to 0.5.
+        assert crossing_ebn0(ebn0, ber, 1e-8) is None
+        assert crossing_ebn0(ebn0, ber, 0.5) is None
+
+    def test_single_point_curve_has_no_crossing(self):
+        assert crossing_ebn0([3.0], [1e-6], 1e-3) is None
+        assert crossing_ebn0([], [], 1e-3) is None
+
+    def test_zero_error_point_bounds_the_crossing(self):
+        # No errors observed at 5 dB: the crossing is at most 5 dB, inexact.
+        crossing = crossing_ebn0([4.0, 5.0], [1e-2, 0.0], 1e-4)
+        assert crossing == Crossing(5.0, exact=False)
+        assert "<=" in f"{crossing:.2f}"
+
+    def test_zero_error_point_never_starts_a_bracket(self):
+        # A zero can close a bracket but carries no log-domain position, so
+        # [0, 1e-2, 1e-6] must interpolate between the two positive points.
+        crossing = crossing_ebn0([2.0, 3.0, 4.0], [0.0, 1e-2, 1e-6], 1e-4)
+        assert crossing is not None and crossing.exact
+        assert 3.0 < crossing.ebn0_db < 4.0
+
+    def test_all_zero_curve_has_no_crossing(self):
+        assert crossing_ebn0([3.0, 4.0], [0.0, 0.0], 1e-4) is None
+
+    def test_exact_target_hit(self):
+        crossing = crossing_ebn0([3.0, 4.0], [1e-3, 1e-3], 1e-3)
+        assert crossing is not None
+        assert crossing.ebn0_db == pytest.approx(3.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError, match="positive"):
+            crossing_ebn0([3.0, 4.0], [1e-2, 1e-4], 0.0)
+        with pytest.raises(ValueError, match="non-negative"):
+            crossing_ebn0([3.0, 4.0], [1e-2, -1e-4], 1e-3)
+        with pytest.raises(ValueError, match="equal length"):
+            crossing_ebn0([3.0, 4.0], [1e-2], 1e-3)
+
+    def test_curve_crossing_metrics(self):
+        curve = SimulationCurve("c")
+        curve.add(make_point(3.0, 1e-2, fer=1e-1))
+        curve.add(make_point(4.0, 1e-4, fer=1e-3))
+        ber = curve_crossing(curve, 1e-3)
+        fer = curve_crossing(curve, 1e-2, metric="fer")
+        assert 3.0 < ber.ebn0_db < 4.0
+        assert 3.0 < fer.ebn0_db < 4.0
+        with pytest.raises(ValueError, match="metric"):
+            curve_crossing(curve, 1e-3, metric="per")
+
+    def test_simulation_curve_delegates(self):
+        curve = SimulationCurve("c")
+        curve.add(make_point(3.0, 1e-2, fer=1e-1))
+        curve.add(make_point(4.0, 1e-4, fer=1e-3))
+        assert curve.ebn0_at_ber(1e-3) == pytest.approx(3.5)
+        assert curve.ebn0_at_fer(1e-2) == pytest.approx(3.5)
+
+
+class TestReferences:
+    def test_uncoded_bpsk_inverse_round_trips(self):
+        for target in (1e-2, 1e-4, 1e-6):
+            ebn0 = uncoded_bpsk_ebn0_db(target)
+            assert float(uncoded_bpsk_ber(ebn0)) == pytest.approx(target, rel=1e-6)
+
+    def test_uncoded_bpsk_inverse_handles_high_targets(self):
+        """Regression: targets near 0.5 used to hit the bracket floor."""
+        ebn0 = uncoded_bpsk_ebn0_db(0.45)
+        assert ebn0 == pytest.approx(-21.0, abs=0.1)
+        assert float(uncoded_bpsk_ber(ebn0)) == pytest.approx(0.45, rel=1e-6)
+
+    def test_uncoded_bpsk_inverse_rejects_bad_targets(self):
+        with pytest.raises(ValueError):
+            uncoded_bpsk_ebn0_db(0.0)
+        with pytest.raises(ValueError):
+            uncoded_bpsk_ebn0_db(0.6)
+        with pytest.raises(ValueError, match="too close to 0.5"):
+            uncoded_bpsk_ebn0_db(0.49999)
+
+    def test_coding_gain_and_shannon_gap(self):
+        crossing = Crossing(4.0)
+        gain = coding_gain_db(crossing, 1e-4)
+        assert gain == pytest.approx(uncoded_bpsk_ebn0_db(1e-4) - 4.0)
+        gap = shannon_gap_db(crossing, 0.875)
+        assert gap == pytest.approx(4.0 - shannon_limit_ebn0_db(0.875))
+        assert coding_gain_db(None, 1e-4) is None
+        assert shannon_gap_db(None, 0.875) is None
+        # Bare floats are accepted too.
+        assert coding_gain_db(4.0, 1e-4) == pytest.approx(gain)
+
+
+def fabricated_store(tmp_path, name="fab"):
+    """A campaign store with analytically fabricated (instant) results."""
+    code = CodeSpec(family="scaled", circulant=31)
+    config = SimulationConfig(max_frames=100, target_frame_errors=50,
+                              batch_frames=10, all_zero_codeword=True)
+    spec = CampaignSpec(
+        name=name,
+        seed=11,
+        ebn0=(3.0, 4.0, 5.0),
+        config=config,
+        experiments=[
+            ExperimentSpec("nms-a1.25", code,
+                           DecoderSpec("nms", 18, params={"alpha": 1.25})),
+            ExperimentSpec("nms-a1.5", code,
+                           DecoderSpec("nms", 18, params={"alpha": 1.5})),
+            ExperimentSpec("min-sum", code, DecoderSpec("min-sum", 18)),
+        ],
+    )
+    store = ResultStore.create(tmp_path / name, spec)
+    # Shifted exponential waterfalls: min-sum worst, alpha=1.25 best.
+    shifts = {"nms-a1.25": 0.0, "nms-a1.5": 0.2, "min-sum": 0.6}
+    for label, shift in shifts.items():
+        for ebn0 in spec.ebn0:
+            ber = 10 ** (-1.0 - 1.5 * (ebn0 - shift - 3.0))
+            store.record_point(label, make_point(ebn0, min(ber, 0.5)))
+    return store
+
+
+class TestCurveSet:
+    def test_from_store_and_field_access(self, tmp_path):
+        store = fabricated_store(tmp_path)
+        curves = CurveSet.from_store(store)
+        assert len(curves) == 3
+        assert not curves.problems
+        record = curves.get("nms-a1.25")
+        assert record.code_key == "scaled31"
+        assert record.decoder_key == "nms-it18-alpha1.25"
+        assert record.field("decoder.params.alpha") == 1.25
+        assert record.field("config.max_frames") == 100
+        assert record.field("seed") == 11
+        assert record.field("label") == "nms-a1.25"
+        assert record.field("decoder.params.beta", "missing") == "missing"
+
+    def test_from_store_accepts_a_directory_path(self, tmp_path):
+        store = fabricated_store(tmp_path)
+        curves = CurveSet.from_store(store.directory)
+        assert sorted(curves.labels) == ["min-sum", "nms-a1.25", "nms-a1.5"]
+
+    def test_filter_by_dotted_and_dunder_fields(self, tmp_path):
+        curves = CurveSet.from_store(fabricated_store(tmp_path))
+        nms = curves.filter(decoder__kind="nms")
+        assert sorted(nms.labels) == ["nms-a1.25", "nms-a1.5"]
+        sharp = curves.filter(**{"decoder.params.alpha": 1.25})
+        assert sharp.labels == ["nms-a1.25"]
+        none = curves.filter(decoder__kind="nms", **{"decoder.params.alpha": 9.9})
+        assert len(none) == 0
+
+    def test_filter_by_predicate(self, tmp_path):
+        curves = CurveSet.from_store(fabricated_store(tmp_path))
+        deep = curves.filter(lambda r: min(p.ber for p in r.curve.points) < 5e-4)
+        assert "min-sum" not in deep.labels
+        assert sorted(deep.labels) == ["nms-a1.25", "nms-a1.5"]
+
+    def test_group_by_and_sorted_by(self, tmp_path):
+        curves = CurveSet.from_store(fabricated_store(tmp_path))
+        by_kind = curves.group_by("decoder.kind")
+        assert [key for key, _ in by_kind.items()] == [("min-sum",), ("nms",)]
+        assert len(by_kind[("nms",)]) == 2
+        by_alpha = curves.filter(decoder__kind="nms").sorted_by(
+            "decoder.params.alpha", reverse=True
+        )
+        assert by_alpha.labels == ["nms-a1.5", "nms-a1.25"]
+
+    def test_from_store_collects_problems(self, tmp_path):
+        store = fabricated_store(tmp_path)
+        path = store.curve_path("min-sum")
+        data = json.loads(path.read_text())
+        data["metadata"]["seed"] = 999  # addressing mismatch
+        path.write_text(json.dumps(data))
+        curves = CurveSet.from_store(store.directory)
+        assert sorted(curves.labels) == ["nms-a1.25", "nms-a1.5"]
+        assert list(curves.problems) == ["min-sum"]
+        assert "different campaign spec" in curves.problems["min-sum"]
+        # Regression: filtered/sliced/sorted views keep reporting the
+        # experiments that could not be read.
+        assert curves.filter(decoder__kind="nms").problems == curves.problems
+        assert curves[:1].problems == curves.problems
+        assert curves.sorted_by("label").problems == curves.problems
+
+    def test_from_curves(self):
+        curves = CurveSet.from_curves({"a": make_curve("a", [(3.0, 1e-3)])})
+        assert curves.labels == ["a"]
+        assert curves.get("a").code_key is None
+        with pytest.raises(KeyError):
+            curves.get("b")
+
+
+class TestCampaignReport:
+    def test_report_is_deterministic(self, tmp_path):
+        store = fabricated_store(tmp_path)
+        first = CampaignReport.from_store(store, target_ber=1e-3)
+        second = CampaignReport.from_store(
+            ResultStore.open(store.directory), target_ber=1e-3
+        )
+        assert first.to_markdown() == second.to_markdown()
+        assert first.to_text() == second.to_text()
+        assert first.to_csv() == second.to_csv()
+        assert first.as_dict() == second.as_dict()
+
+    def test_crossings_and_ranking(self, tmp_path):
+        report = CampaignReport.from_store(fabricated_store(tmp_path), target_ber=1e-3)
+        by_label = {e.label: e for e in report.experiments}
+        # Labels are sorted deterministically.
+        assert [e.label for e in report.experiments] == sorted(by_label)
+        # The fabricated shifts order the crossings.
+        a125 = by_label["nms-a1.25"].ber_crossing.ebn0_db
+        a15 = by_label["nms-a1.5"].ber_crossing.ebn0_db
+        ms = by_label["min-sum"].ber_crossing.ebn0_db
+        assert a125 < a15 < ms
+        assert a15 - a125 == pytest.approx(0.2, abs=1e-6)
+        # Coding gain positive (better than uncoded), Shannon gap positive.
+        assert by_label["nms-a1.25"].coding_gain_db > 0
+        assert by_label["nms-a1.25"].shannon_gap_db > 0
+        assert by_label["nms-a1.25"].rate == pytest.approx(0.879, abs=1e-3)
+
+    def test_markdown_contains_required_tables(self, tmp_path):
+        report = CampaignReport.from_store(fabricated_store(tmp_path), target_ber=1e-3)
+        text = report.to_markdown()
+        assert "### Threshold crossings" in text
+        assert "Coding gain vs uncoded (dB)" in text
+        assert "### Comparison @ BER 1.0e-03 — code scaled31" in text
+        assert "vs best (dB)" in text
+        assert "+0.000" in text  # best-of-group delta
+        assert "### Measured waterfall points" in text
+
+    def test_fer_target_adds_column(self, tmp_path):
+        report = CampaignReport.from_store(
+            fabricated_store(tmp_path), target_ber=1e-3, target_fer=1e-2
+        )
+        assert "Eb/N0 @ FER 1.0e-02 (dB)" in report.to_text()
+        assert all(e.fer_crossing is not None for e in report.experiments)
+
+    def test_include_rates_false_skips_code_builds(self, tmp_path):
+        report = CampaignReport.from_store(
+            fabricated_store(tmp_path), target_ber=1e-3, include_rates=False
+        )
+        assert all(e.rate is None for e in report.experiments)
+        assert all(e.shannon_gap_db is None for e in report.experiments)
+
+    def test_json_round_trips(self, tmp_path):
+        report = CampaignReport.from_store(fabricated_store(tmp_path), target_ber=1e-3)
+        data = json.loads(report.to_json())
+        assert data["campaign"] == "fab"
+        assert data["target_ber"] == 1e-3
+        assert len(data["experiments"]) == 3
+        assert len(data["waterfall"]["min-sum"]) == 3
+        crossing = data["experiments"][0]["ber_crossing"]
+        assert set(crossing) == {"ebn0_db", "exact"}
+
+    def test_problem_experiments_are_reported_not_fatal(self, tmp_path):
+        store = fabricated_store(tmp_path)
+        store.curve_path("min-sum").write_text("{broken json")
+        report = CampaignReport.from_store(store.directory, target_ber=1e-3)
+        assert list(report.problems) == ["min-sum"]
+        assert "unreadable" in report.to_text()
+        assert len(report.experiments) == 2
+
+    def test_render_rejects_unknown_format(self, tmp_path):
+        report = CampaignReport.from_store(fabricated_store(tmp_path))
+        with pytest.raises(ValueError, match="format"):
+            report.render("pdf")
+
+    def test_invalid_targets_rejected(self, tmp_path):
+        store = fabricated_store(tmp_path)
+        with pytest.raises(ValueError):
+            CampaignReport.from_store(store, target_ber=0.0)
+        with pytest.raises(ValueError):
+            CampaignReport.from_store(store, target_fer=-1.0)
+
+
+class TestReportCLI:
+    def test_report_on_fabricated_store(self, tmp_path, capsys):
+        store = fabricated_store(tmp_path)
+        assert main([
+            "campaign", "report", str(store.directory),
+            "--format", "markdown", "--target-ber", "1e-3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Threshold crossings" in out
+        assert "Coding gain vs uncoded (dB)" in out
+        assert "vs best (dB)" in out
+
+    def test_report_to_output_file(self, tmp_path, capsys):
+        store = fabricated_store(tmp_path)
+        target = tmp_path / "report.md"
+        assert main([
+            "campaign", "report", str(store.directory),
+            "--format", "markdown", "--target-ber", "1e-3",
+            "--output", str(target),
+        ]) == 0
+        assert "report written to" in capsys.readouterr().out
+        assert "Threshold crossings" in target.read_text()
+
+    def test_report_no_rate_skips_gap_column_values(self, tmp_path, capsys):
+        store = fabricated_store(tmp_path)
+        assert main([
+            "campaign", "report", str(store.directory),
+            "--target-ber", "1e-3", "--no-rate",
+        ]) == 0
+        out = capsys.readouterr().out
+        # Rate column present but not computed: every value is n/a.
+        assert "0.879" not in out
+        assert "n/a" in out
+
+    def test_report_warns_about_corrupt_experiments(self, tmp_path, capsys):
+        store = fabricated_store(tmp_path)
+        store.curve_path("min-sum").write_text("{broken json")
+        assert main([
+            "campaign", "report", str(store.directory), "--target-ber", "1e-3",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "unreadable" in captured.err
+        assert "min-sum" in captured.err
+
+    def test_report_on_missing_directory_exits_2(self, tmp_path, capsys):
+        assert main(["campaign", "report", str(tmp_path / "nope")]) == 2
+        assert "cannot open" in capsys.readouterr().err

@@ -1,0 +1,69 @@
+"""Guard the documentation code snippets against rot.
+
+Full *execution* of the fenced python blocks happens in the CI ``docs``
+job (``tools/run_doc_snippets.py``); these tests are the cheap tier-1
+subset: the documents exist, contain runnable python blocks, and every
+block at least compiles.  A snippet that stops compiling fails here in
+seconds instead of only in the docs job.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOC_FILES = [REPO_ROOT / "README.md", REPO_ROOT / "docs" / "campaigns.md"]
+
+
+def _load_runner():
+    path = REPO_ROOT / "tools" / "run_doc_snippets.py"
+    spec = importlib.util.spec_from_file_location("run_doc_snippets", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return _load_runner()
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+def test_docs_exist_and_have_python_blocks(runner, doc):
+    assert doc.exists(), f"{doc} is missing"
+    blocks = runner.python_blocks(doc.read_text())
+    assert blocks, f"{doc} has no runnable python blocks"
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+def test_doc_snippets_compile(runner, doc):
+    for index, (line, source) in enumerate(runner.python_blocks(doc.read_text()), 1):
+        compile(source, f"{doc.name}:block{index}(line {line})", "exec")
+
+
+def test_extractor_ignores_other_fences(runner):
+    markdown = (
+        "```bash\nnot python\n```\n"
+        "```python\nx = 1\n```\n"
+        "```json\n{\"a\": 1}\n```\n"
+        "```python\ny = x + 1\n```\n"
+    )
+    blocks = runner.python_blocks(markdown)
+    assert [source for _, source in blocks] == ["x = 1\n", "y = x + 1\n"]
+
+
+def test_readme_documents_every_cli_subcommand():
+    """The README's CLI reference must cover the parser's real surface."""
+    from repro.cli import build_parser
+
+    readme = (REPO_ROOT / "README.md").read_text()
+    parser = build_parser()
+    subparsers = next(
+        a for a in parser._actions  # noqa: SLF001 - argparse has no public API
+        if a.__class__.__name__ == "_SubParsersAction"
+    )
+    for command in subparsers.choices:
+        assert command in readme, f"README does not mention subcommand {command!r}"
+    for campaign_command in ("run", "status", "resume", "report"):
+        assert f"campaign {campaign_command}" in readme

@@ -281,6 +281,38 @@ class TestResultStore:
         ResultStore.create(directory, tiny_spec(), fresh=True)
         assert not stray.exists()
 
+    def test_status_reports_corrupt_curve_instead_of_raising(self, tmp_path):
+        """Regression: a mismatched curve file used to crash campaign status."""
+        spec = tiny_spec()
+        store = ResultStore.create(tmp_path / "c", spec)
+        path = store.curve_path("nms")
+        path.write_text(
+            json.dumps(
+                {
+                    "label": "nms",
+                    "metadata": {"campaign": "someone-else", "seed": 123},
+                    "points": [],
+                }
+            )
+        )
+        rows = ResultStore.open(tmp_path / "c").status()
+        corrupt = {row["label"]: row for row in rows}["nms"]
+        assert corrupt["error"] is not None
+        assert "different campaign spec" in corrupt["error"]
+        assert corrupt["complete"] is False
+        assert corrupt["points_done"] == 0
+        # The healthy experiment is still reported normally.
+        assert {row["label"]: row for row in rows}["min-sum"]["error"] is None
+
+    def test_status_reports_unreadable_curve_file(self, tmp_path):
+        spec = tiny_spec()
+        store = ResultStore.create(tmp_path / "c", spec)
+        store.curve_path("min-sum").write_text("{broken json")
+        fresh = ResultStore.open(tmp_path / "c")
+        corrupt = {row["label"]: row for row in fresh.status()}["min-sum"]
+        assert "not a readable curve file" in corrupt["error"]
+        assert not fresh.is_complete()
+
     def test_stray_curve_from_other_spec_rejected(self, tmp_path):
         """A curve measured under a different spec must not be adopted."""
         other = tiny_spec(seed=99)
@@ -487,6 +519,26 @@ class TestCampaignCLI:
         ResultStore.create(out_dir, spec)
         assert main(["campaign", "status", str(out_dir)]) == 1
         assert "partial" in capsys.readouterr().out
+
+    def test_status_names_the_corrupt_experiment(self, tmp_path, spec_file, capsys):
+        """Regression: status used to raise StoreMismatchError on bad files."""
+        out_dir = tmp_path / "out"
+        store = ResultStore.create(out_dir, CampaignSpec.load(spec_file))
+        path = store.curve_path("nms-it8")
+        path.write_text(
+            json.dumps(
+                {
+                    "label": "nms-it8",
+                    "metadata": {"campaign": "other", "seed": 9},
+                    "points": [],
+                }
+            )
+        )
+        assert main(["campaign", "status", str(out_dir)]) == 1
+        out = capsys.readouterr().out
+        assert "corrupt" in out
+        assert "nms-it8" in out
+        assert "different campaign spec" in out
 
     def test_run_with_workers_matches_serial(self, tmp_path, spec_file, capsys):
         serial_dir = tmp_path / "serial"

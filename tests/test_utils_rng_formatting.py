@@ -4,7 +4,9 @@ import numpy as np
 import pytest
 
 from repro.utils.formatting import (
+    format_csv,
     format_engineering,
+    format_markdown_table,
     format_percentage,
     format_rate,
     format_table,
@@ -118,6 +120,33 @@ class TestFormatting:
     def test_table_row_width_mismatch(self):
         with pytest.raises(ValueError):
             format_table(["a", "b"], [[1]])
+
+    def test_markdown_table(self):
+        table = format_markdown_table(["a", "bbb"], [[1, 2], [333, 4]], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "### T"
+        assert lines[2].startswith("| a")
+        assert set(lines[3]) <= {"|", "-"}
+        assert lines[4].startswith("| 1")
+
+    def test_markdown_table_escapes_pipes(self):
+        table = format_markdown_table(["h"], [["a|b"]])
+        assert "a\\|b" in table
+
+    def test_markdown_table_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_markdown_table(["a", "b"], [[1]])
+
+    def test_csv_escaping(self):
+        text = format_csv(["a", "b"], [["x,y", 'say "hi"'], ["plain", 2]])
+        lines = text.splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == '"x,y","say ""hi"""'
+        assert lines[2] == "plain,2"
+
+    def test_csv_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_csv(["a", "b"], [[1]])
 
     def test_percentage(self):
         assert format_percentage(0.16) == "16%"

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Execute the fenced ``python`` code blocks of markdown documentation.
+
+Documentation snippets rot silently; this runner keeps README.md and docs/
+honest by actually executing them in CI (the ``docs`` job).  For each
+markdown file given on the command line:
+
+* every fenced block whose info string is exactly ``python`` is extracted
+  (blocks tagged ``bash``/``json``/``text``/anything else are ignored);
+* the file's blocks run *sequentially in one shared namespace*, so a later
+  snippet may use names a former one defined — documentation reads as one
+  continuous session;
+* execution happens inside a per-file temporary working directory, so
+  snippets may freely write files (campaign stores, curve JSONs) without
+  littering the repository.
+
+Exit status is non-zero on the first failing snippet, with the offending
+file, block index and source line echoed for debugging.
+
+Usage::
+
+    PYTHONPATH=src python tools/run_doc_snippets.py README.md docs/campaigns.md
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+import tempfile
+from pathlib import Path
+
+_FENCE = re.compile(
+    r"^```python[ \t]*\n(.*?)^```[ \t]*$", re.MULTILINE | re.DOTALL
+)
+
+
+def python_blocks(markdown: str) -> list[tuple[int, str]]:
+    """(starting line number, source) of every fenced ``python`` block."""
+    blocks = []
+    for match in _FENCE.finditer(markdown):
+        line = markdown.count("\n", 0, match.start()) + 2  # code starts after fence
+        blocks.append((line, match.group(1)))
+    return blocks
+
+
+def run_file(path: Path) -> int:
+    """Execute every python block of one markdown file; return the count."""
+    blocks = python_blocks(path.read_text())
+    if not blocks:
+        print(f"{path}: no python blocks")
+        return 0
+    namespace: dict = {"__name__": f"doc_snippets_{path.stem}"}
+    original_cwd = os.getcwd()
+    with tempfile.TemporaryDirectory(prefix=f"snippets-{path.stem}-") as workdir:
+        os.chdir(workdir)
+        try:
+            for index, (line, source) in enumerate(blocks, start=1):
+                print(f"{path}: running block {index}/{len(blocks)} "
+                      f"(line {line})", flush=True)
+                code = compile(source, f"{path}:block{index}", "exec")
+                exec(code, namespace)  # noqa: S102 - the whole point
+        finally:
+            os.chdir(original_cwd)
+    return len(blocks)
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: run_doc_snippets.py FILE.md [FILE.md ...]", file=sys.stderr)
+        return 2
+    total = 0
+    for name in argv:
+        path = Path(name)
+        if not path.exists():
+            print(f"{path}: no such file", file=sys.stderr)
+            return 2
+        try:
+            total += run_file(path)
+        except Exception as exc:  # noqa: BLE001 - report and fail the job
+            print(f"{path}: snippet failed: {type(exc).__name__}: {exc}",
+                  file=sys.stderr)
+            return 1
+    print(f"ok: {total} snippet(s) executed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
