@@ -89,7 +89,12 @@ def test_campaign_report_generation(benchmark, report_sink, tmp_path):
     cold_seconds = time.perf_counter() - start  # includes the one code build
 
     renders = {}
-    for fmt in ("text", "markdown", "csv", "json"):
+    # The HTML render embeds figures when matplotlib is installed — that
+    # configuration difference is part of what the benchmark reports.
+    from repro.analysis.campaign import matplotlib_available
+
+    formats = ("text", "markdown", "csv", "json", "html")
+    for fmt in formats:
         start = time.perf_counter()
         renders[fmt] = report.render(fmt)
         renders[f"{fmt}_seconds"] = time.perf_counter() - start
@@ -99,8 +104,12 @@ def test_campaign_report_generation(benchmark, report_sink, tmp_path):
     rows = [
         ["load + analyze (cold, incl. code build)", f"{cold_seconds * 1e3:.1f}"],
     ]
-    for fmt in ("text", "markdown", "csv", "json"):
-        rows.append([f"render {fmt}", f"{renders[f'{fmt}_seconds'] * 1e3:.2f}"])
+    for fmt in formats:
+        note = ""
+        if fmt == "html":
+            note = (" (figures embedded)" if matplotlib_available()
+                    else " (no matplotlib: tables only)")
+        rows.append([f"render {fmt}{note}", f"{renders[f'{fmt}_seconds'] * 1e3:.2f}"])
     text = format_table(
         ["stage", "time (ms)"],
         rows,
@@ -112,7 +121,7 @@ def test_campaign_report_generation(benchmark, report_sink, tmp_path):
     )
     text += (
         "\n\nDeterminism: two independent loads of the same store render "
-        "byte-identical markdown."
+        "byte-identical markdown and HTML."
     )
     report_sink("campaign_report", text)
 
@@ -121,3 +130,4 @@ def test_campaign_report_generation(benchmark, report_sink, tmp_path):
     assert len(crossed) == n_experiments
     # Determinism: a second, independent load renders identically.
     assert warm.to_markdown() == report.to_markdown()
+    assert warm.to_html() == renders["html"]

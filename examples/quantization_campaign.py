@@ -21,8 +21,10 @@ The spec is also written to ``<dir>/spec.json`` so the same study can be
 driven entirely from the CLI: ``python -m repro campaign run <dir>/spec.json``,
 and when the campaign is done a paper-style analysis report (threshold
 crossings, coding gain vs uncoded BPSK, per-code ranking) is printed and
-archived as ``<dir>/report.md`` — the same artifact as
-``python -m repro campaign report <dir>``.
+archived as ``<dir>/report.md`` and ``<dir>/report.html`` (one
+self-contained file, waterfall figures embedded when matplotlib is
+installed) — the same artifacts as ``python -m repro campaign report
+<dir> --format html --plots <dir>/figures``.
 """
 
 from __future__ import annotations
@@ -30,7 +32,11 @@ from __future__ import annotations
 import argparse
 from pathlib import Path
 
-from repro.analysis.campaign import CampaignReport
+from repro.analysis.campaign import (
+    CampaignReport,
+    matplotlib_available,
+    save_report_figures,
+)
 from repro.sim import EbN0Sweep
 from repro.sim.campaign import CampaignScheduler, CampaignSpec, ResultStore
 
@@ -138,9 +144,26 @@ def main() -> None:
     print()
     print(report.to_text())
     (directory / "report.md").write_text(report.to_markdown())
+    # The publishable artifact: one self-contained HTML file (figures
+    # embedded when matplotlib is installed, a note otherwise), plus
+    # standalone waterfall SVG/PNGs next to it when it is.  The figures are
+    # rendered once and the SVGs reused for the HTML embedding.
+    archived = ["report.md", "report.html"]
+    html_figures = None
+    if matplotlib_available():
+        html_figures = {}
+        written = save_report_figures(report, directory / "figures",
+                                      svg_sink=html_figures)
+        archived.append(f"figures/ ({len(written)} file(s))")
+    else:
+        print("matplotlib not installed: report.html carries tables only "
+              "(pip install matplotlib for embedded waterfall figures)")
+    (directory / "report.html").write_text(
+        report.to_html(figures=html_figures or "auto")
+    )
     print(f"results stored in {directory} "
           f"(resume: python -m repro campaign resume {directory}; "
-          f"report archived as {directory / 'report.md'})")
+          f"archived: {', '.join(archived)})")
 
 
 if __name__ == "__main__":

@@ -12,8 +12,11 @@ implementation loss of the fixed-point datapath widths.
 :mod:`repro.analysis.campaign` sits one level up: it loads a finished
 campaign's :class:`~repro.sim.campaign.store.ResultStore` and produces the
 paper-style artifacts (waterfall summaries, threshold crossings, coding-gain
-and gap-to-capacity tables) — see :class:`~repro.analysis.campaign.
-CampaignReport` and the ``campaign report`` CLI subcommand.
+and gap-to-capacity tables, figures and single-file HTML reports) — see
+:class:`~repro.analysis.campaign.CampaignReport` and the ``campaign report``
+CLI subcommand.  :mod:`repro.analysis.reference_data` records the paper's
+published operating points as structured data and checks a report against
+them (``campaign verify``).
 """
 
 from repro.analysis.correction_factor import (
@@ -29,6 +32,15 @@ from repro.analysis.density_evolution import (
     threshold_search,
 )
 from repro.analysis.quantization_study import QuantizationStudy, quantization_sweep
+from repro.analysis.reference_data import (
+    PAPER_REFERENCE_CROSSINGS,
+    ReferenceCheck,
+    ReferenceComparison,
+    ReferenceCrossing,
+    compare_to_reference,
+    load_references,
+    save_references,
+)
 
 __all__ = [
     "DensityEvolutionResult",
@@ -41,4 +53,11 @@ __all__ = [
     "empirical_mean_mismatch",
     "QuantizationStudy",
     "quantization_sweep",
+    "PAPER_REFERENCE_CROSSINGS",
+    "ReferenceCheck",
+    "ReferenceComparison",
+    "ReferenceCrossing",
+    "compare_to_reference",
+    "load_references",
+    "save_references",
 ]

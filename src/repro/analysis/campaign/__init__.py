@@ -4,19 +4,25 @@ This package closes the loop opened by :mod:`repro.sim.campaign`:
 declarative spec → shared-pool execution → persistent store → **report**.
 Its three modules map onto the paper's deliverables:
 
-* :mod:`~repro.analysis.campaign.crossing` — log-domain threshold-crossing
-  interpolation, coding gain vs uncoded BPSK and gap to the Shannon limit
-  (the horizontal comparisons drawn on Figure 4's waterfalls);
+* :mod:`repro.sim.crossing` (re-exported here) — log-domain
+  threshold-crossing interpolation, coding gain vs uncoded BPSK and gap to
+  the Shannon limit (the horizontal comparisons drawn on Figure 4's
+  waterfalls);
 * :mod:`~repro.analysis.campaign.curveset` — :class:`CurveSet`, a query API
   (filter / group / sort by spec fields) over the addressing metadata every
   stored curve carries;
 * :mod:`~repro.analysis.campaign.report` — :class:`CampaignReport`, the
   per-experiment summaries, crossing tables and cross-experiment
-  comparisons with text / markdown / CSV / JSON exporters (CLI:
-  ``python -m repro campaign report <dir>``).
+  comparisons with text / markdown / CSV / JSON / HTML exporters (CLI:
+  ``python -m repro campaign report <dir>``);
+* :mod:`~repro.analysis.campaign.plotting` — matplotlib waterfall figures
+  (optional dependency, gracefully absent) with reference curves, crossing
+  markers and deterministic styling;
+* :mod:`~repro.analysis.campaign.html` — the self-contained single-file
+  HTML report with embedded figures and manifest provenance.
 """
 
-from repro.analysis.campaign.crossing import (
+from repro.sim.crossing import (
     Crossing,
     coding_gain_db,
     crossing_ebn0,
@@ -24,6 +30,14 @@ from repro.analysis.campaign.crossing import (
     shannon_gap_db,
 )
 from repro.analysis.campaign.curveset import CurveRecord, CurveSet
+from repro.analysis.campaign.html import render_html
+from repro.analysis.campaign.plotting import (
+    PlottingUnavailableError,
+    matplotlib_available,
+    report_figures,
+    save_report_figures,
+    waterfall_figure,
+)
 from repro.analysis.campaign.report import CampaignReport, ExperimentReport
 
 __all__ = [
@@ -36,4 +50,10 @@ __all__ = [
     "CurveSet",
     "CampaignReport",
     "ExperimentReport",
+    "PlottingUnavailableError",
+    "matplotlib_available",
+    "waterfall_figure",
+    "report_figures",
+    "save_report_figures",
+    "render_html",
 ]

@@ -32,6 +32,7 @@ from typing import Callable, Iterator, Mapping, Sequence
 from repro.sim.campaign.spec import CodeSpec, DecoderSpec
 from repro.sim.campaign.store import ResultStore
 from repro.sim.results import SimulationCurve
+from repro.utils.formatting import plain_value
 
 __all__ = ["CurveRecord", "CurveSet"]
 
@@ -100,7 +101,11 @@ class CurveRecord:
             if not isinstance(value, Mapping) or part not in value:
                 return default
             value = value[part]
-        return value
+        # Metadata of in-memory curves can carry numpy scalars (an
+        # ``np.float64`` alpha from a parameter sweep); canonicalize so group
+        # keys, sort tokens and labels built from fields never render as
+        # ``np.float64(0.75)``.
+        return plain_value(value)
 
 
 def _sort_token(value) -> tuple:
@@ -220,7 +225,12 @@ class CurveSet(Sequence[CurveRecord]):
             key = tuple(_hashable(record.field(path)) for path in paths)
             groups.setdefault(key, []).append(record)
         ordered = sorted(groups.items(), key=lambda item: tuple(_sort_token(v) for v in item[0]))
-        return {key: CurveSet(records) for key, records in ordered}
+        # Like filter/slice/sorted_by: every derived view keeps reporting
+        # the experiments that could not be read.
+        return {
+            key: CurveSet(records, problems=self.problems)
+            for key, records in ordered
+        }
 
     def sorted_by(self, *paths: str, reverse: bool = False) -> "CurveSet":
         """Records sorted by the values at the given dotted paths."""
@@ -239,7 +249,12 @@ class CurveSet(Sequence[CurveRecord]):
 
 
 def _hashable(value):
-    """Group keys must be hashable; dicts/lists become canonical JSON."""
+    """Group keys must be hashable; dicts/lists become canonical JSON.
+
+    Values arrive already canonicalized (``CurveRecord.field`` runs
+    :func:`~repro.utils.formatting.plain_value` on everything it returns),
+    so numpy types never reach a group key.
+    """
     if isinstance(value, (dict, list)):
         return json.dumps(value, sort_keys=True, default=str)
     return value

@@ -1,0 +1,175 @@
+"""Self-contained single-file HTML campaign reports.
+
+The publishable form of a campaign: one HTML file holding everything —
+embedded waterfall figures (base64 SVG data URIs, no external assets), the
+summary / crossing / comparison tables of the text report, and the
+campaign's manifest provenance (name, seed, targets, and every experiment's
+addressing metadata), so the document alone identifies exactly what was
+measured and how to reproduce it.
+
+Rendering is dependency-free (the template helpers live in
+:mod:`repro.utils.template`) and deterministic: no timestamps, sections and
+tables in the report's fixed order, figure SVG pinned by
+:func:`~repro.analysis.campaign.plotting.figure_svg` — two renders of the
+same store are byte-identical, which CI verifies with a plain ``diff``.
+Figures require the optional matplotlib dependency; without it the report
+still renders, with a note in place of the figures (pass
+``figures="require"`` to insist and get an actionable error instead).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Mapping
+
+from repro.utils.formatting import plain_value
+from repro.utils.template import fill, html_escape, html_table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.campaign.report import CampaignReport
+
+__all__ = ["render_html"]
+
+_STYLE = """
+  :root { color-scheme: light; }
+  body { font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+         margin: 2rem auto; max-width: 68rem; padding: 0 1rem;
+         color: #1a1a1a; background: #fcfcfb; line-height: 1.45; }
+  h1 { font-size: 1.5rem; margin-bottom: 0.25rem; }
+  h2 { font-size: 1.1rem; margin-top: 2rem; border-bottom: 1px solid #d9d6d0;
+       padding-bottom: 0.25rem; }
+  p.subtitle { color: #5c5954; margin-top: 0; }
+  table.report { border-collapse: collapse; font-size: 0.85rem;
+                 font-variant-numeric: tabular-nums; }
+  table.report th { text-align: left; border-bottom: 2px solid #8f8b84;
+                    padding: 0.3rem 0.75rem 0.3rem 0; color: #3d3a36; }
+  table.report td { border-bottom: 1px solid #e4e1db;
+                    padding: 0.25rem 0.75rem 0.25rem 0; }
+  figure { margin: 1.5rem 0; }
+  figure img { max-width: 100%; height: auto; }
+  figcaption { font-size: 0.8rem; color: #5c5954; }
+  details { margin: 1rem 0; }
+  details pre { background: #f4f2ee; padding: 0.75rem; overflow-x: auto;
+                font-size: 0.75rem; }
+  p.warning { color: #8a3b00; }
+  p.note { color: #5c5954; font-size: 0.85rem; }
+"""
+
+_TEMPLATE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>${title}</title>
+<style>${style}</style>
+</head>
+<body>
+<h1>${title}</h1>
+<p class="subtitle">${subtitle}</p>
+${figures}
+${tables}
+${provenance}
+</body>
+</html>
+"""
+
+
+def _figure_blocks(report: "CampaignReport", figures) -> str:
+    """The embedded-figure section (or the degradation note)."""
+    from repro.analysis.campaign import plotting
+
+    if figures is None or figures is False:
+        return ""
+    if figures == "require":
+        plotting.require_matplotlib()
+        figures = "auto"
+    if figures == "auto":
+        if not plotting.matplotlib_available():
+            return (
+                '<p class="note">No figures embedded: the optional '
+                "matplotlib dependency was not available when this report "
+                "was rendered (install it with "
+                "<code>pip install matplotlib</code> and re-render to add "
+                "the waterfall figures).</p>"
+            )
+        figures = plotting.render_report_figures_svg(report)
+    if not isinstance(figures, Mapping):
+        raise TypeError(
+            'figures must be "auto", "require", None/False, or a mapping of '
+            f"name -> SVG text, not {type(figures).__name__}"
+        )
+    blocks = []
+    for name in sorted(figures):
+        svg = figures[name]
+        encoded = plotting.svg_to_base64(svg)
+        blocks.append(
+            "<figure>\n"
+            f'<img alt="{html_escape(name)}" '
+            f'src="data:image/svg+xml;base64,{encoded}">\n'
+            f"<figcaption>{html_escape(name)} — log-domain waterfall with "
+            "uncoded-BPSK / Shannon references and crossing markers at the "
+            "report target.</figcaption>\n"
+            "</figure>"
+        )
+    return "\n".join(blocks)
+
+
+def _provenance(report: "CampaignReport") -> str:
+    """Campaign manifest provenance: addressing metadata per experiment.
+
+    Everything needed to tie the document back to the campaign directory it
+    was rendered from (and to re-run it): name, master seed, targets, and
+    the full code/decoder/config description each stored curve carries.
+    Values are canonicalized (`plain_value`) so numpy-typed metadata renders
+    as plain Python, and keys are sorted for byte-stable output.
+    """
+    manifest = {
+        "campaign": report.name,
+        "seed": report.seed,
+        "target_ber": report.target_ber,
+        "target_fer": report.target_fer,
+        "experiments": {
+            exp.label: plain_value(exp.record.metadata)
+            for exp in report.experiments
+        },
+        "problems": dict(sorted(report.problems.items())),
+    }
+    body = json.dumps(manifest, indent=2, sort_keys=True, default=str)
+    return (
+        "<h2>Provenance</h2>\n"
+        "<details>\n"
+        "<summary>Campaign manifest (addressing metadata of every "
+        "experiment)</summary>\n"
+        f"<pre>{html_escape(body)}</pre>\n"
+        "</details>"
+    )
+
+
+def render_html(report: "CampaignReport", *, figures="auto") -> str:
+    """Render a report as one self-contained HTML document.
+
+    ``figures`` selects the figure section: ``"auto"`` (default) embeds the
+    waterfall figures when matplotlib is available and degrades to a note
+    otherwise; ``"require"`` raises
+    :class:`~repro.analysis.campaign.plotting.PlottingUnavailableError`
+    without matplotlib; ``None``/``False`` omits figures; a mapping of name
+    → SVG text embeds pre-rendered figures as-is.
+    """
+    title, subtitle = report.header_lines()
+    tables = []
+    for section_title, headers, rows in report.sections():
+        tables.append(html_table(headers, rows, title=section_title))
+    if report.problems:
+        tables.append(
+            f'<p class="warning">{len(report.problems)} experiment(s) had '
+            f"unreadable results — see the table above and the manifest "
+            f"below.</p>"
+        )
+    return fill(
+        _TEMPLATE,
+        title=html_escape(title),
+        subtitle=html_escape(subtitle),
+        style=_STYLE,
+        figures=_figure_blocks(report, figures),
+        tables="\n".join(tables),
+        provenance=_provenance(report),
+    )

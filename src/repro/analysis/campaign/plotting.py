@@ -1,0 +1,436 @@
+"""Matplotlib waterfall figures for campaign reports.
+
+The paper's headline artifact is Figure 4: BER/FER waterfalls on a log-y
+axis, one curve per decoder configuration, read against the uncoded-BPSK
+curve and the rate-dependent Shannon limit.  This module turns a
+:class:`~repro.analysis.campaign.report.CampaignReport` (or a raw
+:class:`~repro.analysis.campaign.curveset.CurveSet`) back into those
+figures:
+
+* one figure per code group (every curve of a Figure 4 panel shares a
+  code), log-y error rate vs Eb/N0 in dB;
+* reference curves from :mod:`repro.sim.reference` — uncoded BPSK for BER
+  (or the matching frame-length FER), and the Shannon limit as a vertical
+  line when the code rate is known;
+* crossing markers at the report's target error rate (open circles for
+  interpolated crossings, the same position for zero-error upper bounds);
+* deterministic styling: curves are ordered by experiment label and walk a
+  fixed colorblind-safe palette and marker cycle, so the same store always
+  renders the same figure — legends show plain Python values even when the
+  addressing metadata carries numpy scalars.
+
+matplotlib is an *optional* dependency (the tier-1 environment is numpy
+only).  This module imports without it; every figure-producing entry point
+goes through :func:`require_matplotlib`, which raises
+:class:`PlottingUnavailableError` with the install command instead of an
+opaque ``ImportError``.  :func:`matplotlib_available` lets callers (the CLI,
+the HTML backend) degrade gracefully.
+"""
+
+from __future__ import annotations
+
+import base64
+import io
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+import numpy as np
+
+from repro.sim.crossing import curve_crossing
+from repro.analysis.campaign.curveset import CurveRecord
+from repro.sim.reference import (
+    shannon_limit_ebn0_db,
+    uncoded_bpsk_ber,
+    uncoded_bpsk_fer,
+)
+from repro.sim.campaign.spec import slugify
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.campaign.report import CampaignReport
+
+__all__ = [
+    "PlottingUnavailableError",
+    "matplotlib_available",
+    "require_matplotlib",
+    "waterfall_figure",
+    "report_figures",
+    "save_report_figures",
+    "figure_svg",
+    "figure_svg_base64",
+    "svg_to_base64",
+    "render_report_figures_svg",
+    "curve_style",
+    "WATERFALL_PALETTE",
+    "WATERFALL_MARKERS",
+]
+
+#: Fixed-order categorical palette for curve identity.  Six hues validated
+#: colorblind-safe against a light surface (lightness band, chroma floor,
+#: adjacent-pair CVD separation, 3:1 contrast); markers are the secondary
+#: encoding, so identity never rides on color alone.  Assigned in label
+#: order, never cycled per-render — the same store always gets the same
+#: colors.
+WATERFALL_PALETTE = ("#0072B2", "#D55E00", "#009E73", "#AA4499", "#846800", "#4B4B9B")
+
+#: Marker cycle paired with the palette (distinct shape per curve).
+WATERFALL_MARKERS = ("o", "s", "D", "^", "v", "P", "X", "*")
+
+_REFERENCE_COLOR = "#6e6e6e"
+_METRIC_LABELS = {"ber": "Bit error rate", "fer": "Frame error rate"}
+#: Pinned ``svg.hashsalt`` so matplotlib's generated element ids are a pure
+#: function of the figure content — two renders diff byte-identical.
+_SVG_HASHSALT = "repro-campaign"
+
+
+class PlottingUnavailableError(RuntimeError):
+    """Raised when a figure is requested but matplotlib is not installed."""
+
+
+def matplotlib_available() -> bool:
+    """Whether the optional matplotlib dependency can be imported."""
+    try:
+        import matplotlib  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def require_matplotlib():
+    """Import and return matplotlib, or raise an actionable error.
+
+    The error names the feature and the fix, because it surfaces straight
+    through the CLI (``campaign report --plots`` / ``--format html``).
+    """
+    try:
+        import matplotlib
+    except ImportError as exc:
+        raise PlottingUnavailableError(
+            "campaign figures need the optional matplotlib dependency; "
+            "install it with `pip install matplotlib` (the text/markdown/"
+            "csv/json report formats work without it)"
+        ) from exc
+    return matplotlib
+
+
+def curve_style(index: int) -> dict:
+    """Deterministic matplotlib style kwargs for the ``index``-th curve.
+
+    Colors and markers advance together through the fixed cycles; when more
+    curves than palette entries are drawn, the line style switches (solid →
+    dashed → dash-dot) so wrapped colors stay distinguishable.
+    """
+    linestyles = ("-", "--", "-.")
+    return {
+        "color": WATERFALL_PALETTE[index % len(WATERFALL_PALETTE)],
+        "marker": WATERFALL_MARKERS[index % len(WATERFALL_MARKERS)],
+        "linestyle": linestyles[
+            (index // len(WATERFALL_PALETTE)) % len(linestyles)
+        ],
+        "linewidth": 1.6,
+        "markersize": 5.5,
+        "markeredgewidth": 0.0,
+    }
+
+
+def _legend_label(record: CurveRecord) -> str:
+    """Legend text for one curve — the experiment label, already plain.
+
+    Labels come from the spec (never numpy-typed); the decoder key is added
+    only when it carries information the label does not.
+    """
+    label = record.label
+    decoder_key = record.decoder_key
+    if decoder_key and decoder_key not in label and label not in decoder_key:
+        return f"{label} ({decoder_key})"
+    return label
+
+
+def _records(curves) -> list[CurveRecord]:
+    records = list(curves)
+    for record in records:
+        if not isinstance(record, CurveRecord):
+            raise TypeError(
+                "waterfall_figure needs CurveRecords (a CurveSet or an "
+                f"iterable of them), not {type(record).__name__}"
+            )
+    return sorted(records, key=lambda r: r.label)
+
+
+def waterfall_figure(
+    curves,
+    *,
+    metric: str = "ber",
+    target: float | None = None,
+    title: str | None = None,
+    rate: float | None = None,
+    frame_bits: int | None = None,
+    show_references: bool = True,
+):
+    """One BER/FER waterfall figure from a set of curves.
+
+    Parameters
+    ----------
+    curves:
+        A :class:`~repro.analysis.campaign.curveset.CurveSet` or iterable of
+        :class:`~repro.analysis.campaign.curveset.CurveRecord`; curves are
+        drawn in label order with deterministic styling.
+    metric:
+        ``"ber"`` (default) or ``"fer"``.
+    target:
+        Optional target error rate: drawn as a horizontal guide with a
+        crossing marker on every curve that reaches it.
+    rate:
+        Code rate; when given (and ``show_references``), the Shannon limit
+        for that rate is drawn as a vertical line.
+    frame_bits:
+        Frame length for the uncoded FER reference (``metric="fer"`` only).
+    show_references:
+        Draw the uncoded-BPSK reference curve (and Shannon limit).
+
+    Returns a ``matplotlib.figure.Figure`` (backend-independent — no pyplot
+    state is touched, so figures can be produced from worker processes and
+    tests alike).  Raises :class:`PlottingUnavailableError` without
+    matplotlib.
+    """
+    if metric not in _METRIC_LABELS:
+        raise ValueError(f"unknown metric {metric!r}; choose from {sorted(_METRIC_LABELS)}")
+    require_matplotlib()
+    from matplotlib.figure import Figure
+
+    records = _records(curves)
+    figure = Figure(figsize=(7.2, 4.8), dpi=100, layout="tight")
+    axis = figure.add_subplot(111)
+
+    ebn0_min, ebn0_max = _ebn0_span(records)
+    if show_references and ebn0_min is not None:
+        _draw_references(axis, metric, ebn0_min, ebn0_max, rate, frame_bits)
+
+    for index, record in enumerate(records):
+        values = np.array(
+            [getattr(p, metric) for p in record.curve.points], dtype=np.float64
+        )
+        ebn0 = record.curve.ebn0_values
+        positive = values > 0
+        style = curve_style(index)
+        axis.plot(
+            ebn0[positive],
+            values[positive],
+            label=_legend_label(record),
+            **style,
+        )
+        # Zero-error floor points have no log-domain position; mark them as
+        # downward arrows pinned to the bottom of the drawn range so "no
+        # errors observed here" stays visible instead of silently vanishing.
+        # A curve with *no* positive point at all (every Eb/N0 error-free)
+        # has nothing to anchor to, so pin the arrows to the target (or a
+        # nominal floor) — otherwise the curve would be a legend entry with
+        # no marks.
+        if np.any(~positive):
+            if np.any(positive):
+                floor = float(values[positive].min())
+            elif target is not None:
+                floor = float(target)
+            else:
+                floor = 1e-9
+            axis.plot(
+                ebn0[~positive],
+                np.full(int((~positive).sum()), floor),
+                linestyle="none",
+                marker=11,  # CARETDOWNBASE
+                color=style["color"],
+                markersize=7,
+            )
+        if target is not None:
+            crossing = curve_crossing(record.curve, target, metric=metric)
+            if crossing is not None:
+                axis.plot(
+                    [crossing.ebn0_db],
+                    [target],
+                    linestyle="none",
+                    marker="o",
+                    markersize=11,
+                    markerfacecolor="none",
+                    markeredgecolor=style["color"],
+                    markeredgewidth=1.4,
+                )
+
+    if target is not None:
+        axis.axhline(
+            target, color=_REFERENCE_COLOR, linewidth=0.8, linestyle=":", zorder=0
+        )
+
+    axis.set_yscale("log")
+    axis.set_xlabel("Eb/N0 (dB)")
+    axis.set_ylabel(_METRIC_LABELS[metric])
+    if title:
+        axis.set_title(title)
+    axis.grid(True, which="major", linewidth=0.5, alpha=0.3)
+    axis.grid(True, which="minor", linewidth=0.3, alpha=0.15)
+    handles, _ = axis.get_legend_handles_labels()
+    if len(handles) > 1:
+        axis.legend(loc="best", fontsize=8, framealpha=0.9)
+    return figure
+
+
+def _ebn0_span(records) -> tuple[float | None, float | None]:
+    values = [float(p.ebn0_db) for r in records for p in r.curve.points]
+    if not values:
+        return None, None
+    return min(values), max(values)
+
+
+def _draw_references(axis, metric, ebn0_min, ebn0_max, rate, frame_bits) -> None:
+    span = max(ebn0_max - ebn0_min, 1.0)
+    grid = np.linspace(ebn0_min - 0.1 * span, ebn0_max + 0.1 * span, 200)
+    if metric == "ber":
+        axis.plot(
+            grid,
+            uncoded_bpsk_ber(grid),
+            color=_REFERENCE_COLOR,
+            linewidth=1.2,
+            linestyle="--",
+            label="uncoded BPSK",
+            zorder=1,
+        )
+    elif frame_bits is not None:
+        axis.plot(
+            grid,
+            uncoded_bpsk_fer(grid, frame_bits),
+            color=_REFERENCE_COLOR,
+            linewidth=1.2,
+            linestyle="--",
+            label=f"uncoded BPSK ({frame_bits}-bit frames)",
+            zorder=1,
+        )
+    if rate is not None:
+        axis.axvline(
+            shannon_limit_ebn0_db(rate),
+            color=_REFERENCE_COLOR,
+            linewidth=1.0,
+            linestyle="-.",
+            label=f"Shannon limit (R={rate:.3f})",
+            zorder=1,
+        )
+
+
+def _group_frame_bits(experiments) -> int | None:
+    """Transmitted bits per frame of a code group's stored points.
+
+    Every point records total transmitted bits and frames, so the frame
+    length needs no code build — it is ``bits / frames`` of any measured
+    point (all curves of a group share a code).
+    """
+    for experiment in experiments:
+        for point in experiment.record.curve.points:
+            if point.frames > 0 and point.bits > 0:
+                return round(point.bits / point.frames)
+    return None
+
+
+def report_figures(report: "CampaignReport", *, metric: str = "ber") -> dict:
+    """One waterfall figure per code group of a report.
+
+    Returns a name → Figure mapping in deterministic (sorted) order; names
+    are filesystem-safe (``waterfall-<code-key>`` — also the stems used by
+    :func:`save_report_figures` and the HTML backend).  The crossing target
+    and code rate come from the report itself; the FER reference's frame
+    length is recovered from the stored points (bits per frame).
+    """
+    target = report.target_ber if metric == "ber" else report.target_fer
+    groups: dict[str, list] = {}
+    for experiment in report.experiments:
+        groups.setdefault(experiment.code_key or "unknown-code", []).append(experiment)
+    figures = {}
+    for code_key in sorted(groups):
+        experiments = groups[code_key]
+        rates = [e.rate for e in experiments if e.rate is not None]
+        figure = waterfall_figure(
+            [e.record for e in experiments],
+            metric=metric,
+            target=target,
+            title=f"{report.name} — code {code_key}",
+            rate=rates[0] if rates else None,
+            frame_bits=_group_frame_bits(experiments) if metric == "fer" else None,
+        )
+        figures[f"waterfall-{slugify(code_key)}"] = figure
+    return figures
+
+
+def save_report_figures(
+    report: "CampaignReport",
+    directory,
+    *,
+    metrics: Iterable[str] = ("ber",),
+    formats: Iterable[str] = ("svg", "png"),
+    dpi: int = 150,
+    svg_sink: "dict[str, str] | None" = None,
+) -> list[Path]:
+    """Write the report's waterfall figures under ``directory``.
+
+    One file per (code group, metric, format):
+    ``waterfall-<code>[-fer].<fmt>``.  SVG output is deterministic (see
+    :func:`figure_svg`); returns the written paths in sorted order.
+
+    ``svg_sink``, when given, collects the BER figures' SVG text keyed by
+    figure name — the exact mapping
+    :func:`~repro.analysis.campaign.html.render_html` embeds — so callers
+    that also produce an HTML report reuse the rendered figures instead of
+    drawing everything twice.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    for metric in metrics:
+        suffix = "" if metric == "ber" else f"-{metric}"
+        for name, figure in report_figures(report, metric=metric).items():
+            svg_text = None
+            for fmt in formats:
+                path = directory / f"{name}{suffix}.{fmt}"
+                if fmt == "svg":
+                    svg_text = figure_svg(figure)
+                    path.write_text(svg_text)
+                else:
+                    figure.savefig(path, format=fmt, dpi=dpi)
+                written.append(path)
+            if svg_sink is not None and metric == "ber":
+                svg_sink[name] = svg_text if svg_text is not None else figure_svg(figure)
+    return sorted(written)
+
+
+def figure_svg(figure) -> str:
+    """Render a figure as a deterministic SVG string.
+
+    Two sources of nondeterminism are pinned: the creation-date metadata is
+    dropped and ``svg.hashsalt`` is fixed, so the generated element ids
+    depend only on figure content.  Byte-identical output for identical
+    stores is what lets CI diff two renders of the HTML report.
+    """
+    matplotlib = require_matplotlib()
+    buffer = io.StringIO()
+    with matplotlib.rc_context({"svg.hashsalt": _SVG_HASHSALT}):
+        figure.savefig(buffer, format="svg", metadata={"Date": None})
+    return buffer.getvalue()
+
+
+def svg_to_base64(svg: str) -> str:
+    """Base64 form of SVG text for ``data:image/svg+xml`` URIs.
+
+    Pure text transform — needs no matplotlib, so pre-rendered figures can
+    be embedded into HTML on machines without the plotting dependency.
+    """
+    return base64.b64encode(svg.encode("utf-8")).decode("ascii")
+
+
+def figure_svg_base64(figure) -> str:
+    """The deterministic SVG of a figure, base64-encoded for data: URIs."""
+    return svg_to_base64(figure_svg(figure))
+
+
+def render_report_figures_svg(
+    report: "CampaignReport", *, metric: str = "ber"
+) -> "Mapping[str, str]":
+    """Name → deterministic SVG text for every figure of a report."""
+    return {
+        name: figure_svg(figure)
+        for name, figure in report_figures(report, metric=metric).items()
+    }

@@ -32,7 +32,7 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.analysis.campaign.crossing import (
+from repro.sim.crossing import (
     Crossing,
     coding_gain_db,
     curve_crossing,
@@ -326,7 +326,13 @@ class CampaignReport:
         rows = [[label, self.problems[label]] for label in sorted(self.problems)]
         return "Experiments with unreadable results", ["Experiment", "Problem"], rows
 
-    def _sections(self) -> list[tuple[str, list[str], list[list[str]]]]:
+    def sections(self) -> list[tuple[str, list[str], list[list[str]]]]:
+        """Every report section as ``(title, headers, rows)`` of strings.
+
+        The shared model behind all exporters (text, markdown, CSV, HTML) —
+        deterministic order: summary, crossings, per-code comparisons,
+        waterfall points, and unreadable-experiment problems when present.
+        """
         sections = [self._summary_section(), self._crossing_section()]
         sections.extend(self._comparison_sections())
         sections.append(self._waterfall_section())
@@ -335,7 +341,8 @@ class CampaignReport:
             sections.append(problem)
         return sections
 
-    def _header_lines(self) -> list[str]:
+    def header_lines(self) -> list[str]:
+        """``[title, subtitle]`` shared by every exporter (text/markdown/HTML)."""
         seed = "?" if self.seed is None else str(self.seed)
         return [
             f"Campaign report: {self.name}",
@@ -349,27 +356,27 @@ class CampaignReport:
     # ------------------------------------------------------------------ #
     def to_text(self) -> str:
         """ASCII report in the style of :mod:`repro.core.report`."""
-        blocks = ["\n".join(self._header_lines())]
+        blocks = ["\n".join(self.header_lines())]
         blocks.extend(
             format_table(headers, rows, title=title)
-            for title, headers, rows in self._sections()
+            for title, headers, rows in self.sections()
         )
         return "\n\n".join(blocks) + "\n"
 
     def to_markdown(self) -> str:
         """GitHub-flavoured markdown report."""
-        title, subtitle = self._header_lines()
+        title, subtitle = self.header_lines()
         blocks = [f"# {title}", subtitle]
         blocks.extend(
             format_markdown_table(headers, rows, title=section_title)
-            for section_title, headers, rows in self._sections()
+            for section_title, headers, rows in self.sections()
         )
         return "\n\n".join(blocks) + "\n"
 
     def to_csv(self) -> str:
         """All sections as one CSV stream; section titles become ``#`` lines."""
         blocks = []
-        for title, headers, rows in self._sections():
+        for title, headers, rows in self.sections():
             blocks.append(f"# {title}\n" + format_csv(headers, rows))
         return "\n\n".join(blocks) + "\n"
 
@@ -394,13 +401,27 @@ class CampaignReport:
         """The :meth:`as_dict` report as a JSON document."""
         return json.dumps(self.as_dict(), indent=indent) + "\n"
 
+    def to_html(self, *, figures="auto") -> str:
+        """One self-contained HTML document (tables + embedded figures).
+
+        Figures are embedded as base64 SVG data URIs when matplotlib is
+        available and degrade to a note otherwise; see
+        :func:`repro.analysis.campaign.html.render_html` for the ``figures``
+        contract.  Output is deterministic — two renders of the same store
+        are byte-identical.
+        """
+        from repro.analysis.campaign.html import render_html
+
+        return render_html(self, figures=figures)
+
     def render(self, fmt: str) -> str:
-        """Render as ``text``, ``markdown``, ``csv`` or ``json``."""
+        """Render as ``text``, ``markdown``, ``csv``, ``json`` or ``html``."""
         renderers = {
             "text": self.to_text,
             "markdown": self.to_markdown,
             "csv": self.to_csv,
             "json": self.to_json,
+            "html": self.to_html,
         }
         if fmt not in renderers:
             raise ValueError(f"unknown report format {fmt!r}; choose from {sorted(renderers)}")

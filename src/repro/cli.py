@@ -11,10 +11,14 @@ writing any Python:
 * ``simulate``    — a BER/PER Eb/N0 sweep with a chosen decoder (resumable
   from a saved curve via ``--resume``);
 * ``campaign``    — run/status/resume a declarative multi-experiment
-  campaign (:mod:`repro.sim.campaign`) from a JSON spec file, and
+  campaign (:mod:`repro.sim.campaign`) from a JSON spec file;
   ``campaign report`` — paper-style analysis (threshold crossings, coding
   gain, gap to capacity; :mod:`repro.analysis.campaign`) of a finished or
-  partial campaign directory in text/markdown/CSV/JSON.
+  partial campaign directory in text/markdown/CSV/JSON/HTML, with
+  ``--plots`` writing waterfall figures (matplotlib optional); and
+  ``campaign verify`` — measured crossings checked against recorded
+  reference values (:mod:`repro.analysis.reference_data`), non-zero exit
+  on drift beyond tolerance.
 
 Every command prints plain ASCII tables (the same helpers the benchmark
 harness uses), so output can be diffed against ``benchmarks/output/``.
@@ -288,7 +292,7 @@ def _cmd_campaign_status(args) -> int:
 def _cmd_campaign_report(args) -> int:
     # Import here: the analysis layer is not needed by the other (hot-path)
     # subcommands and keeps plain `campaign run` start-up lean.
-    from repro.analysis.campaign import CampaignReport
+    from repro.analysis.campaign import CampaignReport, PlottingUnavailableError
 
     store = _open_store(args.dir)
     if store is None:
@@ -303,7 +307,34 @@ def _cmd_campaign_report(args) -> int:
     except ValueError as exc:
         print(f"cannot build report: {exc}", file=sys.stderr)
         return 2
-    text = report.render(args.format)
+    html_figures = "auto"
+    if args.plots:
+        # Figures need the optional matplotlib dependency; fail before any
+        # report output so a scripted `--plots` run cannot half-succeed.
+        from repro.analysis.campaign import save_report_figures
+
+        metrics = ("ber",) if args.target_fer is None else ("ber", "fer")
+        # An HTML report embeds the BER figures rendered here instead of
+        # drawing them a second time (SVG output is deterministic, so the
+        # result is byte-identical to a fresh render).
+        svgs: dict = {}
+        try:
+            written = save_report_figures(
+                report, args.plots, metrics=metrics, svg_sink=svgs
+            )
+        except PlottingUnavailableError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        for path in written:
+            # stderr: without --output the report itself owns stdout, and
+            # piped json/csv/html must stay machine-parseable.
+            print(f"figure written to {path}", file=sys.stderr)
+        html_figures = svgs or "auto"
+    text = (
+        report.to_html(figures=html_figures)
+        if args.format == "html"
+        else report.render(args.format)
+    )
     if args.output:
         Path(args.output).write_text(text)
         print(f"report written to {args.output}")
@@ -316,6 +347,59 @@ def _cmd_campaign_report(args) -> int:
             file=sys.stderr,
         )
     return 0
+
+
+def _cmd_campaign_verify(args) -> int:
+    """Check measured crossings against recorded references; exit 1 on drift."""
+    from repro.analysis.campaign import CampaignReport
+    from repro.analysis.reference_data import compare_to_reference, load_references
+
+    store = _open_store(args.dir)
+    if store is None:
+        return 2
+    references = None
+    if args.reference:
+        try:
+            references = load_references(args.reference)
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            print(f"cannot load reference file {args.reference}: {exc}",
+                  file=sys.stderr)
+            return 2
+    try:
+        # Crossings are recomputed per reference target; the report's own
+        # table targets and rate columns are irrelevant here, so skip the
+        # expensive code builds.
+        report = CampaignReport.from_store(store, include_rates=False)
+        check = compare_to_reference(
+            report, args.tolerance_db, references=references
+        )
+    except ValueError as exc:
+        print(f"cannot verify campaign: {exc}", file=sys.stderr)
+        return 2
+    print(check.to_table())
+    if report.problems:
+        # An unreadable experiment is a hard failure here, not a warning: a
+        # corrupt curve file would otherwise demote its references to
+        # "unmatched" and let the gate pass without ever checking them.
+        print(
+            f"\nFAIL: {len(report.problems)} experiment(s) had unreadable "
+            f"results and could not be verified: "
+            f"{', '.join(sorted(report.problems))}",
+            file=sys.stderr,
+        )
+        return 1
+    if check.passed:
+        print(f"\nOK: {len(check.matched)} reference crossing(s) within "
+              f"±{check.tolerance_db:g} dB")
+        return 0
+    if not check.matched:
+        print("\nFAIL: no reference matched any experiment of this campaign "
+              "(pass --reference with a set recorded for these codes/decoders)",
+              file=sys.stderr)
+    else:
+        print(f"\nFAIL: {len(check.failures)} reference crossing(s) outside "
+              f"±{check.tolerance_db:g} dB", file=sys.stderr)
+    return 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -412,8 +496,12 @@ def build_parser() -> argparse.ArgumentParser:
              "gap to capacity) of a campaign directory",
     )
     report.add_argument("dir", type=str, help="campaign result directory")
-    report.add_argument("--format", choices=["text", "markdown", "csv", "json"],
-                        default="text", help="output format (default: text)")
+    report.add_argument("--format",
+                        choices=["text", "markdown", "csv", "json", "html"],
+                        default="text",
+                        help="output format (default: text; html is a "
+                             "self-contained single file with embedded "
+                             "figures when matplotlib is installed)")
     report.add_argument("--target-ber", type=float, default=1e-4,
                         help="BER target of the crossing analysis (default 1e-4)")
     report.add_argument("--target-fer", type=float, default=None,
@@ -421,9 +509,28 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--no-rate", action="store_true",
                         help="skip building codes for the rate / Shannon-gap "
                              "columns (faster for the full 8176-bit code)")
+    report.add_argument("--plots", type=str, default=None, metavar="DIR",
+                        help="also write waterfall figures (SVG + PNG) to "
+                             "this directory (needs matplotlib)")
     report.add_argument("--output", "-o", type=str, default=None,
                         help="write the report to this file instead of stdout")
     report.set_defaults(func=_cmd_campaign_report)
+
+    verify = campaign_sub.add_parser(
+        "verify",
+        help="check measured crossings against recorded reference values "
+             "(the paper's by default); exit 1 when any drifts beyond "
+             "tolerance",
+    )
+    verify.add_argument("dir", type=str, help="campaign result directory")
+    verify.add_argument("--reference", type=str, default=None, metavar="FILE",
+                        help="reference-crossings JSON "
+                             "(default: the paper's recorded Figure 4 / "
+                             "Tables 2-3 operating points)")
+    verify.add_argument("--tolerance-db", type=float, default=0.1,
+                        help="allowed |measured - recorded| drift in dB, "
+                             "boundary inclusive (default 0.1)")
+    verify.set_defaults(func=_cmd_campaign_verify)
 
     return parser
 

@@ -18,6 +18,7 @@ grids — many (code, decoder, config) combinations — through one shared
 worker pool with an incrementally persisted, resumable result store.
 """
 
+from repro.sim.crossing import Crossing, crossing_ebn0, curve_crossing
 from repro.sim.montecarlo import BatchResult, MonteCarloSimulator, SimulationConfig
 from repro.sim.parallel import ParallelMonteCarloEngine, PoolEntry, SharedWorkerPool
 from repro.sim.reference import shannon_limit_ebn0_db, uncoded_bpsk_ber
@@ -42,4 +43,7 @@ __all__ = [
     "wilson_interval",
     "uncoded_bpsk_ber",
     "shannon_limit_ebn0_db",
+    "Crossing",
+    "crossing_ebn0",
+    "curve_crossing",
 ]

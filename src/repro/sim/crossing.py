@@ -1,0 +1,151 @@
+"""Threshold-crossing interpolation for BER/FER waterfall curves.
+
+The paper's performance claims are *crossing* statements: the Eb/N0 at which
+a curve reaches a target error rate (Figure 4's waterfalls are compared at
+BER 1e-4 .. 1e-6, and the "0.05 dB of the sum-product reference" claim is a
+difference of two such crossings).  This module extracts those numbers from
+measured curves robustly:
+
+* interpolation happens in the log-BER domain (error rates are exponential
+  in Eb/N0 through the waterfall, so log-linear segments are the right
+  model);
+* non-monotone curves (Monte-Carlo noise can produce local bumps) yield the
+  *first* downward crossing in ascending Eb/N0;
+* zero-error points — Monte-Carlo floors where no error was observed — can
+  serve as the *lower* bracket of a crossing: the result is then an upper
+  bound, flagged ``exact=False``;
+* single-point curves and targets outside the measured range return ``None``
+  instead of extrapolating.
+
+:func:`coding_gain_db` and :func:`shannon_gap_db` turn a crossing into the
+paper's two reference comparisons: distance to uncoded BPSK and to the
+rate-dependent Shannon limit (see :mod:`repro.sim.reference`).
+
+This module lives in the *sim* layer (its only dependencies are numpy and
+:mod:`repro.sim.reference`) so that
+:meth:`~repro.sim.results.SimulationCurve.ebn0_at_ber` needs no upward
+import into the analysis package; :mod:`repro.analysis.campaign` re-exports
+everything here as part of its public API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.reference import shannon_limit_ebn0_db, uncoded_bpsk_ebn0_db
+
+__all__ = [
+    "Crossing",
+    "crossing_ebn0",
+    "curve_crossing",
+    "coding_gain_db",
+    "shannon_gap_db",
+]
+
+
+@dataclass(frozen=True)
+class Crossing:
+    """Where a waterfall curve reaches a target error rate.
+
+    ``exact`` is ``True`` when the crossing was interpolated between two
+    positive-rate measurements.  When the lower bracket is a zero-error
+    point (the simulation observed no errors there), ``ebn0_db`` is the
+    zero point's position — an *upper bound* on the true crossing — and
+    ``exact`` is ``False``.
+    """
+
+    ebn0_db: float
+    exact: bool = True
+
+    def __format__(self, spec: str) -> str:
+        text = format(self.ebn0_db, spec or ".3f")
+        return text if self.exact else f"<={text}"
+
+
+def crossing_ebn0(ebn0_db, rates, target: float) -> Crossing | None:
+    """First downward crossing of ``rates`` through ``target`` (log domain).
+
+    Parameters
+    ----------
+    ebn0_db:
+        Eb/N0 grid in dB (any order; sorted internally).
+    rates:
+        Error rates measured at each grid value (BER or FER).  Zeros are
+        treated as "no error observed": they never start a bracket but may
+        close one, producing an inexact (upper-bound) crossing.
+    target:
+        Target error rate, strictly positive.
+
+    Returns
+    -------
+    The crossing, or ``None`` when the curve never reaches the target inside
+    the measured range (including single-point and all-zero curves — this
+    function never extrapolates).
+    """
+    if target <= 0:
+        raise ValueError("target error rate must be positive")
+    ebn0 = np.asarray(ebn0_db, dtype=np.float64)
+    rate = np.asarray(rates, dtype=np.float64)
+    if ebn0.shape != rate.shape or ebn0.ndim != 1:
+        raise ValueError("ebn0_db and rates must be 1-D arrays of equal length")
+    if len(ebn0) < 2:
+        return None
+    order = np.argsort(ebn0, kind="stable")
+    ebn0 = ebn0[order]
+    rate = rate[order]
+    if np.any(rate < 0):
+        raise ValueError("error rates must be non-negative")
+
+    log_target = np.log10(target)
+    for i in range(len(ebn0) - 1):
+        lo, hi = rate[i], rate[i + 1]
+        if lo < target or lo <= 0:
+            # A downward crossing needs its upper bracket at or above the
+            # target; zero-rate points carry no log-domain position at all.
+            continue
+        if hi <= 0:
+            # No error observed at the next point: the true rate there is
+            # below any positive target with overwhelming likelihood, so the
+            # crossing happened at or before this Eb/N0.
+            return Crossing(float(ebn0[i + 1]), exact=False)
+        if hi <= target:
+            log_lo, log_hi = np.log10(lo), np.log10(hi)
+            if log_lo == log_hi:  # lo == hi == target
+                return Crossing(float(ebn0[i]))
+            fraction = (log_lo - log_target) / (log_lo - log_hi)
+            return Crossing(float(ebn0[i] + fraction * (ebn0[i + 1] - ebn0[i])))
+    return None
+
+
+def curve_crossing(curve, target: float, *, metric: str = "ber") -> Crossing | None:
+    """Crossing of a :class:`~repro.sim.results.SimulationCurve`.
+
+    ``metric`` selects ``"ber"`` (default), ``"fer"`` or ``"info_ber"``.
+    """
+    if metric not in ("ber", "fer", "info_ber"):
+        raise ValueError(f"unknown metric {metric!r}; choose ber, fer or info_ber")
+    values = np.array([getattr(p, metric) for p in curve.points], dtype=np.float64)
+    return crossing_ebn0(curve.ebn0_values, values, target)
+
+
+def coding_gain_db(crossing: Crossing | float | None, target_ber: float) -> float | None:
+    """Coding gain over uncoded BPSK at a target BER (dB).
+
+    The gain is the Eb/N0 uncoded BPSK needs for ``target_ber`` minus the
+    coded curve's crossing — the horizontal distance between the two curves
+    on the waterfall plot.
+    """
+    if crossing is None:
+        return None
+    coded = crossing.ebn0_db if isinstance(crossing, Crossing) else float(crossing)
+    return uncoded_bpsk_ebn0_db(target_ber) - coded
+
+
+def shannon_gap_db(crossing: Crossing | float | None, rate: float) -> float | None:
+    """Gap to the rate-``rate`` Shannon limit at the crossing (dB)."""
+    if crossing is None:
+        return None
+    coded = crossing.ebn0_db if isinstance(crossing, Crossing) else float(crossing)
+    return coded - shannon_limit_ebn0_db(rate)

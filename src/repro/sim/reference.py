@@ -13,6 +13,7 @@ from numpy import sqrt
 __all__ = [
     "qfunc",
     "uncoded_bpsk_ber",
+    "uncoded_bpsk_fer",
     "uncoded_bpsk_ebn0_db",
     "shannon_limit_ebn0_db",
 ]
@@ -31,6 +32,26 @@ def uncoded_bpsk_ber(ebn0_db) -> np.ndarray:
     """Bit error rate of uncoded BPSK over AWGN at the given Eb/N0 (dB)."""
     ebn0 = 10.0 ** (np.asarray(ebn0_db, dtype=np.float64) / 10.0)
     return qfunc(np.sqrt(2.0 * ebn0))
+
+
+def uncoded_bpsk_fer(ebn0_db, frame_bits: int) -> "np.ndarray | float":
+    """Frame error rate of uncoded BPSK for ``frame_bits``-bit frames.
+
+    Scalar input returns a plain ``float``, array input an array —
+    mirroring :func:`uncoded_bpsk_ber`.
+
+    Bit errors are independent on the AWGN channel, so a frame survives only
+    when every bit does: ``FER = 1 - (1 - BER)^n``.  Computed via
+    ``log1p``/``expm1`` so the deep-waterfall region (BER ``~1e-12``, where
+    ``(1 - BER)^n`` underflows the subtraction) stays accurate — this is the
+    FER reference curve drawn on waterfall plots next to a coded frame of
+    the same length.
+    """
+    if int(frame_bits) < 1:
+        raise ValueError("frame_bits must be a positive bit count")
+    ber = np.asarray(uncoded_bpsk_ber(ebn0_db), dtype=np.float64)
+    fer = -np.expm1(float(frame_bits) * np.log1p(-ber))
+    return fer if fer.ndim else float(fer)
 
 
 def uncoded_bpsk_ebn0_db(target_ber: float) -> float:

@@ -107,18 +107,18 @@ class SimulationCurve:
         Returns ``None`` when the curve never reaches the target.  This is
         the quantity used for "X dB better than Y" comparisons such as the
         paper's 0.05 dB claim.  Delegates to
-        :func:`repro.analysis.campaign.crossing.crossing_ebn0`, which also
+        :func:`repro.sim.crossing.crossing_ebn0`, which also
         handles non-monotone curves and zero-error floor points (a crossing
         bracketed by a zero-error point is an upper bound on the true one).
         """
-        from repro.analysis.campaign.crossing import crossing_ebn0
+        from repro.sim.crossing import crossing_ebn0
 
         crossing = crossing_ebn0(self.ebn0_values, self.ber_values, target_ber)
         return None if crossing is None else crossing.ebn0_db
 
     def ebn0_at_fer(self, target_fer: float) -> float | None:
         """Eb/N0 (dB) where the curve crosses a target FER (log-linear interpolation)."""
-        from repro.analysis.campaign.crossing import crossing_ebn0
+        from repro.sim.crossing import crossing_ebn0
 
         crossing = crossing_ebn0(self.ebn0_values, self.fer_values, target_fer)
         return None if crossing is None else crossing.ebn0_db

@@ -8,7 +8,13 @@ from repro.utils.bits import (
     hamming_weight,
     random_bits,
 )
-from repro.utils.formatting import format_table, format_percentage, format_rate
+from repro.utils.formatting import (
+    format_percentage,
+    format_rate,
+    format_table,
+    plain_value,
+)
+from repro.utils.template import fill, html_escape, html_table
 from repro.utils.rng import (
     as_seed_sequence,
     ensure_rng,
@@ -32,6 +38,10 @@ __all__ = [
     "format_table",
     "format_percentage",
     "format_rate",
+    "plain_value",
+    "fill",
+    "html_escape",
+    "html_table",
     "ensure_rng",
     "as_seed_sequence",
     "spawn_seed_sequences",

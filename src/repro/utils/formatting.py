@@ -16,7 +16,34 @@ __all__ = [
     "format_percentage",
     "format_rate",
     "format_engineering",
+    "plain_value",
 ]
+
+
+def plain_value(value):
+    """Recursively convert numpy-typed values to plain Python ones.
+
+    Curve metadata routinely carries numpy scalars (an ``np.float64`` alpha
+    from a parameter sweep, an ``np.int64`` seed).  Their ``repr`` — which is
+    what tuples, group keys and f-string ``!r`` conversions show — reads
+    ``np.float64(0.75)`` on numpy >= 2, so any label built from metadata must
+    canonicalize first.  Dicts, lists and tuples are converted element-wise;
+    anything non-numpy passes through unchanged.
+    """
+    import numpy as np
+
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        # tolist() already yields nested plain-Python values, and turns a
+        # 0-d array into its bare scalar.
+        return value.tolist()
+    if isinstance(value, dict):
+        return {plain_value(k): plain_value(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        converted = [plain_value(v) for v in value]
+        return converted if isinstance(value, list) else tuple(converted)
+    return value
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], *, title: str | None = None) -> str:

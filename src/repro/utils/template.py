@@ -1,0 +1,86 @@
+"""Minimal dependency-free HTML templating.
+
+The HTML report backend (:mod:`repro.analysis.campaign.html`) must not pull
+in a template engine — the whole library runs on numpy alone — but building
+a document by string concatenation scatters escaping bugs everywhere.  This
+module provides the three primitives a static report needs:
+
+* :func:`html_escape` — entity-escape untrusted text once, at the boundary;
+* :func:`fill` — ``${name}`` placeholder substitution into a template
+  string, where every substituted value must already be HTML (escape first,
+  fill second — the helper refuses unknown and missing placeholders so a
+  template and its context cannot drift apart silently);
+* :func:`html_table` — headers + rows to a ``<table>`` with every cell
+  escaped.
+
+Everything is deterministic: same inputs, byte-identical output — the HTML
+report relies on that for its diff-in-CI guarantee.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import re
+from typing import Iterable, Sequence
+
+__all__ = ["html_escape", "fill", "html_table"]
+
+_PLACEHOLDER = re.compile(r"\$\{([A-Za-z_][A-Za-z0-9_]*)\}")
+
+
+def html_escape(value: object) -> str:
+    """``str(value)`` with the five HTML-significant characters escaped."""
+    return _html.escape(str(value), quote=True)
+
+
+def fill(template: str, **values: str) -> str:
+    """Substitute ``${name}`` placeholders in ``template``.
+
+    Values are inserted verbatim (they are expected to be HTML already);
+    a placeholder without a value, or a value without a placeholder, raises
+    ``KeyError`` — silent drift between a template and its context is how
+    stale sections survive refactors.
+    """
+    wanted = set(_PLACEHOLDER.findall(template))
+    missing = wanted - set(values)
+    if missing:
+        raise KeyError(f"template placeholders without values: {sorted(missing)}")
+    unused = set(values) - wanted
+    if unused:
+        raise KeyError(f"values without template placeholders: {sorted(unused)}")
+    return _PLACEHOLDER.sub(lambda match: values[match.group(1)], template)
+
+
+def html_table(
+    headers: Sequence[object],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+    css_class: str = "report",
+) -> str:
+    """Render headers + rows as an HTML table (all cells escaped).
+
+    Mirrors the contract of :func:`repro.utils.formatting.format_table`:
+    cells are converted with ``str``, row widths are validated, and the
+    optional ``title`` becomes an ``<h2>`` above the table.
+    """
+    header_cells = [html_escape(h) for h in headers]
+    lines = []
+    if title:
+        lines.append(f"<h2>{html_escape(title)}</h2>")
+    lines.append(f'<table class="{html_escape(css_class)}">')
+    lines.append(
+        "<thead><tr>" + "".join(f"<th>{cell}</th>" for cell in header_cells) + "</tr></thead>"
+    )
+    lines.append("<tbody>")
+    for row in rows:
+        if len(row) != len(header_cells):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(header_cells)} columns"
+            )
+        lines.append(
+            "<tr>" + "".join(f"<td>{html_escape(cell)}</td>" for cell in row) + "</tr>"
+        )
+    lines.append("</tbody>")
+    lines.append("</table>")
+    return "\n".join(lines)

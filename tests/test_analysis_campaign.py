@@ -27,6 +27,7 @@ from repro.sim.reference import (
     shannon_limit_ebn0_db,
     uncoded_bpsk_ber,
     uncoded_bpsk_ebn0_db,
+    uncoded_bpsk_fer,
 )
 from repro.sim.results import SimulationCurve, SimulationPoint
 
@@ -149,6 +150,22 @@ class TestReferences:
         with pytest.raises(ValueError, match="too close to 0.5"):
             uncoded_bpsk_ebn0_db(0.49999)
 
+    def test_uncoded_bpsk_fer_matches_independence_model(self):
+        # FER = 1 - (1 - BER)^n; spot-check against the direct formula where
+        # it is numerically safe, and the n=1 degenerate case equals BER.
+        ebn0 = 4.0
+        ber = float(uncoded_bpsk_ber(ebn0))
+        fer = float(uncoded_bpsk_fer(ebn0, 512))
+        assert fer == pytest.approx(1.0 - (1.0 - ber) ** 512, rel=1e-12)
+        assert float(uncoded_bpsk_fer(ebn0, 1)) == pytest.approx(ber, rel=1e-12)
+        # Vectorized over the grid, monotone decreasing, and stable deep in
+        # the waterfall (no catastrophic cancellation to 0).
+        grid = uncoded_bpsk_fer([2.0, 6.0, 12.0], 4096)
+        assert grid.shape == (3,)
+        assert grid[0] > grid[1] > grid[2] > 0.0
+        with pytest.raises(ValueError, match="frame_bits"):
+            uncoded_bpsk_fer(4.0, 0)
+
     def test_coding_gain_and_shannon_gap(self):
         crossing = Crossing(4.0)
         gain = coding_gain_db(crossing, 1e-4)
@@ -249,6 +266,8 @@ class TestCurveSet:
         assert curves.filter(decoder__kind="nms").problems == curves.problems
         assert curves[:1].problems == curves.problems
         assert curves.sorted_by("label").problems == curves.problems
+        for group in curves.group_by("decoder.kind").values():
+            assert group.problems == curves.problems
 
     def test_from_curves(self):
         curves = CurveSet.from_curves({"a": make_curve("a", [(3.0, 1e-3)])})

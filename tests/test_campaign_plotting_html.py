@@ -1,0 +1,400 @@
+"""Tests for the campaign publishing backend (plotting + HTML).
+
+The tier-1 environment deliberately has *no* matplotlib, so the suite
+covers both sides of the optional dependency: the degradation contract
+(actionable errors, HTML renders without figures) always runs, and the
+figure-producing paths run only where matplotlib exists (the CI
+optional-deps leg installs it and runs this same file).
+"""
+
+import json
+import re
+
+import numpy as np
+import pytest
+
+from repro.analysis.campaign import (
+    CampaignReport,
+    CurveSet,
+    PlottingUnavailableError,
+    matplotlib_available,
+    render_html,
+)
+from repro.analysis.campaign import plotting
+from repro.cli import main
+from repro.sim import SimulationConfig
+from repro.sim.campaign import (
+    CampaignSpec,
+    CodeSpec,
+    DecoderSpec,
+    ExperimentSpec,
+    ResultStore,
+)
+from repro.sim.results import SimulationCurve, SimulationPoint
+from repro.utils.formatting import plain_value
+from repro.utils.template import fill, html_escape, html_table
+
+HAVE_MPL = matplotlib_available()
+needs_mpl = pytest.mark.skipif(not HAVE_MPL, reason="matplotlib not installed")
+without_mpl = pytest.mark.skipif(HAVE_MPL, reason="matplotlib is installed")
+
+
+def make_point(ebn0, ber, fer=None, frames=100):
+    fer = ber * 10 if fer is None else fer
+    return SimulationPoint(
+        ebn0_db=float(ebn0), ber=float(ber), fer=float(min(fer, 1.0)),
+        bit_errors=int(ber * 1e6), frame_errors=min(frames, int(fer * frames)),
+        bits=10**6, frames=frames,
+    )
+
+
+def fabricated_store(tmp_path, name="pub"):
+    code = CodeSpec(family="scaled", circulant=31)
+    spec = CampaignSpec(
+        name=name,
+        seed=5,
+        ebn0=(3.0, 4.0, 5.0),
+        config=SimulationConfig(max_frames=100, target_frame_errors=50,
+                                batch_frames=10, all_zero_codeword=True),
+        experiments=[
+            ExperimentSpec("nms", code, DecoderSpec("nms", 18, params={"alpha": 1.25})),
+            ExperimentSpec("min-sum", code, DecoderSpec("min-sum", 18)),
+        ],
+    )
+    store = ResultStore.create(tmp_path / name, spec)
+    for label, shift in {"nms": 0.0, "min-sum": 0.4}.items():
+        for ebn0 in spec.ebn0:
+            ber = min(0.5, 10 ** (-1.0 - 1.5 * (ebn0 - shift - 3.0)))
+            store.record_point(label, make_point(ebn0, ber))
+    return store
+
+
+# --------------------------------------------------------------------- #
+# Degradation without matplotlib
+# --------------------------------------------------------------------- #
+class TestDegradation:
+    @without_mpl
+    def test_require_matplotlib_raises_actionable_error(self):
+        with pytest.raises(PlottingUnavailableError, match="pip install matplotlib"):
+            plotting.require_matplotlib()
+
+    @without_mpl
+    def test_waterfall_figure_raises_without_matplotlib(self, tmp_path):
+        curves = CurveSet.from_store(fabricated_store(tmp_path))
+        with pytest.raises(PlottingUnavailableError, match="matplotlib"):
+            plotting.waterfall_figure(curves)
+
+    @without_mpl
+    def test_html_degrades_to_note(self, tmp_path):
+        report = CampaignReport.from_store(fabricated_store(tmp_path), target_ber=1e-3)
+        html = report.to_html()
+        assert "No figures embedded" in html
+        assert "pip install matplotlib" in html
+        assert "data:image/svg+xml" not in html
+
+    @without_mpl
+    def test_html_figures_require_raises(self, tmp_path):
+        report = CampaignReport.from_store(fabricated_store(tmp_path), target_ber=1e-3)
+        with pytest.raises(PlottingUnavailableError):
+            report.to_html(figures="require")
+
+    @without_mpl
+    def test_cli_plots_fails_with_install_hint(self, tmp_path, capsys):
+        store = fabricated_store(tmp_path)
+        code = main([
+            "campaign", "report", str(store.directory),
+            "--target-ber", "1e-3", "--plots", str(tmp_path / "figs"),
+        ])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "pip install matplotlib" in captured.err
+        # Fail-fast: no half-rendered report on stdout.
+        assert "Threshold crossings" not in captured.out
+
+    def test_module_imports_without_matplotlib(self):
+        # The import of repro.analysis.campaign at module top already proves
+        # this; assert the availability probe agrees with reality.
+        try:
+            import matplotlib  # noqa: F401
+            assert matplotlib_available()
+        except ImportError:
+            assert not matplotlib_available()
+
+    def test_svg_to_base64_needs_no_matplotlib(self):
+        assert plotting.svg_to_base64("<svg/>") == "PHN2Zy8+"
+
+
+# --------------------------------------------------------------------- #
+# HTML rendering (matplotlib-independent contract)
+# --------------------------------------------------------------------- #
+class TestHtmlReport:
+    def test_two_renders_are_byte_identical(self, tmp_path):
+        store = fabricated_store(tmp_path)
+        first = CampaignReport.from_store(store, target_ber=1e-3).to_html()
+        second = CampaignReport.from_store(
+            ResultStore.open(store.directory), target_ber=1e-3
+        ).to_html()
+        assert first == second
+        assert isinstance(first, str) and first.startswith("<!DOCTYPE html>")
+
+    def test_contains_all_sections_and_provenance(self, tmp_path):
+        report = CampaignReport.from_store(fabricated_store(tmp_path), target_ber=1e-3)
+        html = report.to_html()
+        for title, _, _ in report.sections():
+            assert html_escape(title) in html
+        assert "Provenance" in html
+        assert "&quot;campaign&quot;: &quot;pub&quot;" in html
+        assert "&quot;seed&quot;: 5" in html
+
+    def test_render_html_format(self, tmp_path):
+        report = CampaignReport.from_store(fabricated_store(tmp_path), target_ber=1e-3)
+        assert report.render("html") == report.to_html()
+
+    def test_explicit_figures_mapping_is_embedded(self, tmp_path):
+        report = CampaignReport.from_store(fabricated_store(tmp_path), target_ber=1e-3)
+        html = render_html(report, figures={"waterfall-x": "<svg>fake</svg>"})
+        assert "data:image/svg+xml;base64," in html
+        assert plotting.svg_to_base64("<svg>fake</svg>") in html
+        assert "waterfall-x" in html
+
+    def test_no_figures_when_disabled(self, tmp_path):
+        report = CampaignReport.from_store(fabricated_store(tmp_path), target_ber=1e-3)
+        html = render_html(report, figures=None)
+        assert "data:image/svg+xml" not in html
+
+    def test_bad_figures_argument_rejected(self, tmp_path):
+        report = CampaignReport.from_store(fabricated_store(tmp_path), target_ber=1e-3)
+        with pytest.raises(TypeError, match="figures"):
+            render_html(report, figures=42)
+
+    def test_problems_are_flagged(self, tmp_path):
+        store = fabricated_store(tmp_path)
+        store.curve_path("min-sum").write_text("{broken json")
+        report = CampaignReport.from_store(store.directory, target_ber=1e-3)
+        html = report.to_html()
+        assert "unreadable results" in html
+
+    def test_metadata_is_html_escaped(self, tmp_path):
+        curve = SimulationCurve(
+            label="<script>alert(1)</script>",
+            metadata={"campaign": '<img src=x onerror="pwn()">'},
+        )
+        curve.add(make_point(3.0, 1e-2))
+        report = CampaignReport(
+            CurveSet.from_curves({curve.label: curve}),
+            name="esc", target_ber=1e-3, include_rates=False,
+        )
+        html = report.to_html(figures=None)
+        assert "<script>alert(1)</script>" not in html
+        assert "onerror=\"pwn()\"" not in html
+
+    def test_cli_format_html(self, tmp_path, capsys):
+        store = fabricated_store(tmp_path)
+        out_file = tmp_path / "report.html"
+        assert main([
+            "campaign", "report", str(store.directory),
+            "--format", "html", "--target-ber", "1e-3",
+            "--output", str(out_file),
+        ]) == 0
+        text = out_file.read_text()
+        assert text.startswith("<!DOCTYPE html>")
+        assert "Threshold crossings" in text
+
+
+# --------------------------------------------------------------------- #
+# numpy scalar metadata regression (group keys, labels, tables)
+# --------------------------------------------------------------------- #
+class TestNumpyMetadataRendering:
+    def _numpy_curves(self):
+        curves = {}
+        for alpha in (np.float64(0.75), np.float64(1.25)):
+            curve = SimulationCurve(
+                label=f"nms-a{float(alpha):g}",
+                metadata={"decoder": {"kind": "nms",
+                                      "params": {"alpha": alpha}},
+                          "seed": np.int64(7)},
+            )
+            curve.add(make_point(3.0, 1e-2))
+            curve.add(make_point(4.0, 1e-4))
+            curves[curve.label] = curve
+        return CurveSet.from_curves(curves)
+
+    def test_group_keys_are_plain_python(self):
+        groups = self._numpy_curves().group_by("decoder.params.alpha")
+        for key in groups:
+            assert type(key[0]) is float
+            assert "np.float64" not in str(key)
+
+    def test_field_values_are_plain(self):
+        record = self._numpy_curves().get("nms-a0.75")
+        value = record.field("decoder.params.alpha")
+        assert type(value) is float and value == 0.75
+        assert type(record.field("seed")) is int
+
+    def test_html_report_has_no_numpy_reprs(self):
+        report = CampaignReport(
+            self._numpy_curves(), name="np", target_ber=1e-3, include_rates=False,
+        )
+        html = report.to_html(figures=None)
+        assert "np.float64" not in html
+        assert "np.int64" not in html
+        assert "0.75" in html
+
+    def test_plain_value_recurses(self):
+        nested = {"a": np.float64(1.5), "b": [np.int64(2), {"c": np.bool_(True)}]}
+        plain = plain_value(nested)
+        assert plain == {"a": 1.5, "b": [2, {"c": True}]}
+        assert type(plain["a"]) is float
+        assert type(plain["b"][0]) is int
+        assert type(plain["b"][1]["c"]) is bool
+        array = plain_value(np.array([1.0, 2.0]))
+        assert array == [1.0, 2.0] and type(array) is list
+
+    def test_plain_value_handles_zero_dimensional_arrays(self):
+        # Regression: a 0-d array used to crash the list comprehension.
+        scalar = plain_value(np.array(2.5))
+        assert scalar == 2.5 and type(scalar) is float
+        nested = plain_value({"x": np.array(3)})
+        assert nested == {"x": 3} and type(nested["x"]) is int
+
+
+# --------------------------------------------------------------------- #
+# Template helpers
+# --------------------------------------------------------------------- #
+class TestTemplateHelpers:
+    def test_fill_substitutes(self):
+        assert fill("<p>${a} ${b}</p>", a="1", b="2") == "<p>1 2</p>"
+
+    def test_fill_rejects_missing_and_unused(self):
+        with pytest.raises(KeyError, match="without values"):
+            fill("${a} ${b}", a="1")
+        with pytest.raises(KeyError, match="without template placeholders"):
+            fill("${a}", a="1", b="2")
+
+    def test_html_escape(self):
+        assert html_escape('<a href="x">&\'') == "&lt;a href=&quot;x&quot;&gt;&amp;&#x27;"
+
+    def test_html_table_escapes_and_validates(self):
+        table = html_table(["<h>"], [["<cell>"]], title="T & T")
+        assert "&lt;h&gt;" in table and "&lt;cell&gt;" in table
+        assert "<h2>T &amp; T</h2>" in table
+        with pytest.raises(ValueError, match="columns"):
+            html_table(["a", "b"], [["only-one"]])
+
+
+# --------------------------------------------------------------------- #
+# Figure rendering (runs only with matplotlib — the CI optional leg)
+# --------------------------------------------------------------------- #
+@needs_mpl
+class TestFigures:
+    def test_waterfall_figure_draws_all_curves(self, tmp_path):
+        curves = CurveSet.from_store(fabricated_store(tmp_path))
+        figure = plotting.waterfall_figure(curves, target=1e-3, rate=0.879)
+        axis = figure.axes[0]
+        labels = [line.get_label() for line in axis.get_lines()]
+        assert any("nms" in label for label in labels)
+        assert any("min-sum" in label for label in labels)
+        assert any("uncoded BPSK" in label for label in labels)
+        assert any("Shannon" in label for label in labels)
+        assert axis.get_yscale() == "log"
+
+    def test_waterfall_rejects_unknown_metric(self, tmp_path):
+        curves = CurveSet.from_store(fabricated_store(tmp_path))
+        with pytest.raises(ValueError, match="metric"):
+            plotting.waterfall_figure(curves, metric="per")
+
+    def test_figure_svg_is_deterministic(self, tmp_path):
+        store = fabricated_store(tmp_path)
+
+        def render():
+            report = CampaignReport.from_store(store.directory, target_ber=1e-3)
+            return plotting.render_report_figures_svg(report)
+
+        first, second = render(), render()
+        assert first.keys() == second.keys()
+        assert first == second
+        for svg in first.values():
+            assert svg.lstrip().startswith("<?xml")
+            assert not re.search(r"<dc:date>", svg)
+
+    def test_html_embeds_figures(self, tmp_path):
+        report = CampaignReport.from_store(fabricated_store(tmp_path), target_ber=1e-3)
+        html = report.to_html()
+        assert "data:image/svg+xml;base64," in html
+        assert "No figures embedded" not in html
+        # Still byte-identical across renders.
+        assert html == CampaignReport.from_store(
+            fabricated_store(tmp_path).directory, target_ber=1e-3
+        ).to_html()
+
+    def test_save_report_figures_writes_svg_and_png(self, tmp_path):
+        report = CampaignReport.from_store(fabricated_store(tmp_path), target_ber=1e-3)
+        written = plotting.save_report_figures(report, tmp_path / "figs")
+        names = sorted(p.name for p in written)
+        assert names == ["waterfall-scaled31.png", "waterfall-scaled31.svg"]
+        for path in written:
+            assert path.exists() and path.stat().st_size > 0
+
+    def test_cli_plots_writes_figures(self, tmp_path, capsys):
+        store = fabricated_store(tmp_path)
+        figs = tmp_path / "figs"
+        assert main([
+            "campaign", "report", str(store.directory),
+            "--target-ber", "1e-3", "--plots", str(figs),
+        ]) == 0
+        captured = capsys.readouterr()
+        # Notices go to stderr so a piped report stays machine-parseable.
+        assert "figure written to" in captured.err
+        assert "figure written to" not in captured.out
+        assert (figs / "waterfall-scaled31.svg").exists()
+
+    def test_cli_plots_html_reuses_rendered_svgs(self, tmp_path, capsys):
+        # --plots + --format html must embed the figures just written, and
+        # (because SVG rendering is deterministic) produce the same bytes
+        # as a plain --format html render.
+        store = fabricated_store(tmp_path)
+        with_plots = tmp_path / "with-plots.html"
+        plain = tmp_path / "plain.html"
+        assert main([
+            "campaign", "report", str(store.directory), "--format", "html",
+            "--target-ber", "1e-3", "--plots", str(tmp_path / "figs"),
+            "--output", str(with_plots),
+        ]) == 0
+        assert main([
+            "campaign", "report", str(store.directory), "--format", "html",
+            "--target-ber", "1e-3", "--output", str(plain),
+        ]) == 0
+        assert "data:image/svg+xml;base64," in with_plots.read_text()
+        assert with_plots.read_text() == plain.read_text()
+
+    def test_zero_error_floor_points_do_not_crash(self):
+        curve = SimulationCurve(label="floor")
+        curve.add(make_point(3.0, 1e-2))
+        curve.add(make_point(4.0, 1e-5))
+        curve.add(SimulationPoint(ebn0_db=5.0, ber=0.0, fer=0.0, bit_errors=0,
+                                  frame_errors=0, bits=10**6, frames=100))
+        curves = CurveSet.from_curves({"floor": curve})
+        figure = plotting.waterfall_figure(curves, target=1e-4)
+        assert figure.axes[0].get_yscale() == "log"
+
+    def test_curve_style_is_deterministic_and_cycles(self):
+        assert plotting.curve_style(0) == plotting.curve_style(0)
+        first = plotting.curve_style(0)
+        wrapped = plotting.curve_style(len(plotting.WATERFALL_PALETTE))
+        assert wrapped["color"] == first["color"]
+        assert wrapped["linestyle"] != first["linestyle"]
+
+
+def test_report_figures_requires_records_not_reports(tmp_path):
+    # _records() rejects non-CurveRecord inputs with a clear message even
+    # without matplotlib being importable at figure-draw time.
+    with pytest.raises(TypeError, match="CurveRecord"):
+        plotting._records([json.loads("{}")])
+
+
+def test_group_frame_bits_recovered_from_stored_points(tmp_path):
+    # The FER reference's frame length comes from bits/frames of any
+    # measured point — no code build, no matplotlib needed.
+    report = CampaignReport.from_store(fabricated_store(tmp_path), target_ber=1e-3)
+    assert plotting._group_frame_bits(report.experiments) == 10**6 // 100
+    assert plotting._group_frame_bits([]) is None

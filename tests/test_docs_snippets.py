@@ -13,7 +13,11 @@ from pathlib import Path
 import pytest
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-DOC_FILES = [REPO_ROOT / "README.md", REPO_ROOT / "docs" / "campaigns.md"]
+DOC_FILES = [
+    REPO_ROOT / "README.md",
+    REPO_ROOT / "docs" / "campaigns.md",
+    REPO_ROOT / "docs" / "reporting.md",
+]
 
 
 def _load_runner():
@@ -38,7 +42,10 @@ def test_docs_exist_and_have_python_blocks(runner, doc):
 
 @pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
 def test_doc_snippets_compile(runner, doc):
-    for index, (line, source) in enumerate(runner.python_blocks(doc.read_text()), 1):
+    """Every block compiles — including ``noexec`` ones, which may import
+    optional dependencies at runtime but must never rot syntactically."""
+    blocks = runner.all_python_blocks(doc.read_text())
+    for index, (line, source, _noexec) in enumerate(blocks, 1):
         compile(source, f"{doc.name}:block{index}(line {line})", "exec")
 
 
@@ -53,6 +60,59 @@ def test_extractor_ignores_other_fences(runner):
     assert [source for _, source in blocks] == ["x = 1\n", "y = x + 1\n"]
 
 
+def test_noexec_marker_skips_execution_but_still_compiles(runner, tmp_path):
+    markdown = (
+        "```python\nran = True\n```\n"
+        "```python noexec\nimport does_not_exist_anywhere\n```\n"
+        "```python skip\nalso_skipped = True\n```\n"
+        "```pythonic\nnot a python block at all\n```\n"
+    )
+    blocks = runner.all_python_blocks(markdown)
+    assert [(source, noexec) for _, source, noexec in blocks] == [
+        ("ran = True\n", False),
+        ("import does_not_exist_anywhere\n", True),
+        ("also_skipped = True\n", True),
+    ]
+    # python_blocks (the executable view) excludes the skipped ones.
+    assert [source for _, source in runner.python_blocks(markdown)] == ["ran = True\n"]
+    # run_file executes only the first block; the unimportable noexec block
+    # is compiled, not imported — the run succeeds and counts one snippet.
+    doc = tmp_path / "doc.md"
+    doc.write_text(markdown)
+    assert runner.run_file(doc) == 1
+
+
+def test_noexec_block_with_syntax_error_still_fails(runner, tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text("```python noexec\ndef broken(:\n```\n")
+    with pytest.raises(SyntaxError):
+        runner.run_file(doc)
+
+
+def test_noexec_marker_allows_trailing_commentary(runner):
+    markdown = "```python noexec (needs matplotlib)\nimport matplotlib\n```\n"
+    [(_, source, noexec)] = runner.all_python_blocks(markdown)
+    assert noexec and source == "import matplotlib\n"
+
+
+def test_unknown_python_marker_fails_loudly(runner):
+    # A typo must not silently drop the block from execution *and*
+    # compilation — that would let the snippet rot unchecked.
+    with pytest.raises(ValueError, match="unrecognized python block"):
+        runner.all_python_blocks("```python noexc\nx = 1\n```\n")
+
+
+def test_reporting_doc_marks_matplotlib_blocks_noexec(runner):
+    """docs/reporting.md shows figure code without requiring matplotlib."""
+    text = (REPO_ROOT / "docs" / "reporting.md").read_text()
+    blocks = runner.all_python_blocks(text)
+    noexec_sources = [source for _, source, noexec in blocks if noexec]
+    assert noexec_sources, "reporting.md should demonstrate matplotlib blocks"
+    for _, source, noexec in blocks:
+        if "waterfall_figure" in source or "save_report_figures" in source:
+            assert noexec, "matplotlib-dependent snippets must be noexec"
+
+
 def test_readme_documents_every_cli_subcommand():
     """The README's CLI reference must cover the parser's real surface."""
     from repro.cli import build_parser
@@ -65,5 +125,5 @@ def test_readme_documents_every_cli_subcommand():
     )
     for command in subparsers.choices:
         assert command in readme, f"README does not mention subcommand {command!r}"
-    for campaign_command in ("run", "status", "resume", "report"):
+    for campaign_command in ("run", "status", "resume", "report", "verify"):
         assert f"campaign {campaign_command}" in readme

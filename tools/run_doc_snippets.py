@@ -7,6 +7,10 @@ markdown file given on the command line:
 
 * every fenced block whose info string is exactly ``python`` is extracted
   (blocks tagged ``bash``/``json``/``text``/anything else are ignored);
+* blocks tagged ``python noexec`` are *compiled but not executed* — for
+  snippets whose imports need an optional dependency (matplotlib) that the
+  docs job does not install; a syntax error still fails the run, so even
+  skipped snippets cannot rot silently;
 * the file's blocks run *sequentially in one shared namespace*, so a later
   snippet may use names a former one defined — documentation reads as one
   continuous session;
@@ -31,38 +35,78 @@ import tempfile
 from pathlib import Path
 
 _FENCE = re.compile(
-    r"^```python[ \t]*\n(.*?)^```[ \t]*$", re.MULTILINE | re.DOTALL
+    r"^```python([^\S\n][^\n]*)?\n(.*?)^```[ \t]*$", re.MULTILINE | re.DOTALL
 )
 
+#: Info-string markers (after ``python``) that skip execution of a block.
+SKIP_MARKERS = ("noexec", "no-exec", "skip")
 
-def python_blocks(markdown: str) -> list[tuple[int, str]]:
-    """(starting line number, source) of every fenced ``python`` block."""
+
+def all_python_blocks(markdown: str) -> list[tuple[int, str, bool]]:
+    """Every fenced python block as ``(line, source, noexec)``.
+
+    The info string selects the treatment: exactly ``python`` executes, and
+    ``python noexec ...`` (or ``no-exec``/``skip``; trailing words after the
+    marker are allowed as commentary) is compile-only.  Anything else after
+    ``python`` raises — a typoed marker that silently dropped the block from
+    both execution *and* compilation would let that snippet rot, which is
+    exactly what this runner exists to prevent.  ``line`` is where the
+    block's code starts.
+    """
     blocks = []
     for match in _FENCE.finditer(markdown):
+        info = (match.group(1) or "").strip()
+        noexec = False
+        if info:
+            marker = info.split()[0]
+            if marker not in SKIP_MARKERS:
+                line = markdown.count("\n", 0, match.start()) + 1
+                raise ValueError(
+                    f"unrecognized python block info string {info!r} at line "
+                    f"{line}; use ```python or ```python noexec"
+                )
+            noexec = True
         line = markdown.count("\n", 0, match.start()) + 2  # code starts after fence
-        blocks.append((line, match.group(1)))
+        blocks.append((line, match.group(2), noexec))
     return blocks
 
 
+def python_blocks(markdown: str) -> list[tuple[int, str]]:
+    """(starting line number, source) of every *executable* python block."""
+    return [(line, source) for line, source, noexec in all_python_blocks(markdown)
+            if not noexec]
+
+
 def run_file(path: Path) -> int:
-    """Execute every python block of one markdown file; return the count."""
-    blocks = python_blocks(path.read_text())
+    """Execute every python block of one markdown file; return the count.
+
+    ``noexec`` blocks are compiled (a syntax error still fails) but not
+    executed, and do not count toward the returned total.
+    """
+    blocks = all_python_blocks(path.read_text())
     if not blocks:
         print(f"{path}: no python blocks")
         return 0
     namespace: dict = {"__name__": f"doc_snippets_{path.stem}"}
+    executed = 0
     original_cwd = os.getcwd()
     with tempfile.TemporaryDirectory(prefix=f"snippets-{path.stem}-") as workdir:
         os.chdir(workdir)
         try:
-            for index, (line, source) in enumerate(blocks, start=1):
+            for index, (line, source, noexec) in enumerate(blocks, start=1):
+                code = compile(source, f"{path}:block{index}", "exec")
+                if noexec:
+                    print(f"{path}: skipping block {index}/{len(blocks)} "
+                          f"(line {line}, marked noexec; compiled only)",
+                          flush=True)
+                    continue
                 print(f"{path}: running block {index}/{len(blocks)} "
                       f"(line {line})", flush=True)
-                code = compile(source, f"{path}:block{index}", "exec")
                 exec(code, namespace)  # noqa: S102 - the whole point
+                executed += 1
         finally:
             os.chdir(original_cwd)
-    return len(blocks)
+    return executed
 
 
 def main(argv: list[str]) -> int:
