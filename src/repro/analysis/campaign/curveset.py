@@ -17,9 +17,13 @@ Fields are addressed by dotted path into the curve metadata::
     curves.sorted_by("decoder.params.alpha")
 
 Top-level conveniences (``label``, ``campaign``, ``seed``, ``code``,
-``decoder``, ``config``) resolve against the metadata dict; ``code`` and
-``decoder`` compare whole spec dictionaries, so a group key is exactly one
-grid axis value.
+``decoder``, ``channel``, ``config``) resolve against the metadata dict;
+``code``, ``decoder`` and ``channel`` compare whole spec dictionaries, so a
+group key is exactly one grid axis value.  Curves written before the
+channel axis existed have no ``channel`` metadata; their accessors return
+``None`` (re-opening the store through
+:class:`~repro.sim.campaign.store.ResultStore` stamps the default AWGN
+channel back in).
 """
 
 from __future__ import annotations
@@ -29,7 +33,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterator, Mapping, Sequence
 
-from repro.sim.campaign.spec import CodeSpec, DecoderSpec
+from repro.sim.campaign.spec import ChannelSpec, CodeSpec, DecoderSpec
 from repro.sim.campaign.store import ResultStore
 from repro.sim.results import SimulationCurve
 from repro.utils.formatting import plain_value
@@ -64,6 +68,10 @@ class CurveRecord:
         return self.metadata.get("decoder")
 
     @property
+    def channel(self) -> dict | None:
+        return self.metadata.get("channel")
+
+    @property
     def config(self) -> dict | None:
         return self.metadata.get("config")
 
@@ -84,6 +92,16 @@ class CurveRecord:
             return None
         try:
             return DecoderSpec.from_dict(self.decoder).key
+        except (ValueError, TypeError):
+            return None
+
+    @property
+    def channel_key(self) -> str | None:
+        """Short stable channel identifier (``awgn``, ``bsc``, …)."""
+        if self.channel is None:
+            return None
+        try:
+            return ChannelSpec.from_dict(self.channel).key
         except (ValueError, TypeError):
             return None
 

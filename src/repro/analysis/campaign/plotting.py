@@ -328,31 +328,52 @@ def _group_frame_bits(experiments) -> int | None:
 
 
 def report_figures(report: "CampaignReport", *, metric: str = "ber") -> dict:
-    """One waterfall figure per code group of a report.
+    """One waterfall figure per (code, channel) group of a report.
 
     Returns a name → Figure mapping in deterministic (sorted) order; names
-    are filesystem-safe (``waterfall-<code-key>`` — also the stems used by
-    :func:`save_report_figures` and the HTML backend).  The crossing target
-    and code rate come from the report itself; the FER reference's frame
-    length is recovered from the stored points (bits per frame).
+    are filesystem-safe (``waterfall-<code-key>``, with a ``-<channel-key>``
+    suffix only when the campaign spans several channels — also the stems
+    used by :func:`save_report_figures` and the HTML backend).  The crossing
+    target and code rate come from the report itself; the FER reference's
+    frame length is recovered from the stored points (bits per frame).
+
+    The grouping mirrors the report's comparison tables: curves of
+    different channels never share a figure (the reader would read the
+    channel difference as a decoder difference), and the uncoded-BPSK /
+    Shannon reference curves — both derived for the soft-AWGN link — are
+    drawn only on figures whose group actually measured that link.
     """
     target = report.target_ber if metric == "ber" else report.target_fer
-    groups: dict[str, list] = {}
+    multi_channel = len({e.channel_key for e in report.experiments}) > 1
+    groups: dict[tuple[str, str | None], list] = {}
     for experiment in report.experiments:
-        groups.setdefault(experiment.code_key or "unknown-code", []).append(experiment)
+        key = (
+            experiment.code_key or "unknown-code",
+            experiment.channel_key if multi_channel else None,
+        )
+        groups.setdefault(key, []).append(experiment)
     figures = {}
-    for code_key in sorted(groups):
-        experiments = groups[code_key]
+    for code_key, channel_key in sorted(
+        groups, key=lambda k: (k[0], k[1] or "")
+    ):
+        experiments = groups[(code_key, channel_key)]
         rates = [e.rate for e in experiments if e.rate is not None]
+        channels = {e.channel_key or "awgn" for e in experiments}
+        title = f"{report.name} — code {code_key}"
+        name = f"waterfall-{slugify(code_key)}"
+        if channel_key is not None:
+            title += f", channel {channel_key}"
+            name += f"-{slugify(channel_key)}"
         figure = waterfall_figure(
             [e.record for e in experiments],
             metric=metric,
             target=target,
-            title=f"{report.name} — code {code_key}",
+            title=title,
             rate=rates[0] if rates else None,
             frame_bits=_group_frame_bits(experiments) if metric == "fer" else None,
+            show_references=channels == {"awgn"},
         )
-        figures[f"waterfall-{slugify(code_key)}"] = figure
+        figures[name] = figure
     return figures
 
 

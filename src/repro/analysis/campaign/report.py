@@ -70,6 +70,7 @@ class ExperimentReport:
     label: str
     code_key: str | None
     decoder_key: str | None
+    channel_key: str | None
     points: int
     frames: int
     frame_errors: int
@@ -94,8 +95,10 @@ class ExperimentReport:
             "label": self.label,
             "code": self.record.code,
             "decoder": self.record.decoder,
+            "channel": self.record.channel,
             "code_key": self.code_key,
             "decoder_key": self.decoder_key,
+            "channel_key": self.channel_key,
             "points": self.points,
             "frames": self.frames,
             "frame_errors": self.frame_errors,
@@ -213,6 +216,7 @@ class CampaignReport:
             label=record.label,
             code_key=record.code_key,
             decoder_key=record.decoder_key,
+            channel_key=record.channel_key,
             points=len(curve.points),
             frames=sum(p.frames for p in curve.points),
             frame_errors=sum(p.frame_errors for p in curve.points),
@@ -230,7 +234,7 @@ class CampaignReport:
     # Section model shared by the text/markdown/CSV exporters
     # ------------------------------------------------------------------ #
     def _summary_section(self) -> tuple[str, list[str], list[list[str]]]:
-        headers = ["Experiment", "Code", "Decoder", "Points", "Frames",
+        headers = ["Experiment", "Code", "Decoder", "Channel", "Points", "Frames",
                    "Frame errors", "Min BER", "at Eb/N0 (dB)"]
         rows = []
         for exp in self.experiments:
@@ -238,6 +242,7 @@ class CampaignReport:
                 exp.label,
                 exp.code_key or _NA,
                 exp.decoder_key or _NA,
+                exp.channel_key or _NA,
                 str(exp.points),
                 f"{exp.frames:,}",
                 f"{exp.frame_errors:,}",
@@ -269,13 +274,24 @@ class CampaignReport:
         return title, headers, rows
 
     def _comparison_sections(self) -> list[tuple[str, list[str], list[list[str]]]]:
-        """One ranking table per code: the cross-experiment comparison."""
-        by_code: dict[str, list[ExperimentReport]] = {}
+        """One ranking table per (code, channel): the cross-experiment comparison.
+
+        Decoder configurations are only comparable over the same channel —
+        ranking a soft-AWGN curve against a hard-decision BSC one would
+        "measure" the channel, not the decoder — so a campaign gridded over
+        channels gets one table per (code, channel) pair.  Single-channel
+        campaigns keep the historical per-code titles.
+        """
+        multi_channel = len({e.channel_key for e in self.experiments}) > 1
+        by_group: dict[tuple[str, str | None], list[ExperimentReport]] = {}
         for exp in self.experiments:
-            by_code.setdefault(exp.code_key or _NA, []).append(exp)
+            key = (exp.code_key or _NA, exp.channel_key if multi_channel else None)
+            by_group.setdefault(key, []).append(exp)
         sections = []
-        for code_key in sorted(by_code):
-            group = by_code[code_key]
+        for code_key, channel_key in sorted(
+            by_group, key=lambda k: (k[0], k[1] or "")
+        ):
+            group = by_group[(code_key, channel_key)]
             crossed = [e for e in group if e.ber_crossing is not None]
             crossed.sort(key=lambda e: (e.ber_crossing.ebn0_db, e.label))
             uncrossed = sorted(
@@ -294,10 +310,10 @@ class CampaignReport:
                     _fmt_crossing(exp.ber_crossing),
                     delta,
                 ])
-            title = (
-                f"Comparison @ BER {self.target_ber:.1e} — code {code_key} "
-                "(best first)"
-            )
+            title = f"Comparison @ BER {self.target_ber:.1e} — code {code_key}"
+            if channel_key is not None:
+                title += f", channel {channel_key}"
+            title += " (best first)"
             sections.append((
                 title,
                 ["Experiment", "Decoder", "Eb/N0 (dB)", "vs best (dB)"],

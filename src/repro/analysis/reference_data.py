@@ -60,7 +60,16 @@ class ReferenceCrossing:
     experiment ``label`` pins one experiment; otherwise ``code_key`` (the
     :attr:`~repro.sim.campaign.spec.CodeSpec.key` every stored curve
     carries) and ``decoder_kind`` (``"nms"``, ``"sum-product"``, …) select
-    all experiments of that family.  ``None`` fields match anything.
+    all experiments of that family.  ``None`` fields match anything —
+    except the channel: a reference without a ``channel_key`` applies only
+    to experiments on the default soft-AWGN link, because that is the
+    channel every recorded operating point (the paper's included) was
+    measured on.  In a campaign gridded over channels a BSC or fading
+    variant of the same code/decoder sits dB away from the AWGN value by
+    physics, not by drift, and must not fail the verify gate against an
+    AWGN reference; record a reference with an explicit ``channel_key``
+    (the :attr:`~repro.sim.campaign.spec.ChannelSpec.key`) to target a
+    non-AWGN link.
     """
 
     target: float
@@ -68,6 +77,7 @@ class ReferenceCrossing:
     metric: str = "ber"
     code_key: str | None = None
     decoder_kind: str | None = None
+    channel_key: str | None = None
     label: str | None = None
     source: str = ""
     note: str = ""
@@ -81,27 +91,36 @@ class ReferenceCrossing:
             )
 
     def matches(self, experiment: "ExperimentReport") -> bool:
-        """Whether this reference applies to one report experiment."""
-        if self.label is not None and experiment.label != self.label:
-            return False
+        """Whether this reference applies to one report experiment.
+
+        An explicit ``label`` pin overrides the channel default — the user
+        named exactly one experiment, whatever its link.
+        """
+        if self.label is not None:
+            return experiment.label == self.label
         if self.code_key is not None and experiment.code_key != self.code_key:
             return False
         if self.decoder_kind is not None:
             decoder = experiment.record.decoder or {}
             if decoder.get("kind") != self.decoder_kind:
                 return False
-        return True
+        experiment_channel = experiment.channel_key or "awgn"
+        return experiment_channel == (self.channel_key or "awgn")
 
     def describe(self) -> str:
         """Short human-readable identity for tables and error messages."""
-        parts = [p for p in (self.label, self.code_key, self.decoder_kind) if p]
+        parts = [
+            p for p in (self.label, self.code_key, self.decoder_kind,
+                        self.channel_key) if p
+        ]
         selector = "/".join(parts) if parts else "any"
         return f"{selector} @ {self.metric.upper()} {self.target:.1e}"
 
     def as_dict(self) -> dict:
         data: dict = {"target": self.target, "ebn0_db": self.ebn0_db,
                       "metric": self.metric}
-        for name in ("code_key", "decoder_kind", "label", "source", "note"):
+        for name in ("code_key", "decoder_kind", "channel_key", "label",
+                     "source", "note"):
             value = getattr(self, name)
             if value:
                 data[name] = value
@@ -111,7 +130,7 @@ class ReferenceCrossing:
     def from_dict(cls, data: Mapping) -> "ReferenceCrossing":
         known = {
             "target", "ebn0_db", "metric", "code_key", "decoder_kind",
-            "label", "source", "note",
+            "channel_key", "label", "source", "note",
         }
         unknown = set(data) - known
         if unknown:

@@ -1,0 +1,187 @@
+"""Registered channel models: symbols in, decoder LLRs out.
+
+A *channel model* is the pluggable middle of the simulation pipeline
+(:class:`~repro.channel.pipeline.ChannelPipeline`): it receives the
+modulated symbols of one frame batch, applies its impairment using the
+shard's RNG stream, and returns the channel LLRs the decoder consumes.
+Every model is parameterized by the AWGN-equivalent noise standard
+deviation ``sigma`` derived from the operating Eb/N0 and code rate
+(:func:`repro.channel.awgn.ebn0_to_sigma`), so all channels share one
+Eb/N0 axis and their waterfalls are directly comparable.
+
+The interface contract matters for determinism: a model must consume the
+generator ``rng`` in a fixed draw order that depends only on the batch
+shape, so that the sharded engines (:mod:`repro.sim.parallel`) reproduce
+identical counts for any worker count.  :class:`AWGNChannelModel` draws
+exactly the noise array the pre-registry simulator drew, which keeps AWGN
+campaigns byte-identical to historical seeds.
+
+The built-ins register themselves under ``"awgn"``, ``"bsc"`` and
+``"rayleigh"``; third-party models use the same
+:func:`repro.registry.register_channel` decorator (see
+``docs/components.md``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channel.llr import channel_llrs
+from repro.registry import Param, register_channel
+
+__all__ = [
+    "ChannelModel",
+    "AWGNChannelModel",
+    "BSCChannelModel",
+    "RayleighBlockFadingChannelModel",
+]
+
+#: Crossover probabilities are clipped to this floor before the LLR
+#: magnitude ``log((1-p)/p)`` is formed, capping it near 27.6 — far above
+#: any decoder's useful dynamic range but finite, so arithmetic stays clean.
+_MIN_CROSSOVER = 1e-12
+
+
+class ChannelModel:
+    """Interface of a channel model (duck-typed; subclassing is optional).
+
+    Implementations must be cheap to construct, picklable (they ship to
+    worker processes inside pool entries) and stateless across calls —
+    all randomness comes from the ``rng`` argument.
+    """
+
+    def llrs(
+        self, symbols, sigma: float, rng: np.random.Generator, *, amplitude: float = 1.0
+    ) -> np.ndarray:
+        """Channel LLRs for one batch of modulated ``symbols``.
+
+        ``sigma`` is the AWGN-equivalent noise standard deviation of the
+        operating point; ``amplitude`` the modulator's symbol amplitude.
+        """
+        raise NotImplementedError
+
+
+@register_channel(
+    "awgn",
+    params=[],
+    summary="Real AWGN, soft LLRs (the paper's Figure 4 channel)",
+)
+@dataclass(frozen=True)
+class AWGNChannelModel(ChannelModel):
+    """``y = x + n`` with ``n ~ N(0, sigma^2)`` and exact soft LLRs.
+
+    This is the classical coded-BPSK link every result in the paper uses.
+    The implementation mirrors the pre-registry simulator operation for
+    operation (one ``rng.normal`` draw of the batch shape, then the linear
+    LLR map), so existing seeds reproduce byte-identical curves.
+    """
+
+    def llrs(self, symbols, sigma, rng, *, amplitude: float = 1.0) -> np.ndarray:
+        arr = np.asarray(symbols, dtype=np.float64)
+        received = arr + rng.normal(0.0, sigma, size=arr.shape)
+        return channel_llrs(received, sigma, amplitude=amplitude)
+
+
+@register_channel(
+    "bsc",
+    params=[
+        Param(
+            "crossover",
+            "float",
+            doc="fixed crossover probability in (0, 0.5); omitted derives "
+            "p = Q(A/sigma) from the operating Eb/N0 (hard-decision BPSK)",
+        ),
+    ],
+    summary="Binary symmetric channel: hard decisions, two-level LLRs",
+)
+@dataclass(frozen=True)
+class BSCChannelModel(ChannelModel):
+    """Hard-decision channel — what a 1-bit front-end gives the decoder.
+
+    Each transmitted bit is flipped with the crossover probability ``p``
+    and the decoder receives only the two-level LLR ``±log((1-p)/p)``.
+    By default ``p = Q(A/sigma)`` — the bit error probability of
+    hard-sliced BPSK over AWGN at the operating point — which quantifies
+    the ~2 dB soft-decision gain the paper's LLR datapath exists to keep.
+    A fixed ``crossover`` turns the Eb/N0 axis into a label and models a
+    channel that is genuinely binary-symmetric.
+    """
+
+    crossover: float | None = None
+
+    def __post_init__(self):
+        if self.crossover is not None:
+            crossover = float(self.crossover)
+            if not 0.0 < crossover < 0.5:
+                raise ValueError("crossover must be in (0, 0.5)")
+            object.__setattr__(self, "crossover", crossover)
+
+    def crossover_probability(self, sigma: float, *, amplitude: float = 1.0) -> float:
+        """The flip probability at this operating point."""
+        if self.crossover is not None:
+            return self.crossover
+        # Q(x) = 0.5 * erfc(x / sqrt(2)); x = A / sigma for sliced BPSK.
+        p = 0.5 * math.erfc(amplitude / (sigma * math.sqrt(2.0)))
+        return min(max(p, _MIN_CROSSOVER), 0.5)
+
+    def llrs(self, symbols, sigma, rng, *, amplitude: float = 1.0) -> np.ndarray:
+        arr = np.asarray(symbols, dtype=np.float64)
+        p = self.crossover_probability(sigma, amplitude=amplitude)
+        transmitted = arr <= 0.0  # noiseless hard decision == transmitted bit
+        flipped = transmitted ^ (rng.random(size=arr.shape) < p)
+        magnitude = math.log1p(-p) - math.log(p)  # log((1-p)/p), stable for tiny p
+        return np.where(flipped, -magnitude, magnitude)
+
+
+@register_channel(
+    "rayleigh",
+    params=[
+        Param(
+            "block_length",
+            "int",
+            doc="symbols per constant-fade block; omitted fades the whole "
+            "frame with one coefficient",
+        ),
+    ],
+    summary="Rayleigh block fading + AWGN, perfect CSI at the receiver",
+)
+@dataclass(frozen=True)
+class RayleighBlockFadingChannelModel(ChannelModel):
+    """``y = h * x + n`` with block-constant Rayleigh fades, perfect CSI.
+
+    Fade magnitudes ``h`` are drawn per block of ``block_length`` symbols
+    (``None`` = one fade per frame) with ``E[h^2] = 1`` so the average
+    received energy matches the AWGN case, and the receiver scales LLRs by
+    the known fade: ``LLR = 2*A*h*y / sigma^2``.  Block fading is the
+    standard burst-error stress test for an interleaver-free LDPC link —
+    a deeply faded block erases a run of *consecutive* bits, exactly the
+    pattern quasi-cyclic structure is sensitive to.
+
+    Draw order per batch: the fade array first, then the noise array.
+    """
+
+    block_length: int | None = None
+
+    def __post_init__(self):
+        if self.block_length is not None:
+            block_length = int(self.block_length)
+            if block_length < 1:
+                raise ValueError("block_length must be positive")
+            object.__setattr__(self, "block_length", block_length)
+
+    def llrs(self, symbols, sigma, rng, *, amplitude: float = 1.0) -> np.ndarray:
+        arr = np.asarray(symbols, dtype=np.float64)
+        shape = arr.shape
+        flat = np.atleast_2d(arr)
+        batch, length = flat.shape
+        block = self.block_length or length
+        blocks = -(-length // block)  # ceil division
+        # E[h^2] = 2 * scale^2 = 1: unit average received symbol energy.
+        fades = rng.rayleigh(scale=math.sqrt(0.5), size=(batch, blocks))
+        gains = np.repeat(fades, block, axis=1)[:, :length]
+        received = gains * flat + rng.normal(0.0, sigma, size=flat.shape)
+        llrs = (2.0 * amplitude / sigma**2) * gains * received
+        return llrs.reshape(shape)

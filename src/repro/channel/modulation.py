@@ -9,11 +9,20 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.registry import Param, register_modulator
 from repro.utils.validation import check_binary_array
 
 __all__ = ["BPSKModulator"]
 
 
+@register_modulator(
+    "bpsk",
+    params=[
+        Param("amplitude", "float", default=1.0,
+              doc="symbol amplitude; symbol energy is amplitude**2"),
+    ],
+    summary="Antipodal BPSK mapper (0 -> +A, 1 -> -A)",
+)
 class BPSKModulator:
     """Binary phase-shift keying mapper/demapper.
 

@@ -1,0 +1,65 @@
+"""The modulator + channel pipeline injected into the Monte-Carlo engine.
+
+Historically the simulator hardcoded BPSK modulation and float AWGN in its
+hot path; :class:`ChannelPipeline` lifts that into an injectable object so
+the channel becomes a first-class campaign axis
+(:class:`~repro.sim.campaign.spec.ChannelSpec`): a pipeline owns one
+modulator (bits → symbols) and one channel model (symbols → decoder LLRs,
+see :mod:`repro.channel.models`) and is small, immutable and picklable —
+it rides inside :class:`~repro.sim.parallel.PoolEntry` payloads to worker
+processes.
+
+:func:`default_pipeline` reproduces the historical behaviour exactly
+(unit-amplitude BPSK over AWGN with exact soft LLRs), which is what keeps
+pre-redesign seeds byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ChannelPipeline", "default_pipeline"]
+
+
+@dataclass(frozen=True)
+class ChannelPipeline:
+    """One modulator + one channel model, applied in sequence.
+
+    Parameters
+    ----------
+    modulator:
+        Object with ``modulate(bits) -> symbols`` (and an ``amplitude``
+        property; absent means unit amplitude).
+    channel:
+        Object with ``llrs(symbols, sigma, rng, *, amplitude) -> ndarray``
+        (see :class:`repro.channel.models.ChannelModel`).
+    """
+
+    modulator: object
+    channel: object
+
+    @property
+    def amplitude(self) -> float:
+        """The modulator's symbol amplitude (1.0 when it does not say)."""
+        return float(getattr(self.modulator, "amplitude", 1.0))
+
+    def llrs(self, bits, sigma: float, rng: np.random.Generator) -> np.ndarray:
+        """Modulate one batch of frame bits and push it through the channel.
+
+        ``sigma`` is the AWGN-equivalent noise standard deviation of the
+        operating point; all randomness comes from ``rng`` in the channel
+        model's documented draw order, so counts stay deterministic per
+        shard.
+        """
+        symbols = self.modulator.modulate(bits)
+        return self.channel.llrs(symbols, sigma, rng, amplitude=self.amplitude)
+
+
+def default_pipeline() -> "ChannelPipeline":
+    """Unit-amplitude BPSK over soft-output AWGN — the historical hot path."""
+    from repro.channel.models import AWGNChannelModel
+    from repro.channel.modulation import BPSKModulator
+
+    return ChannelPipeline(BPSKModulator(), AWGNChannelModel())

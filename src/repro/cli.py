@@ -18,7 +18,12 @@ writing any Python:
   ``--plots`` writing waterfall figures (matplotlib optional); and
   ``campaign verify`` — measured crossings checked against recorded
   reference values (:mod:`repro.analysis.reference_data`), non-zero exit
-  on drift beyond tolerance.
+  on drift beyond tolerance;
+* ``components``  — the pluggable component registry
+  (:mod:`repro.registry`): ``components list`` shows every registered code
+  family, decoder, channel and modulator with its parameter signature, and
+  ``components describe <kind> <name>`` the full parameter schema — the
+  names usable in campaign specs and ``simulate`` options.
 
 Every command prints plain ASCII tables (the same helpers the benchmark
 harness uses), so output can be diffed against ``benchmarks/output/``.
@@ -31,9 +36,7 @@ import sys
 from pathlib import Path
 
 
-from repro.codes import build_ccsds_c2_code, build_scaled_ccsds_code
-from repro.codes.ccsds_c2 import CCSDS_C2_CIRCULANT_SIZE
-from repro.codes.deepspace import AR4JA_RATES, build_deepspace_code
+from repro.codes.deepspace import AR4JA_RATES
 from repro.core import (
     CYCLONE_II_EP2C50F,
     STRATIX_II_EP2S180,
@@ -43,18 +46,21 @@ from repro.core import (
     low_cost_architecture,
     throughput_table,
 )
-from repro.decode import (
-    MinSumDecoder,
-    NormalizedMinSumDecoder,
-    QuantizedMinSumDecoder,
-    SumProductDecoder,
-)
 from repro.io.alist import write_alist
 from repro.io.circulant_table import save_circulant_spec
+from repro.registry import (
+    KINDS,
+    UnknownComponentError,
+    component_names,
+    get_component,
+    iter_components,
+)
 from repro.sim import EbN0Sweep, SimulationConfig, SimulationCurve
 from repro.sim.campaign import (
     CampaignScheduler,
     CampaignSpec,
+    ChannelSpec,
+    DecoderSpec,
     ResultStore,
     StoreMismatchError,
 )
@@ -62,23 +68,25 @@ from repro.utils.formatting import format_table
 
 __all__ = ["main", "build_parser"]
 
-_DECODERS = {
-    "nms": lambda code, iters: NormalizedMinSumDecoder(code, max_iterations=iters),
-    "min-sum": lambda code, iters: MinSumDecoder(code, max_iterations=iters),
-    "sum-product": lambda code, iters: SumProductDecoder(code, max_iterations=iters),
-    "quantized": lambda code, iters: QuantizedMinSumDecoder(code, max_iterations=iters),
-}
+
+def _code_spec(args) -> "CodeSpec":
+    """The code the common --circulant/--deepspace options select.
+
+    One spec serves both :func:`_build_code` and the identity key stamped
+    into saved curves, so the two can never drift apart.
+    """
+    from repro.sim.campaign import CodeSpec
+
+    if getattr(args, "deepspace", None):
+        return CodeSpec(
+            family="deepspace", rate=args.deepspace, circulant=args.circulant
+        )
+    return CodeSpec(family="ccsds-c2", circulant=args.circulant or None)
 
 
 def _build_code(args):
     """Construct the code selected by the common --circulant/--deepspace options."""
-    if getattr(args, "deepspace", None):
-        code, _ = build_deepspace_code(args.deepspace, args.circulant or 64)
-        return code
-    circulant = args.circulant or CCSDS_C2_CIRCULANT_SIZE
-    if circulant == CCSDS_C2_CIRCULANT_SIZE:
-        return build_ccsds_c2_code()
-    return build_scaled_ccsds_code(circulant)
+    return _code_spec(args).build()
 
 
 def _add_code_options(parser: argparse.ArgumentParser) -> None:
@@ -156,7 +164,8 @@ def _cmd_resources(args) -> int:
 
 def _cmd_simulate(args) -> int:
     code = _build_code(args)
-    factory = _DECODERS[args.decoder]
+    decoder_spec = DecoderSpec(args.decoder, args.iterations)
+    pipeline = ChannelSpec(kind=args.channel).build()
     config = SimulationConfig(
         max_frames=args.frames,
         target_frame_errors=args.errors,
@@ -164,6 +173,18 @@ def _cmd_simulate(args) -> int:
         all_zero_codeword=not args.random_data,
         adaptive_batch=args.adaptive_batch,
     )
+    # Stamped into the saved curve and checked on --resume: silently merging
+    # points measured with a different code, decoder, channel, iteration
+    # budget or seed into one curve would mix physics (or break the resume
+    # reproducibility guarantee) the way the campaign store's metadata check
+    # forbids.
+    identity = {
+        "code": _code_spec(args).key,
+        "decoder": args.decoder,
+        "iterations": args.iterations,
+        "channel": args.channel,
+        "seed": args.seed,
+    }
     resume = None
     if args.resume:
         resume_path = Path(args.resume)
@@ -174,6 +195,20 @@ def _cmd_simulate(args) -> int:
                 print(f"cannot load resume curve {resume_path}: {exc}",
                       file=sys.stderr)
                 return 2
+            mismatched = {
+                key: (resume.metadata.get(key), wanted)
+                for key, wanted in identity.items()
+                if resume.metadata.get(key) not in (None, wanted)
+            }
+            if mismatched:
+                details = "; ".join(
+                    f"{key}: curve has {have!r}, requested {want!r}"
+                    for key, (have, want) in sorted(mismatched.items())
+                )
+                print(f"cannot resume {resume_path}: it was measured with a "
+                      f"different configuration ({details}); save to a new "
+                      "file instead", file=sys.stderr)
+                return 2
             skipped = sorted(resume.completed_ebn0() & {float(x) for x in args.ebn0})
             if skipped:
                 print(f"resuming from {resume_path}: skipping "
@@ -181,12 +216,16 @@ def _cmd_simulate(args) -> int:
                       f"({', '.join(f'{e:g} dB' for e in skipped)})")
     sweep = EbN0Sweep(
         code,
-        lambda: factory(code, args.iterations),
+        decoder_spec.factory(code),
         config=config,
         rng=args.seed,
         workers=args.workers,
+        pipeline=pipeline,
     )
-    curve = sweep.run(args.ebn0, label=args.decoder, resume=resume, progress=print)
+    curve = sweep.run(
+        args.ebn0, label=args.decoder, metadata=identity, resume=resume,
+        progress=print,
+    )
     # Persist before printing the summary: a broken output pipe must not
     # cost the measured points.
     save_path = args.save or args.resume
@@ -402,6 +441,63 @@ def _cmd_campaign_verify(args) -> int:
     return 1
 
 
+def _param_signature(component) -> str:
+    """Compact one-line parameter signature for ``components list``."""
+    if component.params is None:
+        return "(open: any keyword)"
+    if not component.params:
+        return "-"
+    return ", ".join(p.signature() for p in component.params)
+
+
+def _cmd_components_list(args) -> int:
+    rows = [
+        [component.kind, component.name, _param_signature(component), component.summary]
+        for component in iter_components(args.kind)
+    ]
+    print(format_table(
+        ["Kind", "Name", "Parameters", "Summary"],
+        rows,
+        title="Registered components (* = required parameter)",
+    ))
+    print("\nuse `components describe <kind> <name>` for the full schema; "
+          "these names are valid in campaign specs and simulate options")
+    return 0
+
+
+def _cmd_components_describe(args) -> int:
+    try:
+        component = get_component(args.kind, args.name)
+    except UnknownComponentError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    builder = component.builder
+    print(f"{component.kind} {component.name!r}: {component.summary}")
+    print(f"builder: {getattr(builder, '__module__', '?')}."
+          f"{getattr(builder, '__qualname__', repr(builder))}")
+    if component.params is None:
+        print("parameters: open schema — any keyword is passed to the builder")
+        return 0
+    if not component.params:
+        print("parameters: none")
+        return 0
+    rows = []
+    for param in component.params:
+        rows.append([
+            param.name,
+            param.type,
+            "yes" if param.required else "no",
+            "-" if param.default is None else str(param.default),
+            "-" if param.choices is None else ", ".join(str(c) for c in param.choices),
+            param.doc or "-",
+        ])
+    print(format_table(
+        ["Parameter", "Type", "Required", "Default", "Choices", "Description"],
+        rows,
+    ))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -433,7 +529,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     simulate = sub.add_parser("simulate", help="BER/PER Eb/N0 sweep")
     _add_code_options(simulate)
-    simulate.add_argument("--decoder", choices=sorted(_DECODERS), default="nms")
+    simulate.add_argument("--decoder", choices=component_names("decoder"),
+                          default="nms",
+                          help="registered decoder kind (see `components list`)")
+    simulate.add_argument("--channel", choices=component_names("channel"),
+                          default="awgn",
+                          help="registered channel model between modulator and "
+                               "decoder (default: soft AWGN)")
     simulate.add_argument("--iterations", type=int, default=18)
     simulate.add_argument("--ebn0", type=float, nargs="+", default=[3.0, 4.0, 5.0])
     simulate.add_argument("--frames", type=int, default=200)
@@ -531,6 +633,27 @@ def build_parser() -> argparse.ArgumentParser:
                         help="allowed |measured - recorded| drift in dB, "
                              "boundary inclusive (default 0.1)")
     verify.set_defaults(func=_cmd_campaign_verify)
+
+    components = sub.add_parser(
+        "components",
+        help="inspect the pluggable component registry (codes, decoders, "
+             "channels, modulators)",
+    )
+    components_sub = components.add_subparsers(dest="components_command", required=True)
+
+    comp_list = components_sub.add_parser(
+        "list", help="every registered component and its parameter signature"
+    )
+    comp_list.add_argument("--kind", choices=KINDS, default=None,
+                           help="restrict to one component kind")
+    comp_list.set_defaults(func=_cmd_components_list)
+
+    comp_describe = components_sub.add_parser(
+        "describe", help="full parameter schema of one component"
+    )
+    comp_describe.add_argument("kind", choices=KINDS, help="component kind")
+    comp_describe.add_argument("name", type=str, help="registered name")
+    comp_describe.set_defaults(func=_cmd_components_describe)
 
     return parser
 

@@ -15,6 +15,7 @@ import numpy as np
 from repro.channel.quantize import FixedPointFormat, UniformQuantizer
 from repro.decode.base import MessagePassingDecoder
 from repro.decode.min_sum import DEFAULT_ALPHA
+from repro.registry import Param, register_decoder
 
 __all__ = ["QuantizedMinSumDecoder", "DEFAULT_MESSAGE_FORMAT"]
 
@@ -23,6 +24,20 @@ __all__ = ["QuantizedMinSumDecoder", "DEFAULT_MESSAGE_FORMAT"]
 DEFAULT_MESSAGE_FORMAT = FixedPointFormat(total_bits=6, fractional_bits=2)
 
 
+@register_decoder(
+    "quantized",
+    params=[
+        Param("alpha", "float", default=DEFAULT_ALPHA,
+              doc="normalization factor of the scaled min-sum rule"),
+        Param("message_format", "format",
+              doc="[total_bits, fractional_bits] of stored messages "
+              "(default Q4.2, 6 bits)"),
+        Param("channel_format", "format",
+              doc="[total_bits, fractional_bits] of quantized channel LLRs; "
+              "defaults to the message format"),
+    ],
+    summary="Fixed-point normalized min-sum modelling the FPGA datapath",
+)
 class QuantizedMinSumDecoder(MessagePassingDecoder):
     """Normalized min-sum with quantized channel values and messages.
 

@@ -15,11 +15,21 @@ import numpy as np
 from repro.decode.messages import EdgeStructure
 from repro.decode.result import DecodeResult
 from repro.encode.systematic import as_parity_check_matrix
+from repro.registry import Param, register_decoder
 from repro.utils.bits import hard_decision
 
 __all__ = ["GallagerBDecoder", "WeightedBitFlippingDecoder"]
 
 
+@register_decoder(
+    "gallager-b",
+    params=[
+        Param("flip_threshold", "int",
+              doc="unsatisfied checks required to flip a bit; omitted uses "
+              "a strict majority of the bit degree"),
+    ],
+    summary="Gallager-B hard-decision decoding (low-complexity baseline)",
+)
 class GallagerBDecoder:
     """Gallager-B hard-decision decoding.
 
@@ -112,6 +122,14 @@ class GallagerBDecoder:
         )
 
 
+@register_decoder(
+    "wbf",
+    params=[
+        Param("flips_per_iteration", "int", default=1,
+              doc="bits flipped per iteration (1 is the classical algorithm)"),
+    ],
+    summary="Weighted bit flipping (soft-metric hard-decision baseline)",
+)
 class WeightedBitFlippingDecoder:
     """Weighted bit flipping: soft-aided single-bit-per-iteration flipping.
 

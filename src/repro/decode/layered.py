@@ -21,6 +21,7 @@ from repro.decode.min_sum import DEFAULT_ALPHA
 from repro.decode.result import DecodeResult
 from repro.decode.stopping import StoppingCriterion, SyndromeStopping
 from repro.encode.systematic import as_parity_check_matrix
+from repro.registry import Param, register_decoder
 from repro.utils.bits import hard_decision
 
 __all__ = ["LayeredMinSumDecoder"]
@@ -74,6 +75,16 @@ class _Layer:
         return extrinsic_sign * (scale * extrinsic_mag)
 
 
+@register_decoder(
+    "layered",
+    params=[
+        Param("alpha", "float", default=DEFAULT_ALPHA,
+              doc="normalization factor of the scaled min-sum rule"),
+        Param("num_layers", "int",
+              doc="contiguous check groups; omitted uses the QC block rows"),
+    ],
+    summary="Row-layered normalized min-sum (faster convergence schedule)",
+)
 class LayeredMinSumDecoder:
     """Layered-schedule normalized min-sum decoder.
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.decode.base import MessagePassingDecoder
+from repro.registry import Param, register_decoder
 
 __all__ = ["MinSumDecoder", "NormalizedMinSumDecoder", "OffsetMinSumDecoder"]
 
@@ -24,6 +25,11 @@ __all__ = ["MinSumDecoder", "NormalizedMinSumDecoder", "OffsetMinSumDecoder"]
 DEFAULT_ALPHA = 1.25
 
 
+@register_decoder(
+    "min-sum",
+    params=[],
+    summary="Plain min-sum (uncorrected sign-min baseline)",
+)
 class MinSumDecoder(MessagePassingDecoder):
     """Plain min-sum decoding (no correction).
 
@@ -39,6 +45,14 @@ class MinSumDecoder(MessagePassingDecoder):
         return self.edge_structure.min_sum_extrinsic(bit_to_check)
 
 
+@register_decoder(
+    "nms",
+    params=[
+        Param("alpha", "float", default=DEFAULT_ALPHA,
+              doc="normalization factor alpha > 1 of equation (2)"),
+    ],
+    summary="Normalized (scaled) min-sum — the paper's decoder",
+)
 class NormalizedMinSumDecoder(MessagePassingDecoder):
     """Normalized (scaled) min-sum — the algorithm of the paper's decoder.
 
@@ -75,6 +89,14 @@ class NormalizedMinSumDecoder(MessagePassingDecoder):
         return self.edge_structure.min_sum_extrinsic(bit_to_check, scale=self.scale)
 
 
+@register_decoder(
+    "offset",
+    params=[
+        Param("beta", "float", default=0.15,
+              doc="constant offset subtracted from the min magnitude"),
+    ],
+    summary="Offset min-sum (the other Chen & Fossorier correction)",
+)
 class OffsetMinSumDecoder(MessagePassingDecoder):
     """Offset min-sum: subtract a constant ``beta`` from the min magnitude.
 

@@ -11,10 +11,16 @@ from __future__ import annotations
 import numpy as np
 
 from repro.decode.base import MessagePassingDecoder
+from repro.registry import register_decoder
 
 __all__ = ["SumProductDecoder"]
 
 
+@register_decoder(
+    "sum-product",
+    params=[],
+    summary="Exact belief propagation (tanh rule), the reference algorithm",
+)
 class SumProductDecoder(MessagePassingDecoder):
     """Belief-propagation decoding with the exact tanh check-node rule."""
 

@@ -1,0 +1,157 @@
+"""Pluggable component registry: the open axes of the campaign API.
+
+Every symbolic name a campaign spec may use — a code family, a decoder
+kind, a channel kind, a modulator — resolves through this registry instead
+of a hardcoded table.  Built-in components register themselves with the
+decorators below from their defining modules (``repro.codes``,
+``repro.decode``, ``repro.channel``); third-party code uses exactly the same
+public decorators, after which the new name is valid everywhere a built-in
+one is: ``CodeSpec``/``DecoderSpec``/``ChannelSpec`` validation, campaign
+grids, JSON round-trips, worker-pool builds and the ``components`` CLI.
+
+Registering a custom channel, end to end::
+
+    import numpy as np
+    from repro.registry import register_channel
+
+    @register_channel("erasure", summary="Random bit erasures (LLR = 0)")
+    class ErasureChannel:
+        def __init__(self, rate: float = 0.1):
+            self.rate = float(rate)
+
+        def llrs(self, symbols, sigma, rng, *, amplitude=1.0):
+            llrs = 2.0 * amplitude * np.asarray(symbols) / sigma**2
+            return np.where(rng.random(np.shape(symbols)) < self.rate, 0.0, llrs)
+
+    # ChannelSpec(kind="erasure", params={"rate": 0.2}) now works in any
+    # campaign grid, and `python -m repro components list` shows it.
+
+Lookups (:func:`get_component`, :func:`component_names`,
+:func:`iter_components`) lazily import the built-in modules first, so the
+registry is fully populated no matter which ``repro`` subpackage was
+imported first; the decorators never trigger that import, so defining
+modules can register themselves at import time without a cycle.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import importlib
+
+from repro.registry.core import (
+    KINDS,
+    Component,
+    ComponentRegistry,
+    DuplicateComponentError,
+    Param,
+    RegistryError,
+    UnknownComponentError,
+)
+
+__all__ = [
+    "KINDS",
+    "Param",
+    "Component",
+    "ComponentRegistry",
+    "RegistryError",
+    "UnknownComponentError",
+    "DuplicateComponentError",
+    "REGISTRY",
+    "register_code",
+    "register_decoder",
+    "register_channel",
+    "register_modulator",
+    "get_component",
+    "component_names",
+    "iter_components",
+    "temporary_component",
+]
+
+#: The process-wide registry every spec and CLI command resolves against.
+REGISTRY = ComponentRegistry()
+
+#: Modules whose import registers the built-in components.  Lookup helpers
+#: import these lazily — decorators must NOT, or a defining module would
+#: re-enter its own import.
+_BUILTIN_MODULES = (
+    "repro.codes.families",
+    "repro.decode",
+    "repro.channel.modulation",
+    "repro.channel.models",
+)
+
+_builtins_loaded = False
+
+
+def _ensure_builtins() -> None:
+    global _builtins_loaded
+    if _builtins_loaded:
+        return
+    for module in _BUILTIN_MODULES:
+        importlib.import_module(module)
+    # Only flag success after every module imported: a failed import must
+    # keep failing loudly on the next lookup (as the original error, or as a
+    # duplicate-registration error when the module had already registered
+    # some names before dying), never leave a silently half-populated
+    # registry answering "unknown channel 'awgn'; choose from ()".
+    _builtins_loaded = True
+
+
+# --------------------------------------------------------------------------- #
+# Public decorators (used by built-ins and third-party plugins alike)
+# --------------------------------------------------------------------------- #
+def register_code(name: str, *, params=None, summary: str = ""):
+    """Register a code family builder: ``builder(**params) -> code``."""
+    return REGISTRY.register("code", name, params=params, summary=summary)
+
+
+def register_decoder(name: str, *, params=None, summary: str = ""):
+    """Register a decoder: ``builder(code, max_iterations=..., **params)``."""
+    return REGISTRY.register("decoder", name, params=params, summary=summary)
+
+
+def register_channel(name: str, *, params=None, summary: str = ""):
+    """Register a channel model: ``builder(**params)`` returning an object
+    with ``llrs(symbols, sigma, rng, *, amplitude=1.0) -> ndarray``."""
+    return REGISTRY.register("channel", name, params=params, summary=summary)
+
+
+def register_modulator(name: str, *, params=None, summary: str = ""):
+    """Register a modulator: ``builder(**params)`` returning an object with
+    ``modulate(bits) -> symbols`` (and ideally an ``amplitude`` property)."""
+    return REGISTRY.register("modulator", name, params=params, summary=summary)
+
+
+# --------------------------------------------------------------------------- #
+# Lookups (populate the built-ins first)
+# --------------------------------------------------------------------------- #
+def get_component(kind: str, name: str) -> Component:
+    """The registered component; unknown names list the valid choices."""
+    _ensure_builtins()
+    return REGISTRY.get(kind, name)
+
+
+def component_names(kind: str) -> tuple[str, ...]:
+    """Sorted names registered under ``kind`` (built-ins included)."""
+    _ensure_builtins()
+    return REGISTRY.names(kind)
+
+
+def iter_components(kind: str | None = None):
+    """Iterate every registered component (all kinds in ``KINDS`` order)."""
+    _ensure_builtins()
+    return REGISTRY.components(kind)
+
+
+@contextlib.contextmanager
+def temporary_component(kind: str, name: str, builder, *, params=None, summary: str = ""):
+    """Register a component for the duration of a ``with`` block.
+
+    Meant for tests and exploratory sessions: the component is guaranteed to
+    be unregistered on exit, even when the body raises.
+    """
+    REGISTRY.register(kind, name, params=params, summary=summary)(builder)
+    try:
+        yield REGISTRY.get(kind, name)
+    finally:
+        REGISTRY.unregister(kind, name)

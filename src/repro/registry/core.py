@@ -1,0 +1,284 @@
+"""Component registry core: names, builders and parameter schemas.
+
+This module is deliberately free of any other ``repro`` import so that every
+domain package (codes, decoders, channels, modulators) can register itself
+without creating an import cycle.  A :class:`ComponentRegistry` maps a
+*kind* (``"code"``, ``"decoder"``, ``"channel"``, ``"modulator"``) and a
+*name* to a :class:`Component`: the builder callable plus an introspectable
+parameter schema (:class:`Param`).
+
+The schema is what turns the registry from a lookup table into an API
+surface: spec validation checks parameter names/required-ness/choices
+*before* anything expensive is built (and before jobs ship to worker
+processes), JSON specs stay declarative, and the CLI can render
+``components list`` / ``components describe`` straight from the entries.
+Unknown names fail with the full list of valid ones, generated at call time
+— there is no hardcoded tuple to go stale when a plugin registers a new
+component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Mapping
+
+__all__ = [
+    "KINDS",
+    "Param",
+    "Component",
+    "ComponentRegistry",
+    "RegistryError",
+    "UnknownComponentError",
+    "DuplicateComponentError",
+]
+
+#: The component axes the framework understands.  ``kind`` arguments are
+#: validated against this tuple so a typo ("decoders") fails loudly instead
+#: of silently creating an empty namespace.
+KINDS = ("code", "decoder", "channel", "modulator")
+
+#: How each kind is spoken of in error messages ("unknown code family …").
+_KIND_NOUNS = {
+    "code": "code family",
+    "decoder": "decoder kind",
+    "channel": "channel kind",
+    "modulator": "modulator",
+}
+
+
+class RegistryError(ValueError):
+    """Base error of the component registry (a ``ValueError``)."""
+
+
+class UnknownComponentError(RegistryError):
+    """No component of this kind/name; the message lists the valid names."""
+
+
+class DuplicateComponentError(RegistryError):
+    """A component of this kind/name is already registered."""
+
+
+@dataclass(frozen=True)
+class Param:
+    """One declared parameter of a component.
+
+    Attributes
+    ----------
+    name:
+        Keyword-argument name passed to the builder.
+    type:
+        Informal type tag for documentation (``"int"``, ``"float"``,
+        ``"str"``, ``"bool"``, ``"format"`` for ``[total, fractional]``
+        fixed-point pairs).  Not enforced — builders coerce/validate values.
+    default:
+        Value used when the parameter is omitted (``None`` = no default).
+    required:
+        Whether a spec must supply a (non-``None``) value.
+    choices:
+        Allowed values, when the parameter is an enumeration.
+    doc:
+        One-line description shown by ``components describe``.
+    """
+
+    name: str
+    type: str = "str"
+    default: object = None
+    required: bool = False
+    choices: tuple | None = None
+    doc: str = ""
+
+    def __post_init__(self):
+        if not self.name or not str(self.name).isidentifier():
+            raise RegistryError(f"parameter name {self.name!r} is not an identifier")
+        if self.choices is not None:
+            object.__setattr__(self, "choices", tuple(self.choices))
+
+    def signature(self) -> str:
+        """Compact ``name[*][=default]`` form for one-line listings."""
+        text = self.name + ("*" if self.required else "")
+        if self.default is not None:
+            text += f"={self.default}"
+        return text
+
+    def as_dict(self) -> dict:
+        """JSON-friendly schema entry (``components describe`` machine form)."""
+        data: dict = {"name": self.name, "type": self.type}
+        if self.default is not None:
+            data["default"] = self.default
+        if self.required:
+            data["required"] = True
+        if self.choices is not None:
+            data["choices"] = list(self.choices)
+        if self.doc:
+            data["doc"] = self.doc
+        return data
+
+
+@dataclass(frozen=True)
+class Component:
+    """A registered component: name, builder, parameter schema, summary.
+
+    ``params`` may be ``None`` for an *open* schema: the component accepts
+    arbitrary keyword parameters and the registry skips name validation
+    (useful for third-party components registered without a schema).
+    """
+
+    kind: str
+    name: str
+    builder: Callable
+    params: tuple[Param, ...] | None = None
+    summary: str = ""
+
+    @property
+    def noun(self) -> str:
+        """Human phrase for this component's kind ("code family", …)."""
+        return _KIND_NOUNS.get(self.kind, self.kind)
+
+    @property
+    def param_names(self) -> tuple[str, ...]:
+        return tuple(p.name for p in self.params or ())
+
+    def param(self, name: str) -> Param | None:
+        for param in self.params or ():
+            if param.name == name:
+                return param
+        return None
+
+    def validate(self, values: Mapping) -> None:
+        """Check parameter names, required-ness and choices for a spec.
+
+        Raises :class:`RegistryError` with an actionable message; values are
+        not type-checked (builders own coercion).  ``None`` counts as
+        "not supplied" so optional dataclass fields can pass through.
+        """
+        if self.params is None:
+            return
+        known = set(self.param_names)
+        unknown = sorted(k for k in values if k not in known)
+        if unknown:
+            valid = ", ".join(sorted(known)) if known else "none"
+            raise RegistryError(
+                f"{self.noun} {self.name!r} does not accept "
+                f"parameter(s) {unknown}; valid parameters: {valid}"
+            )
+        for param in self.params or ():
+            value = values.get(param.name)
+            if param.required and value is None:
+                raise RegistryError(
+                    f"{self.noun} {self.name!r} requires parameter "
+                    f"{param.name!r} ({param.doc or param.type})"
+                )
+            if param.choices is not None and value is not None:
+                if value not in param.choices:
+                    raise RegistryError(
+                        f"{self.noun} {self.name!r} parameter {param.name!r} "
+                        f"must be one of {param.choices}, got {value!r}"
+                    )
+
+    def build(self, *args, **kwargs):
+        """Invoke the builder (positional args first, e.g. a decoder's code)."""
+        return self.builder(*args, **kwargs)
+
+    def as_dict(self) -> dict:
+        """JSON-friendly description of the component and its schema."""
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "summary": self.summary,
+            "params": (
+                None if self.params is None else [p.as_dict() for p in self.params]
+            ),
+        }
+
+
+class ComponentRegistry:
+    """Mutable mapping of ``(kind, name) -> Component`` with decorators.
+
+    One process-wide instance lives in :mod:`repro.registry`; independent
+    instances can be created for tests.
+    """
+
+    def __init__(self):
+        self._components: dict[str, dict[str, Component]] = {k: {} for k in KINDS}
+
+    # ------------------------------------------------------------------ #
+    def _namespace(self, kind: str) -> dict[str, Component]:
+        if kind not in self._components:
+            raise RegistryError(
+                f"unknown component kind {kind!r}; choose from {KINDS}"
+            )
+        return self._components[kind]
+
+    def register(
+        self,
+        kind: str,
+        name: str,
+        *,
+        params: "tuple[Param, ...] | list[Param] | None" = None,
+        summary: str = "",
+    ) -> Callable:
+        """Decorator registering ``builder`` as ``(kind, name)``.
+
+        ``params`` is the declared schema (``None`` = open, any keyword
+        accepted); ``summary`` defaults to the first line of the builder's
+        docstring.  Registering a name twice raises
+        :class:`DuplicateComponentError` — shadowing a built-in silently
+        would change what every existing spec builds.
+        """
+        namespace = self._namespace(kind)
+        if not name or not str(name).strip():
+            raise RegistryError("a component needs a non-empty name")
+
+        def decorator(builder: Callable) -> Callable:
+            if name in namespace:
+                raise DuplicateComponentError(
+                    f"{_KIND_NOUNS.get(kind, kind)} {name!r} is already "
+                    "registered; unregister it first to replace it"
+                )
+            text = summary or _first_doc_line(builder)
+            schema = None if params is None else tuple(params)
+            namespace[name] = Component(kind, name, builder, schema, text)
+            return builder
+
+        return decorator
+
+    def unregister(self, kind: str, name: str) -> None:
+        """Remove a component (mainly for tests and plugin reloads)."""
+        namespace = self._namespace(kind)
+        if name not in namespace:
+            raise UnknownComponentError(
+                f"cannot unregister unknown {_KIND_NOUNS.get(kind, kind)} {name!r}"
+            )
+        del namespace[name]
+
+    # ------------------------------------------------------------------ #
+    def names(self, kind: str) -> tuple[str, ...]:
+        """Sorted names registered under ``kind``."""
+        return tuple(sorted(self._namespace(kind)))
+
+    def get(self, kind: str, name: str) -> Component:
+        """The component, or :class:`UnknownComponentError` listing names."""
+        namespace = self._namespace(kind)
+        component = namespace.get(name)
+        if component is None:
+            raise UnknownComponentError(
+                f"unknown {_KIND_NOUNS.get(kind, kind)} {name!r}; "
+                f"choose from {tuple(sorted(namespace))}"
+            )
+        return component
+
+    def __contains__(self, key: tuple[str, str]) -> bool:
+        kind, name = key
+        return name in self._namespace(kind)
+
+    def components(self, kind: str | None = None) -> Iterator[Component]:
+        """Every component (of one kind, or all kinds in ``KINDS`` order)."""
+        kinds = KINDS if kind is None else (kind,)
+        for k in kinds:
+            for name in self.names(k):
+                yield self._components[k][name]
+
+
+def _first_doc_line(builder: Callable) -> str:
+    doc = (getattr(builder, "__doc__", None) or "").strip()
+    return doc.splitlines()[0] if doc else ""

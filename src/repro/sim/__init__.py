@@ -1,8 +1,10 @@
 """Monte-Carlo BER/PER simulation framework (reproduces paper Figure 4).
 
 :class:`~repro.sim.montecarlo.MonteCarloSimulator` runs the full coded link
-(encode → BPSK → AWGN → LLR → decode) in batches, counting bit and frame
-errors until a target error count or frame budget is reached;
+(encode → modulate → channel → LLR → decode; the modulator+channel pair is
+an injectable :class:`~repro.channel.pipeline.ChannelPipeline`, BPSK over
+soft AWGN by default) in batches, counting bit and frame errors until a
+target error count or frame budget is reached;
 :class:`~repro.sim.sweep.EbN0Sweep` runs it across an Eb/N0 grid and collects
 :class:`~repro.sim.results.SimulationCurve` objects that can be serialized,
 compared and printed as the rows of a waterfall plot.
@@ -14,8 +16,8 @@ the shard schedule and per-shard RNG streams live in
 :mod:`repro.sim.sharding` and are shared by both engines.
 
 :mod:`repro.sim.campaign` builds on the same pool to run whole experiment
-grids — many (code, decoder, config) combinations — through one shared
-worker pool with an incrementally persisted, resumable result store.
+grids — many (code, decoder, channel, config) combinations — through one
+shared worker pool with an incrementally persisted, resumable result store.
 """
 
 from repro.sim.crossing import Crossing, crossing_ebn0, curve_crossing

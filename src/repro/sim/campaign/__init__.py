@@ -4,8 +4,9 @@ This package turns the parallel Monte-Carlo engine from a per-sweep tool
 into a multi-experiment scheduler:
 
 * :mod:`repro.sim.campaign.spec` — :class:`CampaignSpec` and friends: a
-  JSON-round-trippable description of a grid of (code, decoder, config)
-  experiments swept over Eb/N0;
+  JSON-round-trippable description of a grid of (code, decoder, channel,
+  config) experiments swept over Eb/N0, every axis resolved through the
+  pluggable component registry (:mod:`repro.registry`);
 * :mod:`repro.sim.campaign.scheduler` — :class:`CampaignScheduler`: flattens
   every experiment into one deterministic stream of point jobs dispatched
   over a single :class:`~repro.sim.parallel.SharedWorkerPool`;
@@ -30,6 +31,7 @@ See ``docs/campaigns.md`` for the end-to-end walkthrough.
 from repro.sim.campaign.scheduler import CampaignScheduler, PointJob
 from repro.sim.campaign.spec import (
     CampaignSpec,
+    ChannelSpec,
     CodeSpec,
     DecoderSpec,
     ExperimentSpec,
@@ -43,6 +45,7 @@ __all__ = [
     "CampaignSpec",
     "CodeSpec",
     "DecoderSpec",
+    "ChannelSpec",
     "ExperimentSpec",
     "CampaignScheduler",
     "PointJob",

@@ -168,6 +168,7 @@ class CampaignScheduler:
                     experiment.decoder.build(code),
                     config=experiment.resolve_config(self.spec.config),
                     rng=0,
+                    pipeline=experiment.channel.build(),
                 )
                 simulators[job.label] = simulator
             point = simulator.run_point(job.ebn0_db, rng=job.seed)
@@ -185,6 +186,7 @@ class CampaignScheduler:
                 code,
                 experiment.decoder.factory(code),
                 experiment.resolve_config(self.spec.config),
+                experiment.channel.build(),
             )
         states = [
             PointState(

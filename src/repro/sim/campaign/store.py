@@ -11,8 +11,8 @@ and skips everything already measured.
 
 Each curve's metadata carries the addressing keys that tie it back to its
 experiment: campaign name, experiment label and index, master seed, and the
-full code/decoder/config description — enough to re-associate a curve file
-with its spec entry even outside the campaign directory.  That metadata is
+full code/decoder/channel/config description — enough to re-associate a
+curve file with its spec entry even outside the campaign directory.  That metadata is
 what lets the analysis layer (:mod:`repro.analysis.campaign`) rebuild the
 paper's groupings — all curves of one Figure 4 plot share a code, one
 quantization-ablation column shares a ``message_format`` — straight from
@@ -26,6 +26,7 @@ import json
 from pathlib import Path
 
 from repro.sim.campaign.spec import (
+    DEFAULT_CHANNEL_DICT,
     CampaignSpec,
     ExperimentSpec,
     config_to_dict,
@@ -133,6 +134,7 @@ class ResultStore:
             "seed": self.spec.seed,
             "code": experiment.code.as_dict(),
             "decoder": experiment.decoder.as_dict(),
+            "channel": experiment.channel.as_dict(),
             "config": config_to_dict(config),
             "ebn0_grid": list(experiment.resolve_ebn0(self.spec.ebn0)),
         }
@@ -160,12 +162,18 @@ class ResultStore:
             # The addressing metadata is the curve's identity: a file whose
             # metadata disagrees with the spec (stray leftover from another
             # campaign, different seed/config/grid) must not be adopted —
-            # its points would be silently skipped as "done".
+            # its points would be silently skipped as "done".  Curves written
+            # before the channel axis existed carry no "channel" field; they
+            # measured the then-hardcoded BPSK/AWGN link, so they are the
+            # same measurement as today's default channel and stay adoptable.
             if curve.metadata and curve.metadata != expected:
-                raise StoreMismatchError(
-                    f"{path} was measured under a different campaign spec; "
-                    "remove it or rerun with fresh=True (CLI: --fresh)"
-                )
+                legacy = dict(curve.metadata)
+                legacy.setdefault("channel", dict(DEFAULT_CHANNEL_DICT))
+                if legacy != expected:
+                    raise StoreMismatchError(
+                        f"{path} was measured under a different campaign spec; "
+                        "remove it or rerun with fresh=True (CLI: --fresh)"
+                    )
         else:
             curve = SimulationCurve(label=label)
         curve.metadata = expected

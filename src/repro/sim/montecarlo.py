@@ -1,11 +1,13 @@
-"""Monte-Carlo simulation of the coded BPSK/AWGN link.
+"""Monte-Carlo simulation of the coded link.
 
-One simulator instance owns a code, an encoder, a decoder and a modulator;
-``run_point`` simulates frames in *shards* (independent batches, each with
-its own child RNG stream spawned from the simulator's seed sequence) at one
-Eb/N0 value until either a target number of frame errors has been observed
-(good statistical practice: the relative accuracy is set by the error count,
-not the frame count) or a frame budget is exhausted.
+One simulator instance owns a code, an encoder, a decoder and a *channel
+pipeline* (modulator + channel model, BPSK over soft AWGN by default —
+see :mod:`repro.channel.pipeline`); ``run_point`` simulates frames in
+*shards* (independent batches, each with its own child RNG stream spawned
+from the simulator's seed sequence) at one Eb/N0 value until either a
+target number of frame errors has been observed (good statistical
+practice: the relative accuracy is set by the error count, not the frame
+count) or a frame budget is exhausted.
 
 The shard decomposition is deterministic given the configuration (see
 :mod:`repro.sim.sharding`), which is what lets the parallel engine in
@@ -29,8 +31,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.channel.awgn import ebn0_to_sigma
-from repro.channel.llr import channel_llrs
-from repro.channel.modulation import BPSKModulator
+from repro.channel.pipeline import ChannelPipeline, default_pipeline
 from repro.codes.shortening import ShortenedCode
 from repro.encode.systematic import SystematicEncoder
 from repro.sim.results import SimulationPoint
@@ -129,15 +130,29 @@ class MonteCarloSimulator:
         Seed or generator for information bits and noise.  Each shard of a
         ``run_point`` call draws from its own child stream spawned from this
         seed's :class:`numpy.random.SeedSequence`.
+    pipeline:
+        The modulator + channel model pair
+        (:class:`~repro.channel.pipeline.ChannelPipeline`) between the
+        encoder and the decoder.  ``None`` uses the historical default —
+        unit-amplitude BPSK over soft-output AWGN — which reproduces
+        pre-pipeline seeds byte for byte.
     """
 
-    def __init__(self, code, decoder, *, config: SimulationConfig | None = None, rng=None):
+    def __init__(
+        self,
+        code,
+        decoder,
+        *,
+        config: SimulationConfig | None = None,
+        rng=None,
+        pipeline: ChannelPipeline | None = None,
+    ):
         self._shortened = code if isinstance(code, ShortenedCode) else None
         self._base_code = code.base_code if self._shortened is not None else code
         self._decoder = decoder
         self.config = config or SimulationConfig()
         self._rng = ensure_rng(rng)
-        self._modulator = BPSKModulator()
+        self.pipeline = pipeline if pipeline is not None else default_pipeline()
         self._encoder: SystematicEncoder | None = None
         self._forced_zero_info: np.ndarray | None = None
         if not self.config.all_zero_codeword:
@@ -200,6 +215,18 @@ class MonteCarloSimulator:
         """Transmitted code bits per frame — the per-frame BER denominator."""
         return self._bits_per_frame
 
+    def sigma_for(self, ebn0_db: float) -> float:
+        """Noise standard deviation at this Eb/N0 for this simulator's link.
+
+        Accounts for the pipeline's symbol amplitude (``Es = A^2`` per BPSK
+        symbol): a non-unit amplitude raises the symbol energy, so the same
+        Eb/N0 needs proportionally stronger noise — otherwise an amplitude
+        sweep would mislabel the Eb/N0 axis and show free coding gain.
+        """
+        return ebn0_to_sigma(
+            ebn0_db, self.code_rate, symbol_energy=self.pipeline.amplitude**2
+        )
+
     # ------------------------------------------------------------------ #
     def _generate_codewords(self, batch: int, rng: np.random.Generator) -> np.ndarray:
         """Sample transmitted base codewords for one batch."""
@@ -213,16 +240,12 @@ class MonteCarloSimulator:
     def _transmit(
         self, codewords: np.ndarray, sigma: float, rng: np.random.Generator
     ) -> np.ndarray:
-        """Modulate, add noise and produce base-codeword LLRs for the decoder."""
+        """Run one batch through the channel pipeline; base-codeword LLRs out."""
         if self._shortened is None:
-            symbols = self._modulator.modulate(codewords)
-            received = symbols + rng.normal(0.0, sigma, size=symbols.shape)
-            return channel_llrs(received, sigma)
+            return self.pipeline.llrs(codewords, sigma, rng)
         transmitted = self._shortened.extract_transmitted(codewords)
         frame = self._shortened.build_frame(transmitted)
-        symbols = self._modulator.modulate(frame)
-        received = symbols + rng.normal(0.0, sigma, size=symbols.shape)
-        frame_llrs = channel_llrs(received, sigma)
+        frame_llrs = self.pipeline.llrs(frame, sigma, rng)
         return self._shortened.base_llrs_from_frame_llrs(frame_llrs)
 
     # ------------------------------------------------------------------ #
@@ -281,7 +304,7 @@ class MonteCarloSimulator:
         sweep and campaign engines derive one child seed per point and rely
         on this for their resume guarantee).
         """
-        sigma = ebn0_to_sigma(ebn0_db, self.code_rate)
+        sigma = self.sigma_for(ebn0_db)
         counter = ErrorCounter()
         seed_seq = as_seed_sequence(self._rng if rng is None else rng)
         for size in iter_shard_sizes(self.config):

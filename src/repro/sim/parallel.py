@@ -47,7 +47,6 @@ from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
-from repro.channel.awgn import ebn0_to_sigma
 from repro.sim.montecarlo import (
     BatchResult,
     MonteCarloSimulator,
@@ -72,12 +71,16 @@ class PoolEntry:
     """One simulatable configuration a :class:`SharedWorkerPool` can serve.
 
     ``decoder_factory`` is a zero-argument callable returning a fresh
-    decoder; it runs once per worker process (per entry).
+    decoder; it runs once per worker process (per entry).  ``pipeline`` is
+    the modulator + channel pair
+    (:class:`~repro.channel.pipeline.ChannelPipeline`) this entry simulates
+    over; ``None`` means the default BPSK/AWGN pipeline.
     """
 
     code: object
     decoder_factory: Callable[[], object]
     config: SimulationConfig = field(default_factory=SimulationConfig)
+    pipeline: object | None = None
 
 
 def _init_worker(entries: dict, eager: bool) -> None:
@@ -103,7 +106,11 @@ def _simulator_for(key) -> MonteCarloSimulator:
         if entry is None:  # pragma: no cover - defensive; keys come from entries
             raise RuntimeError(f"worker pool has no entry {key!r}")
         simulator = MonteCarloSimulator(
-            entry.code, entry.decoder_factory(), config=entry.config, rng=0
+            entry.code,
+            entry.decoder_factory(),
+            config=entry.config,
+            rng=0,
+            pipeline=entry.pipeline,
         )
         _WORKER_SIMULATORS[key] = simulator
     return simulator
@@ -119,7 +126,7 @@ def _worker_probe() -> int:
 def _run_shard(key, ebn0_db: float, size: int, seed_seq) -> BatchResult:
     """Task body: simulate one shard on this worker's simulator for ``key``."""
     simulator = _simulator_for(key)
-    sigma = ebn0_to_sigma(ebn0_db, simulator.code_rate)
+    sigma = simulator.sigma_for(ebn0_db)
     return simulator.run_batch(size, sigma, rng=np.random.default_rng(seed_seq))
 
 
@@ -230,13 +237,28 @@ class SharedWorkerPool:
     def __enter__(self) -> "SharedWorkerPool":
         return self
 
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        # Bail out hard when an exception is unwinding (a Ctrl-C must not
+        # wait for speculative shards); shut down gracefully otherwise.
+        self.close(force=exc_type is not None)
 
-    def close(self) -> None:
-        """Terminate the worker pool (idempotent)."""
+    def close(self, *, force: bool = False) -> None:
+        """Shut the worker pool down (idempotent).
+
+        The default path closes the pool and *joins* it: workers drain the
+        few speculative shards still queued (each is one small batch), the
+        task-handler thread sees the drained queue and exits, and teardown
+        is deterministic.  ``Pool.terminate`` — kept for ``force`` — kills
+        workers while the handler thread may be blocked writing to the task
+        queue, a known CPython race that intermittently deadlocks the join;
+        paying for at most ``workers x inflight`` tiny shards is cheaper
+        than a hung interpreter.
+        """
         if self._pool is not None:
-            self._pool.terminate()
+            if force:
+                self._pool.terminate()
+            else:
+                self._pool.close()
             self._pool.join()
             self._pool = None
 
@@ -360,6 +382,11 @@ class ParallelMonteCarloEngine:
     mp_context:
         ``multiprocessing`` context (or start-method name); defaults to
         ``fork`` when available so non-picklable factories work.
+    pipeline:
+        Optional :class:`~repro.channel.pipeline.ChannelPipeline` (modulator
+        + channel model) every worker simulates over; ``None`` is the
+        default BPSK/AWGN pipeline.  Must be picklable under non-``fork``
+        start methods (the built-in pipelines are).
 
     The engine is a context manager; the pool is created lazily on first use
     and torn down by :meth:`close` / ``with``-exit.
@@ -375,10 +402,11 @@ class ParallelMonteCarloEngine:
         config: SimulationConfig | None = None,
         workers: int | None = None,
         mp_context=None,
+        pipeline=None,
     ):
         self.config = config or SimulationConfig()
         self._shared = SharedWorkerPool(
-            {self._ENTRY_KEY: PoolEntry(code, decoder_factory, self.config)},
+            {self._ENTRY_KEY: PoolEntry(code, decoder_factory, self.config, pipeline)},
             workers=workers,
             mp_context=mp_context,
             # One entry that every worker will serve: build it in the
@@ -401,12 +429,13 @@ class ParallelMonteCarloEngine:
     def __enter__(self) -> "ParallelMonteCarloEngine":
         return self
 
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self._shared.close(force=exc_type is not None)
 
-    def close(self) -> None:
-        """Terminate the worker pool (idempotent)."""
-        self._shared.close()
+    def close(self, *, force: bool = False) -> None:
+        """Shut the worker pool down (idempotent); see
+        :meth:`SharedWorkerPool.close` for the ``force`` semantics."""
+        self._shared.close(force=force)
 
     def warmup(self) -> None:
         """Start the pool and wait until every worker served a trivial task."""

@@ -46,6 +46,10 @@ class EbN0Sweep:
         serially in-process; any positive count shards the frame budgets over
         a :class:`~repro.sim.parallel.ParallelMonteCarloEngine` pool.  For a
         fixed master seed the counts are identical either way.
+    pipeline:
+        Optional :class:`~repro.channel.pipeline.ChannelPipeline` (modulator
+        + channel model) replacing the default BPSK/AWGN link — e.g. built
+        from a :class:`~repro.sim.campaign.spec.ChannelSpec`.
     """
 
     def __init__(
@@ -56,12 +60,14 @@ class EbN0Sweep:
         config: SimulationConfig | None = None,
         rng=None,
         workers: int | None = None,
+        pipeline=None,
     ):
         self._code = code
         self._decoder_factory = decoder_factory
         self._config = config or SimulationConfig()
         self._rng = ensure_rng(rng)
         self._workers = workers
+        self._pipeline = pipeline
 
     def run(
         self,
@@ -135,7 +141,11 @@ class EbN0Sweep:
         if not jobs:
             return []
         simulator = MonteCarloSimulator(
-            self._code, self._decoder_factory(), config=self._config, rng=0
+            self._code,
+            self._decoder_factory(),
+            config=self._config,
+            rng=0,
+            pipeline=self._pipeline,
         )
         points = []
         for ebn0_db, stream in jobs:
@@ -163,6 +173,7 @@ class EbN0Sweep:
             self._decoder_factory,
             config=self._config,
             workers=workers,
+            pipeline=self._pipeline,
         ) as engine:
             return engine.run_point_jobs(jobs, progress=emit)
 

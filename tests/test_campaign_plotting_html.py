@@ -398,3 +398,60 @@ def test_group_frame_bits_recovered_from_stored_points(tmp_path):
     report = CampaignReport.from_store(fabricated_store(tmp_path), target_ber=1e-3)
     assert plotting._group_frame_bits(report.experiments) == 10**6 // 100
     assert plotting._group_frame_bits([]) is None
+
+
+@needs_mpl
+class TestChannelGroupedFigures:
+    """Figures mirror the report tables: one per (code, channel) group, AWGN
+    references only on AWGN figures."""
+
+    def two_channel_store(self, tmp_path):
+        from repro.sim.campaign import ChannelSpec
+
+        code = CodeSpec(family="scaled", circulant=31)
+        spec = CampaignSpec(
+            name="chanfig",
+            seed=6,
+            ebn0=(3.0, 4.0, 5.0),
+            config=SimulationConfig(max_frames=100, target_frame_errors=50,
+                                    batch_frames=10, all_zero_codeword=True),
+            experiments=[
+                ExperimentSpec("nms-awgn", code, DecoderSpec("nms", 18)),
+                ExperimentSpec("nms-bsc", code, DecoderSpec("nms", 18),
+                               channel=ChannelSpec(kind="bsc")),
+            ],
+        )
+        store = ResultStore.create(tmp_path / "chanfig", spec)
+        for label, shift in {"nms-awgn": 0.0, "nms-bsc": 0.5}.items():
+            for ebn0 in spec.ebn0:
+                ber = min(0.5, 10 ** (-1.0 - 1.5 * (ebn0 - shift - 3.0)))
+                store.record_point(label, make_point(ebn0, ber))
+        return store
+
+    def test_one_figure_per_code_channel_group(self, tmp_path):
+        report = CampaignReport.from_store(
+            self.two_channel_store(tmp_path), target_ber=1e-3, include_rates=False
+        )
+        figures = plotting.report_figures(report)
+        assert sorted(figures) == [
+            "waterfall-scaled31-awgn", "waterfall-scaled31-bsc",
+        ]
+        awgn_labels = [
+            line.get_label() for line in figures["waterfall-scaled31-awgn"].axes[0].get_lines()
+        ]
+        bsc_labels = [
+            line.get_label() for line in figures["waterfall-scaled31-bsc"].axes[0].get_lines()
+        ]
+        # Channels never share a figure...
+        assert not any("bsc" in label for label in awgn_labels)
+        # ...and the AWGN-derived references appear only on the AWGN figure.
+        assert any("uncoded BPSK" in label for label in awgn_labels)
+        assert not any("uncoded BPSK" in label for label in bsc_labels)
+        assert not any("Shannon" in label for label in bsc_labels)
+
+    def test_single_channel_names_stay_unsuffixed(self, tmp_path):
+        """Historical figure names (CI greps waterfall-scaled31.svg) survive."""
+        report = CampaignReport.from_store(
+            fabricated_store(tmp_path), target_ber=1e-3, include_rates=False
+        )
+        assert sorted(plotting.report_figures(report)) == ["waterfall-scaled31"]

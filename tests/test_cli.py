@@ -120,6 +120,61 @@ class TestSimulate:
         resumed = json.loads(curve_path.read_text())
         assert resumed["points"] == json.loads(full_path.read_text())["points"]
 
+    def test_resume_refuses_a_different_channel_or_decoder(self, tmp_path, capsys):
+        """A curve must not silently mix measurements from different links."""
+        curve_path = tmp_path / "curve.json"
+        base = [
+            "simulate", "--circulant", "31", "--frames", "20", "--errors", "20",
+            "--batch", "10", "--iterations", "5", "--seed", "9",
+        ]
+        assert main(base + ["--ebn0", "4.0", "--save", str(curve_path)]) == 0
+        # The saved curve carries its identity metadata.
+        metadata = json.loads(curve_path.read_text())["metadata"]
+        assert metadata == {"code": "ccsds-c2-c31", "decoder": "nms",
+                            "iterations": 5, "channel": "awgn", "seed": 9}
+        capsys.readouterr()
+        assert main(base + ["--ebn0", "5.0", "--channel", "bsc",
+                            "--resume", str(curve_path)]) == 2
+        err = capsys.readouterr().err
+        assert "different configuration" in err and "bsc" in err
+        assert main(base + ["--ebn0", "5.0", "--decoder", "min-sum",
+                            "--resume", str(curve_path)]) == 2
+        assert "min-sum" in capsys.readouterr().err
+        # A different code, iteration budget or seed is refused too.
+        mismatches = (
+            ["--circulant", "63"], ["--iterations", "8"], ["--seed", "10"],
+        )
+        for override in mismatches:
+            args = base.copy()
+            for flag, value in zip(override[::2], override[1::2]):
+                args[args.index(flag) + 1] = value
+            assert main(args + ["--ebn0", "5.0", "--resume", str(curve_path)]) == 2
+            assert "different configuration" in capsys.readouterr().err
+        # Matching identity (and legacy curves without metadata) still resume.
+        assert main(base + ["--ebn0", "4.0", "5.0",
+                            "--resume", str(curve_path)]) == 0
+        legacy = json.loads(curve_path.read_text())
+        legacy["metadata"] = {}
+        curve_path.write_text(json.dumps(legacy))
+        capsys.readouterr()
+        assert main(base + ["--ebn0", "5.0", "--channel", "bsc",
+                            "--resume", str(curve_path)]) == 0
+
+    def test_channel_option_changes_the_link(self, capsys):
+        """--channel is a registered axis; hard decisions cannot beat soft."""
+
+        def ber(channel):
+            assert main([
+                "simulate", "--circulant", "31", "--channel", channel,
+                "--ebn0", "4.0", "--frames", "30", "--errors", "30",
+                "--batch", "10", "--iterations", "8", "--seed", "11",
+            ]) == 0
+            out = capsys.readouterr().out
+            row = [l for l in out.splitlines() if l.startswith("4.00")][-1]
+            return float(row.split("|")[1])
+
+        assert ber("bsc") >= ber("awgn")
+
     def test_resume_with_missing_file_starts_fresh(self, tmp_path, capsys):
         curve_path = tmp_path / "new.json"
         result = main([

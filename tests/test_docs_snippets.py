@@ -16,6 +16,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 DOC_FILES = [
     REPO_ROOT / "README.md",
     REPO_ROOT / "docs" / "campaigns.md",
+    REPO_ROOT / "docs" / "components.md",
     REPO_ROOT / "docs" / "reporting.md",
 ]
 
@@ -127,3 +128,5 @@ def test_readme_documents_every_cli_subcommand():
         assert command in readme, f"README does not mention subcommand {command!r}"
     for campaign_command in ("run", "status", "resume", "report", "verify"):
         assert f"campaign {campaign_command}" in readme
+    for components_command in ("list", "describe"):
+        assert f"components {components_command}" in readme

@@ -284,3 +284,81 @@ class TestVerifyCLI:
         ]) == 1
         err = capsys.readouterr().err
         assert "unreadable" in err and "min-sum" in err
+
+
+class TestChannelAwareMatching:
+    """References are channel-scoped: AWGN-recorded values must not gate
+    hard-decision or fading variants of the same code/decoder."""
+
+    def two_channel_store(self, tmp_path):
+        code = CodeSpec(family="scaled", circulant=31)
+        from repro.sim.campaign import ChannelSpec
+
+        spec = CampaignSpec(
+            name="channels",
+            seed=4,
+            ebn0=(3.0, 4.0, 5.0),
+            config=SimulationConfig(max_frames=100, target_frame_errors=50,
+                                    batch_frames=10, all_zero_codeword=True),
+            experiments=[
+                ExperimentSpec("nms-awgn", code, DecoderSpec("nms", 18)),
+                ExperimentSpec("nms-bsc", code, DecoderSpec("nms", 18),
+                               channel=ChannelSpec(kind="bsc")),
+            ],
+        )
+        store = ResultStore.create(tmp_path / "channels", spec)
+        # The BSC curve sits 0.5 dB to the right (5x the verify
+        # tolerance) — physics, not drift.
+        for label, shift in {"nms-awgn": 0.0, "nms-bsc": 0.5}.items():
+            for ebn0 in spec.ebn0:
+                ber = min(0.5, 10 ** (-1.0 - 1.5 * (ebn0 - shift - 3.0)))
+                store.record_point(label, make_point(ebn0, ber))
+        return store
+
+    def test_channel_less_reference_matches_only_awgn(self, tmp_path):
+        report = report_for(self.two_channel_store(tmp_path))
+        awgn_crossing = next(
+            e for e in report.experiments if e.label == "nms-awgn"
+        ).ber_crossing.ebn0_db
+        reference = ReferenceCrossing(
+            target=1e-3, ebn0_db=awgn_crossing,
+            code_key="scaled31", decoder_kind="nms",
+        )
+        by_label = {e.label: e for e in report.experiments}
+        assert reference.matches(by_label["nms-awgn"])
+        assert not reference.matches(by_label["nms-bsc"])
+        # The verify gate therefore passes: the BSC curve is out of scope.
+        check = compare_to_reference(report, 0.1, references=[reference])
+        assert check.passed
+        assert [c.label for c in check.matched] == ["nms-awgn"]
+
+    def test_channel_key_selector_targets_a_non_awgn_link(self, tmp_path):
+        report = report_for(self.two_channel_store(tmp_path))
+        bsc_crossing = next(
+            e for e in report.experiments if e.label == "nms-bsc"
+        ).ber_crossing.ebn0_db
+        reference = ReferenceCrossing(
+            target=1e-3, ebn0_db=bsc_crossing,
+            code_key="scaled31", decoder_kind="nms", channel_key="bsc",
+        )
+        check = compare_to_reference(report, 0.1, references=[reference])
+        assert check.passed
+        assert [c.label for c in check.matched] == ["nms-bsc"]
+        assert "bsc" in reference.describe()
+
+    def test_label_pin_overrides_the_channel_default(self, tmp_path):
+        report = report_for(self.two_channel_store(tmp_path))
+        by_label = {e.label: e for e in report.experiments}
+        pinned = ReferenceCrossing(target=1e-3, ebn0_db=5.0, label="nms-bsc")
+        assert pinned.matches(by_label["nms-bsc"])
+        assert not pinned.matches(by_label["nms-awgn"])
+
+    def test_channel_key_survives_json_round_trip(self, tmp_path):
+        path = tmp_path / "refs.json"
+        save_references(
+            [ReferenceCrossing(target=1e-3, ebn0_db=4.0, channel_key="bsc")],
+            path,
+        )
+        (loaded,) = load_references(path)
+        assert loaded.channel_key == "bsc"
+        assert loaded.as_dict()["channel_key"] == "bsc"

@@ -5,15 +5,18 @@ import json
 import pytest
 
 from repro.cli import main
+from repro.registry import component_names
 from repro.sim import EbN0Sweep, SimulationConfig
 from repro.sim.campaign import (
     CampaignScheduler,
     CampaignSpec,
+    ChannelSpec,
     CodeSpec,
     DecoderSpec,
     ExperimentSpec,
     ResultStore,
     StoreMismatchError,
+    config_from_dict,
     expand_grid,
 )
 from repro.sim.campaign.spec import BoundDecoderFactory, slugify
@@ -577,3 +580,348 @@ class TestCampaignCLI:
         bad_spec.write_text("{not json")
         assert main(["campaign", "run", str(bad_spec)]) == 2
         assert "cannot load campaign spec" in capsys.readouterr().err
+
+
+class TestChannelSpec:
+    def test_default_is_awgn_and_omitted_from_dicts(self):
+        spec = ChannelSpec()
+        assert spec.kind == "awgn"
+        assert spec.is_default
+        assert spec.as_dict() == {"kind": "awgn"}
+        experiment = ExperimentSpec(
+            "a", CodeSpec(family="scaled", circulant=31), DecoderSpec("nms")
+        )
+        # The default channel does not appear in the JSON form, so specs
+        # written before the channel axis existed stay byte-comparable.
+        assert "channel" not in experiment.as_dict()
+
+    def test_round_trip_with_params_and_modulator(self):
+        spec = ChannelSpec(
+            kind="rayleigh",
+            params={"block_length": 16},
+            modulator="bpsk",
+            modulator_params={"amplitude": 2.0},
+        )
+        restored = ChannelSpec.from_dict(json.loads(json.dumps(spec.as_dict())))
+        assert restored == spec
+        assert restored.as_dict() == {
+            "kind": "rayleigh",
+            "params": {"block_length": 16},
+            "modulator_params": {"amplitude": 2.0},
+        }
+
+    def test_keys_include_non_default_parts(self):
+        assert ChannelSpec().key == "awgn"
+        assert ChannelSpec(kind="bsc").key == "bsc"
+        assert (
+            ChannelSpec(kind="rayleigh", params={"block_length": 8}).key
+            == "rayleigh-block-length8"
+        )
+        assert "amplitude2.0" in ChannelSpec(
+            kind="awgn", modulator_params={"amplitude": 2.0}
+        ).key
+
+    def test_build_produces_working_pipeline(self):
+        import numpy as np
+
+        pipeline = ChannelSpec(kind="bsc", params={"crossover": 0.1}).build()
+        llrs = pipeline.llrs(
+            np.zeros((2, 8), dtype=np.uint8), 1.0, np.random.default_rng(0)
+        )
+        assert llrs.shape == (2, 8)
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown ChannelSpec keys"):
+            ChannelSpec.from_dict({"kind": "awgn", "chanel_params": {}})
+
+    def test_unknown_param_rejected_at_spec_time(self):
+        with pytest.raises(ValueError, match="valid parameters"):
+            ChannelSpec(kind="rayleigh", params={"blocklength": 8})
+
+
+class TestDynamicErrorMessages:
+    """Unknown-name errors list the registry's current names, not stale tuples."""
+
+    def test_code_family_error_lists_registered_families(self):
+        with pytest.raises(ValueError, match="family") as excinfo:
+            CodeSpec(family="mystery")
+        for name in component_names("code"):
+            assert name in str(excinfo.value)
+
+    def test_decoder_kind_error_lists_registered_kinds(self):
+        with pytest.raises(ValueError, match="kind") as excinfo:
+            DecoderSpec(kind="turbo")
+        for name in component_names("decoder"):
+            assert name in str(excinfo.value)
+
+    def test_channel_kind_error_lists_registered_kinds(self):
+        with pytest.raises(ValueError, match="kind") as excinfo:
+            ChannelSpec(kind="carrier-pigeon")
+        for name in component_names("channel"):
+            assert name in str(excinfo.value)
+
+    def test_errors_track_registry_contents(self):
+        """A freshly registered name appears in the very next error message."""
+        from repro.registry import temporary_component
+
+        with temporary_component("channel", "test-ephemeral", lambda: None):
+            with pytest.raises(ValueError) as excinfo:
+                ChannelSpec(kind="nope")
+            assert "test-ephemeral" in str(excinfo.value)
+        with pytest.raises(ValueError) as excinfo:
+            ChannelSpec(kind="nope")
+        assert "test-ephemeral" not in str(excinfo.value)
+
+    def test_config_from_dict_rejects_unknown_keys_with_pinned_message(self):
+        """The docstring promises a raise (it protects resume) — pin it."""
+        with pytest.raises(
+            ValueError, match=r"unknown SimulationConfig keys: \['max_framez'\]"
+        ):
+            config_from_dict({"max_framez": 10})
+        assert "unknown keys raise" in (config_from_dict.__doc__ or "").lower()
+
+
+class TestChannelAxisCampaigns:
+    def three_channel_spec(self, ebn0=(2.0, 4.0)) -> CampaignSpec:
+        return CampaignSpec.from_dict({
+            "name": "channels",
+            "seed": 13,
+            "ebn0": list(ebn0),
+            "config": {
+                "max_frames": 20, "target_frame_errors": 4,
+                "batch_frames": 10, "all_zero_codeword": True,
+            },
+            "grid": {
+                "codes": [{"family": "scaled", "circulant": 31}],
+                "decoders": [{"kind": "nms", "iterations": 8}],
+                "channels": [
+                    {"kind": "awgn"},
+                    {"kind": "bsc"},
+                    {"kind": "rayleigh", "params": {"block_length": 31}},
+                ],
+            },
+        })
+
+    def test_grid_expands_channel_axis_with_keys_in_labels(self):
+        spec = self.three_channel_spec()
+        assert [e.label for e in spec.experiments] == [
+            "nms-it8-awgn", "nms-it8-bsc", "nms-it8-rayleigh-block-length31",
+        ]
+        assert [e.channel.kind for e in spec.experiments] == [
+            "awgn", "bsc", "rayleigh",
+        ]
+
+    def test_channel_params_can_be_grid_axes(self):
+        experiments = expand_grid({
+            "codes": [{"family": "scaled", "circulant": 31}],
+            "decoders": [{"kind": "nms", "iterations": 8}],
+            "channels": [{"kind": "rayleigh", "params": {"block_length": [8, 31]}}],
+        })
+        assert [e.channel.params["block_length"] for e in experiments] == [8, 31]
+        assert len({e.label for e in experiments}) == 2
+
+    def test_modulator_params_can_be_grid_axes_too(self):
+        """A list-valued modulator parameter expands instead of failing at
+        build time deep inside the scheduler."""
+        experiments = expand_grid({
+            "codes": [{"family": "scaled", "circulant": 31}],
+            "decoders": [{"kind": "nms", "iterations": 8}],
+            "channels": [
+                {"kind": "awgn", "modulator_params": {"amplitude": [1.0, 2.0]}}
+            ],
+        })
+        assert [e.channel.modulator_params["amplitude"] for e in experiments] == [
+            1.0, 2.0,
+        ]
+        for experiment in experiments:
+            assert experiment.channel.build().amplitude in (1.0, 2.0)
+        assert len({e.label for e in experiments}) == 2
+
+    def test_serial_matches_pooled_on_every_channel(self, tmp_path):
+        spec = self.three_channel_spec(ebn0=(3.0,))
+        serial = CampaignScheduler(
+            spec, ResultStore.create(tmp_path / "serial", spec), workers=None
+        ).run()
+        pooled = CampaignScheduler(
+            spec, ResultStore.create(tmp_path / "pooled", spec), workers=3
+        ).run()
+        for label, curve in serial.items():
+            assert pooled[label].points == curve.points
+
+    def test_run_resume_and_channel_addressed_reporting(self, tmp_path):
+        spec = self.three_channel_spec()
+        reference = CampaignScheduler(
+            spec, ResultStore.create(tmp_path / "ref", spec), workers=None
+        ).run()
+        # Interrupt: pre-seed a store with a partial subset, then resume.
+        partial = ResultStore.create(tmp_path / "partial", spec)
+        partial.record_point("nms-it8-bsc", reference["nms-it8-bsc"].points[1])
+        resumed = CampaignScheduler(spec, partial, workers=2).run()
+        for label, curve in reference.items():
+            assert resumed[label].points == curve.points
+        # Curves are channel-addressed and filterable by channel metadata.
+        from repro.analysis.campaign import CampaignReport, CurveSet
+
+        curves = CurveSet.from_store(ResultStore.open(tmp_path / "partial"))
+        assert curves.filter(channel__kind="bsc").labels == ["nms-it8-bsc"]
+        assert set(curves.group_by("channel.kind")) == {
+            ("awgn",), ("bsc",), ("rayleigh",),
+        }
+        report = CampaignReport.from_store(
+            tmp_path / "partial", target_ber=1e-1, include_rates=False
+        )
+        by_label = {e.label: e for e in report.experiments}
+        assert by_label["nms-it8-bsc"].channel_key == "bsc"
+        text = report.to_text()
+        assert "channel bsc" in text  # per-(code, channel) comparison tables
+        assert "Channel" in text      # summary column
+
+
+class TestPreRedesignCompatibility:
+    """The registry/channel redesign must not invalidate anything historical."""
+
+    #: Counts recorded by the pre-registry engine (hardcoded BPSK + AWGN in
+    #: MonteCarloSimulator._transmit) for the spec below.  The redesigned
+    #: pipeline must reproduce them byte for byte.
+    GOLDEN = {
+        "nms": [
+            {"ebn0_db": 2.0, "ber": 0.05161290322580645, "fer": 1.0,
+             "bit_errors": 256, "frame_errors": 10, "bits": 4960, "frames": 10,
+             "average_iterations": 8.0, "info_ber": 0.05022935779816514,
+             "info_bit_errors": 219, "info_bits": 4360},
+            {"ebn0_db": 6.5, "ber": 0.0, "fer": 0.0, "bit_errors": 0,
+             "frame_errors": 0, "bits": 19840, "frames": 40,
+             "average_iterations": 1.0, "info_ber": 0.0,
+             "info_bit_errors": 0, "info_bits": 17440},
+        ],
+        "quantized": [
+            {"ebn0_db": 2.0, "ber": 0.04858870967741936, "fer": 1.0,
+             "bit_errors": 241, "frame_errors": 10, "bits": 4960, "frames": 10,
+             "average_iterations": 8.0, "info_ber": 0.04724770642201835,
+             "info_bit_errors": 206, "info_bits": 4360},
+            {"ebn0_db": 6.5, "ber": 5.040322580645161e-05, "fer": 0.025,
+             "bit_errors": 1, "frame_errors": 1, "bits": 19840, "frames": 40,
+             "average_iterations": 1.2, "info_ber": 5.733944954128441e-05,
+             "info_bit_errors": 1, "info_bits": 17440},
+        ],
+    }
+
+    def golden_spec(self) -> CampaignSpec:
+        return CampaignSpec(
+            name="golden",
+            seed=1234,
+            ebn0=(2.0, 6.5),
+            config=SimulationConfig(
+                max_frames=40, target_frame_errors=6, batch_frames=10,
+                all_zero_codeword=False,
+            ),
+            experiments=[
+                ExperimentSpec(
+                    label="nms",
+                    code=CodeSpec(family="scaled", circulant=31),
+                    decoder=DecoderSpec("nms", 8, params={"alpha": 1.25}),
+                ),
+                ExperimentSpec(
+                    label="quantized",
+                    code=CodeSpec(family="scaled", circulant=31),
+                    decoder=DecoderSpec(
+                        "quantized", 8,
+                        params={"alpha": 1.25, "message_format": [6, 2]},
+                    ),
+                ),
+            ],
+        )
+
+    @pytest.mark.parametrize("workers", [None, 2])
+    def test_awgn_counts_byte_identical_to_pre_redesign_engine(
+        self, tmp_path, workers
+    ):
+        spec = self.golden_spec()
+        curves = CampaignScheduler(
+            spec, ResultStore.create(tmp_path / "c", spec), workers=workers
+        ).run()
+        got = {
+            label: [p.as_dict() for p in curve.points]
+            for label, curve in curves.items()
+        }
+        assert got == self.GOLDEN
+
+    def test_pre_channel_axis_spec_json_loads_unchanged(self):
+        """A spec dict written before this PR (no channel keys) still loads."""
+        legacy = {
+            "name": "legacy",
+            "seed": 7,
+            "ebn0": [2.0, 4.0],
+            "experiments": [
+                {
+                    "label": "nms",
+                    "code": {"family": "scaled", "circulant": 31},
+                    "decoder": {"kind": "nms", "iterations": 8},
+                }
+            ],
+        }
+        spec = CampaignSpec.from_dict(legacy)
+        assert spec.experiments[0].channel == ChannelSpec()
+        # And its dict form is unchanged by the round trip (no channel key).
+        assert spec.as_dict()["experiments"][0] == legacy["experiments"][0]
+
+    def test_legacy_curve_file_without_channel_metadata_is_adopted(self, tmp_path):
+        """Stores written before the channel axis resume without --fresh."""
+        spec = tiny_spec()
+        store = ResultStore.create(tmp_path / "c", spec)
+        point = next(iter(
+            CampaignScheduler(
+                spec, ResultStore.create(tmp_path / "ref", spec), workers=None
+            ).run().values()
+        )).points[0]
+        store.record_point("nms", point)
+        # Strip the channel field, as a pre-redesign writer would have.
+        path = store.curve_path("nms")
+        data = json.loads(path.read_text())
+        assert data["metadata"].pop("channel") == {"kind": "awgn"}
+        path.write_text(json.dumps(data))
+        reopened = ResultStore.open(tmp_path / "c")
+        assert reopened.curve_problem("nms") is None
+        assert reopened.completed_ebn0("nms") == {point.ebn0_db}
+        # The stamped metadata now carries the default channel again.
+        assert reopened.curve("nms").metadata["channel"] == {"kind": "awgn"}
+
+    def test_legacy_curve_is_not_adopted_by_non_default_channel(self, tmp_path):
+        """A channel-less curve is AWGN — a BSC experiment must reject it."""
+        code = CodeSpec(family="scaled", circulant=31)
+        spec = CampaignSpec(
+            name="test-campaign", seed=7, ebn0=(2.0, 4.0), config=TINY_CONFIG,
+            experiments=[
+                ExperimentSpec(
+                    "nms", code, DecoderSpec("nms", 8),
+                    channel=ChannelSpec(kind="bsc"),
+                ),
+                ExperimentSpec("min-sum", code, DecoderSpec("min-sum", 8)),
+            ],
+        )
+        store = ResultStore.create(tmp_path / "c", spec)
+        curve = store.curve("nms")
+        from repro.sim.results import SimulationPoint
+
+        store.record_point(
+            "nms",
+            SimulationPoint(ebn0_db=2.0, ber=0.1, fer=0.5, bit_errors=1,
+                            frame_errors=1, bits=10, frames=2),
+        )
+        path = store.curve_path("nms")
+        data = json.loads(path.read_text())
+        del data["metadata"]["channel"]
+        path.write_text(json.dumps(data))
+        reopened = ResultStore.open(tmp_path / "c")
+        problem = reopened.curve_problem("nms")
+        assert problem is not None and "different campaign spec" in problem
+
+    def test_stray_dedicated_field_is_ignored_like_pre_registry_builders(self):
+        """Pre-PR specs could carry e.g. a rate on a 'scaled' code; the old
+        builders dropped it silently, so stored manifests must keep loading."""
+        spec = CodeSpec.from_dict({"family": "scaled", "circulant": 31, "rate": "1/2"})
+        assert spec.build().block_length == 496  # rate ignored, as before
+        assert spec.as_dict()["rate"] == "1/2"   # ...but still persisted
+        # Free-form params (new in this redesign) stay strict.
+        with pytest.raises(ValueError, match="valid parameters"):
+            CodeSpec(family="scaled", circulant=31, params={"ratee": "1/2"})
