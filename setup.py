@@ -1,11 +1,23 @@
-"""Setup shim so the package can be installed with legacy tooling.
+"""Setup script (no pyproject.toml: offline environments lack ``wheel``).
 
-The canonical metadata lives in pyproject.toml; this file only exists so
-that ``python setup.py develop`` / ``pip install -e .`` work in offline
-environments that lack the ``wheel`` package required by PEP 660 editable
-installs.
+Carries the real metadata so ``pip install -e .`` / ``python setup.py
+develop`` work without network access, and ships the ``py.typed`` marker
+(PEP 561) so downstream type checkers see the package's inline annotations.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-ccsds-ldpc",
+    version="0.6.0",
+    description=(
+        "Reproduction of a DATE 2009 CCSDS LDPC decoder paper: code "
+        "construction, decoders, FPGA models, Monte-Carlo campaigns"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    package_data={"repro": ["py.typed"]},
+    python_requires=">=3.11",
+    install_requires=["numpy>=1.24"],
+    zip_safe=False,
+)

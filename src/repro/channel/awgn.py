@@ -9,8 +9,9 @@ symbol amplitude.
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import check_positive
 
 __all__ = ["AWGNChannel", "ebn0_to_esn0", "ebn0_to_sigma", "esn0_to_sigma", "sigma_to_ebn0"]
@@ -20,7 +21,7 @@ def ebn0_to_esn0(ebn0_db: float, rate: float, bits_per_symbol: int = 1) -> float
     """Convert Eb/N0 (dB) to Es/N0 (dB) for a given code rate and modulation."""
     check_positive("rate", rate)
     check_positive("bits_per_symbol", bits_per_symbol)
-    return ebn0_db + 10.0 * np.log10(rate * bits_per_symbol)
+    return float(ebn0_db + 10.0 * np.log10(rate * bits_per_symbol))
 
 
 def esn0_to_sigma(esn0_db: float, *, symbol_energy: float = 1.0) -> float:
@@ -54,13 +55,20 @@ class AWGNChannel:
         Seed or generator for reproducible noise.
     """
 
-    def __init__(self, sigma: float, rng=None):
+    def __init__(self, sigma: float, rng: SeedLike = None) -> None:
         check_positive("sigma", sigma)
         self._sigma = float(sigma)
         self._rng = ensure_rng(rng)
 
     @classmethod
-    def from_ebn0(cls, ebn0_db: float, rate: float, *, symbol_energy: float = 1.0, rng=None) -> "AWGNChannel":
+    def from_ebn0(
+        cls,
+        ebn0_db: float,
+        rate: float,
+        *,
+        symbol_energy: float = 1.0,
+        rng: SeedLike = None,
+    ) -> "AWGNChannel":
         """Build a channel for a target Eb/N0 (dB) and code rate."""
         return cls(ebn0_to_sigma(ebn0_db, rate, symbol_energy=symbol_energy), rng=rng)
 
@@ -74,7 +82,7 @@ class AWGNChannel:
         """Noise variance ``sigma^2``."""
         return self._sigma**2
 
-    def transmit(self, symbols) -> np.ndarray:
+    def transmit(self, symbols: npt.ArrayLike) -> npt.NDArray[np.float64]:
         """Add Gaussian noise to the transmitted symbols."""
         arr = np.asarray(symbols, dtype=np.float64)
         noise = self._rng.normal(0.0, self._sigma, size=arr.shape)

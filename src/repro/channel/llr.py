@@ -12,6 +12,7 @@ Positive LLRs therefore favour bit 0, matching
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.utils.validation import check_positive
 
@@ -25,7 +26,9 @@ def llr_scale_factor(sigma: float, *, amplitude: float = 1.0) -> float:
     return 2.0 * amplitude / (sigma**2)
 
 
-def channel_llrs(received, sigma: float, *, amplitude: float = 1.0) -> np.ndarray:
+def channel_llrs(
+    received: npt.ArrayLike, sigma: float, *, amplitude: float = 1.0
+) -> npt.NDArray[np.float64]:
     """Convert received BPSK samples to channel LLRs."""
     factor = llr_scale_factor(sigma, amplitude=amplitude)
     return factor * np.asarray(received, dtype=np.float64)

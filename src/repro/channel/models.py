@@ -26,8 +26,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-
 import numpy as np
+import numpy.typing as npt
 
 from repro.channel.llr import channel_llrs
 from repro.registry import Param, register_channel
@@ -54,8 +54,13 @@ class ChannelModel:
     """
 
     def llrs(
-        self, symbols, sigma: float, rng: np.random.Generator, *, amplitude: float = 1.0
-    ) -> np.ndarray:
+        self,
+        symbols: npt.ArrayLike,
+        sigma: float,
+        rng: np.random.Generator,
+        *,
+        amplitude: float = 1.0,
+    ) -> npt.NDArray[np.float64]:
         """Channel LLRs for one batch of modulated ``symbols``.
 
         ``sigma`` is the AWGN-equivalent noise standard deviation of the
@@ -79,7 +84,14 @@ class AWGNChannelModel(ChannelModel):
     LLR map), so existing seeds reproduce byte-identical curves.
     """
 
-    def llrs(self, symbols, sigma, rng, *, amplitude: float = 1.0) -> np.ndarray:
+    def llrs(
+        self,
+        symbols: npt.ArrayLike,
+        sigma: float,
+        rng: np.random.Generator,
+        *,
+        amplitude: float = 1.0,
+    ) -> npt.NDArray[np.float64]:
         arr = np.asarray(symbols, dtype=np.float64)
         received = arr + rng.normal(0.0, sigma, size=arr.shape)
         return channel_llrs(received, sigma, amplitude=amplitude)
@@ -112,7 +124,7 @@ class BSCChannelModel(ChannelModel):
 
     crossover: float | None = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.crossover is not None:
             crossover = float(self.crossover)
             if not 0.0 < crossover < 0.5:
@@ -127,13 +139,21 @@ class BSCChannelModel(ChannelModel):
         p = 0.5 * math.erfc(amplitude / (sigma * math.sqrt(2.0)))
         return min(max(p, _MIN_CROSSOVER), 0.5)
 
-    def llrs(self, symbols, sigma, rng, *, amplitude: float = 1.0) -> np.ndarray:
+    def llrs(
+        self,
+        symbols: npt.ArrayLike,
+        sigma: float,
+        rng: np.random.Generator,
+        *,
+        amplitude: float = 1.0,
+    ) -> npt.NDArray[np.float64]:
         arr = np.asarray(symbols, dtype=np.float64)
         p = self.crossover_probability(sigma, amplitude=amplitude)
         transmitted = arr <= 0.0  # noiseless hard decision == transmitted bit
         flipped = transmitted ^ (rng.random(size=arr.shape) < p)
         magnitude = math.log1p(-p) - math.log(p)  # log((1-p)/p), stable for tiny p
-        return np.where(flipped, -magnitude, magnitude)
+        llrs: npt.NDArray[np.float64] = np.where(flipped, -magnitude, magnitude)
+        return llrs
 
 
 @register_channel(
@@ -165,14 +185,21 @@ class RayleighBlockFadingChannelModel(ChannelModel):
 
     block_length: int | None = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.block_length is not None:
             block_length = int(self.block_length)
             if block_length < 1:
                 raise ValueError("block_length must be positive")
             object.__setattr__(self, "block_length", block_length)
 
-    def llrs(self, symbols, sigma, rng, *, amplitude: float = 1.0) -> np.ndarray:
+    def llrs(
+        self,
+        symbols: npt.ArrayLike,
+        sigma: float,
+        rng: np.random.Generator,
+        *,
+        amplitude: float = 1.0,
+    ) -> npt.NDArray[np.float64]:
         arr = np.asarray(symbols, dtype=np.float64)
         shape = arr.shape
         flat = np.atleast_2d(arr)
@@ -183,5 +210,5 @@ class RayleighBlockFadingChannelModel(ChannelModel):
         fades = rng.rayleigh(scale=math.sqrt(0.5), size=(batch, blocks))
         gains = np.repeat(fades, block, axis=1)[:, :length]
         received = gains * flat + rng.normal(0.0, sigma, size=flat.shape)
-        llrs = (2.0 * amplitude / sigma**2) * gains * received
+        llrs: npt.NDArray[np.float64] = (2.0 * amplitude / sigma**2) * gains * received
         return llrs.reshape(shape)

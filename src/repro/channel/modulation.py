@@ -8,6 +8,7 @@ indicates the bit is more likely to be 0.
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.registry import Param, register_modulator
 from repro.utils.validation import check_binary_array
@@ -32,7 +33,7 @@ class BPSKModulator:
         Symbol amplitude (default 1.0); the symbol energy is ``amplitude**2``.
     """
 
-    def __init__(self, amplitude: float = 1.0):
+    def __init__(self, amplitude: float = 1.0) -> None:
         if amplitude <= 0:
             raise ValueError("amplitude must be positive")
         self._amplitude = float(amplitude)
@@ -52,11 +53,11 @@ class BPSKModulator:
         """Energy per transmitted symbol."""
         return self._amplitude**2
 
-    def modulate(self, bits) -> np.ndarray:
+    def modulate(self, bits: npt.ArrayLike) -> npt.NDArray[np.float64]:
         """Map bits to symbols: ``0 -> +A``, ``1 -> -A``."""
         arr = check_binary_array("bits", bits)
         return self._amplitude * (1.0 - 2.0 * arr.astype(np.float64))
 
-    def demodulate_hard(self, symbols) -> np.ndarray:
+    def demodulate_hard(self, symbols: npt.ArrayLike) -> npt.NDArray[np.uint8]:
         """Hard-decision demapping: negative symbols decode to bit 1."""
         return (np.asarray(symbols, dtype=np.float64) <= 0).astype(np.uint8)

@@ -17,8 +17,10 @@ pre-redesign seeds byte-identical.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
+import numpy.typing as npt
 
 __all__ = ["ChannelPipeline", "default_pipeline"]
 
@@ -37,15 +39,17 @@ class ChannelPipeline:
         (see :class:`repro.channel.models.ChannelModel`).
     """
 
-    modulator: object
-    channel: object
+    modulator: Any
+    channel: Any
 
     @property
     def amplitude(self) -> float:
         """The modulator's symbol amplitude (1.0 when it does not say)."""
         return float(getattr(self.modulator, "amplitude", 1.0))
 
-    def llrs(self, bits, sigma: float, rng: np.random.Generator) -> np.ndarray:
+    def llrs(
+        self, bits: npt.ArrayLike, sigma: float, rng: np.random.Generator
+    ) -> npt.NDArray[np.float64]:
         """Modulate one batch of frame bits and push it through the channel.
 
         ``sigma`` is the AWGN-equivalent noise standard deviation of the
@@ -54,7 +58,10 @@ class ChannelPipeline:
         shard.
         """
         symbols = self.modulator.modulate(bits)
-        return self.channel.llrs(symbols, sigma, rng, amplitude=self.amplitude)
+        return np.asarray(
+            self.channel.llrs(symbols, sigma, rng, amplitude=self.amplitude),
+            dtype=np.float64,
+        )
 
 
 def default_pipeline() -> "ChannelPipeline":

@@ -23,7 +23,11 @@ writing any Python:
   (:mod:`repro.registry`): ``components list`` shows every registered code
   family, decoder, channel and modulator with its parameter signature, and
   ``components describe <kind> <name>`` the full parameter schema — the
-  names usable in campaign specs and ``simulate`` options.
+  names usable in campaign specs and ``simulate`` options;
+* ``lint``        — the static-analysis gate (:mod:`repro.devtools`):
+  AST determinism rules (``REP1xx``) over the source tree and, with
+  ``--schemas``, the registry schema cross-checker (``REP2xx``); the CI
+  ``static-analysis`` job runs it as ``repro lint src/repro --schemas``.
 
 Every command prints plain ASCII tables (the same helpers the benchmark
 harness uses), so output can be diffed against ``benchmarks/output/``.
@@ -37,6 +41,7 @@ from pathlib import Path
 
 
 from repro.codes.deepspace import AR4JA_RATES
+from repro.devtools.cli import add_lint_arguments, run_lint
 from repro.core import (
     CYCLONE_II_EP2C50F,
     STRATIX_II_EP2S180,
@@ -654,6 +659,14 @@ def build_parser() -> argparse.ArgumentParser:
     comp_describe.add_argument("kind", choices=KINDS, help="component kind")
     comp_describe.add_argument("name", type=str, help="registered name")
     comp_describe.set_defaults(func=_cmd_components_describe)
+
+    lint = sub.add_parser(
+        "lint",
+        help="static determinism linter and registry schema cross-checker "
+             "(REPxxx rules; see docs/devtools.md)",
+    )
+    add_lint_arguments(lint)
+    lint.set_defaults(func=run_lint)
 
     return parser
 

@@ -79,6 +79,6 @@ def _build_scaled_family(circulant: int):
     ],
     summary="AR4JA-style deep-space code (punctured protograph LDPC)",
 )
-def _build_deepspace_family(rate: str, circulant: int | None = None):
-    code, _ = build_deepspace_code(rate, circulant or 64)
+def _build_deepspace_family(rate: str, circulant: int = 64):
+    code, _ = build_deepspace_code(rate, circulant)
     return code

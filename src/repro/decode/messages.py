@@ -160,7 +160,9 @@ class EdgeStructure:
         extrinsic_mag = np.where(self.edge_check_degree <= 1, 0.0, extrinsic_mag)
         if offset:
             extrinsic_mag = np.maximum(extrinsic_mag - offset, 0.0)
-        if scale != 1.0:
+        # scale is exactly 1.0 when the caller passed the default; the
+        # comparison skips a multiply, it does not gate numerics.
+        if scale != 1.0:  # repro: noqa[REP106]
             extrinsic_mag = scale * extrinsic_mag
         return extrinsic_sign * extrinsic_mag
 

@@ -1,0 +1,72 @@
+"""Static-analysis devtools: the determinism & schema QA gate.
+
+The platform's headline guarantees — bit-identical Monte-Carlo counts for
+any worker count and any kill/resume pattern, byte-identical reports, and
+registry schemas that match their factories — were enforced only at
+runtime, so a single unseeded RNG or set-ordered iteration could slip in
+and surface much later as a flaky golden-fixture failure.  This package
+makes those invariants *statically checkable*, institutionalizing QA as
+standing machinery the way large scientific instruments do, rather than
+re-litigating it in every review:
+
+* :mod:`repro.devtools.rules` — the ``REPxxx`` rule catalog (codes,
+  summaries, rationales);
+* :mod:`repro.devtools.linter` — the AST determinism linter (``REP1xx``):
+  no hidden global randomness, no unseeded generators, no wall-clock in
+  artifacts, no set-order or float-equality hazards, atomic persistence
+  writes, picklable pool targets;
+* :mod:`repro.devtools.baseline` — committed-baseline debt management, so
+  pre-existing violations burn down instead of blocking the gate;
+* :mod:`repro.devtools.schema_check` — the registry cross-checker
+  (``REP2xx``): every registered component's declared
+  :class:`~repro.registry.Param` schema must match its factory's real
+  signature and be documented;
+* :mod:`repro.devtools.cli` — the ``repro lint`` command gluing it all to
+  the CI ``static-analysis`` job.
+
+See ``docs/devtools.md`` for each rule's rationale, examples and the
+suppression/baseline workflow.
+"""
+
+from repro.devtools.baseline import Baseline, apply_baseline
+from repro.devtools.linter import (
+    DEFAULT_CONFIG,
+    LinterConfig,
+    Violation,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+)
+from repro.devtools.rules import (
+    ALL_RULES,
+    DETERMINISM_RULES,
+    SCHEMA_RULES,
+    Rule,
+    rule,
+)
+from repro.devtools.schema_check import (
+    DEFAULT_DOCS_PATH,
+    SchemaFinding,
+    check_component,
+    check_registry,
+)
+
+__all__ = [
+    "Rule",
+    "rule",
+    "ALL_RULES",
+    "DETERMINISM_RULES",
+    "SCHEMA_RULES",
+    "Violation",
+    "LinterConfig",
+    "DEFAULT_CONFIG",
+    "lint_source",
+    "lint_paths",
+    "iter_python_files",
+    "Baseline",
+    "apply_baseline",
+    "SchemaFinding",
+    "check_component",
+    "check_registry",
+    "DEFAULT_DOCS_PATH",
+]

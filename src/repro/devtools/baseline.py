@@ -1,0 +1,107 @@
+"""Violation baselines: pre-existing debt burns down instead of blocking.
+
+Turning a linter on over an existing codebase is an all-or-nothing cliff
+unless the existing violations can be *acknowledged*: a committed baseline
+file records them by identity and the gate fails only on violations not in
+the baseline.  Fixing a baselined violation then shrinks the file on the
+next ``repro lint --write-baseline``; it can never grow silently, because
+new violations are exactly the non-baselined ones.
+
+Identity is ``(path, rule, stripped source line)`` — not line numbers — so
+edits above a baselined violation do not invalidate it; moving or editing
+the offending line itself does, which is intended (an edited violation
+deserves a fresh look).  Identical lines in one file (say two ``== 0.0``
+comparisons with the same text) are matched as a multiset: a baseline entry
+absorbs as many occurrences as were recorded, no more.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.devtools.linter import Violation
+from repro.utils.files import atomic_write_text
+
+__all__ = ["Baseline", "apply_baseline"]
+
+_FORMAT = "repro-lint-baseline-v1"
+
+
+class Baseline:
+    """A multiset of acknowledged violation identities."""
+
+    def __init__(self, entries: Iterable[tuple[str, str, str]] = ()):
+        self._entries: Counter[tuple[str, str, str]] = Counter(entries)
+
+    def __len__(self) -> int:
+        return sum(self._entries.values())
+
+    def __contains__(self, identity: tuple[str, str, str]) -> bool:
+        return self._entries[identity] > 0
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_violations(cls, violations: Iterable[Violation]) -> "Baseline":
+        """A baseline acknowledging exactly ``violations``."""
+        return cls(v.identity for v in violations)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read a baseline file; unknown formats raise ``ValueError``."""
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        if data.get("format") != _FORMAT:
+            raise ValueError(
+                f"{path} is not a {_FORMAT} file (format: "
+                f"{data.get('format')!r})"
+            )
+        entries: list[tuple[str, str, str]] = []
+        for item in data.get("violations", []):
+            entries.append(
+                (str(item["path"]), str(item["rule"]), str(item["snippet"]))
+            )
+        return cls(entries)
+
+    def save(self, path: str | Path) -> None:
+        """Write the baseline (sorted, atomic — it lives in the repository)."""
+        violations = [
+            {"path": p, "rule": r, "snippet": s}
+            for (p, r, s), count in sorted(self._entries.items())
+            for _ in range(count)
+        ]
+        payload = json.dumps(
+            {"format": _FORMAT, "violations": violations}, indent=2
+        )
+        atomic_write_text(path, payload + "\n")
+
+    # ------------------------------------------------------------------ #
+    def split(
+        self, violations: Sequence[Violation]
+    ) -> tuple[list[Violation], list[Violation]]:
+        """Partition ``violations`` into ``(new, baselined)``.
+
+        Each baseline entry absorbs at most as many occurrences of its
+        identity as were recorded — a multiset match, so duplicating a
+        baselined line is still a new violation.
+        """
+        budget = Counter(self._entries)
+        new: list[Violation] = []
+        matched: list[Violation] = []
+        for violation in violations:
+            if budget[violation.identity] > 0:
+                budget[violation.identity] -= 1
+                matched.append(violation)
+            else:
+                new.append(violation)
+        return new, matched
+
+
+def apply_baseline(
+    violations: Sequence[Violation], path: str | Path | None
+) -> tuple[list[Violation], list[Violation]]:
+    """``Baseline.load(path).split(violations)``; no path means no baseline."""
+    if path is None:
+        return list(violations), []
+    return Baseline.load(path).split(violations)

@@ -1,0 +1,200 @@
+"""Implementation of the ``repro lint`` command.
+
+Kept out of :mod:`repro.cli` so the static-analysis machinery stays an
+importable subsystem (tests drive these functions directly) and the main
+CLI module only wires argparse options to it.
+
+Exit codes follow the conventions of the other subcommands: 0 clean (or
+``--report-only``), 1 non-baselined violations, 2 usage errors (missing
+paths, unreadable baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence, TextIO
+
+from repro.devtools.baseline import Baseline
+from repro.devtools.linter import (
+    DEFAULT_CONFIG,
+    LinterConfig,
+    Violation,
+    lint_paths,
+)
+from repro.devtools.rules import DETERMINISM_RULES, SCHEMA_RULES
+from repro.devtools.schema_check import SchemaFinding, check_registry
+
+__all__ = ["add_lint_arguments", "run_lint", "DEFAULT_BASELINE_PATH"]
+
+#: Where the committed baseline lives (relative to the repository root,
+#: which is where ``repro lint`` is expected to run — CI does).
+DEFAULT_BASELINE_PATH = Path(".repro-lint-baseline.json")
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``repro lint`` options to ``parser``."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--schemas",
+        action="store_true",
+        help="also cross-check every registered component's Param schema "
+        "against its factory signature and docs/components.md (REP2xx)",
+    )
+    parser.add_argument(
+        "--select",
+        type=str,
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to enforce (default: all REP1xx)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="acknowledged-violations file (default: "
+        f"{DEFAULT_BASELINE_PATH} when it exists)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file: report every violation",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline to the current violations and exit 0 "
+        "(the burn-down workflow: fix, rewrite, commit the shrunk file)",
+    )
+    parser.add_argument(
+        "--report-only",
+        action="store_true",
+        help="print violations but exit 0 (advisory mode for tools/, "
+        "benchmarks/ and examples/)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        action="store_true",
+        help="list every rule of the suite and exit",
+    )
+
+
+def _print_rules(stream: TextIO) -> None:
+    for group, rules in (
+        ("Determinism rules (AST linter)", DETERMINISM_RULES),
+        ("Registry schema rules (--schemas)", SCHEMA_RULES),
+    ):
+        print(f"{group}:", file=stream)
+        for item in rules:
+            print(f"  {item.code}  {item.name:<26} {item.summary}", file=stream)
+    print(
+        "\nsuppress with `# repro: noqa[REP1xx]`; see docs/devtools.md",
+        file=stream,
+    )
+
+
+def _resolve_baseline(args: argparse.Namespace) -> Path | None:
+    if args.no_baseline:
+        return None
+    if args.baseline is not None:
+        return Path(args.baseline)
+    return DEFAULT_BASELINE_PATH if DEFAULT_BASELINE_PATH.exists() else None
+
+
+def _emit_json(
+    new: Sequence[Violation],
+    baselined: Sequence[Violation],
+    findings: Sequence[SchemaFinding],
+    stream: TextIO,
+) -> None:
+    payload = {
+        "violations": [v.as_dict() for v in new],
+        "baselined": [v.as_dict() for v in baselined],
+        "schema_findings": [f.as_dict() for f in findings],
+    }
+    print(json.dumps(payload, indent=2), file=stream)
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute ``repro lint`` for parsed ``args``; returns the exit code."""
+    out = sys.stdout
+    if args.rules:
+        _print_rules(out)
+        return 0
+
+    config: LinterConfig = DEFAULT_CONFIG
+    if args.select:
+        try:
+            config = config.with_select(
+                code.strip().upper() for code in args.select.split(",") if code.strip()
+            )
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+
+    try:
+        violations = lint_paths(args.paths, config=config)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    except SyntaxError as exc:
+        print(f"cannot parse {exc.filename}:{exc.lineno}: {exc.msg}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        target = Path(args.baseline) if args.baseline else DEFAULT_BASELINE_PATH
+        Baseline.from_violations(violations).save(target)
+        print(
+            f"baseline with {len(violations)} violation(s) written to {target}"
+        )
+        return 0
+
+    baseline_path = _resolve_baseline(args)
+    try:
+        new, baselined = (
+            Baseline.load(baseline_path).split(violations)
+            if baseline_path is not None
+            else (list(violations), [])
+        )
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        print(f"cannot load baseline {baseline_path}: {exc}", file=sys.stderr)
+        return 2
+
+    findings: list[SchemaFinding] = []
+    if args.schemas:
+        findings = check_registry()
+
+    if args.format == "json":
+        _emit_json(new, baselined, findings, out)
+    else:
+        for violation in new:
+            print(violation.render(), file=out)
+        for finding in findings:
+            print(finding.render(), file=out)
+        checked = ", ".join(str(p) for p in args.paths)
+        summary = (
+            f"{len(new)} violation(s) ({len(baselined)} baselined) in {checked}"
+        )
+        if args.schemas:
+            summary += f"; {len(findings)} schema finding(s)"
+        print(summary, file=out)
+
+    failed = bool(new) or bool(findings)
+    if failed and args.report_only:
+        print("report-only: not failing the gate", file=out)
+        return 0
+    return 1 if failed else 0

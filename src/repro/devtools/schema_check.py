@@ -1,0 +1,264 @@
+"""Registry schema cross-checker (the ``REP2xx`` rules).
+
+The component registry (:mod:`repro.registry`) promises that a declared
+:class:`~repro.registry.Param` schema *is* the builder's interface: spec
+validation trusts the schema, ``components describe`` renders it, and specs
+that pass validation must build on a worker process without surprises.
+Nothing enforced that promise — a drifted schema validated specs against an
+interface the factory no longer had.  This checker closes the gap by
+introspecting every registered component:
+
+* every declared parameter must be accepted by the builder's real
+  signature (REP201);
+* every parameter the builder *requires* must be declared required
+  (REP202);
+* declared defaults must agree with signature defaults (REP203);
+* defaults must be covered by declared ``choices`` (REP204);
+* every registration must be documented in ``docs/components.md``
+  (REP205).
+
+Builder conventions mirror :class:`repro.registry.Component.build`: decoder
+builders are invoked as ``builder(code, max_iterations=..., **params)``
+(their first positional parameter and ``max_iterations`` are
+framework-owned), all other kinds as ``builder(**params)``.  Components
+registered with an *open* schema (``params=None``) skip the signature rules
+but are still held to the documentation rule.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro.registry import Component, Param, iter_components
+
+__all__ = [
+    "SchemaFinding",
+    "check_component",
+    "check_registry",
+    "DEFAULT_DOCS_PATH",
+]
+
+#: The documentation file REP205 checks registrations against.
+DEFAULT_DOCS_PATH = Path("docs") / "components.md"
+
+#: Parameters owned by the framework calling convention, never by schemas.
+_FRAMEWORK_PARAMS = frozenset({"max_iterations"})
+
+#: Schema defaults are compared only for JSON-representable scalars; a
+#: builder whose default is a rich object (a FixedPointFormat, say) cannot
+#: be mirrored by the JSON-native schema and is skipped.
+_COMPARABLE = (int, float, str, bool)
+
+
+@dataclass(frozen=True)
+class SchemaFinding:
+    """One schema/signature disagreement of a registered component."""
+
+    rule: str
+    kind: str
+    name: str
+    message: str
+
+    def render(self) -> str:
+        """Human-readable one-line form."""
+        return f"{self.kind}/{self.name}: {self.rule} {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "kind": self.kind,
+            "name": self.name,
+            "message": self.message,
+        }
+
+
+def _builder_parameters(
+    component: Component,
+) -> tuple[dict[str, inspect.Parameter], bool] | None:
+    """Schema-relevant signature parameters and whether ``**kwargs`` exists.
+
+    Returns ``None`` when the builder has no introspectable signature
+    (builtins, C extensions) — those components are skipped rather than
+    failed, matching ``inspect``'s own limits.
+    """
+    try:
+        signature = inspect.signature(component.builder)
+    except (TypeError, ValueError):
+        return None
+    parameters = list(signature.parameters.values())
+    if component.kind == "decoder" and parameters:
+        # The leading positional parameter is the code object the framework
+        # passes; it is part of the calling convention, not the schema.
+        first = parameters[0]
+        if first.kind in (
+            inspect.Parameter.POSITIONAL_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        ):
+            parameters = parameters[1:]
+    has_var_keyword = any(
+        p.kind == inspect.Parameter.VAR_KEYWORD for p in parameters
+    )
+    named = {
+        p.name: p
+        for p in parameters
+        if p.kind
+        in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        )
+        and p.name not in _FRAMEWORK_PARAMS
+    }
+    return named, has_var_keyword
+
+
+def _check_defaults(
+    component: Component, param: Param, builder_param: inspect.Parameter
+) -> Iterable[SchemaFinding]:
+    sig_default = builder_param.default
+    has_sig_default = sig_default is not inspect.Parameter.empty
+    if param.default is not None:
+        if not has_sig_default:
+            yield SchemaFinding(
+                "REP203",
+                component.kind,
+                component.name,
+                f"schema declares default {param.default!r} for "
+                f"{param.name!r} but the builder has no default",
+            )
+        elif (
+            isinstance(sig_default, _COMPARABLE) or sig_default is None
+        ) and sig_default != param.default:
+            yield SchemaFinding(
+                "REP203",
+                component.kind,
+                component.name,
+                f"schema default {param.default!r} for {param.name!r} "
+                f"disagrees with the builder default {sig_default!r}",
+            )
+    elif (
+        has_sig_default
+        and sig_default is not None
+        and isinstance(sig_default, _COMPARABLE)
+    ):
+        yield SchemaFinding(
+            "REP203",
+            component.kind,
+            component.name,
+            f"builder defaults {param.name!r} to {sig_default!r} but the "
+            "schema declares no default",
+        )
+    if param.choices is not None:
+        for origin, value in (
+            ("schema", param.default),
+            ("builder", sig_default if has_sig_default else None),
+        ):
+            if (
+                value is not None
+                and isinstance(value, _COMPARABLE)
+                and value not in param.choices
+            ):
+                yield SchemaFinding(
+                    "REP204",
+                    component.kind,
+                    component.name,
+                    f"{origin} default {value!r} for {param.name!r} is not "
+                    f"in the declared choices {param.choices}",
+                )
+
+
+def check_component(
+    component: Component, *, docs_text: str | None = None
+) -> list[SchemaFinding]:
+    """Every ``REP2xx`` finding of one registered component.
+
+    ``docs_text`` enables the documentation rule (REP205): the component's
+    registered name must occur in it.  Pass ``None`` to skip that rule.
+    """
+    findings: list[SchemaFinding] = []
+    if docs_text is not None and component.name not in docs_text:
+        findings.append(
+            SchemaFinding(
+                "REP205",
+                component.kind,
+                component.name,
+                "registered component is not documented in "
+                "docs/components.md",
+            )
+        )
+    if component.params is None:
+        return findings
+    introspected = _builder_parameters(component)
+    if introspected is None:
+        return findings
+    named, has_var_keyword = introspected
+    declared = {p.name: p for p in component.params}
+    for param in component.params:
+        builder_param = named.get(param.name)
+        if builder_param is None:
+            if not has_var_keyword:
+                findings.append(
+                    SchemaFinding(
+                        "REP201",
+                        component.kind,
+                        component.name,
+                        f"schema declares parameter {param.name!r} but the "
+                        "builder signature does not accept it",
+                    )
+                )
+            continue
+        findings.extend(_check_defaults(component, param, builder_param))
+    for name, builder_param in named.items():
+        if builder_param.default is not inspect.Parameter.empty:
+            continue
+        schema_param = declared.get(name)
+        if schema_param is None:
+            findings.append(
+                SchemaFinding(
+                    "REP202",
+                    component.kind,
+                    component.name,
+                    f"builder requires parameter {name!r} but the schema "
+                    "does not declare it",
+                )
+            )
+        elif not schema_param.required:
+            findings.append(
+                SchemaFinding(
+                    "REP202",
+                    component.kind,
+                    component.name,
+                    f"builder requires parameter {name!r} but the schema "
+                    "declares it optional",
+                )
+            )
+    return findings
+
+
+def check_registry(
+    components: Iterable[Component] | None = None,
+    *,
+    docs: str | Path | None = DEFAULT_DOCS_PATH,
+) -> list[SchemaFinding]:
+    """Cross-check components (default: every registration) against rules.
+
+    ``docs`` names the components documentation for REP205; ``None`` (or a
+    missing file when using the default path) skips that rule, while a
+    missing *explicitly requested* file raises ``FileNotFoundError``.
+    """
+    docs_text: str | None = None
+    if docs is not None:
+        docs_path = Path(docs)
+        if docs_path.exists():
+            docs_text = docs_path.read_text(encoding="utf-8")
+        elif docs_path != DEFAULT_DOCS_PATH:
+            raise FileNotFoundError(f"components doc {docs_path} not found")
+    if components is None:
+        components = list(iter_components())
+    findings: list[SchemaFinding] = []
+    for component in components:
+        findings.extend(check_component(component, docs_text=docs_text))
+    findings.sort(key=lambda f: (f.kind, f.name, f.rule, f.message))
+    return findings

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import contextlib
 import importlib
+from typing import Any, Callable, Iterator
 
 from repro.registry.core import (
     KINDS,
@@ -100,23 +101,43 @@ def _ensure_builtins() -> None:
 # --------------------------------------------------------------------------- #
 # Public decorators (used by built-ins and third-party plugins alike)
 # --------------------------------------------------------------------------- #
-def register_code(name: str, *, params=None, summary: str = ""):
+def register_code(
+    name: str,
+    *,
+    params: "tuple[Param, ...] | list[Param] | None" = None,
+    summary: str = "",
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
     """Register a code family builder: ``builder(**params) -> code``."""
     return REGISTRY.register("code", name, params=params, summary=summary)
 
 
-def register_decoder(name: str, *, params=None, summary: str = ""):
+def register_decoder(
+    name: str,
+    *,
+    params: "tuple[Param, ...] | list[Param] | None" = None,
+    summary: str = "",
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
     """Register a decoder: ``builder(code, max_iterations=..., **params)``."""
     return REGISTRY.register("decoder", name, params=params, summary=summary)
 
 
-def register_channel(name: str, *, params=None, summary: str = ""):
+def register_channel(
+    name: str,
+    *,
+    params: "tuple[Param, ...] | list[Param] | None" = None,
+    summary: str = "",
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
     """Register a channel model: ``builder(**params)`` returning an object
     with ``llrs(symbols, sigma, rng, *, amplitude=1.0) -> ndarray``."""
     return REGISTRY.register("channel", name, params=params, summary=summary)
 
 
-def register_modulator(name: str, *, params=None, summary: str = ""):
+def register_modulator(
+    name: str,
+    *,
+    params: "tuple[Param, ...] | list[Param] | None" = None,
+    summary: str = "",
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
     """Register a modulator: ``builder(**params)`` returning an object with
     ``modulate(bits) -> symbols`` (and ideally an ``amplitude`` property)."""
     return REGISTRY.register("modulator", name, params=params, summary=summary)
@@ -137,14 +158,21 @@ def component_names(kind: str) -> tuple[str, ...]:
     return REGISTRY.names(kind)
 
 
-def iter_components(kind: str | None = None):
+def iter_components(kind: str | None = None) -> Iterator[Component]:
     """Iterate every registered component (all kinds in ``KINDS`` order)."""
     _ensure_builtins()
     return REGISTRY.components(kind)
 
 
 @contextlib.contextmanager
-def temporary_component(kind: str, name: str, builder, *, params=None, summary: str = ""):
+def temporary_component(
+    kind: str,
+    name: str,
+    builder: Callable[..., Any],
+    *,
+    params: "tuple[Param, ...] | list[Param] | None" = None,
+    summary: str = "",
+) -> Iterator[Component]:
     """Register a component for the duration of a ``with`` block.
 
     Meant for tests and exploratory sessions: the component is guaranteed to

@@ -20,7 +20,7 @@ component.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, Mapping
+from typing import Any, Callable, Iterator, Mapping
 
 __all__ = [
     "KINDS",
@@ -84,10 +84,10 @@ class Param:
     type: str = "str"
     default: object = None
     required: bool = False
-    choices: tuple | None = None
+    choices: tuple[object, ...] | None = None
     doc: str = ""
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not self.name or not str(self.name).isidentifier():
             raise RegistryError(f"parameter name {self.name!r} is not an identifier")
         if self.choices is not None:
@@ -100,9 +100,9 @@ class Param:
             text += f"={self.default}"
         return text
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, object]:
         """JSON-friendly schema entry (``components describe`` machine form)."""
-        data: dict = {"name": self.name, "type": self.type}
+        data: dict[str, object] = {"name": self.name, "type": self.type}
         if self.default is not None:
             data["default"] = self.default
         if self.required:
@@ -125,7 +125,7 @@ class Component:
 
     kind: str
     name: str
-    builder: Callable
+    builder: Callable[..., Any]
     params: tuple[Param, ...] | None = None
     summary: str = ""
 
@@ -144,7 +144,7 @@ class Component:
                 return param
         return None
 
-    def validate(self, values: Mapping) -> None:
+    def validate(self, values: Mapping[str, object]) -> None:
         """Check parameter names, required-ness and choices for a spec.
 
         Raises :class:`RegistryError` with an actionable message; values are
@@ -175,11 +175,11 @@ class Component:
                         f"must be one of {param.choices}, got {value!r}"
                     )
 
-    def build(self, *args, **kwargs):
+    def build(self, *args: Any, **kwargs: Any) -> Any:
         """Invoke the builder (positional args first, e.g. a decoder's code)."""
         return self.builder(*args, **kwargs)
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, object]:
         """JSON-friendly description of the component and its schema."""
         return {
             "kind": self.kind,
@@ -198,7 +198,7 @@ class ComponentRegistry:
     instances can be created for tests.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._components: dict[str, dict[str, Component]] = {k: {} for k in KINDS}
 
     # ------------------------------------------------------------------ #
@@ -216,7 +216,7 @@ class ComponentRegistry:
         *,
         params: "tuple[Param, ...] | list[Param] | None" = None,
         summary: str = "",
-    ) -> Callable:
+    ) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
         """Decorator registering ``builder`` as ``(kind, name)``.
 
         ``params`` is the declared schema (``None`` = open, any keyword
@@ -229,7 +229,7 @@ class ComponentRegistry:
         if not name or not str(name).strip():
             raise RegistryError("a component needs a non-empty name")
 
-        def decorator(builder: Callable) -> Callable:
+        def decorator(builder: Callable[..., Any]) -> Callable[..., Any]:
             if name in namespace:
                 raise DuplicateComponentError(
                     f"{_KIND_NOUNS.get(kind, kind)} {name!r} is already "
@@ -279,6 +279,6 @@ class ComponentRegistry:
                 yield self._components[k][name]
 
 
-def _first_doc_line(builder: Callable) -> str:
+def _first_doc_line(builder: Callable[..., Any]) -> str:
     doc = (getattr(builder, "__doc__", None) or "").strip()
     return doc.splitlines()[0] if doc else ""

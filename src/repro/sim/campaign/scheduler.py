@@ -26,7 +26,7 @@ many workers the machine has and however often the run was interrupted.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Any, Callable
 
 import numpy as np
 
@@ -75,8 +75,8 @@ class CampaignScheduler:
         store: ResultStore,
         *,
         workers: int | None = None,
-        mp_context=None,
-    ):
+        mp_context: Any = None,
+    ) -> None:
         self.spec = spec
         self.store = store
         self.workers = workers
@@ -132,10 +132,10 @@ class CampaignScheduler:
         return self.store.curves()
 
     # ------------------------------------------------------------------ #
-    def _built_codes(self, labels: set[str]) -> dict[str, object]:
+    def _built_codes(self, labels: set[str]) -> dict[str, Any]:
         """Build each distinct code once; map experiment label -> code."""
-        by_spec: dict = {}
-        codes: dict[str, object] = {}
+        by_spec: dict[Any, Any] = {}
+        codes: dict[str, Any] = {}
         for experiment in self.spec.experiments:
             if experiment.label not in labels:
                 continue
@@ -154,7 +154,11 @@ class CampaignScheduler:
         if progress is not None:
             progress(label, point)
 
-    def _run_serial(self, jobs, progress) -> None:
+    def _run_serial(
+        self,
+        jobs: list[PointJob],
+        progress: Callable[[str, SimulationPoint], None] | None,
+    ) -> None:
         codes = self._built_codes({job.label for job in jobs})
         experiments = {e.label: e for e in self.spec.experiments}
         simulators: dict[str, MonteCarloSimulator] = {}
@@ -174,7 +178,11 @@ class CampaignScheduler:
             point = simulator.run_point(job.ebn0_db, rng=job.seed)
             self._record(job.label, point, progress)
 
-    def _run_pooled(self, jobs, progress) -> None:
+    def _run_pooled(
+        self,
+        jobs: list[PointJob],
+        progress: Callable[[str, SimulationPoint], None] | None,
+    ) -> None:
         labels = {job.label for job in jobs}
         codes = self._built_codes(labels)
         entries: dict[str, PoolEntry] = {}

@@ -41,7 +41,7 @@ import itertools
 import json
 from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
-from typing import Mapping, Sequence
+from typing import Any, Mapping, Sequence
 
 from repro.channel.pipeline import ChannelPipeline
 from repro.channel.quantize import FixedPointFormat
@@ -65,12 +65,12 @@ __all__ = [
 _FORMAT_PARAMS = ("message_format", "channel_format")
 
 
-def config_to_dict(config: SimulationConfig) -> dict:
+def config_to_dict(config: SimulationConfig) -> dict[str, Any]:
     """Plain-dictionary form of a :class:`SimulationConfig`."""
     return asdict(config)
 
 
-def config_from_dict(data: Mapping) -> SimulationConfig:
+def config_from_dict(data: Mapping[str, Any]) -> SimulationConfig:
     """Rebuild a :class:`SimulationConfig`; unknown keys raise ``ValueError``.
 
     The strictness is deliberate: a silently dropped key (typo, or a field
@@ -103,9 +103,9 @@ class CodeSpec:
     family: str = "scaled"
     circulant: int | None = None
     rate: str | None = None
-    params: dict = field(default_factory=dict)
+    params: dict[str, Any] = field(default_factory=dict)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         component = get_component("code", self.family)
         overlap = set(self.params) & {"circulant", "rate"}
         if overlap:
@@ -116,7 +116,7 @@ class CodeSpec:
         if self.family == "scaled" and self.circulant is not None and not self.circulant:
             raise ValueError("a 'scaled' CodeSpec needs a positive circulant size")
 
-    def _builder_kwargs(self) -> dict:
+    def _builder_kwargs(self) -> dict[str, Any]:
         kwargs = dict(self.params)
         component = get_component("code", self.family)
         declared = (
@@ -135,7 +135,7 @@ class CodeSpec:
             kwargs[name] = value
         return kwargs
 
-    def __hash__(self):
+    def __hash__(self) -> int:
         # The dataclass-generated hash chokes on the params dict; hash the
         # canonical JSON instead (specs are used as cache keys, e.g. to
         # build each distinct code once per campaign).
@@ -163,12 +163,12 @@ class CodeSpec:
             parts.append(f"{name.replace('_', '-')}{_value_slug(kwargs[name])}")
         return "-".join(parts)
 
-    def build(self):
+    def build(self) -> Any:
         """Construct the code object this spec names."""
         return get_component("code", self.family).build(**self._builder_kwargs())
 
-    def as_dict(self) -> dict:
-        data: dict = {"family": self.family}
+    def as_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {"family": self.family}
         if self.circulant is not None:
             data["circulant"] = self.circulant
         if self.rate is not None:
@@ -178,7 +178,7 @@ class CodeSpec:
         return data
 
     @classmethod
-    def from_dict(cls, data: Mapping) -> "CodeSpec":
+    def from_dict(cls, data: Mapping[str, Any]) -> "CodeSpec":
         known = {f.name for f in fields(cls)}
         unknown = set(data) - known
         if unknown:
@@ -206,15 +206,15 @@ class DecoderSpec:
 
     kind: str = "nms"
     iterations: int = 18
-    params: dict = field(default_factory=dict)
+    params: dict[str, Any] = field(default_factory=dict)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         component = get_component("decoder", self.kind)
         component.validate(self.params)
         if int(self.iterations) < 1:
             raise ValueError("iterations must be positive")
 
-    def __hash__(self):
+    def __hash__(self) -> int:
         return _spec_hash(self.as_dict())
 
     @property
@@ -225,7 +225,7 @@ class DecoderSpec:
             parts.append(f"{name.replace('_', '-')}{_value_slug(self.params[name])}")
         return "-".join(parts)
 
-    def build(self, code):
+    def build(self, code: Any) -> Any:
         """Construct the decoder for ``code``."""
         kwargs = dict(self.params)
         for name in _FORMAT_PARAMS:
@@ -236,7 +236,7 @@ class DecoderSpec:
             code, max_iterations=int(self.iterations), **kwargs
         )
 
-    def factory(self, code) -> "BoundDecoderFactory":
+    def factory(self, code: Any) -> "BoundDecoderFactory":
         """Zero-argument factory bound to ``code``.
 
         Unlike a closure this is *picklable* (spec + code), so campaign
@@ -246,14 +246,14 @@ class DecoderSpec:
         """
         return BoundDecoderFactory(self, code)
 
-    def as_dict(self) -> dict:
-        data: dict = {"kind": self.kind, "iterations": self.iterations}
+    def as_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {"kind": self.kind, "iterations": self.iterations}
         if self.params:
             data["params"] = dict(self.params)
         return data
 
     @classmethod
-    def from_dict(cls, data: Mapping) -> "DecoderSpec":
+    def from_dict(cls, data: Mapping[str, Any]) -> "DecoderSpec":
         known = {f.name for f in fields(cls)}
         unknown = set(data) - known
         if unknown:
@@ -279,15 +279,15 @@ class ChannelSpec:
     """
 
     kind: str = "awgn"
-    params: dict = field(default_factory=dict)
+    params: dict[str, Any] = field(default_factory=dict)
     modulator: str = "bpsk"
-    modulator_params: dict = field(default_factory=dict)
+    modulator_params: dict[str, Any] = field(default_factory=dict)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         get_component("channel", self.kind).validate(self.params)
         get_component("modulator", self.modulator).validate(self.modulator_params)
 
-    def __hash__(self):
+    def __hash__(self) -> int:
         return _spec_hash(self.as_dict())
 
     @property
@@ -317,8 +317,8 @@ class ChannelSpec:
         channel = get_component("channel", self.kind).build(**self.params)
         return ChannelPipeline(modulator, channel)
 
-    def as_dict(self) -> dict:
-        data: dict = {"kind": self.kind}
+    def as_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {"kind": self.kind}
         if self.params:
             data["params"] = dict(self.params)
         if self.modulator != "bpsk":
@@ -328,7 +328,7 @@ class ChannelSpec:
         return data
 
     @classmethod
-    def from_dict(cls, data: Mapping) -> "ChannelSpec":
+    def from_dict(cls, data: Mapping[str, Any]) -> "ChannelSpec":
         known = {f.name for f in fields(cls)}
         unknown = set(data) - known
         if unknown:
@@ -344,13 +344,13 @@ class ChannelSpec:
 DEFAULT_CHANNEL_DICT = {"kind": "awgn"}
 
 
-def _value_slug(value) -> str:
+def _value_slug(value: object) -> str:
     if isinstance(value, (list, tuple)):
         return "q" + "p".join(str(v) for v in value)
     return str(value)
 
 
-def _spec_hash(data: dict) -> int:
+def _spec_hash(data: dict[str, Any]) -> int:
     """Order-insensitive hash of a spec's dict form (params are dicts)."""
     return hash(json.dumps(data, sort_keys=True, default=str))
 
@@ -360,9 +360,9 @@ class BoundDecoderFactory:
     """Picklable zero-argument decoder factory (a spec bound to its code)."""
 
     decoder: DecoderSpec
-    code: object
+    code: Any
 
-    def __call__(self):
+    def __call__(self) -> Any:
         return self.decoder.build(self.code)
 
 
@@ -384,7 +384,7 @@ class ExperimentSpec:
     config: SimulationConfig | None = None
     channel: ChannelSpec = field(default_factory=ChannelSpec)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not self.label or not str(self.label).strip():
             raise ValueError("every experiment needs a non-empty label")
         if self.ebn0 is not None:
@@ -410,8 +410,8 @@ class ExperimentSpec:
     def resolve_config(self, default: SimulationConfig) -> SimulationConfig:
         return self.config if self.config is not None else default
 
-    def as_dict(self) -> dict:
-        data: dict = {
+    def as_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {
             "label": self.label,
             "code": self.code.as_dict(),
             "decoder": self.decoder.as_dict(),
@@ -425,7 +425,7 @@ class ExperimentSpec:
         return data
 
     @classmethod
-    def from_dict(cls, data: Mapping) -> "ExperimentSpec":
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
         known = {f.name for f in fields(cls)}
         unknown = set(data) - known
         if unknown:
@@ -449,7 +449,7 @@ class ExperimentSpec:
 
 
 # --------------------------------------------------------------------------- #
-def expand_grid(grid: Mapping) -> list[ExperimentSpec]:
+def expand_grid(grid: Mapping[str, Any]) -> list[ExperimentSpec]:
     """Expand a compact cartesian grid into labelled experiments.
 
     ``grid`` is a mapping with:
@@ -499,7 +499,7 @@ def expand_grid(grid: Mapping) -> list[ExperimentSpec]:
     for code, decoder, channel, (config_index, config) in itertools.product(
         codes, decoders, channels, enumerate(configs)
     ):
-        parts = []
+        parts: list[str] = []
         if many_codes:
             parts.append(code.key)
         parts.append(decoder.key)
@@ -520,7 +520,7 @@ def expand_grid(grid: Mapping) -> list[ExperimentSpec]:
     return experiments
 
 
-def _expand_decoder_entry(entry: Mapping) -> list[DecoderSpec]:
+def _expand_decoder_entry(entry: Mapping[str, Any]) -> list[DecoderSpec]:
     """Expand list-valued ``iterations``/``params`` axes of one decoder dict."""
     unknown = set(entry) - {"kind", "iterations", "params"}
     if unknown:
@@ -529,7 +529,7 @@ def _expand_decoder_entry(entry: Mapping) -> list[DecoderSpec]:
     iterations = entry.get("iterations", 18)
     iteration_axis = list(iterations) if isinstance(iterations, (list, tuple)) else [iterations]
     axis_names, axes, params = _param_axes(entry.get("params"))
-    specs = []
+    specs: list[DecoderSpec] = []
     for iters in iteration_axis:
         for combo in itertools.product(*axes) if axes else [()]:
             combined = dict(params)
@@ -538,7 +538,7 @@ def _expand_decoder_entry(entry: Mapping) -> list[DecoderSpec]:
     return specs
 
 
-def _expand_channel_entry(entry: Mapping) -> list[ChannelSpec]:
+def _expand_channel_entry(entry: Mapping[str, Any]) -> list[ChannelSpec]:
     """Expand list-valued ``params``/``modulator_params`` axes of one channel dict."""
     unknown = set(entry) - {"kind", "params", "modulator", "modulator_params"}
     if unknown:
@@ -547,7 +547,7 @@ def _expand_channel_entry(entry: Mapping) -> list[ChannelSpec]:
     modulator = entry.get("modulator", "bpsk")
     axis_names, axes, params = _param_axes(entry.get("params"))
     mod_axis_names, mod_axes, mod_params = _param_axes(entry.get("modulator_params"))
-    specs = []
+    specs: list[ChannelSpec] = []
     for combo in itertools.product(*axes) if axes else [()]:
         combined = dict(params)
         combined.update(zip(axis_names, combo))
@@ -565,7 +565,9 @@ def _expand_channel_entry(entry: Mapping) -> list[ChannelSpec]:
     return specs
 
 
-def _param_axes(raw_params: Mapping | None) -> tuple[list[str], list[list], dict]:
+def _param_axes(
+    raw_params: Mapping[str, Any] | None,
+) -> tuple[list[str], list[list[Any]], dict[str, Any]]:
     """Split a params dict into cartesian axes and fixed values.
 
     A list-valued parameter is an axis — except the fixed-point format
@@ -574,7 +576,7 @@ def _param_axes(raw_params: Mapping | None) -> tuple[list[str], list[list], dict
     """
     params = dict(raw_params or {})
     axis_names: list[str] = []
-    axes: list[list] = []
+    axes: list[list[Any]] = []
     for name in sorted(params):
         value = params[name]
         if name in _FORMAT_PARAMS:
@@ -616,7 +618,7 @@ class CampaignSpec:
     config: SimulationConfig = field(default_factory=SimulationConfig)
     seed: int = 0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not self.name or not str(self.name).strip():
             raise ValueError("a campaign needs a non-empty name")
         self.ebn0 = tuple(float(x) for x in self.ebn0)
@@ -641,7 +643,7 @@ class CampaignSpec:
             experiment.resolve_ebn0(self.ebn0)  # raises when empty
 
     # ------------------------------------------------------------------ #
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, Any]:
         return {
             "name": self.name,
             "seed": self.seed,
@@ -651,7 +653,7 @@ class CampaignSpec:
         }
 
     @classmethod
-    def from_dict(cls, data: Mapping) -> "CampaignSpec":
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
         unknown = set(data) - {"name", "seed", "ebn0", "config", "experiments", "grid"}
         if unknown:
             raise ValueError(f"unknown CampaignSpec keys: {sorted(unknown)}")
@@ -673,12 +675,12 @@ class CampaignSpec:
             seed=int(data.get("seed", 0)),
         )
 
-    def save(self, path) -> None:
+    def save(self, path: str | Path) -> None:
         """Write the spec as JSON."""
         atomic_write_text(path, json.dumps(self.as_dict(), indent=2))
 
     @classmethod
-    def load(cls, path) -> "CampaignSpec":
+    def load(cls, path: str | Path) -> "CampaignSpec":
         """Load a spec from a JSON file (``grid`` sections are expanded)."""
         return cls.from_dict(json.loads(Path(path).read_text()))
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
+from typing import Any
 
 from repro.sim.campaign.spec import (
     DEFAULT_CHANNEL_DICT,
@@ -53,14 +54,16 @@ class ResultStore:
     ``resume``, which recover the spec from the manifest).
     """
 
-    def __init__(self, directory, spec: CampaignSpec):
+    def __init__(self, directory: str | Path, spec: CampaignSpec) -> None:
         self.directory = Path(directory)
         self.spec = spec
         self._curves: dict[str, SimulationCurve] = {}
 
     # ------------------------------------------------------------------ #
     @classmethod
-    def create(cls, directory, spec: CampaignSpec, *, fresh: bool = False) -> "ResultStore":
+    def create(
+        cls, directory: str | Path, spec: CampaignSpec, *, fresh: bool = False
+    ) -> "ResultStore":
         """Create (or re-open) the store for ``spec`` at ``directory``.
 
         An existing manifest must describe the *same* campaign (equal spec
@@ -68,30 +71,30 @@ class ResultStore:
         curve file are discarded first — resuming with a silently different
         grid or seed would corrupt the determinism guarantee.
         """
-        directory = Path(directory)
-        directory.mkdir(parents=True, exist_ok=True)
-        manifest = directory / _MANIFEST_NAME
+        root = Path(directory)
+        root.mkdir(parents=True, exist_ok=True)
+        manifest = root / _MANIFEST_NAME
         if fresh:
             # Discard *all* prior results, manifest or not: stray curve files
             # in a manifest-less directory would otherwise be adopted as
             # completed points of the new campaign.
-            for stale in directory.glob("*.curve.json"):
+            for stale in root.glob("*.curve.json"):
                 stale.unlink()
             manifest.unlink(missing_ok=True)
         elif manifest.exists():
-            existing = cls._read_manifest(directory)
+            existing = cls._read_manifest(root)
             if existing.as_dict() != spec.as_dict():
                 raise StoreMismatchError(
-                    f"{directory} already holds campaign "
+                    f"{root} already holds campaign "
                     f"{existing.name!r} with a different spec; rerun with "
                     "fresh=True (CLI: --fresh) to discard it"
                 )
-        store = cls(directory, spec)
+        store = cls(root, spec)
         store._write_manifest()
         return store
 
     @classmethod
-    def open(cls, directory) -> "ResultStore":
+    def open(cls, directory: str | Path) -> "ResultStore":
         """Open an existing store, recovering the spec from its manifest."""
         return cls(Path(directory), cls._read_manifest(Path(directory)))
 
@@ -125,7 +128,7 @@ class ResultStore:
                 return index, experiment
         raise KeyError(f"campaign {self.spec.name!r} has no experiment {label!r}")
 
-    def _metadata(self, index: int, experiment: ExperimentSpec) -> dict:
+    def _metadata(self, index: int, experiment: ExperimentSpec) -> dict[str, Any]:
         config = experiment.resolve_config(self.spec.config)
         return {
             "campaign": self.spec.name,
@@ -212,7 +215,7 @@ class ResultStore:
         """Every experiment's current curve, keyed by label."""
         return {e.label: self.curve(e.label) for e in self.spec.experiments}
 
-    def status(self) -> list[dict]:
+    def status(self) -> list[dict[str, Any]]:
         """Per-experiment progress summary (for ``campaign status``).
 
         A corrupt curve file (mismatched addressing metadata or unreadable
@@ -220,7 +223,7 @@ class ResultStore:
         ``"error"`` and counts as incomplete, so ``campaign status`` can name
         the broken experiment instead of dying on it.
         """
-        rows = []
+        rows: list[dict[str, Any]] = []
         for experiment in self.spec.experiments:
             grid = experiment.resolve_ebn0(self.spec.ebn0)
             error = self.curve_problem(experiment.label)

@@ -12,15 +12,17 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
+from typing import Any
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.utils.files import atomic_write_text
 
 __all__ = ["SimulationPoint", "SimulationCurve"]
 
 
-def _jsonable(value):
+def _jsonable(value: object) -> object:
     """JSON encoder fallback: numpy scalars/arrays and paths degrade cleanly.
 
     Sweep metadata routinely carries numpy-typed values (an ``np.float64``
@@ -63,7 +65,7 @@ class SimulationPoint:
     info_bit_errors: int = 0
     info_bits: int = 0
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, Any]:
         """Plain-dictionary form (for JSON serialization)."""
         return asdict(self)
 
@@ -74,7 +76,7 @@ class SimulationCurve:
 
     label: str
     points: list[SimulationPoint] = field(default_factory=list)
-    metadata: dict = field(default_factory=dict)
+    metadata: dict[str, Any] = field(default_factory=dict)
 
     def add(self, point: SimulationPoint) -> None:
         """Append a point (kept sorted by Eb/N0)."""
@@ -87,19 +89,19 @@ class SimulationCurve:
 
     # ------------------------------------------------------------------ #
     @property
-    def ebn0_values(self) -> np.ndarray:
+    def ebn0_values(self) -> npt.NDArray[np.float64]:
         """Eb/N0 grid of the curve (dB)."""
-        return np.array([p.ebn0_db for p in self.points])
+        return np.array([p.ebn0_db for p in self.points], dtype=np.float64)
 
     @property
-    def ber_values(self) -> np.ndarray:
+    def ber_values(self) -> npt.NDArray[np.float64]:
         """Bit-error-rate values."""
-        return np.array([p.ber for p in self.points])
+        return np.array([p.ber for p in self.points], dtype=np.float64)
 
     @property
-    def fer_values(self) -> np.ndarray:
+    def fer_values(self) -> npt.NDArray[np.float64]:
         """Frame-error-rate values."""
-        return np.array([p.fer for p in self.points])
+        return np.array([p.fer for p in self.points], dtype=np.float64)
 
     def ebn0_at_ber(self, target_ber: float) -> float | None:
         """Eb/N0 (dB) where the curve crosses a target BER (log-linear interpolation).
@@ -132,7 +134,7 @@ class SimulationCurve:
         return reference - own
 
     # ------------------------------------------------------------------ #
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, Any]:
         """Plain-dictionary form."""
         return {
             "label": self.label,
@@ -141,7 +143,7 @@ class SimulationCurve:
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "SimulationCurve":
+    def from_dict(cls, data: dict[str, Any]) -> "SimulationCurve":
         """Rebuild a curve from :meth:`as_dict` output.
 
         Tolerant of evolution in both directions: a missing ``label`` or
@@ -158,11 +160,11 @@ class SimulationCurve:
             curve.add(SimulationPoint(**{k: v for k, v in point.items() if k in known}))
         return curve
 
-    def save(self, path) -> None:
+    def save(self, path: str | Path) -> None:
         """Write the curve to a JSON file (atomically: write + rename)."""
         atomic_write_text(path, json.dumps(self.as_dict(), indent=2, default=_jsonable))
 
     @classmethod
-    def load(cls, path) -> "SimulationCurve":
+    def load(cls, path: str | Path) -> "SimulationCurve":
         """Load a curve from a JSON file."""
         return cls.from_dict(json.loads(Path(path).read_text()))

@@ -16,6 +16,7 @@ from repro.utils.formatting import (
 )
 from repro.utils.template import fill, html_escape, html_table
 from repro.utils.rng import (
+    UnseededRNGWarning,
     as_seed_sequence,
     ensure_rng,
     spawn_rngs,
@@ -42,6 +43,7 @@ __all__ = [
     "fill",
     "html_escape",
     "html_table",
+    "UnseededRNGWarning",
     "ensure_rng",
     "as_seed_sequence",
     "spawn_seed_sequences",

@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
-import numpy as np
+from typing import Sequence
 
-from repro.utils.rng import ensure_rng
+import numpy as np
+import numpy.typing as npt
+
+from repro.utils.rng import SeedLike, ensure_rng
 
 __all__ = [
     "random_bits",
@@ -18,7 +21,9 @@ __all__ = [
 ]
 
 
-def random_bits(n: int, rng=None, *, shape=None) -> np.ndarray:
+def random_bits(
+    n: int, rng: SeedLike = None, *, shape: Sequence[int] | None = None
+) -> npt.NDArray[np.uint8]:
     """Generate uniformly random information bits.
 
     Parameters
@@ -30,13 +35,13 @@ def random_bits(n: int, rng=None, *, shape=None) -> np.ndarray:
     shape:
         Optional leading shape; the result has shape ``(*shape, n)``.
     """
-    rng = ensure_rng(rng)
+    generator = ensure_rng(rng)
     if shape is None:
-        return rng.integers(0, 2, size=n, dtype=np.uint8)
-    return rng.integers(0, 2, size=(*tuple(shape), n), dtype=np.uint8)
+        return generator.integers(0, 2, size=n, dtype=np.uint8)
+    return generator.integers(0, 2, size=(*tuple(shape), n), dtype=np.uint8)
 
 
-def hard_decision(llr: np.ndarray) -> np.ndarray:
+def hard_decision(llr: npt.ArrayLike) -> npt.NDArray[np.uint8]:
     """Map LLRs to bits using the convention ``LLR > 0 -> bit 0``.
 
     Positive log-likelihood ratios indicate the bit is more likely to be 0
@@ -44,31 +49,31 @@ def hard_decision(llr: np.ndarray) -> np.ndarray:
     exactly zero) are resolved to bit 1, which is the pessimistic choice used
     by the hardware datapath.
     """
-    llr = np.asarray(llr)
-    return (llr <= 0).astype(np.uint8)
+    arr = np.asarray(llr)
+    return (arr <= 0).astype(np.uint8)
 
 
-def hamming_weight(bits) -> int:
+def hamming_weight(bits: npt.ArrayLike) -> int:
     """Number of ones in a bit vector."""
     return int(np.count_nonzero(np.asarray(bits)))
 
 
-def hamming_distance(a, b) -> int:
+def hamming_distance(a: npt.ArrayLike, b: npt.ArrayLike) -> int:
     """Number of positions where two bit vectors differ."""
-    a = np.asarray(a, dtype=np.uint8)
-    b = np.asarray(b, dtype=np.uint8)
-    if a.shape != b.shape:
-        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
-    return int(np.count_nonzero(a ^ b))
+    left = np.asarray(a, dtype=np.uint8)
+    right = np.asarray(b, dtype=np.uint8)
+    if left.shape != right.shape:
+        raise ValueError(f"shape mismatch: {left.shape} vs {right.shape}")
+    return int(np.count_nonzero(left ^ right))
 
 
-def bits_to_bytes(bits) -> bytes:
+def bits_to_bytes(bits: npt.ArrayLike) -> bytes:
     """Pack a bit vector (MSB first) into bytes, zero-padding the tail."""
     arr = np.asarray(bits, dtype=np.uint8)
     return np.packbits(arr).tobytes()
 
 
-def bytes_to_bits(data: bytes, n_bits: int | None = None) -> np.ndarray:
+def bytes_to_bits(data: bytes, n_bits: int | None = None) -> npt.NDArray[np.uint8]:
     """Unpack bytes into a bit vector (MSB first).
 
     Parameters
@@ -85,7 +90,7 @@ def bytes_to_bits(data: bytes, n_bits: int | None = None) -> np.ndarray:
     return bits.astype(np.uint8)
 
 
-def bits_to_int(bits) -> int:
+def bits_to_int(bits: npt.ArrayLike) -> int:
     """Interpret a bit vector (MSB first) as an unsigned integer."""
     value = 0
     for bit in np.asarray(bits, dtype=np.uint8):
@@ -93,7 +98,7 @@ def bits_to_int(bits) -> int:
     return value
 
 
-def int_to_bits(value: int, width: int) -> np.ndarray:
+def int_to_bits(value: int, width: int) -> npt.NDArray[np.uint8]:
     """Expand an unsigned integer into a fixed-width bit vector (MSB first)."""
     if value < 0:
         raise ValueError("value must be non-negative")

@@ -9,7 +9,7 @@ from pathlib import Path
 __all__ = ["atomic_write_text"]
 
 
-def atomic_write_text(path, text: str) -> None:
+def atomic_write_text(path: str | Path, text: str) -> None:
     """Write ``text`` to ``path`` atomically (unique temp file + rename).
 
     Readers never observe a partial file, and concurrent writers of the same

@@ -20,7 +20,7 @@ __all__ = [
 ]
 
 
-def plain_value(value):
+def plain_value(value: object) -> object:
     """Recursively convert numpy-typed values to plain Python ones.
 
     Curve metadata routinely carries numpy scalars (an ``np.float64`` alpha
@@ -71,7 +71,7 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], *, ti
     def render_row(cells: Sequence[str]) -> str:
         return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
 
-    lines = []
+    lines: list[str] = []
     if title:
         lines.append(title)
     lines.append(render_row(list(headers)))
@@ -106,7 +106,7 @@ def format_markdown_table(
     def render_row(cells: Sequence[str]) -> str:
         return "| " + " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)) + " |"
 
-    lines = []
+    lines: list[str] = []
     if title:
         lines.extend([f"### {title}", ""])
     lines.append(render_row(header_cells))

@@ -4,18 +4,66 @@ Every stochastic component in the library (channels, Monte-Carlo engines,
 code constructions) accepts either a ``numpy.random.Generator``, an integer
 seed, or ``None``.  :func:`ensure_rng` normalizes those three cases so that
 experiments are reproducible when a seed is given and convenient when not.
+
+The ``None`` case is the *only* place the library draws fresh OS entropy,
+and it is deliberately loud about it: falling back to an unseeded generator
+emits :class:`UnseededRNGWarning`, because a result produced that way can
+never be re-derived bit-for-bit.  Interactive exploration can ignore (or
+filter) the warning; anything feeding a stored artifact should pass an
+explicit seed.  The determinism linter (rule ``REP103`` in
+:mod:`repro.devtools`) statically forbids unseeded construction everywhere
+*except* this module, so the warning is the single runtime chokepoint.
 """
 
 from __future__ import annotations
 
+import warnings
+from typing import Any, Union
+
 import numpy as np
 
-__all__ = ["ensure_rng", "as_seed_sequence", "spawn_seed_sequences", "spawn_rngs"]
+__all__ = [
+    "UnseededRNGWarning",
+    "ensure_rng",
+    "as_seed_sequence",
+    "spawn_seed_sequences",
+    "spawn_rngs",
+]
+
+#: Anything :func:`ensure_rng` / :func:`as_seed_sequence` accept.
+SeedLike = Union[
+    None, int, "np.integer[Any]", np.random.Generator, np.random.SeedSequence
+]
 
 
-def ensure_rng(rng=None) -> np.random.Generator:
-    """Return a ``numpy.random.Generator`` from a generator, seed, or ``None``."""
+class UnseededRNGWarning(UserWarning):
+    """Randomness fell back to fresh OS entropy and cannot be reproduced.
+
+    Raised as a *warning* (never an error) by :func:`ensure_rng` and
+    :func:`as_seed_sequence` when called with ``None``.  Pass an explicit
+    integer seed, ``Generator`` or ``SeedSequence`` to silence it, or use
+    ``warnings.filterwarnings("ignore", category=UnseededRNGWarning)`` in
+    genuinely throwaway interactive work.
+    """
+
+
+def _warn_unseeded(what: str) -> None:
+    warnings.warn(
+        f"{what} built from fresh OS entropy: results are not reproducible; "
+        "pass an explicit seed (int, Generator or SeedSequence)",
+        UnseededRNGWarning,
+        stacklevel=3,
+    )
+
+
+def ensure_rng(rng: SeedLike = None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` from a generator, seed, or ``None``.
+
+    ``None`` draws fresh OS entropy and emits :class:`UnseededRNGWarning`
+    (see the module docstring).
+    """
     if rng is None:
+        _warn_unseeded("unseeded Generator")
         return np.random.default_rng()
     if isinstance(rng, np.random.Generator):
         return rng
@@ -26,16 +74,18 @@ def ensure_rng(rng=None) -> np.random.Generator:
     raise TypeError(f"cannot build a Generator from {type(rng).__name__}")
 
 
-def as_seed_sequence(rng=None) -> np.random.SeedSequence:
+def as_seed_sequence(rng: SeedLike = None) -> np.random.SeedSequence:
     """Return the :class:`numpy.random.SeedSequence` behind a seed-like object.
 
-    Accepts ``None`` (fresh OS entropy), an integer seed, a ``SeedSequence``,
-    or a ``Generator`` (whose bit generator's seed sequence is returned).
-    Spawning children from the result advances its spawn counter, so repeated
-    calls on the *same* generator yield fresh, non-overlapping children while
-    integer seeds always rebuild the same root sequence.
+    Accepts ``None`` (fresh OS entropy — emits :class:`UnseededRNGWarning`),
+    an integer seed, a ``SeedSequence``, or a ``Generator`` (whose bit
+    generator's seed sequence is returned).  Spawning children from the
+    result advances its spawn counter, so repeated calls on the *same*
+    generator yield fresh, non-overlapping children while integer seeds
+    always rebuild the same root sequence.
     """
     if rng is None:
+        _warn_unseeded("unseeded SeedSequence")
         return np.random.SeedSequence()
     if isinstance(rng, np.random.SeedSequence):
         return rng
@@ -54,7 +104,7 @@ def as_seed_sequence(rng=None) -> np.random.SeedSequence:
     raise TypeError(f"cannot build a SeedSequence from {type(rng).__name__}")
 
 
-def spawn_seed_sequences(rng, count: int) -> list[np.random.SeedSequence]:
+def spawn_seed_sequences(rng: SeedLike, count: int) -> list[np.random.SeedSequence]:
     """Spawn ``count`` independent child seed sequences from a seed-like object.
 
     This is the primitive behind every stream split in the library (per
@@ -67,7 +117,7 @@ def spawn_seed_sequences(rng, count: int) -> list[np.random.SeedSequence]:
     return as_seed_sequence(rng).spawn(count)
 
 
-def spawn_rngs(rng, count: int) -> list[np.random.Generator]:
+def spawn_rngs(rng: SeedLike, count: int) -> list[np.random.Generator]:
     """Derive ``count`` statistically independent child generators.
 
     Children are derived via :meth:`numpy.random.SeedSequence.spawn` (not

@@ -65,7 +65,7 @@ def html_table(
     optional ``title`` becomes an ``<h2>`` above the table.
     """
     header_cells = [html_escape(h) for h in headers]
-    lines = []
+    lines: list[str] = []
     if title:
         lines.append(f"<h2>{html_escape(title)}</h2>")
     lines.append(f'<table class="{html_escape(css_class)}">')

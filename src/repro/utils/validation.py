@@ -7,9 +7,12 @@ same checks with slightly different error messages.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence, TypeVar
 
 import numpy as np
+import numpy.typing as npt
+
+_T = TypeVar("_T")
 
 __all__ = [
     "check_binary_array",
@@ -68,15 +71,15 @@ def check_in_range(name: str, value: float, low: float, high: float) -> float:
     return value
 
 
-def check_one_of(name: str, value, allowed: Iterable):
+def check_one_of(name: str, value: _T, allowed: Iterable[_T]) -> _T:
     """Validate that ``value`` is one of ``allowed``."""
-    allowed = tuple(allowed)
-    if value not in allowed:
-        raise ValueError(f"{name} must be one of {allowed}, got {value!r}")
+    options = tuple(allowed)
+    if value not in options:
+        raise ValueError(f"{name} must be one of {options}, got {value!r}")
     return value
 
 
-def check_binary_array(name: str, array) -> np.ndarray:
+def check_binary_array(name: str, array: npt.ArrayLike) -> npt.NDArray[np.uint8]:
     """Validate that ``array`` contains only 0/1 entries.
 
     Returns the array converted to ``np.uint8``.
@@ -87,7 +90,9 @@ def check_binary_array(name: str, array) -> np.ndarray:
     return arr.astype(np.uint8)
 
 
-def check_shape(name: str, array: np.ndarray, shape: Sequence[int]) -> np.ndarray:
+def check_shape(
+    name: str, array: npt.ArrayLike, shape: Sequence[int]
+) -> npt.NDArray[Any]:
     """Validate that ``array`` has exactly the given ``shape``.
 
     ``-1`` entries in ``shape`` act as wildcards for that dimension.

@@ -1,0 +1,7 @@
+"""Bad: legacy global numpy.random draws from hidden process state."""
+import numpy as np
+
+
+def sample_noise(n):
+    state = np.random.RandomState(7)
+    return np.random.normal(0.0, 1.0, size=n) + state.rand(n)

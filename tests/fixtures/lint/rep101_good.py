@@ -1,0 +1,5 @@
+"""Good: explicit Generator passed in (no hidden global state)."""
+
+
+def sample_noise(rng, n):
+    return rng.normal(0.0, 1.0, size=n)

@@ -1,0 +1,8 @@
+"""Bad: the stdlib random module (both import forms)."""
+import random
+from random import shuffle
+
+
+def pick(items):
+    shuffle(items)
+    return random.choice(items)

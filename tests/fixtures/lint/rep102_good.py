@@ -1,0 +1,5 @@
+"""Good: choices drawn through an explicit numpy Generator."""
+
+
+def pick(rng, items):
+    return items[int(rng.integers(0, len(items)))]

@@ -1,0 +1,10 @@
+"""Bad: unseeded generator construction falls back to OS entropy."""
+import numpy as np
+from numpy.random import default_rng
+
+
+def fresh_streams():
+    a = default_rng()
+    b = np.random.default_rng()
+    root = np.random.SeedSequence()
+    return a, b, root

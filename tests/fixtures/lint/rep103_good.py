@@ -1,0 +1,9 @@
+"""Good: every generator is derived from an explicit seed."""
+import numpy as np
+from numpy.random import default_rng
+
+
+def seeded_streams(seed):
+    a = default_rng(seed)
+    root = np.random.SeedSequence(entropy=seed)
+    return a, np.random.default_rng(root)

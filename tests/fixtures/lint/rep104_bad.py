@@ -1,0 +1,9 @@
+"""Bad: wall-clock reads feeding values that end up in artifacts."""
+import time
+from datetime import datetime
+
+
+def stamp_metadata(metadata):
+    metadata["created"] = time.time()
+    metadata["when"] = datetime.now().isoformat()
+    return metadata

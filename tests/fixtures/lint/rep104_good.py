@@ -1,0 +1,8 @@
+"""Good: monotonic perf_counter for durations only (never stored state)."""
+import time
+
+
+def measure(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start

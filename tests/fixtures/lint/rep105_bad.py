@@ -1,0 +1,8 @@
+"""Bad: iteration order over sets reaches results and output."""
+
+
+def collect(labels):
+    rows = [label.upper() for label in {"a", "b", "c"}]
+    for item in set(labels):
+        rows.append(item)
+    return rows + list({"x", "y"})

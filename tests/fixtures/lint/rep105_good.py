@@ -1,0 +1,8 @@
+"""Good: sets are sorted before any order-sensitive consumption."""
+
+
+def collect(labels):
+    rows = [label.upper() for label in sorted({"a", "b", "c"})]
+    for item in sorted(set(labels)):
+        rows.append(item)
+    return rows

@@ -1,0 +1,9 @@
+"""Bad: exact equality against float literals."""
+
+
+def classify(value, other):
+    if value == 0.5:
+        return "half"
+    if 1.0 != other:
+        return "not-one"
+    return "other"

@@ -1,0 +1,8 @@
+"""Good: tolerance-based comparison."""
+import math
+
+
+def classify(value):
+    if math.isclose(value, 0.5):
+        return "half"
+    return "other"

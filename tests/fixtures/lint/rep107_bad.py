@@ -1,0 +1,8 @@
+"""Bad (when linted under a persistence path): non-atomic writes."""
+from pathlib import Path
+
+
+def persist(path, text):
+    with open(path, "w") as handle:
+        handle.write(text)
+    Path(path).with_suffix(".copy").write_text(text)

@@ -1,0 +1,6 @@
+"""Good: persistence goes through the atomic write-then-rename helper."""
+from repro.utils.files import atomic_write_text
+
+
+def persist(path, text):
+    atomic_write_text(path, text)

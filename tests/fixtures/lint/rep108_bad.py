@@ -1,0 +1,10 @@
+"""Bad: unpicklable pool targets (lambda and nested function)."""
+
+
+def run(pool, items):
+    def local_worker(item):
+        return item * 2
+
+    first = pool.map(local_worker, items)
+    second = pool.map(lambda item: item + 1, items)
+    return first, second

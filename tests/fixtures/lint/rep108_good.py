@@ -1,0 +1,9 @@
+"""Good: pool targets are module-level (picklable under spawn)."""
+
+
+def module_worker(item):
+    return item * 2
+
+
+def run(pool, items):
+    return pool.map(module_worker, items)

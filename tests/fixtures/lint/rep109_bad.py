@@ -1,0 +1,11 @@
+"""Bad: ambient OS entropy outside the SeedSequence tree."""
+import os
+import uuid
+from uuid import uuid4
+
+
+def identifiers():
+    token = os.urandom(16)
+    run_id = uuid.uuid4()
+    other = uuid4()
+    return token, run_id, other

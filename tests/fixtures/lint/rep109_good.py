@@ -1,0 +1,7 @@
+"""Good: identifiers derived from the experiment seed tree."""
+import numpy as np
+
+
+def identifiers(seed):
+    child = np.random.SeedSequence(seed).spawn(1)[0]
+    return "-".join(str(word) for word in child.generate_state(4))

@@ -1,0 +1,112 @@
+"""The ``repro lint`` subcommand: exit codes, output formats, baselines."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).parents[1]
+
+BAD_SOURCE = "import random\n\n\ndef draw():\n    return random.random()\n"
+
+
+@pytest.fixture
+def bad_tree(tmp_path):
+    (tmp_path / "mod.py").write_text(BAD_SOURCE)
+    return tmp_path
+
+
+def test_lint_clean_tree_exits_zero(tmp_path, capsys):
+    (tmp_path / "mod.py").write_text("import math\n")
+    assert main(["lint", str(tmp_path), "--no-baseline"]) == 0
+    assert "0 violation(s)" in capsys.readouterr().out
+
+
+def test_lint_bad_tree_exits_one(bad_tree, capsys):
+    assert main(["lint", str(bad_tree), "--no-baseline"]) == 1
+    out = capsys.readouterr().out
+    assert "REP102" in out and "mod.py" in out
+
+
+def test_report_only_never_fails(bad_tree, capsys):
+    assert main(["lint", str(bad_tree), "--no-baseline", "--report-only"]) == 0
+    out = capsys.readouterr().out
+    assert "REP102" in out and "report-only" in out
+
+
+def test_write_baseline_then_gate_passes(bad_tree, tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    assert (
+        main(
+            [
+                "lint",
+                str(bad_tree),
+                "--baseline",
+                str(baseline),
+                "--write-baseline",
+            ]
+        )
+        == 0
+    )
+    assert baseline.exists()
+    capsys.readouterr()
+    assert main(["lint", str(bad_tree), "--baseline", str(baseline)]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+
+
+def test_new_violation_on_top_of_baseline_fails(bad_tree, tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    main(["lint", str(bad_tree), "--baseline", str(baseline), "--write-baseline"])
+    (bad_tree / "extra.py").write_text("import numpy as np\nr = np.random.rand()\n")
+    capsys.readouterr()
+    assert main(["lint", str(bad_tree), "--baseline", str(baseline)]) == 1
+    assert "REP101" in capsys.readouterr().out
+
+
+def test_select_unknown_rule_is_usage_error(bad_tree):
+    assert main(["lint", str(bad_tree), "--select", "REP777"]) == 2
+
+
+def test_missing_path_is_usage_error(tmp_path):
+    assert main(["lint", str(tmp_path / "nope"), "--no-baseline"]) == 2
+
+
+def test_syntax_error_is_usage_error(tmp_path):
+    (tmp_path / "broken.py").write_text("def broken(:\n")
+    assert main(["lint", str(tmp_path), "--no-baseline"]) == 2
+
+
+def test_select_filters_rules(bad_tree, capsys):
+    assert main(["lint", str(bad_tree), "--no-baseline", "--select", "REP101"]) == 0
+    capsys.readouterr()
+    assert main(["lint", str(bad_tree), "--no-baseline", "--select", "REP102"]) == 1
+
+
+def test_json_format_is_machine_readable(bad_tree, capsys):
+    assert main(["lint", str(bad_tree), "--no-baseline", "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["violations"][0]["rule"] == "REP102"
+    assert payload["baselined"] == []
+
+
+def test_rules_catalog_lists_every_code(capsys):
+    assert main(["lint", "--rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("REP101", "REP109", "REP201", "REP205"):
+        assert code in out
+
+
+def test_schemas_flag_runs_cross_checker(tmp_path, capsys, monkeypatch):
+    (tmp_path / "mod.py").write_text("import math\n")
+    monkeypatch.chdir(REPO_ROOT)
+    assert main(["lint", str(tmp_path), "--no-baseline", "--schemas"]) == 0
+    assert "0 schema finding(s)" in capsys.readouterr().out
+
+
+def test_default_target_gates_the_real_tree(monkeypatch, capsys):
+    """``repro lint`` with no arguments is the CI gate on src/repro."""
+    monkeypatch.chdir(REPO_ROOT)
+    assert main(["lint", "--schemas"]) == 0
+    assert "src/repro" in capsys.readouterr().out

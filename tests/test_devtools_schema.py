@@ -1,0 +1,170 @@
+"""The registry schema cross-checker: built-ins pass, drift is caught.
+
+The built-in registrations are checked for real (that is the CI gate), and
+:func:`repro.registry.temporary_component` is used to register components
+with *deliberately* mismatched schemas and confirm each REP2xx rule fires.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.devtools import (
+    DEFAULT_DOCS_PATH,
+    SchemaFinding,
+    check_component,
+    check_registry,
+)
+from repro.registry import Param, get_component, temporary_component
+
+DOCS = Path(__file__).parents[1] / "docs" / "components.md"
+
+
+def _rules(findings):
+    return sorted(f.rule for f in findings)
+
+
+# --------------------------------------------------------------------------- #
+# The gate: every built-in registration is schema- and docs-clean
+# --------------------------------------------------------------------------- #
+def test_builtin_registry_is_clean():
+    findings = check_registry(docs=DOCS)
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_default_docs_path_points_at_components_doc():
+    assert DEFAULT_DOCS_PATH == Path("docs") / "components.md"
+    assert DOCS.exists()
+
+
+def test_missing_explicit_docs_raises(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        check_registry(docs=tmp_path / "nope.md")
+
+
+# --------------------------------------------------------------------------- #
+# Deliberately mismatched schemas, one rule at a time
+# --------------------------------------------------------------------------- #
+def test_rep201_undeclared_schema_param():
+    def builder(alpha: float = 0.5):
+        return alpha
+
+    params = [Param("alpha", float, default=0.5), Param("ghost", int, default=1)]
+    with temporary_component("channel", "tmp-rep201", builder, params=params):
+        findings = check_component(get_component("channel", "tmp-rep201"))
+    assert _rules(findings) == ["REP201"]
+    assert "ghost" in findings[0].message
+
+
+def test_rep202_required_param_missing_from_schema():
+    def builder(alpha, beta: float = 0.5):
+        return alpha, beta
+
+    with temporary_component(
+        "channel", "tmp-rep202", builder, params=[Param("beta", float, default=0.5)]
+    ):
+        findings = check_component(get_component("channel", "tmp-rep202"))
+    assert _rules(findings) == ["REP202"]
+    assert "alpha" in findings[0].message
+
+
+def test_rep202_required_param_declared_optional():
+    def builder(alpha):
+        return alpha
+
+    with temporary_component(
+        "channel", "tmp-rep202b", builder, params=[Param("alpha", float, default=0.5)]
+    ):
+        findings = check_component(get_component("channel", "tmp-rep202b"))
+    # The phantom schema default also trips the default-agreement rule.
+    assert _rules(findings) == ["REP202", "REP203"]
+    assert any("optional" in f.message for f in findings)
+
+
+def test_rep203_default_mismatch():
+    def builder(alpha: float = 0.25):
+        return alpha
+
+    with temporary_component(
+        "channel", "tmp-rep203", builder, params=[Param("alpha", float, default=0.5)]
+    ):
+        findings = check_component(get_component("channel", "tmp-rep203"))
+    assert _rules(findings) == ["REP203"]
+
+
+def test_rep204_default_outside_choices():
+    def builder(mode: str = "fast"):
+        return mode
+
+    params = [Param("mode", str, default="fast", choices=("slow", "exact"))]
+    with temporary_component("channel", "tmp-rep204", builder, params=params):
+        findings = check_component(get_component("channel", "tmp-rep204"))
+    assert "REP204" in _rules(findings)
+
+
+def test_rep205_undocumented_component():
+    def builder():
+        return None
+
+    with temporary_component("channel", "tmp-rep205", builder, params=[]):
+        component = get_component("channel", "tmp-rep205")
+        assert check_component(component, docs_text="no mention") and (
+            check_component(component, docs_text="no mention")[0].rule == "REP205"
+        )
+        assert check_component(component, docs_text="tmp-rep205 docs") == []
+
+
+# --------------------------------------------------------------------------- #
+# Conventions: framework-owned params, open schemas, **kwargs builders
+# --------------------------------------------------------------------------- #
+def test_decoder_convention_skips_code_and_max_iterations():
+    def builder(code, max_iterations=50, scale: float = 0.75):
+        return code, max_iterations, scale
+
+    with temporary_component(
+        "decoder", "tmp-decoder", builder, params=[Param("scale", float, default=0.75)]
+    ):
+        assert check_component(get_component("decoder", "tmp-decoder")) == []
+
+
+def test_open_schema_skips_signature_rules_but_not_docs():
+    def builder(**params):
+        return params
+
+    with temporary_component("channel", "tmp-open", builder, params=None):
+        component = get_component("channel", "tmp-open")
+        assert check_component(component) == []
+        assert _rules(check_component(component, docs_text="")) == ["REP205"]
+
+
+def test_var_keyword_builder_accepts_any_declared_param():
+    def builder(alpha: float = 0.5, **extra):
+        return alpha, extra
+
+    params = [Param("alpha", float, default=0.5), Param("beta", int, default=2)]
+    with temporary_component("channel", "tmp-kwargs", builder, params=params):
+        assert check_component(get_component("channel", "tmp-kwargs")) == []
+
+
+def test_check_registry_with_explicit_components(tmp_path):
+    def builder(alpha: float = 0.1):
+        return alpha
+
+    docs = tmp_path / "components.md"
+    docs.write_text("tmp-explicit is documented here\n")
+    with temporary_component(
+        "channel",
+        "tmp-explicit",
+        builder,
+        params=[Param("alpha", float, default=0.9)],
+    ):
+        findings = check_registry(
+            [get_component("channel", "tmp-explicit")], docs=docs
+        )
+    assert _rules(findings) == ["REP203"]
+
+
+def test_finding_render_mentions_component_and_rule():
+    finding = SchemaFinding("REP203", "channel", "awgn", "defaults differ")
+    rendered = finding.render()
+    assert "REP203" in rendered and "channel" in rendered and "awgn" in rendered
