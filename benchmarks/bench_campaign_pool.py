@@ -8,6 +8,13 @@ to the others, instead of each sweep paying its own pool and leaving cores
 idle at its tail.  This benchmark times both strategies on the same
 four-configuration grid and asserts the shared-pool counts are bit-identical
 to standalone sweeps seeded with the campaign's per-experiment streams.
+
+A third timed run repeats the shared-pool campaign with telemetry enabled
+(event log + metrics + per-shard stage profiling) and asserts the curve
+files come out **byte-identical** to the telemetry-off store — the
+write-only contract, measured where it matters.  Wall times, campaign
+frames/s and the telemetry overhead fraction are appended to the
+``BENCH_campaign_pool.json`` trajectory at the repo root.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ import time
 import numpy as np
 
 from scale_config import DEFAULT_SCALED_CIRCULANT, full_scale
+from trajectory import record as record_trajectory
 
 from repro.sim import EbN0Sweep, SimulationConfig
 from repro.sim.campaign import (
@@ -83,9 +91,11 @@ def test_campaign_shared_pool_vs_pool_per_sweep(benchmark, report_sink, tmp_path
             curves[experiment.label] = sweep.run(spec.ebn0, label=experiment.label)
         return curves
 
-    def run_shared_pool():
-        store = ResultStore.create(tmp_path / "shared", spec, fresh=True)
-        return CampaignScheduler(spec, store, workers=WORKERS).run()
+    def run_shared_pool(directory="shared", telemetry=False):
+        store = ResultStore.create(tmp_path / directory, spec, fresh=True)
+        return CampaignScheduler(
+            spec, store, workers=WORKERS, telemetry=telemetry
+        ).run()
 
     start = time.perf_counter()
     per_sweep_curves = run_pool_per_sweep()
@@ -95,6 +105,29 @@ def test_campaign_shared_pool_vs_pool_per_sweep(benchmark, report_sink, tmp_path
     shared_curves = benchmark.pedantic(run_shared_pool, rounds=1, iterations=1)
     shared_seconds = time.perf_counter() - start
 
+    # The same campaign once more with full telemetry: event log, metrics
+    # snapshot and per-shard stage profiling all on.
+    start = time.perf_counter()
+    run_shared_pool("shared-telemetry", telemetry=True)
+    telemetry_seconds = time.perf_counter() - start
+    telemetry_overhead = (
+        max(telemetry_seconds - shared_seconds, 0.0) / shared_seconds
+        if shared_seconds else 0.0
+    )
+
+    # Write-only contract, measured end to end: telemetry must not change a
+    # single byte of the persisted curves.
+    labels = [experiment.label for experiment in spec.experiments]
+    for label in labels:
+        plain = ResultStore.open(tmp_path / "shared").curve_path(label)
+        profiled = ResultStore.open(tmp_path / "shared-telemetry").curve_path(label)
+        assert plain.read_bytes() == profiled.read_bytes(), (
+            f"telemetry changed the persisted curve of {label!r}"
+        )
+
+    total_frames = sum(
+        point.frames for curve in shared_curves.values() for point in curve.points
+    )
     speedup = per_sweep_seconds / shared_seconds if shared_seconds else float("inf")
     cores = os.cpu_count() or 1
     rows = [
@@ -102,6 +135,9 @@ def test_campaign_shared_pool_vs_pool_per_sweep(benchmark, report_sink, tmp_path
          f"{per_sweep_seconds:.2f}", "1.00"],
         [f"one shared pool ({WORKERS} workers)",
          f"{shared_seconds:.2f}", f"{speedup:.2f}"],
+        ["one shared pool + telemetry",
+         f"{telemetry_seconds:.2f}",
+         f"{per_sweep_seconds / telemetry_seconds:.2f}" if telemetry_seconds else "-"],
     ]
     text = format_table(
         ["strategy", "wall clock (s)", "speedup"],
@@ -113,9 +149,28 @@ def test_campaign_shared_pool_vs_pool_per_sweep(benchmark, report_sink, tmp_path
     )
     text += (
         "\n\nDeterminism: every campaign curve matches its standalone sweep "
-        "bit for bit (same per-experiment seed streams)."
+        "bit for bit (same per-experiment seed streams), and the "
+        "telemetry-on rerun wrote byte-identical curve files "
+        f"({100.0 * telemetry_overhead:.1f}% wall-clock overhead)."
     )
     report_sink("campaign_shared_pool", text)
+
+    record_trajectory("campaign_pool", {
+        "workers": WORKERS,
+        "experiments": len(spec.experiments),
+        "ebn0_points_per_experiment": len(EBN0_GRID),
+        "total_frames": int(total_frames),
+        "pool_per_sweep_seconds": per_sweep_seconds,
+        "shared_pool_seconds": shared_seconds,
+        "shared_pool_speedup": speedup,
+        "frames_per_second": total_frames / shared_seconds if shared_seconds else None,
+        "telemetry_overhead": {
+            "seconds_off": shared_seconds,
+            "seconds_on": telemetry_seconds,
+            "overhead_fraction": telemetry_overhead,
+            "curves_byte_identical": True,
+        },
+    })
 
     # The scheduling strategy must never change the physics.
     for label, curve in per_sweep_curves.items():

@@ -30,6 +30,40 @@ from repro.codes import build_ccsds_c2_code, build_scaled_ccsds_code  # noqa: E4
 
 OUTPUT_DIR = Path(__file__).parent / "output"
 
+try:  # pytest-benchmark is optional: fall back to a plain-call fixture
+    import pytest_benchmark  # noqa: F401
+
+    _HAVE_PYTEST_BENCHMARK = True
+except ImportError:
+    _HAVE_PYTEST_BENCHMARK = False
+
+
+class _FallbackBenchmark:
+    """Minimal stand-in for pytest-benchmark's ``benchmark`` fixture.
+
+    Runs the function the requested number of times and returns its last
+    result — no statistics, no JSON archive — so the benchmark suite stays
+    runnable (and keeps feeding ``benchmarks/output/`` and the
+    ``BENCH_*.json`` trajectories) on machines without the plugin.
+    """
+
+    def __call__(self, fn, *args, **kwargs):
+        return fn(*args, **kwargs)
+
+    def pedantic(self, fn, args=(), kwargs=None, rounds=1, iterations=1, **_ignored):
+        result = None
+        for _ in range(max(1, rounds) * max(1, iterations)):
+            result = fn(*args, **(kwargs or {}))
+        return result
+
+
+if not _HAVE_PYTEST_BENCHMARK:
+
+    @pytest.fixture
+    def benchmark():
+        """Plain-call substitute used when pytest-benchmark is missing."""
+        return _FallbackBenchmark()
+
 
 @pytest.fixture(scope="session")
 def benchmark_code():

@@ -1,0 +1,83 @@
+"""Append-only ``BENCH_<name>.json`` performance trajectories.
+
+``benchmarks/output/<name>.txt`` snapshots are human-readable and
+overwritten on every run; the trajectory files complement them with a
+machine-readable history.  Each :func:`record` call appends one run entry
+— environment fingerprint plus the benchmark's own payload (frames/s,
+overhead fractions, speedups) — to ``BENCH_<name>.json`` at the repo
+root, so successive commits accumulate a perf trajectory that can be
+plotted or regression-checked without re-running old code.
+
+The file layout::
+
+    {
+      "benchmark": "channel_pipeline",
+      "trajectory_version": 1,
+      "runs": [
+        {"recorded": "...Z", "scale": "scaled", "python": "...",
+         "numpy": "...", "cpu_count": 8, ...payload...},
+        ...
+      ]
+    }
+
+Timestamps go through :mod:`repro.obs.clock` like every other recorded
+wall time in the repo.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from pathlib import Path
+from typing import Any
+
+import numpy
+
+from scale_config import full_scale
+
+from repro.obs import clock
+from repro.utils.files import atomic_write_text
+
+__all__ = ["TRAJECTORY_VERSION", "record"]
+
+TRAJECTORY_VERSION = 1
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def record(name: str, payload: dict[str, Any]) -> Path:
+    """Append one run entry to ``BENCH_<name>.json`` and return its path.
+
+    ``payload`` is the benchmark's own measurements; the environment
+    fingerprint (timestamp, scale, python/numpy versions, CPU count) is
+    added automatically.  A corrupt or foreign file is replaced rather
+    than crashing the benchmark — the trajectory is telemetry, not a
+    result the physics depends on.
+    """
+    path = _REPO_ROOT / f"BENCH_{name}.json"
+    data: dict[str, Any] | None = None
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text(encoding="utf-8"))
+            if (
+                isinstance(loaded, dict)
+                and loaded.get("benchmark") == name
+                and isinstance(loaded.get("runs"), list)
+            ):
+                data = loaded
+        except (ValueError, OSError):
+            data = None
+    if data is None:
+        data = {"benchmark": name, "trajectory_version": TRAJECTORY_VERSION, "runs": []}
+    entry: dict[str, Any] = {
+        "recorded": clock.wall_iso(),
+        "scale": "full" if full_scale() else "scaled",
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "cpu_count": os.cpu_count(),
+    }
+    entry.update(payload)
+    data["runs"].append(entry)
+    atomic_write_text(path, json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path

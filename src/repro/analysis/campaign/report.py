@@ -16,7 +16,13 @@ back into those artifacts:
   configurations by crossing and reporting each one's distance to the
   best of its group — the form of the paper's "within 0.05 dB of
   sum-product" claim;
-* the raw waterfall points, exporter-friendly.
+* the raw waterfall points, exporter-friendly;
+* when the campaign ran with telemetry (``REPRO_TELEMETRY=1`` or
+  ``--telemetry``), an "Execution telemetry" section rendered from the
+  recorded ``telemetry/metrics.json`` snapshot — wall time, throughput,
+  pool utilization, stage split and early-stop savings.  The section is
+  built purely from the recorded file, never from live clocks, so report
+  output for a given store stays byte-identical across renders.
 
 Exporters share one section model: ``to_text()`` renders the same ASCII
 tables as :mod:`repro.core.report`, ``to_markdown()`` GitHub tables,
@@ -39,6 +45,8 @@ from repro.sim.crossing import (
     shannon_gap_db,
 )
 from repro.analysis.campaign.curveset import CurveRecord, CurveSet
+from repro.obs import clock
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.campaign.spec import CodeSpec
 from repro.sim.campaign.store import ResultStore
 from repro.sim.reference import uncoded_bpsk_ebn0_db
@@ -149,6 +157,11 @@ class CampaignReport:
         Build each distinct code to compute its true rate and the gap to
         the Shannon limit.  Building the full 8176-bit code takes a few
         seconds; pass ``False`` to skip the rate/gap columns.
+    telemetry:
+        A recorded ``telemetry/metrics.json`` snapshot (the dict returned
+        by :meth:`repro.obs.metrics.MetricsRegistry.load`), or ``None``.
+        :meth:`from_store` loads it automatically when the campaign
+        directory holds one.
     """
 
     def __init__(
@@ -160,6 +173,7 @@ class CampaignReport:
         target_ber: float = 1e-4,
         target_fer: float | None = None,
         include_rates: bool = True,
+        telemetry: dict | None = None,
     ):
         if target_ber <= 0:
             raise ValueError("target_ber must be positive")
@@ -171,6 +185,7 @@ class CampaignReport:
         self.target_fer = None if target_fer is None else float(target_fer)
         self.uncoded_ebn0_db = uncoded_bpsk_ebn0_db(self.target_ber)
         self.problems = dict(curves.problems)
+        self.telemetry = telemetry
         rates = _RateCache(include_rates)
         self.experiments: list[ExperimentReport] = [
             self._analyze(record, rates) for record in curves.sorted_by("label")
@@ -186,9 +201,22 @@ class CampaignReport:
         target_fer: float | None = None,
         include_rates: bool = True,
     ) -> "CampaignReport":
-        """Build the report straight from a campaign directory."""
+        """Build the report straight from a campaign directory.
+
+        When the directory holds a recorded ``telemetry/metrics.json``
+        snapshot (campaigns run with telemetry enabled), it is loaded and
+        the report grows an "Execution telemetry" section; an absent or
+        unreadable snapshot simply omits the section.
+        """
         if not isinstance(store, ResultStore):
             store = ResultStore.open(store)
+        telemetry = None
+        metrics_path = Path(store.directory) / "telemetry" / "metrics.json"
+        if metrics_path.exists():
+            try:
+                telemetry = MetricsRegistry.load(metrics_path)
+            except (ValueError, OSError):
+                telemetry = None
         return cls(
             CurveSet.from_store(store),
             name=store.spec.name,
@@ -196,6 +224,7 @@ class CampaignReport:
             target_ber=target_ber,
             target_fer=target_fer,
             include_rates=include_rates,
+            telemetry=telemetry,
         )
 
     # ------------------------------------------------------------------ #
@@ -336,6 +365,74 @@ class CampaignReport:
                 ])
         return "Measured waterfall points", headers, rows
 
+    def _telemetry_section(self) -> tuple[str, list[str], list[list[str]]] | None:
+        """Execution telemetry of the recorded run, or ``None`` without one.
+
+        Every value comes from the ``metrics.json`` snapshot written at
+        campaign end — recorded wall timestamps are formatted with
+        :func:`repro.obs.clock.wall_iso`, never read live — so the section
+        (and with it the whole report) stays deterministic for a store.
+        """
+        if not self.telemetry:
+            return None
+        counters = self.telemetry.get("counters", {})
+        gauges = self.telemetry.get("gauges", {})
+        rows: list[list[str]] = []
+
+        def row(label: str, value: str) -> None:
+            rows.append([label, value])
+
+        for name, label in (("run_started_wall", "Run started (UTC)"),
+                            ("run_ended_wall", "Run ended (UTC)")):
+            if name in gauges:
+                row(label, clock.wall_iso(gauges[name]))
+        if "run_seconds" in gauges:
+            row("Run wall time (s)", f"{gauges['run_seconds']:.2f}")
+        if "workers" in gauges:
+            workers = int(gauges["workers"])
+            row("Workers", "serial" if workers == 0 else str(workers))
+        if "pool_utilization" in gauges:
+            row("Pool utilization", f"{100.0 * gauges['pool_utilization']:.1f}%")
+        frames = counters.get("frames_total")
+        if frames is not None:
+            row("Frames simulated", f"{int(frames):,}")
+        if "frames_per_second" in gauges:
+            row("Frames per second", f"{gauges['frames_per_second']:.1f}")
+        for name, label in (
+            ("points_recorded_total", "Points recorded"),
+            ("shards_total", "Shards completed"),
+        ):
+            if name in counters:
+                row(label, str(int(counters[name])))
+        if "shard_compute_seconds_total" in counters:
+            row("Shard compute time (s)",
+                f"{counters['shard_compute_seconds_total']:.2f}")
+        if "shard_queue_seconds_total" in counters:
+            row("Shard queue wait (s)",
+                f"{counters['shard_queue_seconds_total']:.2f}")
+        stages = {
+            name: value
+            for name, value in counters.items()
+            if name.startswith("stage_seconds.")
+        }
+        stage_total = sum(stages.values())
+        if stage_total > 0:
+            for name in sorted(stages):
+                share = 100.0 * stages[name] / stage_total
+                row(f"Stage {name.removeprefix('stage_seconds.')} (s)",
+                    f"{stages[name]:.2f} ({share:.1f}%)")
+        if counters.get("points_early_stopped_total"):
+            row("Points early-stopped",
+                str(int(counters["points_early_stopped_total"])))
+            row("Frames saved by early stop",
+                f"{int(counters.get('frames_saved_by_early_stop_total', 0)):,}")
+        if counters.get("points_resume_skipped_total"):
+            row("Points skipped on resume",
+                str(int(counters["points_resume_skipped_total"])))
+        if not rows:
+            return None
+        return "Execution telemetry (recorded)", ["Metric", "Value"], rows
+
     def _problem_section(self) -> tuple[str, list[str], list[list[str]]] | None:
         if not self.problems:
             return None
@@ -347,11 +444,15 @@ class CampaignReport:
 
         The shared model behind all exporters (text, markdown, CSV, HTML) —
         deterministic order: summary, crossings, per-code comparisons,
-        waterfall points, and unreadable-experiment problems when present.
+        waterfall points, then — when present — recorded execution
+        telemetry and unreadable-experiment problems.
         """
         sections = [self._summary_section(), self._crossing_section()]
         sections.extend(self._comparison_sections())
         sections.append(self._waterfall_section())
+        telemetry = self._telemetry_section()
+        if telemetry is not None:
+            sections.append(telemetry)
         problem = self._problem_section()
         if problem is not None:
             sections.append(problem)
@@ -411,6 +512,7 @@ class CampaignReport:
             "experiments": [exp.as_dict() for exp in self.experiments],
             "waterfall": waterfall,
             "problems": dict(sorted(self.problems.items())),
+            "telemetry": self.telemetry,
         }
 
     def to_json(self, *, indent: int = 2) -> str:

@@ -251,7 +251,8 @@ def _campaign_progress(label: str, point) -> None:
 def _campaign_status_table(store: ResultStore) -> str:
     rows = []
     problems = []
-    for row in store.status():
+    status_rows = store.status()
+    for row in status_rows:
         if row.get("error"):
             status = "corrupt"
             problems.append(f"  {row['label']}: {row['error']}")
@@ -264,6 +265,18 @@ def _campaign_status_table(store: ResultStore) -> str:
             f"{row['frame_errors']:,}",
             status,
         ])
+    # Aggregate footer: always computed, even when some experiments are
+    # corrupt — a single bad curve file must not hide how far the healthy
+    # rest of the campaign has progressed.
+    done = sum(row["points_done"] for row in status_rows)
+    total = sum(row["points_total"] for row in status_rows)
+    rows.append([
+        "TOTAL",
+        f"{done}/{total}",
+        f"{sum(row['frames'] for row in status_rows):,}",
+        f"{sum(row['frame_errors'] for row in status_rows):,}",
+        f"{100.0 * done / total:.0f}%" if total else "-",
+    ])
     table = format_table(
         ["Experiment", "Points", "Frames", "Frame errors", "Status"],
         rows,
@@ -274,8 +287,40 @@ def _campaign_status_table(store: ResultStore) -> str:
     return table
 
 
-def _run_campaign(store: ResultStore, workers) -> int:
-    scheduler = CampaignScheduler(store.spec, store, workers=workers)
+def _telemetry_rates_line(directory, pending_points: int | None = None) -> str | None:
+    """Live progress rates from the recorded event log, or ``None``.
+
+    Rendered by ``campaign status --watch``: everything comes from the
+    telemetry a running campaign has already written — watching never
+    touches the run itself.
+    """
+    from repro.obs import EventSchemaError, live_rates, read_events
+
+    log_path = Path(directory) / "telemetry" / "events.jsonl"
+    if not log_path.exists():
+        return None
+    try:
+        rates = live_rates(read_events(log_path))
+    except (EventSchemaError, OSError) as exc:
+        return f"telemetry: unreadable event log ({exc})"
+    if rates["frames_per_second"] is None:
+        return "telemetry: waiting for events"
+    line = (
+        f"live: {rates['frames_per_second']:,.0f} frames/s, "
+        f"{rates['points']} point(s) in {rates['elapsed_seconds']:.1f} s"
+    )
+    if rates["completed"]:
+        return line + " (run complete)"
+    if pending_points and rates["points_per_second"]:
+        eta = pending_points / rates["points_per_second"]
+        line += f", ETA ~{eta:.0f} s for {pending_points} pending point(s)"
+    return line
+
+
+def _run_campaign(store: ResultStore, workers, telemetry=None) -> int:
+    scheduler = CampaignScheduler(
+        store.spec, store, workers=workers, telemetry=telemetry
+    )
     # Count progress from the store summary; scheduler.run() derives the
     # job list itself, so don't compute plan()/pending() twice.
     total = store.spec.total_points()
@@ -283,6 +328,8 @@ def _run_campaign(store: ResultStore, workers) -> int:
     print(f"campaign '{store.spec.name}': {total - pending}/{total} points done, "
           f"{pending} to run "
           f"({'serial' if not workers else f'{workers} workers, one shared pool'})")
+    if scheduler.telemetry is not None:
+        print(f"telemetry: recording to {scheduler.telemetry.directory}")
     curves = scheduler.run(progress=_campaign_progress)
     print()
     print(_campaign_status_table(store))
@@ -306,7 +353,7 @@ def _cmd_campaign_run(args) -> int:
     except StoreMismatchError as exc:
         print(str(exc), file=sys.stderr)
         return 2
-    return _run_campaign(store, args.workers)
+    return _run_campaign(store, args.workers, telemetry=args.telemetry)
 
 
 def _open_store(directory) -> ResultStore | None:
@@ -322,15 +369,70 @@ def _cmd_campaign_resume(args) -> int:
     store = _open_store(args.dir)
     if store is None:
         return 2
-    return _run_campaign(store, args.workers)
+    return _run_campaign(store, args.workers, telemetry=args.telemetry)
 
 
 def _cmd_campaign_status(args) -> int:
+    if getattr(args, "watch", False):
+        return _watch_campaign_status(args.dir, args.interval)
     store = _open_store(args.dir)
     if store is None:
         return 2
     print(_campaign_status_table(store))
+    rates = _telemetry_rates_line(store.directory)
+    if rates is not None:
+        print(rates)
     return 0 if store.is_complete() else 1
+
+
+def _watch_campaign_status(directory, interval: float) -> int:
+    """Re-render the status table every ``interval`` seconds until complete.
+
+    The watch is read-only and resilient: corrupt curve files show up as
+    ``corrupt`` rows (with the aggregate footer still counting the healthy
+    experiments) instead of killing the loop, and a transiently unreadable
+    directory — e.g. mid-write — is retried on the next tick.  Only a
+    directory that cannot be opened on the *first* tick is a hard usage
+    error.  Live rates and the ETA come from the recorded telemetry event
+    log when the campaign runs with telemetry enabled.
+    """
+    import time
+
+    opened_once = False
+    while True:
+        store = _open_store(directory)
+        if store is None:
+            if not opened_once:
+                return 2
+        else:
+            opened_once = True
+            status_rows = store.status()
+            pending = sum(
+                row["points_total"] - row["points_done"] for row in status_rows
+            )
+            print(_campaign_status_table(store))
+            rates = _telemetry_rates_line(store.directory, pending_points=pending)
+            if rates is not None:
+                print(rates)
+            if store.is_complete():
+                return 0
+        print(flush=True)
+        time.sleep(interval)
+
+
+def _cmd_campaign_trace(args) -> int:
+    """Render the execution trace recorded by a telemetry-enabled run."""
+    from repro.obs import EventSchemaError, trace_summary
+
+    try:
+        print(trace_summary(args.dir, top=args.top), end="")
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    except EventSchemaError as exc:
+        print(f"invalid telemetry event log: {exc}", file=sys.stderr)
+        return 2
+    return 0
 
 
 def _cmd_campaign_report(args) -> int:
@@ -580,6 +682,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="size of the shared worker pool (default: serial)")
     run.add_argument("--fresh", action="store_true",
                      help="discard any existing results in the directory")
+    run.add_argument("--telemetry", action=argparse.BooleanOptionalAction,
+                     default=None,
+                     help="record an execution event log and metrics snapshot "
+                          "under <dir>/telemetry (default: on when "
+                          "REPRO_TELEMETRY=1; results are byte-identical "
+                          "either way)")
     run.set_defaults(func=_cmd_campaign_run)
 
     resume = campaign_sub.add_parser(
@@ -588,6 +696,11 @@ def build_parser() -> argparse.ArgumentParser:
     resume.add_argument("dir", type=str, help="campaign result directory")
     resume.add_argument("--workers", type=int, default=None,
                         help="size of the shared worker pool (default: serial)")
+    resume.add_argument("--telemetry", action=argparse.BooleanOptionalAction,
+                        default=None,
+                        help="record an execution event log and metrics "
+                             "snapshot under <dir>/telemetry (default: on "
+                             "when REPRO_TELEMETRY=1)")
     resume.set_defaults(func=_cmd_campaign_resume)
 
     status = campaign_sub.add_parser(
@@ -595,7 +708,25 @@ def build_parser() -> argparse.ArgumentParser:
                        "(exit code 1 while incomplete)"
     )
     status.add_argument("dir", type=str, help="campaign result directory")
+    status.add_argument("--watch", action="store_true",
+                        help="keep re-rendering the table until the campaign "
+                             "completes (live rates and ETA when the run "
+                             "records telemetry)")
+    status.add_argument("--interval", type=float, default=2.0,
+                        help="seconds between --watch refreshes (default 2)")
     status.set_defaults(func=_cmd_campaign_status)
+
+    trace = campaign_sub.add_parser(
+        "trace",
+        help="execution trace of a telemetry-enabled run: slowest shards, "
+             "stage breakdown, pool utilization, early-stop savings",
+    )
+    trace.add_argument("dir", type=str,
+                       help="campaign result directory (or its telemetry/ "
+                            "subdirectory)")
+    trace.add_argument("--top", type=int, default=8,
+                       help="how many slowest shards to list (default 8)")
+    trace.set_defaults(func=_cmd_campaign_trace)
 
     report = campaign_sub.add_parser(
         "report",

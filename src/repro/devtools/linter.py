@@ -94,6 +94,16 @@ class LinterConfig:
     persistence_whitelist:
         Path suffixes exempt from REP107 inside the persistence scope —
         the atomic-write helper itself must, of course, write.
+    obs_scopes:
+        Path fragments marking the telemetry subsystem, where REP110
+        requires every clock read — wall *and* monotonic — to go through
+        the audited ``repro.obs.clock`` chokepoint.  Inside this scope
+        REP104's time-module branch stands down in favour of REP110 (its
+        datetime branch still applies).
+    wall_clock_whitelist:
+        Path suffixes exempt from both REP104 and REP110: the audited
+        clock chokepoint itself, which exists precisely to contain the
+        raw ``time`` calls.
     """
 
     select: frozenset[str] = frozenset(r.code for r in DETERMINISM_RULES)
@@ -104,6 +114,8 @@ class LinterConfig:
         "repro/sim/results.py",
     )
     persistence_whitelist: tuple[str, ...] = ("repro/utils/files.py",)
+    obs_scopes: tuple[str, ...] = ("repro/obs/",)
+    wall_clock_whitelist: tuple[str, ...] = ("repro/obs/clock.py",)
 
     def with_select(self, codes: Iterable[str]) -> "LinterConfig":
         """A copy enforcing only ``codes`` (validated against the catalog)."""
@@ -185,6 +197,15 @@ _LEGACY_NUMPY_RANDOM = frozenset(
 
 _WALL_CLOCK_TIME = frozenset({"time", "time_ns"})
 _WALL_CLOCK_DATETIME = frozenset({"now", "utcnow", "today"})
+#: Every clock-reading function of the ``time`` module — what REP110 keeps
+#: out of repro.obs consumers (superset of the wall-clock pair REP104 flags).
+_TIMING_FUNCTIONS = frozenset(
+    {
+        "time", "time_ns", "perf_counter", "perf_counter_ns",
+        "monotonic", "monotonic_ns", "process_time", "process_time_ns",
+        "thread_time", "thread_time_ns",
+    }
+)
 _POOL_METHODS = frozenset(
     {
         "map", "map_async", "imap", "imap_unordered", "apply",
@@ -230,6 +251,7 @@ class _DeterminismVisitor(ast.NodeVisitor):
         self.seed_sequence_names: set[str] = set()       # ... import SeedSequence
         self.time_module_aliases: set[str] = set()
         self.wall_clock_names: set[str] = set()          # from time import time
+        self.timing_names: set[str] = set()              # ... import perf_counter, ...
         self.datetime_module_aliases: set[str] = set()
         self.datetime_class_aliases: set[str] = set()    # from datetime import datetime
         self.date_class_aliases: set[str] = set()        # from datetime import date
@@ -262,6 +284,13 @@ class _DeterminismVisitor(ast.NodeVisitor):
         return self._path_matches(
             self.config.persistence_suffixes
         ) and not self._path_matches(self.config.persistence_whitelist)
+
+    @property
+    def _obs_scope(self) -> bool:
+        """Inside repro.obs but not the audited clock chokepoint itself."""
+        return any(
+            fragment in self.path for fragment in self.config.obs_scopes
+        ) and not self._path_matches(self.config.wall_clock_whitelist)
 
     # -- imports -------------------------------------------------------- #
     def visit_Import(self, node: ast.Import) -> None:
@@ -313,8 +342,10 @@ class _DeterminismVisitor(ast.NodeVisitor):
                     self.default_rng_names.add(bound)
                 elif alias.name == "SeedSequence":
                     self.seed_sequence_names.add(bound)
-            elif module == "time" and alias.name in _WALL_CLOCK_TIME:
-                self.wall_clock_names.add(bound)
+            elif module == "time" and alias.name in _TIMING_FUNCTIONS:
+                if alias.name in _WALL_CLOCK_TIME:
+                    self.wall_clock_names.add(bound)
+                self.timing_names.add(bound)
             elif module == "datetime":
                 if alias.name == "datetime":
                     self.datetime_class_aliases.add(bound)
@@ -346,6 +377,7 @@ class _DeterminismVisitor(ast.NodeVisitor):
     def visit_Call(self, node: ast.Call) -> None:
         self._check_numpy_random_call(node)
         self._check_wall_clock(node)
+        self._check_obs_clock_bypass(node)
         self._check_set_consumer(node)
         self._check_persistence_write(node)
         self._check_pool_target(node)
@@ -403,14 +435,21 @@ class _DeterminismVisitor(ast.NodeVisitor):
                 )
 
     def _check_wall_clock(self, node: ast.Call) -> None:
+        if self._path_matches(self.config.wall_clock_whitelist):
+            return  # the audited repro.obs.clock chokepoint
         func = node.func
+        # Inside repro.obs the time-module branch stands down: REP110 covers
+        # every direct time-module clock call there (wall and monotonic).
+        obs = self._obs_scope
         if isinstance(func, ast.Name) and func.id in self.wall_clock_names:
-            self._emit(
-                "REP104",
-                node,
-                "wall-clock read: time.time() must not feed seeds, filenames "
-                "or stored metadata (use perf_counter for durations)",
-            )
+            if not obs:
+                self._emit(
+                    "REP104",
+                    node,
+                    "wall-clock read: time.time() must not feed seeds, "
+                    "filenames or stored metadata (use perf_counter for "
+                    "durations)",
+                )
             return
         if not isinstance(func, ast.Attribute):
             return
@@ -420,13 +459,14 @@ class _DeterminismVisitor(ast.NodeVisitor):
             and isinstance(value, ast.Name)
             and value.id in self.time_module_aliases
         ):
-            self._emit(
-                "REP104",
-                node,
-                f"wall-clock read: time.{func.attr}() must not feed seeds, "
-                "filenames or stored metadata (use perf_counter for "
-                "durations)",
-            )
+            if not obs:
+                self._emit(
+                    "REP104",
+                    node,
+                    f"wall-clock read: time.{func.attr}() must not feed "
+                    "seeds, filenames or stored metadata (use perf_counter "
+                    "for durations)",
+                )
             return
         if func.attr in _WALL_CLOCK_DATETIME:
             target: str | None = None
@@ -449,6 +489,29 @@ class _DeterminismVisitor(ast.NodeVisitor):
                     f"wall-clock read: {target}() must not feed seeds, "
                     "filenames or stored metadata",
                 )
+
+    def _check_obs_clock_bypass(self, node: ast.Call) -> None:
+        if not self._obs_scope:
+            return
+        func = node.func
+        called: str | None = None
+        if isinstance(func, ast.Name) and func.id in self.timing_names:
+            called = func.id
+        elif (
+            isinstance(func, ast.Attribute)
+            and func.attr in _TIMING_FUNCTIONS
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self.time_module_aliases
+        ):
+            called = func.attr
+        if called is not None:
+            self._emit(
+                "REP110",
+                node,
+                f"time.{called}() bypasses the audited telemetry clock; "
+                "repro.obs code must read clocks through repro.obs.clock "
+                "(monotonic()/wall_time()) only",
+            )
 
     def _emit_set_iteration(self, node: ast.AST) -> None:
         self._emit(

@@ -138,6 +138,16 @@ DETERMINISM_RULES: tuple[Rule, ...] = (
         "unreproducible by construction; derive randomness from the "
         "experiment seed and identifiers from the spec, never from entropy.",
     ),
+    Rule(
+        "REP110",
+        "obs-clock-bypass",
+        "direct time-module clock call inside repro.obs (bypasses clock.py)",
+        "Telemetry timestamps must all flow through the audited "
+        "repro.obs.clock chokepoint so the one file reading real clocks is "
+        "reviewable in isolation; a perf_counter() or time() call elsewhere "
+        "in repro.obs reintroduces unaudited clock reads — including the "
+        "monotonic ones REP104 deliberately permits in simulation code.",
+    ),
 )
 
 SCHEMA_RULES: tuple[Rule, ...] = (

@@ -1,0 +1,172 @@
+"""In-process metrics registry: counters, gauges and histograms.
+
+The registry is a plain accumulator — no background threads, no sampling,
+no external dependencies.  The scheduler and pool hooks feed it while a
+campaign runs; at campaign end a :meth:`MetricsRegistry.snapshot` is
+written to ``<campaign>/telemetry/metrics.json`` (atomically, like every
+other persisted artifact).  The snapshot is what ``campaign trace`` and
+the report's "Execution telemetry" section render — both read the
+recorded file, never live clocks, so report output stays deterministic.
+
+Naming convention: dotted lowercase paths, with the label as the last
+segment for per-dimension families —
+
+* ``frames_total`` / ``frames_total.experiment.<label>`` /
+  ``frames_total.channel.<kind>`` / ``frames_total.decoder.<kind>``;
+* ``frames_per_second`` and the same per-dimension suffixes (gauges,
+  derived once at campaign end);
+* ``stage_seconds.<stage>`` for the simulator hot-path split
+  (:data:`repro.obs.probe.STAGES`);
+* ``shard_seconds`` / ``shard_queue_seconds`` / ``point_seconds`` /
+  ``decoder_iterations`` histograms.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from pathlib import Path
+from typing import Any
+
+from repro.utils.files import atomic_write_text
+
+__all__ = [
+    "METRICS_SCHEMA_VERSION",
+    "DEFAULT_LATENCY_BOUNDS",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: Version stamped into the ``metrics.json`` snapshot.
+METRICS_SCHEMA_VERSION = 1
+
+#: Log-spaced seconds buckets covering sub-millisecond shards to
+#: multi-minute stragglers.
+DEFAULT_LATENCY_BOUNDS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 300.0,
+)
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/total/min/max.
+
+    ``bounds`` are inclusive upper bucket edges; one implicit overflow
+    bucket catches everything beyond the last edge.
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds: tuple[float, ...] = DEFAULT_LATENCY_BOUNDS) -> None:
+        edges = tuple(float(edge) for edge in bounds)
+        if not edges or list(edges) != sorted(set(edges)):
+            raise ValueError("histogram bounds must be distinct and ascending")
+        self.bounds = edges
+        self.bucket_counts = [0] * (len(edges) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    def snapshot(self) -> dict[str, Any]:
+        buckets = [
+            {"le": edge, "count": count}
+            for edge, count in zip(self.bounds, self.bucket_counts)
+        ]
+        buckets.append({"le": "inf", "count": self.bucket_counts[-1]})
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.total / self.count if self.count else None,
+            "min": self.min,
+            "max": self.max,
+            "buckets": buckets,
+        }
+
+
+class MetricsRegistry:
+    """Counters, gauges and histograms, keyed by dotted metric name."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- writers -------------------------------------------------------- #
+    def inc(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` to counter ``name`` (created at zero)."""
+        self._counters[name] = self._counters.get(name, 0.0) + float(value)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        self._gauges[name] = float(value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        *,
+        bounds: tuple[float, ...] = DEFAULT_LATENCY_BOUNDS,
+    ) -> None:
+        """Record ``value`` into histogram ``name`` (created on first use)."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = Histogram(bounds)
+            self._histograms[name] = histogram
+        histogram.observe(value)
+
+    # -- readers -------------------------------------------------------- #
+    def counter(self, name: str) -> float:
+        """Current value of counter ``name`` (zero when never incremented)."""
+        return self._counters.get(name, 0.0)
+
+    def gauge(self, name: str, default: float = 0.0) -> float:
+        """Current value of gauge ``name`` (``default`` when never set)."""
+        return self._gauges.get(name, default)
+
+    def counters_with_prefix(self, prefix: str) -> dict[str, float]:
+        """``{suffix: value}`` for counters named ``<prefix><suffix>``."""
+        return {
+            name[len(prefix):]: value
+            for name, value in sorted(self._counters.items())
+            if name.startswith(prefix)
+        }
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready snapshot of every metric, deterministically ordered."""
+        return {
+            "schema_version": METRICS_SCHEMA_VERSION,
+            "counters": {name: self._counters[name] for name in sorted(self._counters)},
+            "gauges": {name: self._gauges[name] for name in sorted(self._gauges)},
+            "histograms": {
+                name: self._histograms[name].snapshot()
+                for name in sorted(self._histograms)
+            },
+        }
+
+    def save(self, path: str | Path) -> None:
+        """Write the snapshot atomically (readers never see a torn file)."""
+        payload = json.dumps(self.snapshot(), indent=2, sort_keys=True) + "\n"
+        atomic_write_text(Path(path), payload)
+
+    @staticmethod
+    def load(path: str | Path) -> dict[str, Any]:
+        """Read a saved snapshot back as a plain dict (version-checked)."""
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        if not isinstance(data, dict) or "schema_version" not in data:
+            raise ValueError(f"{path} is not a metrics snapshot")
+        if data["schema_version"] != METRICS_SCHEMA_VERSION:
+            raise ValueError(
+                f"{path} has metrics schema version "
+                f"{data['schema_version']!r}; this reader understands "
+                f"{METRICS_SCHEMA_VERSION}"
+            )
+        return data

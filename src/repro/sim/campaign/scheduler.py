@@ -26,13 +26,17 @@ many workers the machine has and however often the run was interrupted.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Callable
 
 import numpy as np
 
+from repro.obs import clock
+from repro.obs.probe import StageAccumulator
+from repro.obs.telemetry import Telemetry
 from repro.sim.campaign.spec import CampaignSpec
 from repro.sim.campaign.store import ResultStore
-from repro.sim.montecarlo import MonteCarloSimulator
+from repro.sim.montecarlo import MonteCarloSimulator, SimulationConfig
 from repro.sim.parallel import PointState, PoolEntry, SharedWorkerPool
 from repro.sim.results import SimulationCurve, SimulationPoint
 from repro.utils.rng import as_seed_sequence
@@ -67,6 +71,15 @@ class CampaignScheduler:
         :class:`~repro.sim.parallel.SharedWorkerPool` of that size.
     mp_context:
         Optional ``multiprocessing`` context or start-method name.
+    telemetry:
+        Campaign observability (:mod:`repro.obs`).  ``None`` — the default
+        — consults the ``REPRO_TELEMETRY`` environment variable; ``True`` /
+        ``False`` force it on or off; a ready-made
+        :class:`~repro.obs.telemetry.Telemetry` is used as-is.  When
+        enabled, the run appends a structured event log and a metrics
+        snapshot under ``<store>/telemetry/``.  Telemetry is strictly
+        write-only: counts and stored curves are byte-identical with it on
+        or off.
     """
 
     def __init__(
@@ -76,11 +89,19 @@ class CampaignScheduler:
         *,
         workers: int | None = None,
         mp_context: Any = None,
+        telemetry: "Telemetry | bool | None" = None,
     ) -> None:
         self.spec = spec
         self.store = store
         self.workers = workers
         self._mp_context = mp_context
+        if telemetry is None or isinstance(telemetry, bool):
+            telemetry = Telemetry.if_enabled(
+                Path(store.directory) / "telemetry", enabled=telemetry
+            )
+        self.telemetry = telemetry
+        self._points_recorded = 0
+        self._resolved_configs: dict[str, SimulationConfig] = {}
 
     # ------------------------------------------------------------------ #
     def plan(self) -> list[PointJob]:
@@ -122,13 +143,58 @@ class CampaignScheduler:
         the store — completion order under a pool, plan order serially.  An
         interrupted run (``KeyboardInterrupt``, ``SIGKILL``, …) leaves the
         store with every point completed so far; rerunning finishes the rest.
+
+        With telemetry enabled the run is book-ended by ``campaign_start``
+        and — only on a clean finish — ``campaign_end`` events; an
+        interrupted run's log simply lacks the latter, which is how
+        ``campaign trace`` recognizes it.  Already-persisted points emit
+        ``resume_skip`` so a resumed run's log names exactly what it reused.
         """
         jobs = self.pending()
-        if jobs:
-            if self.workers:
-                self._run_pooled(jobs, progress)
-            else:
-                self._run_serial(jobs, progress)
+        telemetry = self.telemetry
+        if telemetry is None:
+            if jobs:
+                if self.workers:
+                    self._run_pooled(jobs, progress)
+                else:
+                    self._run_serial(jobs, progress)
+            return self.store.curves()
+
+        plan = self.plan()
+        pending_keys = {(job.label, job.point_index) for job in jobs}
+        for experiment in self.spec.experiments:
+            telemetry.register_experiment(
+                experiment.label,
+                channel=experiment.channel.kind,
+                decoder=experiment.decoder.kind,
+            )
+        telemetry.campaign_started(
+            campaign=self.spec.name,
+            total_points=len(plan),
+            pending_points=len(jobs),
+            workers=int(self.workers or 0),
+        )
+        self._points_recorded = 0
+        self.store.telemetry = telemetry
+        try:
+            for job in plan:
+                if (job.label, job.point_index) not in pending_keys:
+                    telemetry.record_resume_skip(
+                        experiment=job.label,
+                        point_index=job.point_index,
+                        ebn0_db=job.ebn0_db,
+                    )
+            if jobs:
+                if self.workers:
+                    self._run_pooled(jobs, progress)
+                else:
+                    self._run_serial(jobs, progress)
+            telemetry.campaign_ended(
+                campaign=self.spec.name, points_recorded=self._points_recorded
+            )
+        finally:
+            self.store.telemetry = None
+            telemetry.close()
         return self.store.curves()
 
     # ------------------------------------------------------------------ #
@@ -144,45 +210,120 @@ class CampaignScheduler:
             codes[experiment.label] = by_spec[experiment.code]
         return codes
 
+    def _resolved_config(self, label: str) -> SimulationConfig:
+        config = self._resolved_configs.get(label)
+        if config is None:
+            for experiment in self.spec.experiments:
+                if experiment.label == label:
+                    config = experiment.resolve_config(self.spec.config)
+                    break
+            else:  # pragma: no cover - labels come from the spec
+                raise KeyError(f"no experiment {label!r}")
+            self._resolved_configs[label] = config
+        return config
+
     def _record(
         self,
         label: str,
         point: SimulationPoint,
         progress: Callable[[str, SimulationPoint], None] | None,
     ) -> None:
-        self.store.record_point(label, point)
+        recorded = self.store.record_point(label, point)
+        telemetry = self.telemetry
+        if telemetry is not None and recorded:
+            self._points_recorded += 1
+            max_frames = self._resolved_config(label).max_frames
+            if point.frames < max_frames:
+                telemetry.record_early_stop(
+                    experiment=label,
+                    ebn0_db=point.ebn0_db,
+                    frames=point.frames,
+                    max_frames=max_frames,
+                )
         if progress is not None:
             progress(label, point)
+
+    def _serial_shard_observer(
+        self, simulator: MonteCarloSimulator, label: str, ebn0_db: float
+    ) -> Callable[[int, Any, float], None]:
+        """Per-job ``on_shard`` closure for the serial path (worker id 0)."""
+        if self.telemetry is None:  # pragma: no cover - telemetry path only
+            raise RuntimeError("shard observer requires telemetry")
+        recorder: Telemetry = self.telemetry
+        probe = simulator.probe
+        accumulator = probe if isinstance(probe, StageAccumulator) else None
+        mark = [accumulator.checkpoint()] if accumulator is not None else None
+
+        def on_shard(index: int, shard: Any, seconds: float) -> None:
+            stage_seconds = None
+            if accumulator is not None and mark is not None:
+                _, _, stage_seconds = accumulator.since(mark[0])
+                mark[0] = accumulator.checkpoint()
+            recorder.record_shard(
+                experiment=label,
+                ebn0_db=ebn0_db,
+                shard_index=index,
+                frames=shard.frames,
+                frame_errors=shard.frame_errors,
+                seconds=seconds,
+                queue_seconds=0.0,
+                worker=0,
+                stage_seconds=stage_seconds,
+            )
+
+        return on_shard
 
     def _run_serial(
         self,
         jobs: list[PointJob],
         progress: Callable[[str, SimulationPoint], None] | None,
     ) -> None:
+        telemetry = self.telemetry
         codes = self._built_codes({job.label for job in jobs})
         experiments = {e.label: e for e in self.spec.experiments}
         simulators: dict[str, MonteCarloSimulator] = {}
-        for job in jobs:
-            simulator = simulators.get(job.label)
-            if simulator is None:
-                experiment = experiments[job.label]
-                code = codes[job.label]
-                simulator = MonteCarloSimulator(
-                    code,
-                    experiment.decoder.build(code),
-                    config=experiment.resolve_config(self.spec.config),
-                    rng=0,
-                    pipeline=experiment.channel.build(),
+        if telemetry is not None:
+            telemetry.emit("worker_up", worker=0)
+        try:
+            for job in jobs:
+                simulator = simulators.get(job.label)
+                if simulator is None:
+                    experiment = experiments[job.label]
+                    code = codes[job.label]
+                    simulator = MonteCarloSimulator(
+                        code,
+                        experiment.decoder.build(code),
+                        config=experiment.resolve_config(self.spec.config),
+                        rng=0,
+                        pipeline=experiment.channel.build(),
+                        probe=StageAccumulator() if telemetry is not None else None,
+                    )
+                    simulators[job.label] = simulator
+                on_shard: Callable[[int, Any, float], None] | None = None
+                if telemetry is not None:
+                    telemetry.emit(
+                        "job_dispatched",
+                        experiment=job.label,
+                        point_index=job.point_index,
+                        ebn0_db=job.ebn0_db,
+                    )
+                    on_shard = self._serial_shard_observer(
+                        simulator, job.label, job.ebn0_db
+                    )
+                point = simulator.run_point(
+                    job.ebn0_db, rng=job.seed, on_shard=on_shard
                 )
-                simulators[job.label] = simulator
-            point = simulator.run_point(job.ebn0_db, rng=job.seed)
-            self._record(job.label, point, progress)
+                self._record(job.label, point, progress)
+        finally:
+            if telemetry is not None:
+                telemetry.emit("worker_down", worker=0)
 
     def _run_pooled(
         self,
         jobs: list[PointJob],
         progress: Callable[[str, SimulationPoint], None] | None,
     ) -> None:
+        telemetry = self.telemetry
         labels = {job.label for job in jobs}
         codes = self._built_codes(labels)
         entries: dict[str, PoolEntry] = {}
@@ -195,6 +336,7 @@ class CampaignScheduler:
                 experiment.decoder.factory(code),
                 experiment.resolve_config(self.spec.config),
                 experiment.channel.build(),
+                profiled=telemetry is not None,
             )
         states = [
             PointState(
@@ -206,10 +348,64 @@ class CampaignScheduler:
             )
             for job in jobs
         ]
-        with SharedWorkerPool(
-            entries, workers=self.workers, mp_context=self._mp_context
-        ) as pool:
-            pool.run_states(
-                states,
-                on_point=lambda state, point: self._record(state.key, point, progress),
-            )
+        on_shard: Callable[[Any, int, Any, Any, float], None] | None = None
+        seen_workers: set[int] = set()
+        if telemetry is not None:
+            recorder: Telemetry = telemetry
+            for job in jobs:
+                recorder.emit(
+                    "job_dispatched",
+                    experiment=job.label,
+                    point_index=job.point_index,
+                    ebn0_db=job.ebn0_db,
+                )
+
+            def _pool_shard_observer(
+                state: Any,
+                shard_index: int,
+                result: Any,
+                shard: Any,
+                dispatched_at: float,
+            ) -> None:
+                worker = shard.worker if shard is not None else 0
+                if worker not in seen_workers:
+                    seen_workers.add(worker)
+                    recorder.emit("worker_up", worker=worker)
+                seconds = shard.seconds if shard is not None else 0.0
+                queue_seconds = 0.0
+                if shard is not None:
+                    # Queue wait = in-pool time minus worker compute time:
+                    # both ends of the interval are parent-side reads of the
+                    # same monotonic clock.
+                    queue_seconds = max(
+                        clock.monotonic() - dispatched_at - seconds, 0.0
+                    )
+                recorder.record_shard(
+                    experiment=state.key,
+                    ebn0_db=state.ebn0_db,
+                    shard_index=shard_index,
+                    frames=result.frames,
+                    frame_errors=result.frame_errors,
+                    seconds=seconds,
+                    queue_seconds=queue_seconds,
+                    worker=worker,
+                    stage_seconds=shard.stage_seconds if shard is not None else None,
+                )
+
+            on_shard = _pool_shard_observer
+
+        try:
+            with SharedWorkerPool(
+                entries, workers=self.workers, mp_context=self._mp_context
+            ) as pool:
+                pool.run_states(
+                    states,
+                    on_point=lambda state, point: self._record(
+                        state.key, point, progress
+                    ),
+                    on_shard=on_shard,
+                )
+        finally:
+            if telemetry is not None:
+                for worker in sorted(seen_workers):
+                    telemetry.emit("worker_down", worker=worker)

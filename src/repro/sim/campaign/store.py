@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.sim.campaign.spec import (
     DEFAULT_CHANNEL_DICT,
@@ -35,6 +35,9 @@ from repro.sim.campaign.spec import (
 )
 from repro.sim.results import SimulationCurve, SimulationPoint
 from repro.utils.files import atomic_write_text
+
+if TYPE_CHECKING:
+    from repro.obs.telemetry import Telemetry
 
 __all__ = ["ResultStore", "StoreMismatchError"]
 
@@ -58,6 +61,10 @@ class ResultStore:
         self.directory = Path(directory)
         self.spec = spec
         self._curves: dict[str, SimulationCurve] = {}
+        # Optional repro.obs.Telemetry the scheduler attaches for the run;
+        # record_point reports through it.  Strictly write-only: nothing it
+        # does can alter what gets persisted.
+        self.telemetry: Telemetry | None = None
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -81,6 +88,10 @@ class ResultStore:
             for stale in root.glob("*.curve.json"):
                 stale.unlink()
             manifest.unlink(missing_ok=True)
+            # Telemetry of the discarded campaign describes runs whose
+            # results no longer exist; a fresh store starts a fresh log.
+            for stale in (root / "telemetry" / "events.jsonl", root / "telemetry" / "metrics.json"):
+                stale.unlink(missing_ok=True)
         elif manifest.exists():
             existing = cls._read_manifest(root)
             if existing.as_dict() != spec.as_dict():
@@ -202,13 +213,23 @@ class ResultStore:
         """Eb/N0 values of ``label`` already persisted (skipped on resume)."""
         return self.curve(label).completed_ebn0()
 
-    def record_point(self, label: str, point: SimulationPoint) -> None:
-        """Add one completed point and persist the curve immediately."""
+    def record_point(self, label: str, point: SimulationPoint) -> bool:
+        """Add one completed point and persist the curve immediately.
+
+        Returns whether the point was newly recorded (``False`` for a
+        duplicate Eb/N0, which is ignored).  When a
+        :class:`~repro.obs.telemetry.Telemetry` is attached, every newly
+        recorded point is reported — after the curve is already saved, so
+        telemetry failures or slowness cannot affect persistence.
+        """
         curve = self.curve(label)
         if float(point.ebn0_db) in curve.completed_ebn0():
-            return
+            return False
         curve.add(point)
         curve.save(self.curve_path(label))
+        if self.telemetry is not None:
+            self.telemetry.record_point(experiment=label, point=point)
+        return True
 
     # ------------------------------------------------------------------ #
     def curves(self) -> dict[str, SimulationCurve]:

@@ -34,6 +34,8 @@ from repro.channel.awgn import ebn0_to_sigma
 from repro.channel.pipeline import ChannelPipeline, default_pipeline
 from repro.codes.shortening import ShortenedCode
 from repro.encode.systematic import SystematicEncoder
+from repro.obs import clock
+from repro.obs.probe import Probe
 from repro.sim.results import SimulationPoint
 from repro.sim.sharding import consume_shard, iter_shard_sizes
 from repro.sim.statistics import ErrorCounter
@@ -136,6 +138,12 @@ class MonteCarloSimulator:
         encoder and the decoder.  ``None`` uses the historical default —
         unit-amplitude BPSK over soft-output AWGN — which reproduces
         pre-pipeline seeds byte for byte.
+    probe:
+        Optional :class:`~repro.obs.probe.Probe` receiving per-batch stage
+        timings (encode / channel / decode / count).  ``None`` — the
+        default — keeps the hot path untimed; the only residual cost is
+        one attribute check per batch.  The probe observes timings only;
+        counts are bit-identical with or without it.
     """
 
     def __init__(
@@ -146,6 +154,7 @@ class MonteCarloSimulator:
         config: SimulationConfig | None = None,
         rng=None,
         pipeline: ChannelPipeline | None = None,
+        probe: Probe | None = None,
     ):
         self._shortened = code if isinstance(code, ShortenedCode) else None
         self._base_code = code.base_code if self._shortened is not None else code
@@ -153,6 +162,7 @@ class MonteCarloSimulator:
         self.config = config or SimulationConfig()
         self._rng = ensure_rng(rng)
         self.pipeline = pipeline if pipeline is not None else default_pipeline()
+        self.probe = probe
         self._encoder: SystematicEncoder | None = None
         self._forced_zero_info: np.ndarray | None = None
         if not self.config.all_zero_codeword:
@@ -262,9 +272,44 @@ class MonteCarloSimulator:
         if batch < 1:
             raise ValueError("batch must be positive")
         rng = self._rng if rng is None else rng
+        if self.probe is not None:
+            return self._run_batch_probed(batch, sigma, rng)
         codewords = self._generate_codewords(batch, rng)
         llrs = self._transmit(codewords, sigma, rng)
         result = self._decoder.decode(llrs)
+        return self._count_batch(batch, codewords, result)
+
+    def _run_batch_probed(
+        self, batch: int, sigma: float, rng: np.random.Generator
+    ) -> BatchResult:
+        """``run_batch`` with per-stage timing reported to ``self.probe``.
+
+        Identical computation to the unprobed path — the clock reads sit
+        *between* the stages and never influence them, so counts stay
+        bit-identical with profiling on or off.
+        """
+        t0 = clock.monotonic()
+        codewords = self._generate_codewords(batch, rng)
+        t1 = clock.monotonic()
+        llrs = self._transmit(codewords, sigma, rng)
+        t2 = clock.monotonic()
+        result = self._decoder.decode(llrs)
+        t3 = clock.monotonic()
+        counts = self._count_batch(batch, codewords, result)
+        t4 = clock.monotonic()
+        self.probe.record_batch(
+            batch,
+            {
+                "encode": t1 - t0,
+                "channel": t2 - t1,
+                "decode": t3 - t2,
+                "count": t4 - t3,
+            },
+        )
+        return counts
+
+    def _count_batch(self, batch: int, codewords, result) -> BatchResult:
+        """Count errors of one decoded batch into a :class:`BatchResult`."""
         decoded = np.atleast_2d(result.bits)
         errors = decoded != codewords
         if self._counted_positions is not None:
@@ -292,7 +337,7 @@ class MonteCarloSimulator:
             info_bit_errors=info_bit_errors,
         )
 
-    def run_point(self, ebn0_db: float, *, rng=None) -> SimulationPoint:
+    def run_point(self, ebn0_db: float, *, rng=None, on_shard=None) -> SimulationPoint:
         """Simulate one Eb/N0 point until the stopping rule triggers.
 
         Shards are executed in order, each with a child stream spawned from
@@ -303,13 +348,24 @@ class MonteCarloSimulator:
         simulator instance can serve many independently seeded points (the
         sweep and campaign engines derive one child seed per point and rely
         on this for their resume guarantee).
+
+        ``on_shard`` is a telemetry observer called after each shard as
+        ``on_shard(index, shard_result, seconds)``.  It is write-only:
+        shard sizing, RNG spawning and the stopping rule are identical
+        whether or not it is set (the only difference is timing the
+        ``run_batch`` call).
         """
         sigma = self.sigma_for(ebn0_db)
         counter = ErrorCounter()
         seed_seq = as_seed_sequence(self._rng if rng is None else rng)
-        for size in iter_shard_sizes(self.config):
+        for index, size in enumerate(iter_shard_sizes(self.config)):
             (child,) = seed_seq.spawn(1)
-            shard = self.run_batch(size, sigma, rng=np.random.default_rng(child))
+            if on_shard is None:
+                shard = self.run_batch(size, sigma, rng=np.random.default_rng(child))
+            else:
+                started = clock.monotonic()
+                shard = self.run_batch(size, sigma, rng=np.random.default_rng(child))
+                on_shard(index, shard, clock.monotonic() - started)
             if not consume_shard(counter, shard, self.config):
                 break
         return point_from_counter(ebn0_db, counter)

@@ -47,6 +47,8 @@ from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
+from repro.obs import clock
+from repro.obs.probe import StageAccumulator
 from repro.sim.montecarlo import (
     BatchResult,
     MonteCarloSimulator,
@@ -75,12 +77,20 @@ class PoolEntry:
     the modulator + channel pair
     (:class:`~repro.channel.pipeline.ChannelPipeline`) this entry simulates
     over; ``None`` means the default BPSK/AWGN pipeline.
+
+    ``profiled`` switches worker-side telemetry on for this entry: shard
+    tasks time themselves and attach a per-stage breakdown (from a
+    :class:`~repro.obs.probe.StageAccumulator` probe).  The flag travels
+    inside the entry registry, so forked and spawned workers agree with the
+    parent without consulting environment variables.  Profiling never
+    changes counts — the byte-identity telemetry test pins that.
     """
 
     code: object
     decoder_factory: Callable[[], object]
     config: SimulationConfig = field(default_factory=SimulationConfig)
     pipeline: object | None = None
+    profiled: bool = False
 
 
 def _init_worker(entries: dict, eager: bool) -> None:
@@ -111,6 +121,7 @@ def _simulator_for(key) -> MonteCarloSimulator:
             config=entry.config,
             rng=0,
             pipeline=entry.pipeline,
+            probe=StageAccumulator() if entry.profiled else None,
         )
         _WORKER_SIMULATORS[key] = simulator
     return simulator
@@ -123,11 +134,33 @@ def _worker_probe() -> int:
     return len(_WORKER_ENTRIES)
 
 
-def _run_shard(key, ebn0_db: float, size: int, seed_seq) -> BatchResult:
-    """Task body: simulate one shard on this worker's simulator for ``key``."""
+@dataclass(frozen=True)
+class _ShardTelemetry:
+    """Worker-side measurements of one shard (picklable, observation-only)."""
+
+    worker: int
+    seconds: float
+    stage_seconds: dict | None
+
+
+def _run_shard(key, ebn0_db: float, size: int, seed_seq):
+    """Task body: simulate one shard on this worker's simulator for ``key``.
+
+    Returns ``(BatchResult, _ShardTelemetry | None)`` — telemetry only when
+    the entry is ``profiled``, so unprofiled runs pay no timing at all.
+    """
     simulator = _simulator_for(key)
     sigma = simulator.sigma_for(ebn0_db)
-    return simulator.run_batch(size, sigma, rng=np.random.default_rng(seed_seq))
+    probe = simulator.probe
+    if probe is None:
+        result = simulator.run_batch(size, sigma, rng=np.random.default_rng(seed_seq))
+        return result, None
+    mark = probe.checkpoint()
+    started = clock.monotonic()
+    result = simulator.run_batch(size, sigma, rng=np.random.default_rng(seed_seq))
+    seconds = clock.monotonic() - started
+    _, _, stage_seconds = probe.since(mark)
+    return result, _ShardTelemetry(os.getpid(), seconds, stage_seconds)
 
 
 class PointState:
@@ -144,7 +177,9 @@ class PointState:
         self.config = config
         self.tag = tag
         self.sizes = iter_shard_sizes(config)
-        self.pending: deque = deque()  # AsyncResults, in shard order
+        # (AsyncResult, shard_index, dispatched_at) tuples, in shard order.
+        self.pending: deque = deque()
+        self.shards_dispatched = 0
         self.counter = ErrorCounter()
         self.stopped = False  # stopping rule triggered; discard further shards
         self.exhausted = False  # shard schedule fully dispatched
@@ -165,15 +200,22 @@ class PointState:
         (child,) = self.seed_seq.spawn(1)
         return size, child
 
-    def consume_ready(self) -> bool:
+    def consume_ready(self, observer=None) -> bool:
         """Fold completed shards (in shard order) into the counter.
 
-        Returns ``True`` when at least one shard was consumed.
+        Returns ``True`` when at least one shard was consumed.  ``observer``
+        is the telemetry hook, called per consumed shard as
+        ``observer(state, shard_index, result, shard_telemetry,
+        dispatched_at)`` — strictly after the result exists and before the
+        stopping rule, so it can never influence either.
         """
         progressed = False
-        while self.pending and self.pending[0].ready():
-            result = self.pending.popleft().get()
+        while self.pending and self.pending[0][0].ready():
+            async_result, shard_index, dispatched_at = self.pending.popleft()
+            result, shard_telemetry = async_result.get()
             progressed = True
+            if observer is not None:
+                observer(self, shard_index, result, shard_telemetry, dispatched_at)
             if not self.stopped and not consume_shard(self.counter, result, self.config):
                 # Stopping rule hit: everything already dispatched beyond
                 # this shard is speculative and must not be counted.
@@ -307,6 +349,7 @@ class SharedWorkerPool:
         states: Sequence[PointState],
         *,
         on_point: Callable[[PointState, SimulationPoint], None] | None = None,
+        on_shard: Callable | None = None,
     ) -> list[SimulationPoint]:
         """Drive every :class:`PointState` to completion over the pool.
 
@@ -314,6 +357,13 @@ class SharedWorkerPool:
         keeps the pool fed and early-stopping points release capacity
         quickly; ``on_point`` fires as each point completes (completion
         order, not input order).  Returns the points in input order.
+
+        ``on_shard`` is the telemetry observer threaded into
+        :meth:`PointState.consume_ready`; when set, dispatch timestamps are
+        taken so the observer can split queue wait from compute.  Both
+        callbacks are write-only with respect to the run: dispatch order,
+        RNG spawning and stopping decisions are identical with or without
+        them.
         """
         for state in states:
             if state.key not in self.entries:
@@ -335,17 +385,25 @@ class SharedWorkerPool:
                     if shard is None:
                         continue
                     size, child = shard
+                    dispatched_at = (
+                        clock.monotonic() if on_shard is not None else 0.0
+                    )
                     state.pending.append(
-                        pool.apply_async(
-                            _run_shard, (state.key, state.ebn0_db, size, child)
+                        (
+                            pool.apply_async(
+                                _run_shard, (state.key, state.ebn0_db, size, child)
+                            ),
+                            state.shards_dispatched,
+                            dispatched_at,
                         )
                     )
+                    state.shards_dispatched += 1
                     inflight += 1
                     made_submission = True
 
             progressed = False
             for state in active:
-                if state.consume_ready():
+                if state.consume_ready(on_shard):
                     progressed = True
             finished = [state for state in active if state.done]
             for state in finished:
@@ -356,7 +414,7 @@ class SharedWorkerPool:
                 # Nothing ready yet: block briefly on an outstanding shard
                 # instead of spinning.
                 outstanding = next(
-                    (state.pending[0] for state in active if state.pending), None
+                    (state.pending[0][0] for state in active if state.pending), None
                 )
                 if outstanding is not None:
                     outstanding.wait(0.01)

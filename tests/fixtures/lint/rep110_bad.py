@@ -1,0 +1,15 @@
+"""Bad: repro.obs code reading the time module instead of repro.obs.clock.
+
+Linted under an ``repro/obs/`` path; every direct time-module clock call —
+wall or monotonic — bypasses the audited chokepoint.
+"""
+import time
+from time import monotonic
+
+
+def shard_latency(started):
+    return time.perf_counter() - started
+
+
+def event_timestamps():
+    return {"t_mono": monotonic(), "t_wall": time.time()}

@@ -1,0 +1,10 @@
+"""Good: repro.obs code timestamps through the audited clock chokepoint."""
+from repro.obs import clock
+
+
+def shard_latency(started):
+    return clock.monotonic() - started
+
+
+def event_timestamps():
+    return {"t_mono": clock.monotonic(), "t_wall": clock.wall_time()}

@@ -32,8 +32,13 @@ from repro.utils.rng import UnseededRNGWarning, as_seed_sequence, ensure_rng
 FIXTURES = Path(__file__).parent / "fixtures" / "lint"
 
 #: The path each fixture is linted under.  REP107 only applies inside the
-#: persistence scope, so its fixtures are presented as the campaign store.
-_LINT_PATHS = {"REP107": "src/repro/sim/campaign/store.py"}
+#: persistence scope, so its fixtures are presented as the campaign store;
+#: REP110 only applies inside repro.obs, so its fixtures are presented as a
+#: telemetry consumer module.
+_LINT_PATHS = {
+    "REP107": "src/repro/sim/campaign/store.py",
+    "REP110": "src/repro/obs/consumers.py",
+}
 
 RULE_CODES = [r.code for r in DETERMINISM_RULES]
 
@@ -84,7 +89,7 @@ def test_good_fixture_is_clean(code):
 def test_bad_fixtures_fire_multiple_forms():
     """Each bad fixture covers more than one spelling of its hazard."""
     for code in ("REP101", "REP102", "REP103", "REP104", "REP105",
-                 "REP106", "REP107", "REP108", "REP109"):
+                 "REP106", "REP107", "REP108", "REP109", "REP110"):
         assert len(_lint_fixture(code, "bad")) >= 2, code
 
 
@@ -105,6 +110,39 @@ def test_rep103_seed_keyword_counts_as_seeded():
 def test_rep104_allows_perf_counter():
     source = "import time\nelapsed = time.perf_counter()\n"
     assert lint_source(source, "src/repro/x.py") == []
+
+
+def test_rep110_only_in_obs_scope():
+    source = "import time\nelapsed = time.perf_counter()\n"
+    assert lint_source(source, "src/repro/sim/montecarlo.py") == []
+    scoped = lint_source(source, "src/repro/obs/metrics.py")
+    assert [v.rule for v in scoped] == ["REP110"]
+
+
+def test_obs_clock_chokepoint_is_whitelisted():
+    source = (
+        "import time\n"
+        "def wall_time():\n"
+        "    return time.time()\n"
+        "def monotonic():\n"
+        "    return time.perf_counter()\n"
+    )
+    assert lint_source(source, "src/repro/obs/clock.py") == []
+
+
+def test_rep110_supersedes_rep104_wall_branch_in_obs():
+    """time.time() in obs fires exactly REP110 — never a REP104 double."""
+    source = "import time\nstamp = time.time()\n"
+    assert [v.rule for v in lint_source(source, "src/repro/obs/events.py")] == [
+        "REP110"
+    ]
+
+
+def test_rep104_datetime_branch_still_active_in_obs():
+    source = "from datetime import datetime\nwhen = datetime.now()\n"
+    assert [v.rule for v in lint_source(source, "src/repro/obs/events.py")] == [
+        "REP104"
+    ]
 
 
 def test_rep106_ignores_integer_comparison():

@@ -17,6 +17,7 @@ DOC_FILES = [
     REPO_ROOT / "README.md",
     REPO_ROOT / "docs" / "campaigns.md",
     REPO_ROOT / "docs" / "components.md",
+    REPO_ROOT / "docs" / "observability.md",
     REPO_ROOT / "docs" / "reporting.md",
 ]
 
@@ -126,7 +127,7 @@ def test_readme_documents_every_cli_subcommand():
     )
     for command in subparsers.choices:
         assert command in readme, f"README does not mention subcommand {command!r}"
-    for campaign_command in ("run", "status", "resume", "report", "verify"):
+    for campaign_command in ("run", "status", "resume", "trace", "report", "verify"):
         assert f"campaign {campaign_command}" in readme
     for components_command in ("list", "describe"):
         assert f"components {components_command}" in readme
