@@ -18,10 +18,29 @@ high-speed architecture's concurrent frames), and return a
 * :class:`~repro.decode.hard_decision.GallagerBDecoder` and
   :class:`~repro.decode.hard_decision.WeightedBitFlippingDecoder` —
   hard-decision baselines.
+* the batched twins in :mod:`repro.decode.batched`
+  (``min-sum-batched``, ``nms-batched``, ``offset-batched``,
+  ``sum-product-batched``, ``layered-batched``) — same kernels over a
+  compacted active-frame working set, bit-identical to their serial
+  references.
+
+The simulator's hot path dispatches through
+:func:`~repro.decode.base.decode_frames`: decoders exposing
+``decode_batch`` get the whole ``(batch, n)`` array in one call, anything
+else falls back to a per-frame loop.
 """
 
-from repro.decode.base import MessagePassingDecoder
+from repro.decode.base import FrameBatchDecoder, MessagePassingDecoder, decode_frames
+from repro.decode.batched import (
+    SERIAL_EQUIVALENTS,
+    BatchedLayeredMinSumDecoder,
+    BatchedMinSumDecoder,
+    BatchedNormalizedMinSumDecoder,
+    BatchedOffsetMinSumDecoder,
+    BatchedSumProductDecoder,
+)
 from repro.decode.fixed_point import QuantizedMinSumDecoder
+from repro.decode.graph import TannerGraph, tanner_graph
 from repro.decode.hard_decision import GallagerBDecoder, WeightedBitFlippingDecoder
 from repro.decode.layered import LayeredMinSumDecoder
 from repro.decode.messages import EdgeStructure
@@ -36,8 +55,13 @@ from repro.decode.sum_product import SumProductDecoder
 
 __all__ = [
     "EdgeStructure",
+    "TannerGraph",
+    "tanner_graph",
     "DecodeResult",
+    "FrameBatchDecoder",
     "MessagePassingDecoder",
+    "decode_frames",
+    "SERIAL_EQUIVALENTS",
     "SumProductDecoder",
     "MinSumDecoder",
     "NormalizedMinSumDecoder",
@@ -46,6 +70,11 @@ __all__ = [
     "QuantizedMinSumDecoder",
     "GallagerBDecoder",
     "WeightedBitFlippingDecoder",
+    "BatchedMinSumDecoder",
+    "BatchedNormalizedMinSumDecoder",
+    "BatchedOffsetMinSumDecoder",
+    "BatchedSumProductDecoder",
+    "BatchedLayeredMinSumDecoder",
     "StoppingCriterion",
     "SyndromeStopping",
     "FixedIterations",

@@ -5,6 +5,25 @@ Section 2.1 of the paper (bit nodes send, check nodes process, check nodes
 send back, bit nodes process) with batching and optional early stopping;
 concrete decoders only provide the check-node kernel and, optionally, a
 message conditioning hook (used by the fixed-point decoder to quantize).
+
+Two protocols are defined here for the simulator's hot path:
+
+* :class:`FrameBatchDecoder` — the shared ``decode()`` / ``decode_batch()``
+  plumbing over a 2-D decoding core, giving every built-in decoder a native
+  batched entry point;
+* :func:`decode_frames` — the dispatch the Monte-Carlo engine uses: it
+  calls ``decode_batch`` when the decoder provides one and otherwise falls
+  back to a per-frame loop, stacking the single-frame results into the
+  same batch shape.
+
+Iteration accounting convention (shared by the serial and batched paths):
+``iterations`` counts the message-passing iterations actually *executed*.
+The syndrome of the channel hard decisions is checked before the first
+iteration ("iteration 0"), so a received word that is already a codeword
+records **zero** iterations under syndrome stopping — its posterior is the
+(conditioned) channel LLRs.  :class:`~repro.decode.stopping.FixedIterations`
+never stops at iteration 0, preserving the hardware's fixed decoding
+period.
 """
 
 from __future__ import annotations
@@ -19,10 +38,96 @@ from repro.decode.stopping import StoppingCriterion, SyndromeStopping
 from repro.encode.systematic import as_parity_check_matrix
 from repro.utils.bits import hard_decision
 
-__all__ = ["MessagePassingDecoder"]
+__all__ = ["FrameBatchDecoder", "MessagePassingDecoder", "decode_frames"]
 
 
-class MessagePassingDecoder(ABC):
+class FrameBatchDecoder:
+    """Shared single-frame / batched entry points over a 2-D decoding core.
+
+    Subclasses implement ``_decode_array(llrs)`` on a ``(batch, n)`` float64
+    array and get consistent ``decode`` (1-D or 2-D input, squeezed output
+    for a single frame) and ``decode_batch`` (strictly ``(batch, n)`` in,
+    batch result out) for free.  ``decode_batch`` is the protocol the
+    simulator's :func:`decode_frames` dispatch looks for.
+    """
+
+    block_length: int
+
+    def _coerce_llrs(self, channel_llrs) -> np.ndarray:
+        llrs = np.asarray(channel_llrs, dtype=np.float64)
+        if llrs.ndim != 2 or llrs.shape[1] != self.block_length:
+            raise ValueError(
+                f"expected LLRs with trailing dimension {self.block_length}, "
+                f"got shape {llrs.shape}"
+            )
+        return llrs
+
+    def _decode_array(self, llrs: np.ndarray) -> DecodeResult:
+        """Decode a validated ``(batch, n)`` array (implemented by subclasses)."""
+        raise NotImplementedError
+
+    def decode(self, channel_llrs) -> DecodeResult:
+        """Decode a frame or a batch of frames of channel LLRs.
+
+        Parameters
+        ----------
+        channel_llrs:
+            Array of shape ``(n,)`` or ``(batch, n)``; positive values mean
+            bit 0 is more likely.
+
+        Returns
+        -------
+        DecodeResult
+            Hard decisions, posterior LLRs, convergence flags and iteration
+            counts (squeezed back to 1-D when a single frame was passed).
+        """
+        llrs = np.asarray(channel_llrs, dtype=np.float64)
+        single = llrs.ndim == 1
+        if single:
+            llrs = llrs[None, :]
+        result = self._decode_array(self._coerce_llrs(llrs))
+        if single:
+            return DecodeResult(
+                bits=result.bits[0],
+                posterior_llrs=result.posterior_llrs[0],
+                converged=result.converged[0],
+                iterations=result.iterations[0],
+            )
+        return result
+
+    def decode_batch(self, channel_llrs) -> DecodeResult:
+        """Decode a strict ``(batch, n)`` array of channel LLRs.
+
+        The batched entry point of the simulator hot path: always returns
+        batch-shaped arrays, even for ``batch == 1``.  Bit-identical to
+        calling :meth:`decode` on each row separately.
+        """
+        return self._decode_array(self._coerce_llrs(channel_llrs))
+
+
+def decode_frames(decoder, channel_llrs) -> DecodeResult:
+    """Decode a ``(batch, n)`` array through ``decoder``, batched if possible.
+
+    The Monte-Carlo engine's dispatch point: decoders exposing a
+    ``decode_batch`` method (every built-in decoder, and anything deriving
+    from :class:`FrameBatchDecoder`) receive the whole batch in one call;
+    anything else — e.g. a third-party decoder registered with only a
+    ``decode(llrs)`` method — falls back to a per-frame loop whose
+    single-frame results are stacked into the same batch shape.  For
+    frame-independent decoders the two paths produce identical counts.
+    """
+    llrs = np.asarray(channel_llrs, dtype=np.float64)
+    if llrs.ndim != 2:
+        raise ValueError(f"expected (batch, n) LLRs, got shape {llrs.shape}")
+    batch_decode = getattr(decoder, "decode_batch", None)
+    if batch_decode is not None:
+        return batch_decode(llrs)
+    return DecodeResult.stack(
+        [decoder.decode(llrs[index]) for index in range(llrs.shape[0])]
+    )
+
+
+class MessagePassingDecoder(FrameBatchDecoder, ABC):
     """Base class for flooding-schedule message-passing decoders.
 
     Parameters
@@ -93,32 +198,26 @@ class MessagePassingDecoder(ABC):
     # ------------------------------------------------------------------ #
     # Decoding loop
     # ------------------------------------------------------------------ #
-    def decode(self, channel_llrs) -> DecodeResult:
-        """Decode a frame or a batch of frames of channel LLRs.
-
-        Parameters
-        ----------
-        channel_llrs:
-            Array of shape ``(n,)`` or ``(batch, n)``; positive values mean
-            bit 0 is more likely.
-
-        Returns
-        -------
-        DecodeResult
-            Hard decisions, posterior LLRs, convergence flags and iteration
-            counts (squeezed back to 1-D when a single frame was passed).
-        """
-        llrs = np.asarray(channel_llrs, dtype=np.float64)
-        single = llrs.ndim == 1
-        if single:
-            llrs = llrs[None, :]
-        if llrs.ndim != 2 or llrs.shape[1] != self.block_length:
-            raise ValueError(
-                f"expected LLRs with trailing dimension {self.block_length}, "
-                f"got shape {llrs.shape}"
-            )
-
+    def _decode_array(self, llrs: np.ndarray) -> DecodeResult:
         llrs = self._condition_channel(llrs)
+        bits, posterior, converged, iterations = self._run_message_passing(llrs)
+        return DecodeResult(
+            bits=bits,
+            posterior_llrs=posterior,
+            converged=converged,
+            iterations=iterations,
+        )
+
+    def _run_message_passing(
+        self, llrs: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The flooding iteration on conditioned ``(batch, n)`` LLRs.
+
+        The reference (pinned) implementation: full-size state arrays with
+        an active-frame index.  :mod:`repro.decode.batched` overrides this
+        with a compacting working set; the per-frame numbers are identical
+        because every kernel reduces each row independently.
+        """
         batch = llrs.shape[0]
         edges = self._edges
 
@@ -127,8 +226,14 @@ class MessagePassingDecoder(ABC):
         check_to_bit = np.zeros_like(bit_to_check)
         posterior = llrs.copy()
 
-        active = np.ones(batch, dtype=bool)
-        converged = np.zeros(batch, dtype=bool)
+        # Iteration 0: check the channel hard decisions before any message
+        # passing.  A received word that is already a codeword records zero
+        # iterations (under syndrome stopping); FixedIterations never stops
+        # here, preserving the hardware's fixed decoding period.
+        syndrome_ok = edges.syndrome_ok(hard_decision(llrs))
+        converged = np.asarray(syndrome_ok, dtype=bool).copy()
+        stop = np.asarray(self.stopping.should_stop(0, syndrome_ok), dtype=bool)
+        active = ~stop
         iterations = np.zeros(batch, dtype=np.int64)
 
         for iteration in range(1, self.max_iterations + 1):
@@ -152,18 +257,4 @@ class MessagePassingDecoder(ABC):
             stop = self.stopping.should_stop(iteration, syndrome_ok)
             active[idx[np.asarray(stop, dtype=bool)]] = False
 
-        bits = hard_decision(posterior)
-        result = DecodeResult(
-            bits=bits,
-            posterior_llrs=posterior,
-            converged=converged,
-            iterations=iterations,
-        )
-        if single:
-            result = DecodeResult(
-                bits=bits[0],
-                posterior_llrs=posterior[0],
-                converged=converged[0],
-                iterations=iterations[0],
-            )
-        return result
+        return hard_decision(posterior), posterior, converged, iterations

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.decode.base import FrameBatchDecoder
 from repro.decode.messages import EdgeStructure
 from repro.decode.result import DecodeResult
 from repro.encode.systematic import as_parity_check_matrix
@@ -30,7 +31,7 @@ __all__ = ["GallagerBDecoder", "WeightedBitFlippingDecoder"]
     ],
     summary="Gallager-B hard-decision decoding (low-complexity baseline)",
 )
-class GallagerBDecoder:
+class GallagerBDecoder(FrameBatchDecoder):
     """Gallager-B hard-decision decoding.
 
     Each iteration computes every parity check on the current hard decisions
@@ -67,17 +68,14 @@ class GallagerBDecoder:
         """Codeword length."""
         return self._pcm.block_length
 
-    def decode(self, channel_llrs) -> DecodeResult:
-        """Decode from channel LLRs (only their signs are used)."""
-        llrs = np.asarray(channel_llrs, dtype=np.float64)
-        single = llrs.ndim == 1
-        if single:
-            llrs = llrs[None, :]
-        if llrs.shape[1] != self.block_length:
-            raise ValueError(
-                f"expected LLRs with trailing dimension {self.block_length}, "
-                f"got shape {llrs.shape}"
-            )
+    def _decode_array(self, llrs: np.ndarray) -> DecodeResult:
+        """Decode from channel LLRs (only their signs are used).
+
+        ``iterations`` counts *executed* flipping iterations: the syndrome
+        is evaluated before each round of flips, so a received word that is
+        already a codeword records zero iterations (same convention as the
+        message-passing decoders' iteration-0 check).
+        """
         bits = hard_decision(llrs)
         batch = bits.shape[0]
         converged = np.zeros(batch, dtype=bool)
@@ -85,38 +83,30 @@ class GallagerBDecoder:
         active = np.ones(batch, dtype=bool)
 
         check_idx, bit_idx = self._pcm.edges()
-        for iteration in range(1, self.max_iterations + 1):
+        for executed in range(self.max_iterations + 1):
             idx = np.nonzero(active)[0]
             if idx.size == 0:
                 break
             syndrome = self._pcm.syndrome(bits[idx])
             satisfied = ~syndrome.any(axis=1)
             converged[idx] = satisfied
-            iterations[idx] = iteration
+            iterations[idx] = executed
             active[idx[satisfied]] = False
-            work = np.nonzero(active)[0]
+            if executed == self.max_iterations:
+                break
+            still_active = ~satisfied
+            work = idx[still_active]
             if work.size == 0:
                 break
             # Count, per bit, how many of its checks are unsatisfied.
-            syndrome_work = self._pcm.syndrome(bits[work])
+            syndrome_work = syndrome[still_active]
             unsatisfied_on_edges = syndrome_work[:, check_idx].astype(np.int64)
             counts = np.zeros((work.size, self.block_length), dtype=np.int64)
             np.add.at(counts, (slice(None), bit_idx), unsatisfied_on_edges)
             flips = counts >= self.flip_threshold
             bits[work] ^= flips.astype(np.uint8)
-            iterations[work] = iteration
-
-        # Final convergence state for frames that used every iteration.
-        remaining = np.nonzero(active)[0]
-        if remaining.size:
-            converged[remaining] = ~self._pcm.syndrome(bits[remaining]).any(axis=1)
 
         posterior = np.where(bits == 0, 1.0, -1.0) * np.abs(llrs)
-        if single:
-            return DecodeResult(
-                bits=bits[0], posterior_llrs=posterior[0],
-                converged=converged[0], iterations=iterations[0],
-            )
         return DecodeResult(
             bits=bits, posterior_llrs=posterior, converged=converged, iterations=iterations
         )
@@ -130,7 +120,7 @@ class GallagerBDecoder:
     ],
     summary="Weighted bit flipping (soft-metric hard-decision baseline)",
 )
-class WeightedBitFlippingDecoder:
+class WeightedBitFlippingDecoder(FrameBatchDecoder):
     """Weighted bit flipping: soft-aided single-bit-per-iteration flipping.
 
     Each unsatisfied check votes against its least reliable bits; the flip
@@ -165,17 +155,13 @@ class WeightedBitFlippingDecoder:
         """Codeword length."""
         return self._pcm.block_length
 
-    def decode(self, channel_llrs) -> DecodeResult:
-        """Decode from channel LLRs (signs for decisions, magnitudes as reliabilities)."""
-        llrs = np.asarray(channel_llrs, dtype=np.float64)
-        single = llrs.ndim == 1
-        if single:
-            llrs = llrs[None, :]
-        if llrs.shape[1] != self.block_length:
-            raise ValueError(
-                f"expected LLRs with trailing dimension {self.block_length}, "
-                f"got shape {llrs.shape}"
-            )
+    def _decode_array(self, llrs: np.ndarray) -> DecodeResult:
+        """Decode from channel LLRs (signs for decisions, magnitudes as reliabilities).
+
+        Like the other decoders, ``iterations`` counts executed flipping
+        iterations: the syndrome is checked before each flip, so a
+        codeword-in frame records zero iterations.
+        """
         reliability = np.abs(llrs)
         bits = hard_decision(llrs)
         batch = bits.shape[0]
@@ -189,11 +175,13 @@ class WeightedBitFlippingDecoder:
 
         for frame in range(batch):
             frame_bits = bits[frame]
-            for iteration in range(1, self.max_iterations + 1):
+            for executed in range(self.max_iterations + 1):
                 syndrome = self._pcm.syndrome(frame_bits)
-                iterations[frame] = iteration
+                iterations[frame] = executed
                 if not syndrome.any():
                     converged[frame] = True
+                    break
+                if executed == self.max_iterations:
                     break
                 # Flip metric: sum over adjacent checks of +/- the check's
                 # minimum reliability (positive when the check is unsatisfied).
@@ -204,16 +192,9 @@ class WeightedBitFlippingDecoder:
                 np.add.at(metric, bit_idx, votes)
                 worst = np.argsort(metric)[-self.flips_per_iteration :]
                 frame_bits[worst] ^= 1
-            else:
-                converged[frame] = not self._pcm.syndrome(frame_bits).any()
             bits[frame] = frame_bits
 
         posterior = np.where(bits == 0, 1.0, -1.0) * reliability
-        if single:
-            return DecodeResult(
-                bits=bits[0], posterior_llrs=posterior[0],
-                converged=converged[0], iterations=iterations[0],
-            )
         return DecodeResult(
             bits=bits, posterior_llrs=posterior, converged=converged, iterations=iterations
         )

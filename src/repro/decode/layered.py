@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.decode.base import FrameBatchDecoder
 from repro.decode.messages import EdgeStructure
 from repro.decode.min_sum import DEFAULT_ALPHA
 from repro.decode.result import DecodeResult
@@ -85,7 +86,7 @@ class _Layer:
     ],
     summary="Row-layered normalized min-sum (faster convergence schedule)",
 )
-class LayeredMinSumDecoder:
+class LayeredMinSumDecoder(FrameBatchDecoder):
     """Layered-schedule normalized min-sum decoder.
 
     Parameters
@@ -145,23 +146,33 @@ class LayeredMinSumDecoder:
         return self._pcm.block_length
 
     # ------------------------------------------------------------------ #
-    def decode(self, channel_llrs) -> DecodeResult:
-        """Decode a frame or batch of frames (same contract as the flooding decoders)."""
-        llrs = np.asarray(channel_llrs, dtype=np.float64)
-        single = llrs.ndim == 1
-        if single:
-            llrs = llrs[None, :]
-        if llrs.ndim != 2 or llrs.shape[1] != self.block_length:
-            raise ValueError(
-                f"expected LLRs with trailing dimension {self.block_length}, "
-                f"got shape {llrs.shape}"
-            )
+    def _decode_array(self, llrs: np.ndarray) -> DecodeResult:
+        bits, posterior, converged, iterations = self._run_layered(llrs)
+        return DecodeResult(
+            bits=bits,
+            posterior_llrs=posterior,
+            converged=converged,
+            iterations=iterations,
+        )
+
+    def _run_layered(
+        self, llrs: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The layered sweep on ``(batch, n)`` LLRs (full-array reference).
+
+        Overridden by the batched variant with a compacting working set;
+        see :class:`repro.decode.batched.BatchedLayeredMinSumDecoder`.
+        """
         batch = llrs.shape[0]
         posterior = llrs.copy()
         check_to_bit = np.zeros((batch, self._edges.num_edges), dtype=np.float64)
 
-        active = np.ones(batch, dtype=bool)
-        converged = np.zeros(batch, dtype=bool)
+        # Iteration 0: syndrome of the channel hard decisions, before any
+        # layer is processed (same convention as the flooding decoders).
+        syndrome_ok = self._edges.syndrome_ok(hard_decision(llrs))
+        converged = np.asarray(syndrome_ok, dtype=bool).copy()
+        stop = np.asarray(self.stopping.should_stop(0, syndrome_ok), dtype=bool)
+        active = ~stop
         iterations = np.zeros(batch, dtype=np.int64)
 
         for iteration in range(1, self.max_iterations + 1):
@@ -191,17 +202,4 @@ class LayeredMinSumDecoder:
             stop = self.stopping.should_stop(iteration, syndrome_ok)
             active[idx[np.asarray(stop, dtype=bool)]] = False
 
-        bits = hard_decision(posterior)
-        if single:
-            return DecodeResult(
-                bits=bits[0],
-                posterior_llrs=posterior[0],
-                converged=converged[0],
-                iterations=iterations[0],
-            )
-        return DecodeResult(
-            bits=bits,
-            posterior_llrs=posterior,
-            converged=converged,
-            iterations=iterations,
-        )
+        return hard_decision(posterior), posterior, converged, iterations

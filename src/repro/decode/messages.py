@@ -1,222 +1,35 @@
-"""Edge-array representation of a Tanner graph for vectorized decoding.
+"""Edge-array representation of a Tanner graph (compatibility layer).
 
-Message-passing decoders exchange one message per edge per direction.  The
-paper emphasises that the CCSDS code has more than 32k messages updated per
-iteration, so an efficient layout matters even in software.
+The index arrays and update kernels historically lived on
+:class:`EdgeStructure`; they are now built by — and shared through —
+:class:`repro.decode.graph.TannerGraph`, which caches one instance per
+:class:`~repro.codes.parity_check.ParityCheckMatrix` so every decoder on
+the same code reuses the same precomputed CSR-style arrays.
 
-:class:`EdgeStructure` stores the edges of a parity-check matrix twice:
-
-* sorted by check node — used for the check-node (CN) update, where the
-  minimum / sign product over each check's incident edges is computed with
-  ``np.minimum.reduceat`` / ``np.add.reduceat`` over contiguous segments;
-* a permutation to bit-node order — used for the bit-node (BN) update, where
-  per-bit sums of incoming messages are computed the same way.
-
-All update helpers operate on arrays of shape ``(batch, num_edges)`` so that
-several frames are decoded concurrently, mirroring the high-speed hardware
-configuration that stores the messages of different frames in the same
-memory word.
+``EdgeStructure`` remains the name decoders use: constructing one *adopts*
+the cached graph's arrays instead of rebuilding them, so the class is a
+zero-copy view with the full kernel API (``min_sum_extrinsic``,
+``sum_product_extrinsic``, ``bit_node_update``, ...) inherited from
+:class:`~repro.decode.graph.TannerGraph`.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.codes.parity_check import ParityCheckMatrix
+from repro.decode.graph import TannerGraph, tanner_graph
 
 __all__ = ["EdgeStructure"]
 
 
-class EdgeStructure:
-    """Precomputed edge indexing for a parity-check matrix."""
+class EdgeStructure(TannerGraph):
+    """Precomputed edge indexing for a parity-check matrix.
+
+    Shares the per-matrix cached :class:`~repro.decode.graph.TannerGraph`
+    index arrays — building a second decoder on the same matrix costs no
+    additional index construction.
+    """
 
     def __init__(self, parity_check: ParityCheckMatrix):
-        self._pcm = parity_check
-        check_idx, bit_idx = parity_check.edges()
-        # The sparse matrix already stores edges sorted by (check, bit).
-        self.edge_check = check_idx.astype(np.int64)
-        self.edge_bit = bit_idx.astype(np.int64)
-        self.num_edges = int(self.edge_check.size)
-        self.num_checks = parity_check.num_checks
-        self.num_bits = parity_check.block_length
-
-        # Segment boundaries for the check-sorted order (skip empty checks).
-        self.check_ids, self.check_starts = np.unique(
-            self.edge_check, return_index=True
-        )
-        # Permutation into bit-sorted order and its segment boundaries.
-        self.bit_order = np.argsort(self.edge_bit, kind="stable")
-        sorted_bits = self.edge_bit[self.bit_order]
-        self.bit_ids, self.bit_starts = np.unique(sorted_bits, return_index=True)
-        # Degree of the check each edge belongs to; degree-1 checks have no
-        # extrinsic information, which the update kernels special-case.
-        check_degrees = np.bincount(self.edge_check, minlength=self.num_checks)
-        self.edge_check_degree = check_degrees[self.edge_check]
-
-    # ------------------------------------------------------------------ #
-    # Segment reductions
-    # ------------------------------------------------------------------ #
-    def sum_per_bit(self, edge_values: np.ndarray) -> np.ndarray:
-        """Sum edge values into per-bit totals.
-
-        Parameters
-        ----------
-        edge_values:
-            Array of shape ``(batch, num_edges)`` in check-sorted edge order.
-
-        Returns
-        -------
-        numpy.ndarray
-            Array of shape ``(batch, num_bits)``; bits with no edges get 0.
-        """
-        values = edge_values[:, self.bit_order]
-        reduced = np.add.reduceat(values, self.bit_starts, axis=1)
-        totals = np.zeros((edge_values.shape[0], self.num_bits), dtype=edge_values.dtype)
-        totals[:, self.bit_ids] = reduced
-        return totals
-
-    def sum_per_check(self, edge_values: np.ndarray) -> np.ndarray:
-        """Sum edge values into per-check totals (shape ``(batch, num_checks)``)."""
-        reduced = np.add.reduceat(edge_values, self.check_starts, axis=1)
-        totals = np.zeros(
-            (edge_values.shape[0], self.num_checks), dtype=edge_values.dtype
-        )
-        totals[:, self.check_ids] = reduced
-        return totals
-
-    def min_per_check(self, edge_values: np.ndarray) -> np.ndarray:
-        """Minimum of edge values over each check (shape ``(batch, num_checks)``)."""
-        reduced = np.minimum.reduceat(edge_values, self.check_starts, axis=1)
-        totals = np.full(
-            (edge_values.shape[0], self.num_checks), np.inf, dtype=np.float64
-        )
-        totals[:, self.check_ids] = reduced
-        return totals
-
-    def gather_bits(self, per_bit_values: np.ndarray) -> np.ndarray:
-        """Expand per-bit values onto the edges (check-sorted order)."""
-        return per_bit_values[:, self.edge_bit]
-
-    def gather_checks(self, per_check_values: np.ndarray) -> np.ndarray:
-        """Expand per-check values onto the edges (check-sorted order)."""
-        return per_check_values[:, self.edge_check]
-
-    # ------------------------------------------------------------------ #
-    # Check-node update kernels
-    # ------------------------------------------------------------------ #
-    def min_sum_extrinsic(
-        self,
-        bit_to_check: np.ndarray,
-        *,
-        scale: float = 1.0,
-        offset: float = 0.0,
-    ) -> np.ndarray:
-        """Min-sum check-node update with optional normalization and offset.
-
-        Implements the paper's equation (2): the extrinsic message on each
-        edge is the product of the signs of the *other* incoming messages
-        times the minimum of their magnitudes, scaled by ``scale``
-        (``1/alpha`` in the paper's notation) or reduced by ``offset``.
-
-        Parameters
-        ----------
-        bit_to_check:
-            Incoming messages, shape ``(batch, num_edges)``.
-        scale:
-            Multiplicative correction (normalized min-sum); 1.0 disables it.
-        offset:
-            Subtractive correction (offset min-sum); 0.0 disables it.
-
-        Returns
-        -------
-        numpy.ndarray
-            Outgoing check-to-bit messages, shape ``(batch, num_edges)``.
-        """
-        magnitudes = np.abs(bit_to_check)
-        signs = np.where(bit_to_check < 0, -1.0, 1.0)
-
-        # Total sign per check via the parity of negative messages.
-        negatives = (bit_to_check < 0).astype(np.int64)
-        negative_counts = self.sum_per_check(negatives)
-        total_sign = 1.0 - 2.0 * (negative_counts % 2).astype(np.float64)
-        extrinsic_sign = self.gather_checks(total_sign) * signs
-
-        # Two-minimum extraction per check.
-        min1 = self.min_per_check(magnitudes)
-        min1_on_edges = self.gather_checks(min1)
-        is_min = magnitudes == min1_on_edges
-        min_counts = self.sum_per_check(is_min.astype(np.int64))
-        masked = np.where(is_min, np.inf, magnitudes)
-        min2 = self.min_per_check(masked)
-        # Where the minimum is achieved by several edges, the second minimum
-        # equals the first.
-        min2 = np.where(min_counts > 1, min1, min2)
-
-        extrinsic_mag = np.where(
-            is_min, self.gather_checks(min2), min1_on_edges
-        )
-        # A degree-1 check has no "other" incoming edges, hence no extrinsic
-        # information (its minimum over an empty set would be infinite).
-        extrinsic_mag = np.where(self.edge_check_degree <= 1, 0.0, extrinsic_mag)
-        if offset:
-            extrinsic_mag = np.maximum(extrinsic_mag - offset, 0.0)
-        # scale is exactly 1.0 when the caller passed the default; the
-        # comparison skips a multiply, it does not gate numerics.
-        if scale != 1.0:  # repro: noqa[REP106]
-            extrinsic_mag = scale * extrinsic_mag
-        return extrinsic_sign * extrinsic_mag
-
-    def sum_product_extrinsic(self, bit_to_check: np.ndarray) -> np.ndarray:
-        """Exact belief-propagation check-node update (tanh rule).
-
-        Computed in the log domain for numerical stability:
-        ``|out| = 2 * atanh( exp( sum(log|tanh(in/2)|) - log|tanh(in_e/2)| ) )``
-        with the sign handled separately, and magnitudes clipped to avoid
-        infinities at the domain edges.
-        """
-        clip = 30.0
-        messages = np.clip(bit_to_check, -clip, clip)
-        signs = np.where(messages < 0, -1.0, 1.0)
-        negatives = (messages < 0).astype(np.int64)
-        negative_counts = self.sum_per_check(negatives)
-        total_sign = 1.0 - 2.0 * (negative_counts % 2).astype(np.float64)
-        extrinsic_sign = self.gather_checks(total_sign) * signs
-
-        # log|tanh(x/2)| is <= 0; clip the argument away from 0 to keep the
-        # logarithm finite.
-        tanh_half = np.tanh(np.abs(messages) / 2.0)
-        tanh_half = np.clip(tanh_half, 1e-12, 1.0 - 1e-12)
-        log_tanh = np.log(tanh_half)
-        totals = self.sum_per_check(log_tanh)
-        extrinsic_log = self.gather_checks(totals) - log_tanh
-        extrinsic_ratio = np.exp(extrinsic_log)
-        extrinsic_ratio = np.clip(extrinsic_ratio, 0.0, 1.0 - 1e-12)
-        extrinsic_mag = 2.0 * np.arctanh(extrinsic_ratio)
-        # Degree-1 checks carry no extrinsic information (see min_sum_extrinsic).
-        extrinsic_mag = np.where(self.edge_check_degree <= 1, 0.0, extrinsic_mag)
-        return extrinsic_sign * extrinsic_mag
-
-    # ------------------------------------------------------------------ #
-    # Bit-node update and decisions
-    # ------------------------------------------------------------------ #
-    def bit_node_update(
-        self, channel_llrs: np.ndarray, check_to_bit: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Bit-node update (paper equation 3).
-
-        Returns
-        -------
-        (bit_to_check, posterior):
-            ``bit_to_check`` are the new edge messages (incoming LLR plus the
-            sum of the other checks' messages); ``posterior`` is the
-            a-posteriori LLR per bit (incoming LLR plus all check messages),
-            used for hard decisions and early stopping.
-        """
-        totals = self.sum_per_bit(check_to_bit)
-        posterior = channel_llrs + totals
-        bit_to_check = self.gather_bits(posterior) - check_to_bit
-        return bit_to_check, posterior
-
-    def syndrome_ok(self, hard_bits: np.ndarray) -> np.ndarray:
-        """Whether each frame of hard decisions satisfies every parity check."""
-        return self._pcm.is_codeword(hard_bits)
+        # Adopt the cached graph's arrays (no per-instance rebuild).  The
+        # arrays are shared read-only views; kernels never mutate them.
+        self.__dict__.update(tanner_graph(parity_check).__dict__)

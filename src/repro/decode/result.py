@@ -34,6 +34,29 @@ class DecodeResult:
     converged: np.ndarray
     iterations: np.ndarray
 
+    @classmethod
+    def stack(cls, results: "list[DecodeResult]") -> "DecodeResult":
+        """Concatenate per-frame (or per-shard) results into one batch result.
+
+        Single-frame results are promoted to one-frame batches first, so a
+        list built by a per-frame fallback loop stacks into exactly the
+        arrays a native ``decode_batch`` call would have produced.
+        """
+        if not results:
+            raise ValueError("cannot stack an empty list of results")
+        return cls(
+            bits=np.concatenate([np.atleast_2d(r.bits) for r in results], axis=0),
+            posterior_llrs=np.concatenate(
+                [np.atleast_2d(r.posterior_llrs) for r in results], axis=0
+            ),
+            converged=np.concatenate(
+                [np.atleast_1d(r.converged) for r in results], axis=0
+            ).astype(bool),
+            iterations=np.concatenate(
+                [np.atleast_1d(r.iterations) for r in results], axis=0
+            ).astype(np.int64),
+        )
+
     @property
     def batch_size(self) -> int:
         """Number of frames in the result."""

@@ -26,7 +26,14 @@ class StoppingCriterion(ABC):
         Parameters
         ----------
         iteration:
-            1-based index of the iteration that just completed.
+            Number of iterations executed so far.  Decoders call this with
+            ``iteration=0`` for the syndrome of the raw channel hard
+            decisions (before any message passing), then with the 1-based
+            index of each completed iteration.  A frame stopped at
+            iteration ``k`` records ``iterations == k`` in its
+            :class:`~repro.decode.result.DecodeResult` — in particular a
+            frame whose channel word is already a codeword records 0 under
+            :class:`SyndromeStopping`.
         syndrome_ok:
             Boolean array, per frame, whether the current hard decisions
             satisfy all parity checks.

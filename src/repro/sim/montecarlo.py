@@ -33,6 +33,7 @@ import numpy as np
 from repro.channel.awgn import ebn0_to_sigma
 from repro.channel.pipeline import ChannelPipeline, default_pipeline
 from repro.codes.shortening import ShortenedCode
+from repro.decode.base import decode_frames
 from repro.encode.systematic import SystematicEncoder
 from repro.obs import clock
 from repro.obs.probe import Probe
@@ -125,7 +126,12 @@ class MonteCarloSimulator:
         ``QCLDPCCode``, ``ParityCheckMatrix`` or ``ShortenedCode``.
     decoder:
         Any object with a ``decode(llrs) -> DecodeResult`` method operating
-        on base-codeword LLRs.
+        on base-codeword LLRs.  Decoders additionally exposing a
+        ``decode_batch`` method (every built-in decoder) receive each shard
+        as one ``(batch, n)`` call through
+        :func:`~repro.decode.base.decode_frames`; others fall back to a
+        per-frame loop with identical counts for frame-independent
+        decoders.
     config:
         Batching and stopping rules.
     rng:
@@ -276,7 +282,7 @@ class MonteCarloSimulator:
             return self._run_batch_probed(batch, sigma, rng)
         codewords = self._generate_codewords(batch, rng)
         llrs = self._transmit(codewords, sigma, rng)
-        result = self._decoder.decode(llrs)
+        result = decode_frames(self._decoder, llrs)
         return self._count_batch(batch, codewords, result)
 
     def _run_batch_probed(
@@ -293,7 +299,7 @@ class MonteCarloSimulator:
         t1 = clock.monotonic()
         llrs = self._transmit(codewords, sigma, rng)
         t2 = clock.monotonic()
-        result = self._decoder.decode(llrs)
+        result = decode_frames(self._decoder, llrs)
         t3 = clock.monotonic()
         counts = self._count_batch(batch, codewords, result)
         t4 = clock.monotonic()
@@ -309,32 +315,43 @@ class MonteCarloSimulator:
         return counts
 
     def _count_batch(self, batch: int, codewords, result) -> BatchResult:
-        """Count errors of one decoded batch into a :class:`BatchResult`."""
+        """Count errors of one decoded batch into a :class:`BatchResult`.
+
+        The reduction runs through
+        :meth:`~repro.sim.statistics.ErrorCounter.update_batch`, the single
+        vectorized accumulation point, so the hot path and any direct
+        counter consumer use exactly the same integer arithmetic.
+        """
         decoded = np.atleast_2d(result.bits)
         errors = decoded != codewords
         if self._counted_positions is not None:
             counted = errors[:, self._counted_positions]
         else:
             counted = errors
-        errors_per_frame = counted.sum(axis=1)
-        frame_error_mask = errors_per_frame > 0
-        converged = np.atleast_1d(result.converged)
-        undetected = int(np.count_nonzero(frame_error_mask & converged))
         if self._info_positions is not None:
             info_bit_errors = int(errors[:, self._info_positions].sum())
             info_bits = batch * int(self._info_positions.size)
         else:
             info_bit_errors = 0
             info_bits = 0
-        return BatchResult(
-            frames=batch,
-            bits=batch * self._bits_per_frame,
-            bit_errors=int(errors_per_frame.sum()),
-            frame_errors=int(frame_error_mask.sum()),
-            undetected_frame_errors=undetected,
-            iterations=int(np.sum(np.atleast_1d(result.iterations))),
-            info_bits=info_bits,
+        counter = ErrorCounter()
+        counter.update_batch(
+            counted.sum(axis=1),
+            np.atleast_1d(result.converged),
+            np.atleast_1d(result.iterations),
+            bits_per_frame=self._bits_per_frame,
             info_bit_errors=info_bit_errors,
+            info_bits=info_bits,
+        )
+        return BatchResult(
+            frames=counter.frames,
+            bits=counter.bits,
+            bit_errors=counter.bit_errors,
+            frame_errors=counter.frame_errors,
+            undetected_frame_errors=counter.undetected_frame_errors,
+            iterations=counter.total_iterations,
+            info_bits=counter.info_bits,
+            info_bit_errors=counter.info_bit_errors,
         )
 
     def run_point(self, ebn0_db: float, *, rng=None, on_shard=None) -> SimulationPoint:

@@ -84,6 +84,57 @@ class ErrorCounter:
         self.info_bit_errors += int(info_bit_errors)
         self.info_bits += int(info_bits)
 
+    def update_batch(
+        self,
+        errors_per_frame,
+        converged,
+        iterations,
+        *,
+        bits_per_frame: int,
+        info_bit_errors: int = 0,
+        info_bits: int = 0,
+    ) -> None:
+        """Vectorized accumulation of one decoded batch from per-frame arrays.
+
+        The batched-decode counterpart of :meth:`update`: reduces the
+        per-frame arrays a ``decode_batch`` call produces (bit-error counts,
+        convergence flags, iteration counts) with numpy and folds the
+        resulting integers in through :meth:`update`, so serial and batched
+        accumulation are the same integer arithmetic.
+
+        Parameters
+        ----------
+        errors_per_frame:
+            Integer array, counted bit errors of each frame.
+        converged:
+            Boolean array, per frame, whether the decoder returned a valid
+            codeword (erroneous + converged = undetected frame error).
+        iterations:
+            Integer array, decoder iterations executed per frame.
+        bits_per_frame:
+            Counted (transmitted) code bits per frame — the BER denominator
+            contribution of each frame.
+        info_bit_errors, info_bits:
+            Optional information-bit error totals for the batch.
+        """
+        errors = np.asarray(errors_per_frame, dtype=np.int64)
+        if errors.ndim != 1:
+            raise ValueError("errors_per_frame must be a 1-D per-frame array")
+        frame_error_mask = errors > 0
+        converged_mask = np.asarray(converged, dtype=bool)
+        self.update(
+            bit_errors=int(errors.sum()),
+            frame_errors=int(np.count_nonzero(frame_error_mask)),
+            bits=int(errors.size) * int(bits_per_frame),
+            frames=int(errors.size),
+            undetected_frame_errors=int(
+                np.count_nonzero(frame_error_mask & converged_mask)
+            ),
+            iterations=int(np.sum(np.asarray(iterations, dtype=np.int64))),
+            info_bit_errors=int(info_bit_errors),
+            info_bits=int(info_bits),
+        )
+
     @property
     def ber(self) -> float:
         """Bit error rate estimate."""

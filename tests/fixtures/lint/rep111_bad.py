@@ -1,0 +1,27 @@
+"""Bad: per-frame Python loops inside the batched decoder kernel.
+
+Linted under ``repro/decode/batched.py``; every loop that steps through
+the batch one frame at a time defeats the vectorized hot path.
+"""
+import numpy as np
+
+
+def decode_batch_one_by_one(decoder, llrs):
+    results = []
+    for frame in llrs:
+        results.append(decoder.decode(frame))
+    return results
+
+
+def count_errors(llrs, codewords):
+    total = 0
+    for index in range(llrs.shape[0]):
+        total += int((llrs[index] <= 0).sum())
+    return total
+
+
+def label_frames(frames):
+    labels = []
+    for frame_index, row in enumerate(frames):
+        labels.append((frame_index, np.abs(row).min()))
+    return labels

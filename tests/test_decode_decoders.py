@@ -52,7 +52,7 @@ class TestDecodersCommon:
         result = decoder_cls(scaled_code, max_iterations=5).decode(llrs)
         assert bool(result.converged)
         assert np.array_equal(result.bits, codeword)
-        assert int(result.iterations) == 1  # syndrome clears immediately
+        assert int(result.iterations) == 0  # syndrome already clean at iteration 0
 
     @pytest.mark.parametrize("decoder_cls", DECODER_CLASSES)
     def test_moderate_noise_mostly_corrected(self, scaled_code, noisy_batch, decoder_cls):

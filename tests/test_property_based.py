@@ -7,6 +7,7 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 from repro.channel.quantize import FixedPointFormat, UniformQuantizer
 from repro.codes.parity_check import ParityCheckMatrix
 from repro.codes.qc import CirculantSpec, QCLDPCCode
+from repro.decode import BatchedMinSumDecoder, DecodeResult, MinSumDecoder
 from repro.decode.messages import EdgeStructure
 from repro.gf2.circulant import Circulant
 from repro.gf2.dense import gf2_matmul, gf2_matvec, gf2_null_space, gf2_rank
@@ -231,6 +232,75 @@ class TestDecoderKernelProperties:
         _, posterior = structure.bit_node_update(llrs, c2b)
         _, posterior_shifted = structure.bit_node_update(llrs + 1.0, c2b)
         assert np.allclose(posterior_shifted - posterior, 1.0)
+
+
+# --------------------------------------------------------------------------- #
+# Batched decoding invariants (small random parity-check matrices)
+# --------------------------------------------------------------------------- #
+class TestBatchedDecoderProperties:
+    """The batched/serial contract on arbitrary small codes, not just the
+    scaled CCSDS fixture: hypothesis draws the parity-check matrix."""
+
+    @SETTINGS
+    @given(binary_matrices, st.integers(0, 2**32 - 1))
+    def test_batched_matches_serial_per_frame(self, matrix, seed):
+        if not matrix.any():
+            return
+        pcm = ParityCheckMatrix(matrix)
+        rng = np.random.default_rng(seed)
+        llrs = rng.normal(0.5, 1.5, size=(5, pcm.block_length))
+        got = BatchedMinSumDecoder(pcm, max_iterations=6).decode_batch(llrs)
+        serial = MinSumDecoder(pcm, max_iterations=6)
+        want = DecodeResult.stack([serial.decode(llrs[i]) for i in range(5)])
+        assert np.array_equal(got.bits, want.bits)
+        assert np.array_equal(got.iterations, want.iterations)
+        assert np.array_equal(got.converged, want.converged)
+        assert np.array_equal(got.posterior_llrs, want.posterior_llrs)
+
+    @SETTINGS
+    @given(binary_matrices, st.integers(0, 2**32 - 1))
+    def test_outputs_frozen_at_convergence_iteration(self, matrix, seed):
+        """Raising the iteration budget must not change any frame that
+        already converged: its outputs were written (and its state dropped
+        from the working set) at its convergence iteration."""
+        if not matrix.any():
+            return
+        pcm = ParityCheckMatrix(matrix)
+        rng = np.random.default_rng(seed)
+        llrs = rng.normal(0.5, 1.5, size=(4, pcm.block_length))
+        short = BatchedMinSumDecoder(pcm, max_iterations=6).decode_batch(llrs)
+        long = BatchedMinSumDecoder(pcm, max_iterations=12).decode_batch(llrs)
+        frozen = short.converged
+        assert np.array_equal(long.iterations[frozen], short.iterations[frozen])
+        assert np.array_equal(long.bits[frozen], short.bits[frozen])
+        assert np.array_equal(
+            long.posterior_llrs[frozen], short.posterior_llrs[frozen]
+        )
+        assert long.converged[frozen].all()
+
+    @SETTINGS
+    @given(binary_matrices, st.integers(0, 2**32 - 1))
+    def test_codeword_in_records_zero_iterations(self, matrix, seed):
+        if not matrix.any():
+            return
+        pcm = ParityCheckMatrix(matrix)
+        rng = np.random.default_rng(seed)
+        null = gf2_null_space(matrix)
+        if null.shape[0]:
+            combo = rng.integers(0, 2, size=null.shape[0], dtype=np.uint8)
+            codeword = (combo @ null) % 2
+        else:
+            codeword = np.zeros(pcm.block_length, dtype=np.uint8)
+        magnitudes = rng.uniform(0.5, 5.0, size=pcm.block_length)
+        llrs = magnitudes * (1.0 - 2.0 * codeword.astype(np.float64))
+        for decoder in (
+            BatchedMinSumDecoder(pcm, max_iterations=6),
+            MinSumDecoder(pcm, max_iterations=6),
+        ):
+            result = decoder.decode(llrs)
+            assert bool(result.converged)
+            assert int(result.iterations) == 0
+            assert np.array_equal(result.bits, codeword)
 
 
 # --------------------------------------------------------------------------- #

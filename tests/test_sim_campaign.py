@@ -777,12 +777,88 @@ class TestChannelAxisCampaigns:
         assert "Channel" in text      # summary column
 
 
+class TestBatchedGoldenCounts:
+    """Golden-count fixture for the batched hot path.
+
+    The counts below were recorded with the *serial* ``nms`` kind; the
+    campaign here decodes through ``nms-batched`` (whole shards per
+    ``decode_batch`` call, compacted early termination) and must reproduce
+    them byte for byte — serial, pooled, and across a kill/resume cycle.
+    """
+
+    GOLDEN_BATCHED = {
+        "nms": [
+            {"ebn0_db": 2.0, "ber": 0.053629032258064514, "fer": 1.0,
+             "bit_errors": 266, "frame_errors": 10, "bits": 4960, "frames": 10,
+             "average_iterations": 8.0, "info_ber": 0.05321100917431193,
+             "info_bit_errors": 232, "info_bits": 4360},
+            {"ebn0_db": 5.0, "ber": 0.0, "fer": 0.0, "bit_errors": 0,
+             "frame_errors": 0, "bits": 14880, "frames": 30,
+             "average_iterations": 1.6666666666666667, "info_ber": 0.0,
+             "info_bit_errors": 0, "info_bits": 13080},
+        ],
+    }
+
+    def batched_spec(self) -> CampaignSpec:
+        return CampaignSpec(
+            name="batched-golden",
+            seed=4321,
+            ebn0=(2.0, 5.0),
+            config=SimulationConfig(
+                max_frames=30, target_frame_errors=5, batch_frames=10,
+                all_zero_codeword=False,
+            ),
+            experiments=[
+                ExperimentSpec(
+                    label="nms",
+                    code=CodeSpec(family="scaled", circulant=31),
+                    decoder=DecoderSpec("nms-batched", 8),
+                ),
+            ],
+        )
+
+    @pytest.mark.parametrize("workers", [None, 2])
+    def test_batched_campaign_reproduces_golden_counts(self, tmp_path, workers):
+        spec = self.batched_spec()
+        curves = CampaignScheduler(
+            spec, ResultStore.create(tmp_path / "c", spec), workers=workers
+        ).run()
+        got = {
+            label: [p.as_dict() for p in curve.points]
+            for label, curve in curves.items()
+        }
+        assert got == self.GOLDEN_BATCHED
+
+    def test_killed_pooled_campaign_resumes_to_golden_counts(self, tmp_path):
+        """A partial store (as a killed pooled run leaves behind) resumed
+        with a different worker count still lands exactly on the fixture."""
+        spec = self.batched_spec()
+        reference = CampaignScheduler(
+            spec, ResultStore.create(tmp_path / "ref", spec), workers=2
+        ).run()
+        partial = ResultStore.create(tmp_path / "partial", spec)
+        partial.record_point("nms", reference["nms"].points[0])
+        scheduler = CampaignScheduler(spec, partial, workers=None)
+        assert len(scheduler.pending()) == 1
+        resumed = scheduler.run()
+        got = {
+            label: [p.as_dict() for p in curve.points]
+            for label, curve in resumed.items()
+        }
+        assert got == self.GOLDEN_BATCHED
+
+
 class TestPreRedesignCompatibility:
     """The registry/channel redesign must not invalidate anything historical."""
 
     #: Counts recorded by the pre-registry engine (hardcoded BPSK + AWGN in
     #: MonteCarloSimulator._transmit) for the spec below.  The redesigned
-    #: pipeline must reproduce them byte for byte.
+    #: pipeline must reproduce them byte for byte.  The only values ever
+    #: re-recorded since: ``average_iterations``, when the iteration-count
+    #: convention changed to count *executed* iterations (the channel
+    #: syndrome is now checked at iteration 0, so a frame whose hard
+    #: decisions already satisfy every check records 0 iterations instead
+    #: of 1).  Every error/bit/frame count is untouched by that change.
     GOLDEN = {
         "nms": [
             {"ebn0_db": 2.0, "ber": 0.05161290322580645, "fer": 1.0,
@@ -791,7 +867,7 @@ class TestPreRedesignCompatibility:
              "info_bit_errors": 219, "info_bits": 4360},
             {"ebn0_db": 6.5, "ber": 0.0, "fer": 0.0, "bit_errors": 0,
              "frame_errors": 0, "bits": 19840, "frames": 40,
-             "average_iterations": 1.0, "info_ber": 0.0,
+             "average_iterations": 0.7, "info_ber": 0.0,
              "info_bit_errors": 0, "info_bits": 17440},
         ],
         "quantized": [
@@ -801,7 +877,7 @@ class TestPreRedesignCompatibility:
              "info_bit_errors": 206, "info_bits": 4360},
             {"ebn0_db": 6.5, "ber": 5.040322580645161e-05, "fer": 0.025,
              "bit_errors": 1, "frame_errors": 1, "bits": 19840, "frames": 40,
-             "average_iterations": 1.2, "info_ber": 5.733944954128441e-05,
+             "average_iterations": 0.925, "info_ber": 5.733944954128441e-05,
              "info_bit_errors": 1, "info_bits": 17440},
         ],
     }
@@ -839,6 +915,33 @@ class TestPreRedesignCompatibility:
         spec = self.golden_spec()
         curves = CampaignScheduler(
             spec, ResultStore.create(tmp_path / "c", spec), workers=workers
+        ).run()
+        got = {
+            label: [p.as_dict() for p in curve.points]
+            for label, curve in curves.items()
+        }
+        assert got == self.GOLDEN
+
+    def test_batched_decoder_reproduces_serial_campaign_counts(self, tmp_path):
+        """Swapping ``nms`` for ``nms-batched`` in a spec is *only* a speed
+        knob: the stored curve points are byte for byte the same."""
+        spec = self.golden_spec()
+        batched_spec = CampaignSpec(
+            name=spec.name, seed=spec.seed, ebn0=spec.ebn0, config=spec.config,
+            experiments=[
+                ExperimentSpec(
+                    label=e.label, code=e.code,
+                    decoder=DecoderSpec(
+                        "nms-batched" if e.decoder.kind == "nms" else e.decoder.kind,
+                        e.decoder.iterations, params=e.decoder.params,
+                    ),
+                )
+                for e in spec.experiments
+            ],
+        )
+        curves = CampaignScheduler(
+            batched_spec, ResultStore.create(tmp_path / "b", batched_spec),
+            workers=None,
         ).run()
         got = {
             label: [p.as_dict() for p in curve.points]

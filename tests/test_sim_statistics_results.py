@@ -53,6 +53,33 @@ class TestErrorCounter:
         low, high = counter.ber_confidence()
         assert low < counter.ber < high
 
+    def test_update_batch_equals_per_frame_updates(self):
+        """Vectorized batch accumulation == folding each frame separately."""
+        errors = np.array([0, 3, 1, 0, 7])
+        converged = np.array([True, True, False, True, True])
+        iterations = np.array([0, 4, 8, 1, 8])
+        batched = ErrorCounter()
+        batched.update_batch(
+            errors, converged, iterations, bits_per_frame=100,
+            info_bit_errors=5, info_bits=400,
+        )
+        serial = ErrorCounter()
+        for e, c, i in zip(errors, converged, iterations):
+            serial.update(
+                bit_errors=int(e), frame_errors=int(e > 0), bits=100, frames=1,
+                undetected_frame_errors=int(e > 0 and c), iterations=int(i),
+            )
+        serial.update(0, 0, 0, 0, info_bit_errors=5, info_bits=400)
+        assert batched == serial
+        assert batched.undetected_frame_errors == 2  # frames 1 and 4
+
+    def test_update_batch_rejects_non_1d(self):
+        with pytest.raises(ValueError):
+            ErrorCounter().update_batch(
+                np.zeros((2, 3)), np.ones(2, dtype=bool), np.zeros(2),
+                bits_per_frame=3,
+            )
+
 
 class TestSimulationCurve:
     def _point(self, ebn0, ber, fer=0.1):
