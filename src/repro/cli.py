@@ -317,20 +317,53 @@ def _telemetry_rates_line(directory, pending_points: int | None = None) -> str |
     return line
 
 
-def _run_campaign(store: ResultStore, workers, telemetry=None) -> int:
+def _fabric_config_from_args(args, *, fresh: bool = False):
+    """Build a FabricConfig from --fabric-* flags, or ``None`` when unused."""
+    fabric_dir = getattr(args, "fabric_dir", None)
+    fabric_workers = getattr(args, "fabric_workers", None)
+    if fabric_dir is None and fabric_workers is None:
+        return None
+    from repro.fabric import FabricConfig, LeasePolicy
+
+    return FabricConfig(
+        broker_dir=fabric_dir,
+        local_workers=1 if fabric_workers is None else int(fabric_workers),
+        policy=LeasePolicy(ttl=float(getattr(args, "lease_ttl", 30.0))),
+        fresh=fresh,
+    )
+
+
+def _run_campaign(store: ResultStore, workers, telemetry=None, fabric=None) -> int:
     scheduler = CampaignScheduler(
-        store.spec, store, workers=workers, telemetry=telemetry
+        store.spec, store, workers=workers, telemetry=telemetry, fabric=fabric
     )
     # Count progress from the store summary; scheduler.run() derives the
     # job list itself, so don't compute plan()/pending() twice.
     total = store.spec.total_points()
     pending = total - sum(row["points_done"] for row in store.status())
+    if fabric is not None:
+        mode = f"fabric: {fabric.local_workers} embedded worker(s)"
+        if fabric.broker_dir:
+            mode += (
+                f", broker dir {fabric.broker_dir} (join with "
+                f"'repro fabric worker {fabric.broker_dir}')"
+            )
+    else:
+        mode = "serial" if not workers else f"{workers} workers, one shared pool"
     print(f"campaign '{store.spec.name}': {total - pending}/{total} points done, "
-          f"{pending} to run "
-          f"({'serial' if not workers else f'{workers} workers, one shared pool'})")
+          f"{pending} to run ({mode})")
     if scheduler.telemetry is not None:
         print(f"telemetry: recording to {scheduler.telemetry.directory}")
-    curves = scheduler.run(progress=_campaign_progress)
+    if fabric is not None:
+        from repro.fabric import FabricError
+
+        try:
+            curves = scheduler.run(progress=_campaign_progress)
+        except FabricError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    else:
+        curves = scheduler.run(progress=_campaign_progress)
     print()
     print(_campaign_status_table(store))
     print()
@@ -353,7 +386,14 @@ def _cmd_campaign_run(args) -> int:
     except StoreMismatchError as exc:
         print(str(exc), file=sys.stderr)
         return 2
-    return _run_campaign(store, args.workers, telemetry=args.telemetry)
+    try:
+        fabric = _fabric_config_from_args(args, fresh=args.fresh)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    return _run_campaign(
+        store, args.workers, telemetry=args.telemetry, fabric=fabric
+    )
 
 
 def _open_store(directory) -> ResultStore | None:
@@ -369,7 +409,14 @@ def _cmd_campaign_resume(args) -> int:
     store = _open_store(args.dir)
     if store is None:
         return 2
-    return _run_campaign(store, args.workers, telemetry=args.telemetry)
+    try:
+        fabric = _fabric_config_from_args(args)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    return _run_campaign(
+        store, args.workers, telemetry=args.telemetry, fabric=fabric
+    )
 
 
 def _cmd_campaign_status(args) -> int:
@@ -418,6 +465,31 @@ def _watch_campaign_status(directory, interval: float) -> int:
                 return 0
         print(flush=True)
         time.sleep(interval)
+
+
+def _cmd_fabric_worker(args) -> int:
+    """Join this process to a running fabric campaign as one worker."""
+    from repro.fabric import FabricError, default_worker_id, run_worker
+
+    worker = args.worker_id or default_worker_id()
+
+    def on_job(job) -> None:
+        print(f"[{worker}] leased {job.job_id} ({job.size} frames)", flush=True)
+
+    try:
+        completed = run_worker(
+            args.dir,
+            worker_id=worker,
+            max_jobs=args.max_jobs,
+            poll_seconds=args.poll,
+            max_idle_seconds=args.max_idle,
+            on_job=on_job,
+        )
+    except FabricError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(f"[{worker}] done: {completed} shard(s) completed")
+    return 0
 
 
 def _cmd_campaign_trace(args) -> int:
@@ -667,6 +739,23 @@ def build_parser() -> argparse.ArgumentParser:
                                "uninterrupted run)")
     simulate.set_defaults(func=_cmd_simulate)
 
+    def _add_fabric_arguments(parser) -> None:
+        parser.add_argument(
+            "--fabric-dir", type=str, default=None, metavar="DIR",
+            help="run through the campaign fabric with a filesystem work "
+                 "broker in DIR; extra processes/hosts sharing DIR join "
+                 "with 'repro fabric worker DIR' (curves stay byte-"
+                 "identical to serial regardless of the fleet)")
+        parser.add_argument(
+            "--fabric-workers", type=int, default=None, metavar="N",
+            help="embedded fabric workers in this process (default 1 when "
+                 "the fabric is enabled; also enables the fabric with an "
+                 "in-process broker when --fabric-dir is not given)")
+        parser.add_argument(
+            "--lease-ttl", type=float, default=30.0, metavar="SECONDS",
+            help="fabric lease time-to-live; a worker silent this long "
+                 "loses its shard to a retry (default 30)")
+
     campaign = sub.add_parser(
         "campaign",
         help="declarative multi-experiment campaigns over one shared pool",
@@ -688,6 +777,7 @@ def build_parser() -> argparse.ArgumentParser:
                           "under <dir>/telemetry (default: on when "
                           "REPRO_TELEMETRY=1; results are byte-identical "
                           "either way)")
+    _add_fabric_arguments(run)
     run.set_defaults(func=_cmd_campaign_run)
 
     resume = campaign_sub.add_parser(
@@ -701,6 +791,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="record an execution event log and metrics "
                              "snapshot under <dir>/telemetry (default: on "
                              "when REPRO_TELEMETRY=1)")
+    _add_fabric_arguments(resume)
     resume.set_defaults(func=_cmd_campaign_resume)
 
     status = campaign_sub.add_parser(
@@ -769,6 +860,36 @@ def build_parser() -> argparse.ArgumentParser:
                         help="allowed |measured - recorded| drift in dB, "
                              "boundary inclusive (default 0.1)")
     verify.set_defaults(func=_cmd_campaign_verify)
+
+    fabric = sub.add_parser(
+        "fabric",
+        help="distributed campaign fabric: join worker processes to a "
+             "broker directory created by 'campaign run --fabric-dir'",
+    )
+    fabric_sub = fabric.add_subparsers(dest="fabric_command", required=True)
+
+    fabric_worker = fabric_sub.add_parser(
+        "worker",
+        help="serve shard jobs from a fabric broker directory until the "
+             "coordinator finishes (safe to run on any host sharing the "
+             "directory; crashes and duplicates cannot change results)",
+    )
+    fabric_worker.add_argument("dir", type=str, help="fabric broker directory")
+    fabric_worker.add_argument("--worker-id", type=str, default=None,
+                               help="worker name in leases and telemetry "
+                                    "(default: <host>-<pid>)")
+    fabric_worker.add_argument("--max-jobs", type=int, default=None,
+                               help="exit after completing this many shards")
+    fabric_worker.add_argument("--max-idle", type=float, default=None,
+                               metavar="SECONDS",
+                               help="exit after this long without a leasable "
+                                    "job (default: wait until the "
+                                    "coordinator's done marker)")
+    fabric_worker.add_argument("--poll", type=float, default=0.2,
+                               metavar="SECONDS",
+                               help="queue poll interval while idle "
+                                    "(default 0.2)")
+    fabric_worker.set_defaults(func=_cmd_fabric_worker)
 
     components = sub.add_parser(
         "components",

@@ -117,6 +117,7 @@ class LinterConfig:
         "repro/sim/campaign/store.py",
         "repro/sim/campaign/spec.py",
         "repro/sim/results.py",
+        "repro/fabric/broker.py",
     )
     persistence_whitelist: tuple[str, ...] = ("repro/utils/files.py",)
     obs_scopes: tuple[str, ...] = ("repro/obs/",)

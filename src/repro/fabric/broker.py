@@ -1,0 +1,684 @@
+"""Work-lease brokers: who may compute which shard, and for how long.
+
+A broker owns the lifecycle of :class:`~repro.fabric.jobs.ShardJob`\\ s:
+
+``queued`` --lease--> ``leased`` --complete--> ``done``
+                      |   ^
+              TTL expiry   `-- heartbeat extends the lease
+                      v
+              ``queued`` again (attempt + 1, retry backoff) ... until
+              ``max_attempts`` is exhausted, then ``dead``.
+
+Two backends implement the same :class:`Broker` protocol:
+
+* :class:`InProcessBroker` — plain dictionaries; the reference
+  implementation the chaos battery scripts against and the backend of
+  fabric runs that stay in one process;
+* :class:`FilesystemBroker` — a shared directory (NFS-friendly: claims are
+  single ``os.rename`` calls, completion records are hard-link-exclusive),
+  so ``repro fabric worker <dir>`` processes on any machine that mounts
+  the directory can join a running campaign.
+
+The invariants both backends share — and the chaos battery enforces:
+
+* **Idempotent completion.**  Records are keyed by the deterministic shard
+  address; the first completion wins and every later one is a no-op.
+  Since a shard's counts are a pure function of its job (same entry, same
+  size, same seed stream), duplicate execution can never change results —
+  only waste cycles.
+* **Bounded retry with backoff.**  An expired lease re-queues the job with
+  ``attempt + 1`` and a ``not_before`` of ``now + backoff(attempt)``; after
+  :attr:`LeasePolicy.max_attempts` the job is dead-lettered and the
+  coordinator fails loudly instead of spinning forever.
+* **Crash-safe state.**  Every record is one JSON file written atomically
+  (or one dict entry); a SIGKILL anywhere leaves the broker recoverable —
+  at worst a shard is executed twice, which idempotency absorbs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Mapping, Protocol
+
+from repro.fabric.jobs import ShardJob
+from repro.utils.files import atomic_write_text
+
+__all__ = [
+    "FabricError",
+    "FabricMismatchError",
+    "LeasePolicy",
+    "LeasedShard",
+    "LeaseView",
+    "LeaseTransition",
+    "Broker",
+    "InProcessBroker",
+    "FilesystemBroker",
+    "manifest_fingerprint",
+]
+
+_MANIFEST_NAME = "fabric.json"
+_MANIFEST_FORMAT = "repro-fabric-v1"
+_DONE_MARKER = "done"
+
+
+class FabricError(RuntimeError):
+    """Base error of the campaign fabric."""
+
+
+class FabricMismatchError(FabricError):
+    """A broker directory belongs to a different campaign spec."""
+
+
+@dataclass(frozen=True)
+class LeasePolicy:
+    """Lease timing, retry bounds and straggler threshold of a fabric run.
+
+    ``ttl`` is in the coordinator's clock units — seconds under the wall
+    clock, ticks under the logical clock of the deterministic in-process
+    driver.  ``straggler_after`` (``None`` disables) is the lease age at
+    which a still-heartbeating job is speculatively re-dispatched to a
+    second worker; idempotent completion makes the duplicate harmless.
+    """
+
+    ttl: float = 30.0
+    max_attempts: int = 5
+    backoff_base: float = 0.5
+    backoff_factor: float = 2.0
+    straggler_after: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.ttl <= 0:
+            raise ValueError("lease ttl must be positive")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.backoff_base < 0 or self.backoff_factor < 1.0:
+            raise ValueError("backoff must be non-negative and non-shrinking")
+
+    def backoff(self, attempt: int) -> float:
+        """Delay before re-queueing after a failed ``attempt`` (1-based)."""
+        return self.backoff_base * self.backoff_factor ** max(attempt - 1, 0)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "ttl": self.ttl,
+            "max_attempts": self.max_attempts,
+            "backoff_base": self.backoff_base,
+            "backoff_factor": self.backoff_factor,
+            "straggler_after": self.straggler_after,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LeasePolicy":
+        return cls(
+            ttl=float(data.get("ttl", 30.0)),
+            max_attempts=int(data.get("max_attempts", 5)),
+            backoff_base=float(data.get("backoff_base", 0.5)),
+            backoff_factor=float(data.get("backoff_factor", 2.0)),
+            straggler_after=(
+                float(data["straggler_after"])
+                if data.get("straggler_after") is not None
+                else None
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class LeasedShard:
+    """A granted lease: the job plus which attempt this execution is."""
+
+    job: ShardJob
+    attempt: int
+
+
+@dataclass(frozen=True)
+class LeaseView:
+    """Read-only snapshot of one outstanding lease (for straggler scans)."""
+
+    job_id: str
+    worker: str
+    attempt: int
+    granted_at: float
+    expires_at: float
+
+
+@dataclass(frozen=True)
+class LeaseTransition:
+    """One reclaim outcome: a lease expired and was retried or dead-lettered."""
+
+    job_id: str
+    worker: str
+    attempt: int
+    outcome: str  # "retried" | "dead"
+    not_before: float = 0.0
+
+
+class Broker(Protocol):
+    """The work-lease contract both backends implement."""
+
+    policy: LeasePolicy
+
+    def submit(self, job: ShardJob, *, now: float) -> str:
+        """Enqueue ``job`` unless already known; returns ``"queued"``,
+        ``"pending"`` (queued or leased already) or ``"done"`` (a completion
+        record exists — the resume fast path)."""
+        ...
+
+    def lease(self, worker: str, now: float) -> LeasedShard | None:
+        """Grant the next ready job to ``worker`` with a TTL lease."""
+        ...
+
+    def heartbeat(self, job_id: str, worker: str, now: float) -> bool:
+        """Extend ``worker``'s lease on ``job_id``; ``False`` if lost."""
+        ...
+
+    def complete(self, job_id: str, result: Mapping[str, Any], worker: str) -> bool:
+        """Record a completion; ``False`` when a record already existed."""
+        ...
+
+    def result(self, job_id: str) -> Mapping[str, Any] | None:
+        """The completion record of ``job_id``, or ``None``."""
+        ...
+
+    def reclaim(self, now: float) -> list[LeaseTransition]:
+        """Expire stale leases: re-queue with backoff or dead-letter."""
+        ...
+
+    def redispatch(self, job_id: str) -> bool:
+        """Re-queue a *still-leased* job for a second, concurrent delivery."""
+        ...
+
+    def cancel(self, job_id: str) -> None:
+        """Drop a queued job and stop retrying it (speculative-shard cleanup)."""
+        ...
+
+    def leases(self) -> list[LeaseView]:
+        """Outstanding leases, sorted by job id."""
+        ...
+
+    def dead_attempts(self, job_id: str) -> int | None:
+        """Attempts consumed if ``job_id`` was dead-lettered, else ``None``."""
+        ...
+
+    def queued_count(self) -> int:
+        """Number of currently queued (leasable or backing-off) jobs."""
+        ...
+
+
+# --------------------------------------------------------------------------- #
+@dataclass
+class _QueuedJob:
+    job: ShardJob
+    attempt: int
+    not_before: float
+    order: int
+
+
+@dataclass
+class _HeldLease:
+    job: ShardJob
+    worker: str
+    attempt: int
+    granted_at: float
+    expires_at: float
+
+
+class InProcessBroker:
+    """Reference in-memory broker (single coordinator process).
+
+    Lease order is submission order (FIFO among ready jobs), so the
+    deterministic driver replays identically for a fixed fault plan.
+    """
+
+    def __init__(self, policy: LeasePolicy | None = None) -> None:
+        self.policy = policy or LeasePolicy()
+        self._queue: list[_QueuedJob] = []
+        self._leases: dict[str, _HeldLease] = {}
+        self._results: dict[str, dict[str, Any]] = {}
+        self._dead: dict[str, int] = {}
+        self._cancelled: set[str] = set()
+        self._order = 0
+
+    # ------------------------------------------------------------------ #
+    def submit(self, job: ShardJob, *, now: float) -> str:
+        job_id = job.job_id
+        if job_id in self._results:
+            return "done"
+        if job_id in self._leases or any(q.job.job_id == job_id for q in self._queue):
+            return "pending"
+        self._cancelled.discard(job_id)
+        self._enqueue(job, attempt=1, not_before=0.0)
+        return "queued"
+
+    def _enqueue(self, job: ShardJob, *, attempt: int, not_before: float) -> None:
+        self._queue.append(_QueuedJob(job, attempt, not_before, self._order))
+        self._order += 1
+
+    def lease(self, worker: str, now: float) -> LeasedShard | None:
+        for index, queued in enumerate(self._queue):
+            if queued.not_before > now:
+                continue
+            del self._queue[index]
+            self._leases[queued.job.job_id] = _HeldLease(
+                job=queued.job,
+                worker=worker,
+                attempt=queued.attempt,
+                granted_at=now,
+                expires_at=now + self.policy.ttl,
+            )
+            return LeasedShard(queued.job, queued.attempt)
+        return None
+
+    def heartbeat(self, job_id: str, worker: str, now: float) -> bool:
+        lease = self._leases.get(job_id)
+        if lease is None or lease.worker != worker:
+            return False
+        lease.expires_at = now + self.policy.ttl
+        return True
+
+    def complete(self, job_id: str, result: Mapping[str, Any], worker: str) -> bool:
+        first = job_id not in self._results
+        if first:
+            self._results[job_id] = {"result": dict(result), "worker": str(worker)}
+        self._leases.pop(job_id, None)
+        self._queue = [q for q in self._queue if q.job.job_id != job_id]
+        return first
+
+    def result(self, job_id: str) -> Mapping[str, Any] | None:
+        return self._results.get(job_id)
+
+    def reclaim(self, now: float) -> list[LeaseTransition]:
+        transitions: list[LeaseTransition] = []
+        for job_id in sorted(self._leases):
+            lease = self._leases[job_id]
+            if lease.expires_at > now:
+                continue
+            del self._leases[job_id]
+            if job_id in self._cancelled or job_id in self._results:
+                continue
+            if lease.attempt >= self.policy.max_attempts:
+                self._dead[job_id] = lease.attempt
+                transitions.append(
+                    LeaseTransition(job_id, lease.worker, lease.attempt, "dead")
+                )
+            else:
+                delay = self.policy.backoff(lease.attempt)
+                self._enqueue(
+                    lease.job, attempt=lease.attempt + 1, not_before=now + delay
+                )
+                transitions.append(
+                    LeaseTransition(
+                        job_id, lease.worker, lease.attempt, "retried", now + delay
+                    )
+                )
+        return transitions
+
+    def redispatch(self, job_id: str) -> bool:
+        lease = self._leases.get(job_id)
+        if (
+            lease is None
+            or job_id in self._results
+            or any(q.job.job_id == job_id for q in self._queue)
+        ):
+            return False
+        self._enqueue(lease.job, attempt=lease.attempt, not_before=0.0)
+        return True
+
+    def cancel(self, job_id: str) -> None:
+        self._queue = [q for q in self._queue if q.job.job_id != job_id]
+        self._cancelled.add(job_id)
+
+    def leases(self) -> list[LeaseView]:
+        return [
+            LeaseView(
+                job_id=job_id,
+                worker=lease.worker,
+                attempt=lease.attempt,
+                granted_at=lease.granted_at,
+                expires_at=lease.expires_at,
+            )
+            for job_id, lease in sorted(self._leases.items())
+        ]
+
+    def dead_attempts(self, job_id: str) -> int | None:
+        return self._dead.get(job_id)
+
+    def queued_count(self) -> int:
+        return len(self._queue)
+
+
+# --------------------------------------------------------------------------- #
+def manifest_fingerprint(payload: Mapping[str, Any]) -> str:
+    """Deterministic identity of a fabric manifest's campaign content."""
+    canonical = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _read_json(path: Path) -> dict[str, Any] | None:
+    """Parse ``path`` as JSON; ``None`` when it vanished or is mid-write."""
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+
+
+class FilesystemBroker:
+    """Directory-backed broker shared by processes (and hosts) via one mount.
+
+    Layout under the broker root::
+
+        fabric.json        campaign manifest: entries, policy, fingerprint
+        queue/<id>.json    ready (or backing-off) jobs
+        leases/<id>.json   granted leases with worker + expires_at
+        results/<id>.json  idempotent completion records
+        dead/<id>.json     jobs that exhausted their retry budget
+        cancelled/<id>     speculative shards the coordinator abandoned
+        done               marker: the coordinator finished; workers exit
+
+    Claiming a job is a single ``os.rename`` of its queue file into
+    ``leases/`` — atomic on POSIX, so two workers can never both win.
+    Completion records are created with ``os.link`` (fails if the target
+    exists), so exactly one completion is ever "first" even when a
+    re-dispatched twin finishes in the same instant.  All timestamps are
+    caller-provided (`now`), so the deterministic driver can run this
+    backend on its logical clock while multi-host runs use the wall clock.
+    """
+
+    def __init__(self, root: str | Path, policy: LeasePolicy | None = None) -> None:
+        self.root = Path(root)
+        manifest = _read_json(self.root / _MANIFEST_NAME)
+        if manifest is None:
+            raise FabricError(
+                f"{self.root} is not a fabric broker directory (no "
+                f"{_MANIFEST_NAME}); the campaign coordinator creates it"
+            )
+        if manifest.get("format") != _MANIFEST_FORMAT:
+            raise FabricMismatchError(
+                f"{self.root / _MANIFEST_NAME} has unknown format "
+                f"{manifest.get('format')!r}"
+            )
+        self.manifest: dict[str, Any] = manifest
+        self.policy = (
+            policy
+            if policy is not None
+            else LeasePolicy.from_dict(manifest.get("policy", {}))
+        )
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def create(
+        cls,
+        root: str | Path,
+        manifest: Mapping[str, Any],
+        *,
+        policy: LeasePolicy | None = None,
+        fresh: bool = False,
+    ) -> "FilesystemBroker":
+        """Create (or re-open for resume) a broker directory.
+
+        Re-opening requires the manifest fingerprint to match — completion
+        records are only valid for the exact campaign spec that produced
+        their shard addresses; ``fresh`` discards all state first.  Stale
+        leases of a crashed previous coordinator are re-queued immediately
+        (their workers are gone; if one is somehow still alive, its late
+        completion is absorbed by idempotency).
+        """
+        root = Path(root)
+        root.mkdir(parents=True, exist_ok=True)
+        policy = policy or LeasePolicy()
+        payload = {
+            "format": _MANIFEST_FORMAT,
+            "fingerprint": manifest_fingerprint(
+                {k: v for k, v in manifest.items() if k != "policy"}
+            ),
+            "policy": policy.as_dict(),
+        }
+        payload.update(manifest)
+        existing = _read_json(root / _MANIFEST_NAME)
+        if fresh or existing is None:
+            if fresh:
+                for sub in ("queue", "leases", "results", "dead", "cancelled"):
+                    directory = root / sub
+                    if directory.is_dir():
+                        for stale in sorted(directory.iterdir()):
+                            stale.unlink(missing_ok=True)
+        elif existing.get("fingerprint") != payload["fingerprint"]:
+            raise FabricMismatchError(
+                f"{root} already brokers a different campaign spec; use a "
+                "new directory or rerun with fresh=True (CLI: --fresh)"
+            )
+        for sub in ("queue", "leases", "results", "dead", "cancelled"):
+            (root / sub).mkdir(exist_ok=True)
+        atomic_write_text(root / _MANIFEST_NAME, json.dumps(payload, indent=2))
+        (root / _DONE_MARKER).unlink(missing_ok=True)
+        broker = cls(root, policy)
+        broker._requeue_stale_leases()
+        return broker
+
+    @classmethod
+    def open(cls, root: str | Path) -> "FilesystemBroker":
+        """Open an existing broker directory (worker side)."""
+        return cls(root)
+
+    def _requeue_stale_leases(self) -> None:
+        for path in sorted((self.root / "leases").iterdir()):
+            record = _read_json(path)
+            if record is None:
+                path.unlink(missing_ok=True)
+                continue
+            atomic_write_text(
+                self.root / "queue" / path.name,
+                json.dumps(
+                    {
+                        "job": record["job"],
+                        "attempt": int(record.get("attempt", 1)),
+                        "not_before": 0.0,
+                    }
+                ),
+            )
+            path.unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------ #
+    def _queue_path(self, job_id: str) -> Path:
+        return self.root / "queue" / f"{job_id}.json"
+
+    def _lease_path(self, job_id: str) -> Path:
+        return self.root / "leases" / f"{job_id}.json"
+
+    def _result_path(self, job_id: str) -> Path:
+        return self.root / "results" / f"{job_id}.json"
+
+    def _dead_path(self, job_id: str) -> Path:
+        return self.root / "dead" / f"{job_id}.json"
+
+    def _cancel_path(self, job_id: str) -> Path:
+        return self.root / "cancelled" / job_id
+
+    # ------------------------------------------------------------------ #
+    def submit(self, job: ShardJob, *, now: float) -> str:
+        job_id = job.job_id
+        if self._result_path(job_id).exists():
+            return "done"
+        if self._queue_path(job_id).exists() or self._lease_path(job_id).exists():
+            return "pending"
+        self._cancel_path(job_id).unlink(missing_ok=True)
+        atomic_write_text(
+            self._queue_path(job_id),
+            json.dumps({"job": job.as_dict(), "attempt": 1, "not_before": 0.0}),
+        )
+        return "queued"
+
+    def lease(self, worker: str, now: float) -> LeasedShard | None:
+        queue_dir = self.root / "queue"
+        for name in sorted(os.listdir(queue_dir)):
+            if not name.endswith(".json"):
+                continue
+            queued = _read_json(queue_dir / name)
+            if queued is None:
+                continue  # claimed by someone else or mid-write
+            if float(queued.get("not_before", 0.0)) > now:
+                continue
+            lease_path = self.root / "leases" / name
+            try:
+                os.rename(queue_dir / name, lease_path)
+            except OSError:
+                continue  # lost the claim race
+            job = ShardJob.from_dict(queued["job"])
+            attempt = int(queued.get("attempt", 1))
+            atomic_write_text(
+                lease_path,
+                json.dumps(
+                    {
+                        "job": job.as_dict(),
+                        "attempt": attempt,
+                        "worker": str(worker),
+                        "granted_at": now,
+                        "expires_at": now + self.policy.ttl,
+                    }
+                ),
+            )
+            return LeasedShard(job, attempt)
+        return None
+
+    def heartbeat(self, job_id: str, worker: str, now: float) -> bool:
+        path = self._lease_path(job_id)
+        record = _read_json(path)
+        if record is None or record.get("worker") != worker:
+            return False
+        record["expires_at"] = now + self.policy.ttl
+        atomic_write_text(path, json.dumps(record))
+        return True
+
+    def complete(self, job_id: str, result: Mapping[str, Any], worker: str) -> bool:
+        target = self._result_path(job_id)
+        first = False
+        if not target.exists():
+            # Hard-link from a private temp file: link(2) fails if the
+            # target exists, so exactly one concurrent completer is first.
+            staging = target.with_name(target.name + f".{os.getpid()}.stage")
+            atomic_write_text(
+                staging, json.dumps({"result": dict(result), "worker": str(worker)})
+            )
+            try:
+                os.link(staging, target)
+                first = True
+            except OSError:
+                first = False
+            finally:
+                staging.unlink(missing_ok=True)
+        self._lease_path(job_id).unlink(missing_ok=True)
+        self._queue_path(job_id).unlink(missing_ok=True)
+        return first
+
+    def result(self, job_id: str) -> Mapping[str, Any] | None:
+        return _read_json(self._result_path(job_id))
+
+    def reclaim(self, now: float) -> list[LeaseTransition]:
+        transitions: list[LeaseTransition] = []
+        lease_dir = self.root / "leases"
+        for name in sorted(os.listdir(lease_dir)):
+            if not name.endswith(".json"):
+                continue
+            path = lease_dir / name
+            record = _read_json(path)
+            if record is None:
+                continue
+            # A claim that crashed between rename and rewrite has no
+            # expires_at; treat it as immediately expired so the job is
+            # recovered rather than stranded.
+            if float(record.get("expires_at", 0.0)) > now:
+                continue
+            job_id = name[: -len(".json")]
+            worker = str(record.get("worker", "?"))
+            attempt = int(record.get("attempt", 1))
+            if self._cancel_path(job_id).exists() or self._result_path(job_id).exists():
+                path.unlink(missing_ok=True)
+                continue
+            if attempt >= self.policy.max_attempts:
+                atomic_write_text(
+                    self._dead_path(job_id),
+                    json.dumps({"attempts": attempt, "worker": worker}),
+                )
+                path.unlink(missing_ok=True)
+                transitions.append(LeaseTransition(job_id, worker, attempt, "dead"))
+            else:
+                delay = self.policy.backoff(attempt)
+                atomic_write_text(
+                    self._queue_path(job_id),
+                    json.dumps(
+                        {
+                            "job": record["job"],
+                            "attempt": attempt + 1,
+                            "not_before": now + delay,
+                        }
+                    ),
+                )
+                path.unlink(missing_ok=True)
+                transitions.append(
+                    LeaseTransition(job_id, worker, attempt, "retried", now + delay)
+                )
+        return transitions
+
+    def redispatch(self, job_id: str) -> bool:
+        if self._result_path(job_id).exists() or self._queue_path(job_id).exists():
+            return False
+        record = _read_json(self._lease_path(job_id))
+        if record is None:
+            return False
+        atomic_write_text(
+            self._queue_path(job_id),
+            json.dumps(
+                {
+                    "job": record["job"],
+                    "attempt": int(record.get("attempt", 1)),
+                    "not_before": 0.0,
+                }
+            ),
+        )
+        return True
+
+    def cancel(self, job_id: str) -> None:
+        self._queue_path(job_id).unlink(missing_ok=True)
+        atomic_write_text(self._cancel_path(job_id), "")
+
+    def leases(self) -> list[LeaseView]:
+        views: list[LeaseView] = []
+        lease_dir = self.root / "leases"
+        for name in sorted(os.listdir(lease_dir)):
+            if not name.endswith(".json"):
+                continue
+            record = _read_json(lease_dir / name)
+            if record is None:
+                continue
+            views.append(
+                LeaseView(
+                    job_id=name[: -len(".json")],
+                    worker=str(record.get("worker", "?")),
+                    attempt=int(record.get("attempt", 1)),
+                    granted_at=float(record.get("granted_at", 0.0)),
+                    expires_at=float(record.get("expires_at", 0.0)),
+                )
+            )
+        return views
+
+    def dead_attempts(self, job_id: str) -> int | None:
+        record = _read_json(self._dead_path(job_id))
+        if record is None:
+            return None
+        return int(record.get("attempts", self.policy.max_attempts))
+
+    def queued_count(self) -> int:
+        return sum(
+            1 for name in os.listdir(self.root / "queue") if name.endswith(".json")
+        )
+
+    # ------------------------------------------------------------------ #
+    def mark_done(self) -> None:
+        """Signal workers that the coordinator finished this run."""
+        atomic_write_text(self.root / _DONE_MARKER, "")
+
+    def is_done(self) -> bool:
+        return (self.root / _DONE_MARKER).exists()

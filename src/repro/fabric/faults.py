@@ -1,0 +1,125 @@
+"""Deterministic fault injection for the campaign fabric.
+
+A :class:`FaultPlan` scripts *when things go wrong* in a fabric run driven
+by embedded workers and the logical clock: which worker dies after how many
+completed shards, who stops heartbeating, which leases are delivered twice,
+and who computes slowly enough to become a straggler.  The plan is pure
+data — consulted, never mutated — so the same plan over the same campaign
+replays the exact same failure schedule every time, which is what lets the
+chaos battery (``tests/test_fabric_chaos.py``) assert byte-identical
+stored curves *per schedule* rather than hoping a racy test happens to
+exercise the recovery paths.
+
+:meth:`FaultPlan.random` derives a schedule from a seed through an explicit
+:func:`numpy.random.default_rng` stream, for property-based tests that
+sweep many schedules (worker ``w0`` is always spared the kill fault so a
+random plan can never strand a campaign with zero live workers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+__all__ = ["FaultPlan"]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One scripted failure schedule for an embedded-worker fabric run.
+
+    Attributes
+    ----------
+    kill_after:
+        ``worker id -> N``: the worker completes exactly ``N`` shards, then
+        dies mid-execution of its next lease (the lease is never completed
+        and must be reclaimed after TTL expiry).
+    drop_heartbeat_after:
+        ``worker id -> N``: after ``N`` completed shards the worker stops
+        heartbeating.  Combined with ``shard_ticks`` longer than the lease
+        TTL this produces the stale-lease scenario: the lease expires while
+        the worker is still (slowly) computing, the shard is re-dispatched,
+        and the original completion arrives late as an idempotent no-op.
+    shard_ticks:
+        ``worker id -> ticks``: how many logical-clock ticks one shard takes
+        on this worker (default 1).  Values above the lease TTL make a
+        worker a straggler.
+    duplicate_leases:
+        Ordinals (0-based, in lease-grant order across the whole run) whose
+        job is *delivered twice*: the broker re-queues a copy immediately,
+        so a second worker executes the same address concurrently and the
+        completion-record idempotency is exercised.
+    """
+
+    kill_after: Mapping[str, int] = field(default_factory=dict)
+    drop_heartbeat_after: Mapping[str, int] = field(default_factory=dict)
+    shard_ticks: Mapping[str, int] = field(default_factory=dict)
+    duplicate_leases: frozenset[int] = frozenset()
+
+    # ------------------------------------------------------------------ #
+    def ticks_for(self, worker: str) -> int:
+        """Logical ticks one shard costs on ``worker`` (at least 1)."""
+        return max(int(self.shard_ticks.get(worker, 1)), 1)
+
+    def dies_now(self, worker: str, completed: int) -> bool:
+        """Whether ``worker`` (with ``completed`` shards done) dies mid-shard."""
+        limit = self.kill_after.get(worker)
+        return limit is not None and completed >= int(limit)
+
+    def heartbeats(self, worker: str, completed: int) -> bool:
+        """Whether ``worker`` still sends heartbeats."""
+        limit = self.drop_heartbeat_after.get(worker)
+        return limit is None or completed < int(limit)
+
+    def duplicates(self, lease_ordinal: int) -> bool:
+        """Whether the ``lease_ordinal``-th granted lease is delivered twice."""
+        return int(lease_ordinal) in self.duplicate_leases
+
+    def is_fault_free(self) -> bool:
+        return (
+            not self.kill_after
+            and not self.drop_heartbeat_after
+            and not self.shard_ticks
+            and not self.duplicate_leases
+        )
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        workers: int,
+        *,
+        max_kill_shards: int = 3,
+        max_slow_ticks: int = 7,
+        max_duplicates: int = 4,
+    ) -> "FaultPlan":
+        """A random-but-reproducible schedule over ``workers`` embedded workers.
+
+        Worker ``w0`` never receives the kill fault, so at least one worker
+        survives any random plan and the campaign always completes.
+        """
+        rng = np.random.default_rng(int(seed))
+        kill: dict[str, int] = {}
+        drop: dict[str, int] = {}
+        slow: dict[str, int] = {}
+        for index in range(int(workers)):
+            worker = f"w{index}"
+            if index > 0 and rng.random() < 0.4:
+                kill[worker] = int(rng.integers(0, max_kill_shards + 1))
+            if rng.random() < 0.4:
+                drop[worker] = int(rng.integers(0, max_kill_shards + 1))
+            if rng.random() < 0.5:
+                slow[worker] = int(rng.integers(2, max_slow_ticks + 1))
+        count = int(rng.integers(0, max_duplicates + 1))
+        duplicates = frozenset(
+            int(x) for x in rng.integers(0, 40, size=count)
+        )
+        return cls(
+            kill_after=kill,
+            drop_heartbeat_after=drop,
+            shard_ticks=slow,
+            duplicate_leases=duplicates,
+        )

@@ -1,0 +1,145 @@
+"""Shard jobs: the unit of work the campaign fabric leases to workers.
+
+A :class:`ShardJob` names one shard of one (experiment, Eb/N0) point — the
+same unit :class:`~repro.sim.parallel.SharedWorkerPool` ships to its pool
+processes — but in a *self-describing, serializable* form, so a broker can
+hand it to a worker in another process or on another machine:
+
+* the **address** (:attr:`ShardJob.job_id`) is a pure function of the
+  experiment label, the Eb/N0 value and the shard index.  Completion
+  records are keyed by it, which is what makes retries and duplicate
+  deliveries idempotent: however many workers execute the same address,
+  there is exactly one completion record, and its counts are identical by
+  construction (same entry, same size, same seed stream);
+* the **seed** travels as the child :class:`numpy.random.SeedSequence`'s
+  ``(entropy, spawn_key)`` pair.  numpy defines child ``i`` of a sequence
+  as ``SeedSequence(entropy, spawn_key=parent_key + (i,))``, so the pair
+  reconstructs the exact stream the serial engine would have drawn —
+  :func:`seed_to_dict` / :func:`seed_from_dict` round-trip it through JSON
+  (``tests/test_fabric_broker.py`` pins the spawn equivalence).
+
+Results travel the other way as plain count dicts
+(:func:`result_to_dict` / :func:`result_from_dict` around
+:class:`~repro.sim.montecarlo.BatchResult`), so a completion record is an
+ordinary JSON object any broker backend can store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.sim.campaign.spec import slugify
+from repro.sim.montecarlo import BatchResult
+
+__all__ = [
+    "ShardJob",
+    "shard_address",
+    "seed_to_dict",
+    "seed_from_dict",
+    "result_to_dict",
+    "result_from_dict",
+]
+
+#: Count fields of a :class:`BatchResult`, in dataclass order.
+_RESULT_FIELDS = (
+    "frames",
+    "bits",
+    "bit_errors",
+    "frame_errors",
+    "undetected_frame_errors",
+    "iterations",
+    "info_bits",
+    "info_bit_errors",
+)
+
+
+def shard_address(key: str, ebn0_db: float, shard_index: int) -> str:
+    """The deterministic, filesystem-safe address of one shard.
+
+    ``repr(float)`` keeps the Eb/N0 component exact (no two distinct grid
+    values can collide) and the fixed-width shard index keeps lexicographic
+    file order equal to shard order in broker directories.
+    """
+    return f"{slugify(str(key))}@{repr(float(ebn0_db))}#{int(shard_index):05d}"
+
+
+def seed_to_dict(seed: np.random.SeedSequence) -> dict[str, Any]:
+    """JSON-serializable identity of a :class:`~numpy.random.SeedSequence`."""
+    entropy = seed.entropy
+    if isinstance(entropy, (list, tuple)):
+        entropy = [int(x) for x in entropy]
+    elif entropy is not None:
+        entropy = int(entropy)
+    return {
+        "entropy": entropy,
+        "spawn_key": [int(x) for x in seed.spawn_key],
+    }
+
+
+def seed_from_dict(data: Mapping[str, Any]) -> np.random.SeedSequence:
+    """Rebuild the exact :class:`~numpy.random.SeedSequence` of ``data``."""
+    entropy = data["entropy"]
+    if isinstance(entropy, list):
+        entropy = [int(x) for x in entropy]
+    elif entropy is not None:
+        entropy = int(entropy)
+    return np.random.SeedSequence(
+        entropy, spawn_key=tuple(int(x) for x in data["spawn_key"])
+    )
+
+
+def result_to_dict(result: BatchResult) -> dict[str, int]:
+    """A :class:`BatchResult` as a plain JSON-serializable count dict."""
+    return {name: int(getattr(result, name)) for name in _RESULT_FIELDS}
+
+
+def result_from_dict(data: Mapping[str, Any]) -> BatchResult:
+    """Rebuild the :class:`BatchResult` serialized by :func:`result_to_dict`."""
+    return BatchResult(**{name: int(data[name]) for name in _RESULT_FIELDS})
+
+
+@dataclass(frozen=True)
+class ShardJob:
+    """One leasable shard: entry key, Eb/N0, shard index, size and seed.
+
+    ``key`` is the pool-entry key (the experiment label under the campaign
+    scheduler); ``shard_index`` is the position in the point's deterministic
+    shard schedule and selects child ``shard_index`` of the point's seed
+    sequence.  Two jobs with the same :attr:`job_id` are *the same work* —
+    brokers deduplicate on it and completion records are keyed by it.
+    """
+
+    key: str
+    ebn0_db: float
+    shard_index: int
+    size: int
+    seed: dict[str, Any]
+
+    @property
+    def job_id(self) -> str:
+        return shard_address(self.key, self.ebn0_db, self.shard_index)
+
+    def seed_sequence(self) -> np.random.SeedSequence:
+        return seed_from_dict(self.seed)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "key": self.key,
+            "ebn0_db": float(self.ebn0_db),
+            "shard_index": int(self.shard_index),
+            "size": int(self.size),
+            "seed": dict(self.seed),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ShardJob":
+        return cls(
+            key=str(data["key"]),
+            ebn0_db=float(data["ebn0_db"]),
+            shard_index=int(data["shard_index"]),
+            size=int(data["size"]),
+            seed=dict(data["seed"]),
+        )

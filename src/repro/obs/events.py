@@ -109,6 +109,18 @@ EVENT_FIELDS: dict[str, dict[str, tuple[type, ...]]] = {
     },
     "worker_up": {"worker": (int,)},
     "worker_down": {"worker": (int,)},
+    # Fabric (broker-leased) campaign events.  Fabric workers are named, not
+    # numbered — external processes join with host-derived ids — so these
+    # carry a string ``worker`` field, unlike pool workers' int ids.
+    "worker_join": {"worker": (str,)},
+    "worker_leave": {"worker": (str,)},
+    "lease_granted": {"job": (str,), "worker": (str,), "attempt": (int,)},
+    "lease_expired": {"job": (str,), "worker": (str,), "attempt": (int,)},
+    "job_retry": {"job": (str,), "attempt": (int,), "backoff": _NUMBER},
+    "job_dead": {"job": (str,), "attempts": (int,)},
+    "straggler_redispatch": {"job": (str,), "worker": (str,)},
+    "duplicate_delivery": {"job": (str,), "worker": (str,)},
+    "duplicate_completion": {"job": (str,), "worker": (str,)},
 }
 
 

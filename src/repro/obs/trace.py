@@ -215,6 +215,55 @@ def _utilization_timeline(run: Sequence[_Record]) -> str | None:
     )
 
 
+def _fabric_section(run: Sequence[_Record]) -> str | None:
+    """Lease/retry/straggler summary of a fabric (broker-leased) run.
+
+    Renders only when the run contains fabric events.  Everything is
+    derived from recorded counts and sorted by worker name, so the same
+    log always renders the same table — the chaos-telemetry test pins it.
+    """
+    grants = _of_type(run, "lease_granted")
+    joins = _of_type(run, "worker_join")
+    if not grants and not joins:
+        return None
+    expired = _of_type(run, "lease_expired")
+    retries = _of_type(run, "job_retry")
+    dead = _of_type(run, "job_dead")
+    stragglers = _of_type(run, "straggler_redispatch")
+    dup_deliveries = _of_type(run, "duplicate_delivery")
+    dup_completions = _of_type(run, "duplicate_completion")
+    workers = sorted(
+        {str(r["worker"]) for r in joins}
+        | {str(r["worker"]) for r in grants}
+    )
+    left = {str(r["worker"]) for r in _of_type(run, "worker_leave")}
+    rows = []
+    for worker in workers:
+        leases = sum(1 for r in grants if str(r["worker"]) == worker)
+        lost = sum(1 for r in expired if str(r["worker"]) == worker)
+        rows.append(
+            [
+                worker,
+                str(leases),
+                str(lost),
+                "left" if worker in left else "active",
+            ]
+        )
+    table = format_table(
+        ["Worker", "Leases", "Expired", "Status"],
+        rows,
+        title=f"Fabric fleet ({len(workers)} worker(s))",
+    )
+    summary = (
+        f"leases granted: {len(grants)}  |  expired: {len(expired)}  |  "
+        f"retries: {len(retries)}  |  dead-lettered: {len(dead)}\n"
+        f"straggler re-dispatches: {len(stragglers)}  |  duplicate "
+        f"deliveries: {len(dup_deliveries)}  |  duplicate completions: "
+        f"{len(dup_completions)}"
+    )
+    return table + "\n" + summary
+
+
 def _savings_lines(run: Sequence[_Record]) -> list[str]:
     early = _of_type(run, "early_stop")
     skipped = _of_type(run, "resume_skip")
@@ -274,5 +323,8 @@ def trace_summary(directory: str | Path, *, top: int = 8) -> str:
     timeline = _utilization_timeline(run)
     if timeline is not None:
         blocks.append(timeline)
+    fabric = _fabric_section(run)
+    if fabric is not None:
+        blocks.append(fabric)
     blocks.append("\n".join(_savings_lines(run)))
     return "\n\n".join(blocks) + "\n"

@@ -27,19 +27,22 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 import numpy as np
 
 from repro.obs import clock
 from repro.obs.probe import StageAccumulator
 from repro.obs.telemetry import Telemetry
-from repro.sim.campaign.spec import CampaignSpec
+from repro.sim.campaign.spec import CampaignSpec, config_to_dict
 from repro.sim.campaign.store import ResultStore
 from repro.sim.montecarlo import MonteCarloSimulator, SimulationConfig
 from repro.sim.parallel import PointState, PoolEntry, SharedWorkerPool
 from repro.sim.results import SimulationCurve, SimulationPoint
 from repro.utils.rng import as_seed_sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fabric import FabricConfig
 
 __all__ = ["PointJob", "CampaignScheduler"]
 
@@ -80,6 +83,16 @@ class CampaignScheduler:
         snapshot under ``<store>/telemetry/``.  Telemetry is strictly
         write-only: counts and stored curves are byte-identical with it on
         or off.
+    fabric:
+        A :class:`~repro.fabric.FabricConfig` routes the shard stream
+        through the campaign fabric (work-lease broker + embedded and/or
+        external workers) instead of a process pool; ``None`` — the default
+        — keeps the classic pooled/serial paths.  ``workers`` is ignored
+        under the fabric; ``fabric.local_workers`` sizes the embedded
+        fleet and ``fabric.broker_dir`` lets ``repro fabric worker``
+        processes join.  Determinism is unchanged: the fabric folds the
+        same shard schedule in the same order, so stored curves are
+        byte-identical to any pooled or serial run.
     """
 
     def __init__(
@@ -90,10 +103,12 @@ class CampaignScheduler:
         workers: int | None = None,
         mp_context: Any = None,
         telemetry: "Telemetry | bool | None" = None,
+        fabric: "FabricConfig | None" = None,
     ) -> None:
         self.spec = spec
         self.store = store
         self.workers = workers
+        self.fabric = fabric
         self._mp_context = mp_context
         if telemetry is None or isinstance(telemetry, bool):
             telemetry = Telemetry.if_enabled(
@@ -154,10 +169,7 @@ class CampaignScheduler:
         telemetry = self.telemetry
         if telemetry is None:
             if jobs:
-                if self.workers:
-                    self._run_pooled(jobs, progress)
-                else:
-                    self._run_serial(jobs, progress)
+                self._dispatch(jobs, progress)
             return self.store.curves()
 
         plan = self.plan()
@@ -185,10 +197,7 @@ class CampaignScheduler:
                         ebn0_db=job.ebn0_db,
                     )
             if jobs:
-                if self.workers:
-                    self._run_pooled(jobs, progress)
-                else:
-                    self._run_serial(jobs, progress)
+                self._dispatch(jobs, progress)
             telemetry.campaign_ended(
                 campaign=self.spec.name, points_recorded=self._points_recorded
             )
@@ -198,6 +207,19 @@ class CampaignScheduler:
         return self.store.curves()
 
     # ------------------------------------------------------------------ #
+    def _dispatch(
+        self,
+        jobs: list[PointJob],
+        progress: Callable[[str, SimulationPoint], None] | None,
+    ) -> None:
+        """Route pending jobs to the fabric, the pool or the serial path."""
+        if self.fabric is not None:
+            self._run_fabric(jobs, progress)
+        elif self.workers:
+            self._run_pooled(jobs, progress)
+        else:
+            self._run_serial(jobs, progress)
+
     def _built_codes(self, labels: set[str]) -> dict[str, Any]:
         """Build each distinct code once; map experiment label -> code."""
         by_spec: dict[Any, Any] = {}
@@ -409,3 +431,136 @@ class CampaignScheduler:
             if telemetry is not None:
                 for worker in sorted(seen_workers):
                     telemetry.emit("worker_down", worker=worker)
+
+    def _fabric_entries(self, labels: set[str]) -> dict[str, PoolEntry]:
+        codes = self._built_codes(labels)
+        entries: dict[str, PoolEntry] = {}
+        for experiment in self.spec.experiments:
+            if experiment.label not in labels:
+                continue
+            entries[experiment.label] = PoolEntry(
+                codes[experiment.label],
+                experiment.decoder.factory(codes[experiment.label]),
+                experiment.resolve_config(self.spec.config),
+                experiment.channel.build(),
+            )
+        return entries
+
+    def _fabric_manifest(self) -> dict[str, Any]:
+        """Self-contained entry specs external workers rebuild from.
+
+        Covers *every* experiment in the spec, not just the pending ones, so
+        the manifest fingerprint is stable across resumes — a rerun after a
+        crash reuses the broker directory even when some experiments already
+        finished and dispatch no jobs.
+        """
+        entries: dict[str, Any] = {}
+        for experiment in self.spec.experiments:
+            entries[experiment.label] = {
+                "code": experiment.code.as_dict(),
+                "decoder": experiment.decoder.as_dict(),
+                "channel": experiment.channel.as_dict(),
+                "config": config_to_dict(
+                    experiment.resolve_config(self.spec.config)
+                ),
+            }
+        return {"campaign": self.spec.name, "entries": entries}
+
+    def _run_fabric(
+        self,
+        jobs: list[PointJob],
+        progress: Callable[[str, SimulationPoint], None] | None,
+    ) -> None:
+        """Drive the pending jobs through the campaign fabric.
+
+        Same shard schedule, same fold order, same stopping rule as the
+        pooled path — only the executor changes, so stored curves stay
+        byte-identical (the chaos battery's core assertion).  With a
+        ``broker_dir`` the run is joinable by ``repro fabric worker``
+        processes; a clean finish writes the broker's ``done`` marker so
+        they exit.
+        """
+        from repro.fabric import FabricPool, FilesystemBroker, InProcessBroker
+
+        fabric = self.fabric
+        assert fabric is not None  # _dispatch routed us here
+        telemetry = self.telemetry
+        labels = {job.label for job in jobs}
+        entries = self._fabric_entries(labels)
+        if fabric.broker_dir:
+            broker: Any = FilesystemBroker.create(
+                fabric.broker_dir,
+                self._fabric_manifest(),
+                policy=fabric.policy,
+                fresh=fabric.fresh,
+            )
+        else:
+            broker = InProcessBroker(fabric.policy)
+        states = [
+            PointState(
+                job.label,
+                job.ebn0_db,
+                job.seed,
+                entries[job.label].config,
+                tag=job,
+            )
+            for job in jobs
+        ]
+        on_event: Callable[..., None] | None = None
+        on_shard: Callable[[Any, int, Any, Any, float], None] | None = None
+        if telemetry is not None:
+            recorder: Telemetry = telemetry
+            for job in jobs:
+                recorder.emit(
+                    "job_dispatched",
+                    experiment=job.label,
+                    point_index=job.point_index,
+                    ebn0_db=job.ebn0_db,
+                )
+            on_event = recorder.emit
+            # Fabric workers are named; shard_completed's worker field is an
+            # int, so names map to indices by first appearance (stable for a
+            # deterministic schedule).
+            worker_indices: dict[str, int] = {}
+
+            def _fabric_shard_observer(
+                state: Any,
+                shard_index: int,
+                result: Any,
+                shard: Any,
+                dispatched_at: float,
+            ) -> None:
+                name = shard.worker if shard is not None else "?"
+                index = worker_indices.setdefault(name, len(worker_indices))
+                recorder.record_shard(
+                    experiment=state.key,
+                    ebn0_db=state.ebn0_db,
+                    shard_index=shard_index,
+                    frames=result.frames,
+                    frame_errors=result.frame_errors,
+                    seconds=0.0,
+                    queue_seconds=0.0,
+                    worker=index,
+                    stage_seconds=None,
+                )
+
+            on_shard = _fabric_shard_observer
+
+        with FabricPool(
+            entries,
+            broker=broker,
+            workers=fabric.local_workers,
+            fault_plan=fabric.fault_plan,
+            wall_clock=fabric.resolved_wall_clock(),
+            poll_seconds=fabric.poll_seconds,
+            on_event=on_event,
+        ) as pool:
+            pool.run_states(
+                states,
+                on_point=lambda state, point: self._record(
+                    state.key, point, progress
+                ),
+                on_shard=on_shard,
+            )
+        if hasattr(broker, "mark_done"):
+            broker.mark_done()

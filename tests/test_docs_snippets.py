@@ -16,6 +16,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 DOC_FILES = [
     REPO_ROOT / "README.md",
     REPO_ROOT / "docs" / "campaigns.md",
+    REPO_ROOT / "docs" / "fabric.md",
     REPO_ROOT / "docs" / "components.md",
     REPO_ROOT / "docs" / "observability.md",
     REPO_ROOT / "docs" / "reporting.md",

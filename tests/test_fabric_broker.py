@@ -1,0 +1,318 @@
+"""Unit tests for the fabric work-lease brokers and shard-job plumbing.
+
+The chaos battery (``test_fabric_chaos.py``) proves end-to-end bit-identity
+under failure schedules; these tests pin the broker mechanics those
+guarantees stand on: lease TTL/heartbeat semantics, idempotent completion,
+bounded retry with backoff, dead-lettering, cancellation, straggler
+re-queueing, the seed spawn-equivalence that lets a job travel as JSON,
+and the filesystem backend's crash-recovery behaviours.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.fabric import (
+    FabricMismatchError,
+    FilesystemBroker,
+    InProcessBroker,
+    LeasePolicy,
+    ShardJob,
+    result_from_dict,
+    result_to_dict,
+    seed_from_dict,
+    seed_to_dict,
+    shard_address,
+)
+from repro.sim.montecarlo import BatchResult
+
+
+def make_job(index=0, key="exp", ebn0=3.0, size=10, seed=1234):
+    parent = np.random.SeedSequence(seed)
+    children = parent.spawn(index + 1)
+    return ShardJob(
+        key=key,
+        ebn0_db=ebn0,
+        shard_index=index,
+        size=size,
+        seed=seed_to_dict(children[index]),
+    )
+
+
+def broker_pair(tmp_path, policy):
+    """Both backends under the same policy (parametrization helper)."""
+    return {
+        "inprocess": InProcessBroker(policy),
+        "filesystem": FilesystemBroker.create(
+            tmp_path / "broker", {"campaign": "t", "entries": {}}, policy=policy
+        ),
+    }
+
+
+class TestShardJobSerialization:
+    def test_seed_round_trip_is_spawn_equivalent(self):
+        """A JSON-round-tripped child seed drives the exact same stream.
+
+        This is the property that lets shard jobs travel to other hosts:
+        numpy defines child ``i`` as ``SeedSequence(entropy, spawn_key=
+        parent_key + (i,))``, so (entropy, spawn_key) reconstructs it.
+        """
+        parent = np.random.SeedSequence(20090427)
+        for child in parent.spawn(5):
+            rebuilt = seed_from_dict(json.loads(json.dumps(seed_to_dict(child))))
+            a = np.random.default_rng(child).random(32)
+            b = np.random.default_rng(rebuilt).random(32)
+            assert np.array_equal(a, b)
+
+    def test_result_round_trip(self):
+        result = BatchResult(
+            frames=10, bits=620, bit_errors=3, frame_errors=1,
+            undetected_frame_errors=0, iterations=57, info_bits=310,
+            info_bit_errors=2,
+        )
+        assert result_from_dict(json.loads(json.dumps(result_to_dict(result)))) == result
+
+    def test_job_round_trip_and_address(self):
+        job = make_job(index=3, key="nms a=1.25", ebn0=4.5)
+        restored = ShardJob.from_dict(json.loads(json.dumps(job.as_dict())))
+        assert restored == job
+        assert restored.job_id == job.job_id == shard_address("nms a=1.25", 4.5, 3)
+        # Addresses are filesystem-safe and ordered like shard indices.
+        assert "/" not in job.job_id and " " not in job.job_id
+        assert shard_address("e", 2.0, 2) < shard_address("e", 2.0, 10)
+
+    def test_distinct_grid_values_never_collide(self):
+        assert shard_address("e", 2.0, 0) != shard_address("e", 2.5, 0)
+        assert shard_address("a", 2.0, 0) != shard_address("b", 2.0, 0)
+
+
+@pytest.mark.parametrize("backend", ["inprocess", "filesystem"])
+class TestBrokerContract:
+    """Behaviours both backends must share, driven on a logical clock."""
+
+    def make(self, tmp_path, backend, **policy_kwargs):
+        policy = LeasePolicy(
+            ttl=5.0, max_attempts=3, backoff_base=1.0, backoff_factor=2.0,
+            **policy_kwargs,
+        )
+        return broker_pair(tmp_path, policy)[backend]
+
+    def test_lease_complete_lifecycle(self, tmp_path, backend):
+        broker = self.make(tmp_path, backend)
+        job = make_job()
+        assert broker.submit(job, now=0.0) == "queued"
+        assert broker.submit(job, now=0.0) == "pending"  # dedup on address
+        leased = broker.lease("w0", now=1.0)
+        assert leased is not None and leased.job.job_id == job.job_id
+        assert leased.attempt == 1
+        assert broker.lease("w1", now=1.0) is None  # only one copy to grant
+        assert broker.complete(job.job_id, {"result": {}, "frames": 1}, "w0")
+        assert broker.submit(job, now=2.0) == "done"  # resume fast path
+        assert broker.result(job.job_id) is not None
+        assert broker.leases() == []
+
+    def test_completion_is_first_wins_idempotent(self, tmp_path, backend):
+        broker = self.make(tmp_path, backend)
+        job = make_job()
+        broker.submit(job, now=0.0)
+        broker.lease("w0", now=0.0)
+        assert broker.complete(job.job_id, {"winner": True}, "w0") is True
+        assert broker.complete(job.job_id, {"winner": False}, "w1") is False
+        record = broker.result(job.job_id)
+        assert record["worker"] == "w0"  # the duplicate never overwrites
+
+    def test_heartbeat_extends_and_expiry_requeues_with_backoff(
+        self, tmp_path, backend
+    ):
+        broker = self.make(tmp_path, backend)
+        job = make_job()
+        broker.submit(job, now=0.0)
+        broker.lease("w0", now=0.0)  # expires at 5
+        assert broker.heartbeat(job.job_id, "w0", now=4.0)  # now expires at 9
+        assert broker.reclaim(now=6.0) == []  # heartbeat kept it alive
+        transitions = broker.reclaim(now=10.0)
+        assert [t.outcome for t in transitions] == ["retried"]
+        assert transitions[0].worker == "w0" and transitions[0].attempt == 1
+        # Re-queued with backoff(1) = 1.0: not leasable until now >= 11.
+        assert broker.lease("w1", now=10.5) is None
+        leased = broker.lease("w1", now=11.0)
+        assert leased is not None and leased.attempt == 2
+
+    def test_heartbeat_rejects_stale_claimant(self, tmp_path, backend):
+        broker = self.make(tmp_path, backend)
+        job = make_job()
+        broker.submit(job, now=0.0)
+        broker.lease("w0", now=0.0)
+        broker.reclaim(now=6.0)  # w0's lease expired
+        broker.lease("w1", now=7.0)
+        assert broker.heartbeat(job.job_id, "w0", now=7.5) is False
+        assert broker.heartbeat(job.job_id, "w1", now=7.5) is True
+
+    def test_dead_letter_after_max_attempts(self, tmp_path, backend):
+        broker = self.make(tmp_path, backend)
+        job = make_job()
+        broker.submit(job, now=0.0)
+        now = 0.0
+        for attempt in (1, 2):
+            assert broker.lease(f"w{attempt}", now=now).attempt == attempt
+            now += 100.0  # well past the TTL
+            assert [t.outcome for t in broker.reclaim(now=now)] == ["retried"]
+            now += 100.0  # and past the backoff window
+        assert broker.lease("w3", now=now).attempt == 3
+        transitions = broker.reclaim(now=now + 200.0)
+        assert [t.outcome for t in transitions] == ["dead"]
+        assert broker.dead_attempts(job.job_id) == 3
+        assert broker.lease("w4", now=now + 400.0) is None  # not re-queued
+
+    def test_cancel_stops_retries(self, tmp_path, backend):
+        broker = self.make(tmp_path, backend)
+        job = make_job()
+        broker.submit(job, now=0.0)
+        broker.lease("w0", now=0.0)
+        broker.cancel(job.job_id)
+        assert broker.reclaim(now=10.0) == []  # expired but cancelled: dropped
+        assert broker.lease("w1", now=20.0) is None
+
+    def test_redispatch_duplicates_a_live_lease(self, tmp_path, backend):
+        broker = self.make(tmp_path, backend)
+        job = make_job()
+        broker.submit(job, now=0.0)
+        broker.lease("w0", now=0.0)
+        assert broker.redispatch(job.job_id) is True
+        assert broker.redispatch(job.job_id) is False  # copy already queued
+        twin = broker.lease("w1", now=1.0)
+        assert twin is not None and twin.job.job_id == job.job_id
+        # Both executions complete; exactly one is first.
+        firsts = [
+            broker.complete(job.job_id, {"by": w}, w) for w in ("w1", "w0")
+        ]
+        assert firsts == [True, False]
+
+    def test_queue_is_fifo_in_submission_order(self, tmp_path, backend):
+        broker = self.make(tmp_path, backend)
+        jobs = [make_job(index=i) for i in range(3)]
+        for job in jobs:
+            broker.submit(job, now=0.0)
+        granted = [broker.lease("w0", now=0.0).job.shard_index for _ in jobs]
+        assert granted == [0, 1, 2]
+
+    def test_leases_view_is_sorted_and_complete(self, tmp_path, backend):
+        broker = self.make(tmp_path, backend, straggler_after=2.0)
+        for i in range(2):
+            broker.submit(make_job(index=i), now=0.0)
+        broker.lease("w1", now=0.0)
+        broker.lease("w0", now=0.5)
+        views = broker.leases()
+        assert [v.job_id for v in views] == sorted(v.job_id for v in views)
+        assert {v.worker for v in views} == {"w0", "w1"}
+        assert all(v.expires_at == v.granted_at + 5.0 for v in views)
+
+
+class TestFilesystemBrokerRecovery:
+    """Backend-specific crash and multi-process behaviours."""
+
+    MANIFEST = {"campaign": "t", "entries": {"e": {"note": 1}}}
+
+    def test_reopen_requires_matching_fingerprint(self, tmp_path):
+        root = tmp_path / "b"
+        FilesystemBroker.create(root, self.MANIFEST)
+        FilesystemBroker.create(root, self.MANIFEST)  # same spec: fine
+        with pytest.raises(FabricMismatchError):
+            FilesystemBroker.create(root, {"campaign": "other", "entries": {}})
+        # fresh=True wipes state instead of refusing.
+        broker = FilesystemBroker.create(
+            root, {"campaign": "other", "entries": {}}, fresh=True
+        )
+        assert broker.manifest["campaign"] == "other"
+
+    def test_fresh_discards_queue_and_results(self, tmp_path):
+        root = tmp_path / "b"
+        broker = FilesystemBroker.create(root, self.MANIFEST)
+        job = make_job()
+        broker.submit(job, now=0.0)
+        done = make_job(index=1)
+        broker.submit(done, now=0.0)
+        broker.lease("w0", now=0.0)
+        broker.complete(done.job_id, {"r": 1}, "w0")
+        broker = FilesystemBroker.create(root, self.MANIFEST, fresh=True)
+        assert broker.queued_count() == 0
+        assert broker.result(done.job_id) is None
+
+    def test_coordinator_restart_requeues_stale_leases(self, tmp_path):
+        """A crashed coordinator's leases are recovered on re-create.
+
+        The previous run's workers are gone with it; their leases re-queue
+        immediately (preserving the attempt count) so the resumed run can
+        lease them without waiting out the TTL.
+        """
+        root = tmp_path / "b"
+        broker = FilesystemBroker.create(root, self.MANIFEST)
+        job = make_job()
+        broker.submit(job, now=0.0)
+        assert broker.lease("w0", now=0.0) is not None
+        # simulate SIGKILL: no complete, no reclaim; just re-create
+        broker = FilesystemBroker.create(root, self.MANIFEST)
+        leased = broker.lease("w-new", now=0.0)
+        assert leased is not None and leased.job.job_id == job.job_id
+        assert leased.attempt == 1
+
+    def test_completion_records_survive_restart(self, tmp_path):
+        root = tmp_path / "b"
+        broker = FilesystemBroker.create(root, self.MANIFEST)
+        job = make_job()
+        broker.submit(job, now=0.0)
+        broker.lease("w0", now=0.0)
+        broker.complete(job.job_id, {"frames": 10}, "w0")
+        broker = FilesystemBroker.create(root, self.MANIFEST)
+        assert broker.submit(job, now=0.0) == "done"
+        assert broker.result(job.job_id)["result"]["frames"] == 10
+
+    def test_torn_lease_file_is_reclaimed_not_fatal(self, tmp_path):
+        """A lease killed between rename and rewrite has no expires_at."""
+        root = tmp_path / "b"
+        broker = FilesystemBroker.create(root, self.MANIFEST)
+        job = make_job()
+        broker.submit(job, now=0.0)
+        broker.lease("w0", now=0.0)
+        lease_path = root / "leases" / f"{job.job_id}.json"
+        record = json.loads(lease_path.read_text())
+        del record["expires_at"]
+        lease_path.write_text(json.dumps(record))
+        transitions = broker.reclaim(now=0.0)  # treated as already expired
+        assert [t.outcome for t in transitions] == ["retried"]
+
+    def test_open_requires_manifest(self, tmp_path):
+        from repro.fabric import FabricError
+
+        with pytest.raises(FabricError):
+            FilesystemBroker.open(tmp_path / "nowhere")
+
+    def test_done_marker_round_trip(self, tmp_path):
+        root = tmp_path / "b"
+        broker = FilesystemBroker.create(root, self.MANIFEST)
+        assert not broker.is_done()
+        broker.mark_done()
+        assert broker.is_done()
+        # A resumed campaign clears the marker so workers keep serving.
+        broker = FilesystemBroker.create(root, self.MANIFEST)
+        assert not broker.is_done()
+
+
+class TestLeasePolicy:
+    def test_backoff_growth(self):
+        policy = LeasePolicy(backoff_base=0.5, backoff_factor=2.0)
+        assert [policy.backoff(a) for a in (1, 2, 3)] == [0.5, 1.0, 2.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LeasePolicy(ttl=0.0)
+        with pytest.raises(ValueError):
+            LeasePolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            LeasePolicy(backoff_factor=0.5)
+
+    def test_round_trip(self):
+        policy = LeasePolicy(ttl=7.0, max_attempts=2, straggler_after=9.0)
+        assert LeasePolicy.from_dict(policy.as_dict()) == policy
+        assert LeasePolicy.from_dict({}) == LeasePolicy()

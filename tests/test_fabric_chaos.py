@@ -1,0 +1,258 @@
+"""The fabric chaos battery: bit-identity under scripted failure schedules.
+
+The fabric's contract is a single sentence — *for any fleet, any broker and
+any failure schedule the lease policy survives, the stored curves are
+byte-identical to the serial engine's*.  Each test here replays one
+deterministic :class:`~repro.fabric.faults.FaultPlan` (worker deaths,
+dropped heartbeats, duplicate deliveries, stragglers) against both broker
+backends on the logical clock and compares the resulting ``*.curve.json``
+files byte-for-byte against a serial reference computed once per module.
+A separate group proves the crash story: a run stranded by total fleet
+death raises :class:`~repro.fabric.FabricStalledError`, keeps every
+completed point, and a resumed run converges to the same bytes.
+"""
+
+import json
+
+import pytest
+
+from repro.fabric import (
+    FabricConfig,
+    FabricJobError,
+    FabricStalledError,
+    FaultPlan,
+    LeasePolicy,
+)
+from repro.sim import SimulationConfig
+from repro.sim.campaign import (
+    CampaignScheduler,
+    CampaignSpec,
+    CodeSpec,
+    DecoderSpec,
+    ExperimentSpec,
+    ResultStore,
+)
+
+CHAOS_CONFIG = SimulationConfig(
+    max_frames=60, target_frame_errors=8, batch_frames=10, all_zero_codeword=True
+)
+
+# Tight enough that kills recover in a handful of logical ticks; generous
+# enough in attempts that no scripted schedule exhausts the retry budget.
+POLICY = LeasePolicy(
+    ttl=5.0,
+    max_attempts=6,
+    backoff_base=1.0,
+    backoff_factor=2.0,
+    straggler_after=6.0,
+)
+
+WORKERS = 3
+
+# One named schedule per recovery path (plus their combination).  Every
+# plan keeps at least one worker alive, so each campaign must complete.
+SCHEDULES = {
+    "fault-free": FaultPlan(),
+    "worker-killed": FaultPlan(kill_after={"w1": 1}),
+    "instant-death": FaultPlan(kill_after={"w1": 0, "w2": 0}),
+    "duplicate-delivery": FaultPlan(duplicate_leases=frozenset({0, 2, 5})),
+    "stale-lease": FaultPlan(
+        drop_heartbeat_after={"w1": 0}, shard_ticks={"w1": 8}
+    ),
+    "straggler": FaultPlan(shard_ticks={"w1": 12}),
+    "kitchen-sink": FaultPlan(
+        kill_after={"w2": 2},
+        drop_heartbeat_after={"w1": 1},
+        shard_ticks={"w1": 7},
+        duplicate_leases=frozenset({1, 3}),
+    ),
+}
+
+
+def chaos_spec(name="chaos-campaign"):
+    code = CodeSpec(family="scaled", circulant=31)
+    return CampaignSpec(
+        name=name,
+        seed=11,
+        ebn0=(2.0, 3.0),
+        config=CHAOS_CONFIG,
+        experiments=[
+            ExperimentSpec(label="nms", code=code, decoder=DecoderSpec("nms", 8)),
+            ExperimentSpec(
+                label="min-sum", code=code, decoder=DecoderSpec("min-sum", 8)
+            ),
+        ],
+    )
+
+
+def curve_bytes(directory):
+    """Label -> raw bytes of every stored curve file (the identity unit)."""
+    files = sorted(directory.glob("*.curve.json"))
+    assert files, f"no curves stored under {directory}"
+    return {path.name: path.read_bytes() for path in files}
+
+
+def fabric_config(tmp_path, backend, plan, **overrides):
+    kwargs = dict(
+        broker_dir=str(tmp_path / "broker") if backend == "filesystem" else None,
+        local_workers=WORKERS,
+        policy=POLICY,
+        fault_plan=plan,
+        wall_clock=False,  # logical clock even for the filesystem backend
+    )
+    kwargs.update(overrides)
+    return FabricConfig(**kwargs)
+
+
+def run_fabric(tmp_path, backend, plan, **overrides):
+    store = ResultStore.create(tmp_path / "store", chaos_spec())
+    scheduler = CampaignScheduler(
+        store.spec,
+        store,
+        telemetry=False,
+        fabric=fabric_config(tmp_path, backend, plan, **overrides),
+    )
+    scheduler.run()
+    return store
+
+
+@pytest.fixture(scope="module")
+def serial_curves(tmp_path_factory):
+    """The ground truth: the same campaign on the serial engine."""
+    directory = tmp_path_factory.mktemp("serial")
+    store = ResultStore.create(directory / "store", chaos_spec())
+    CampaignScheduler(store.spec, store, telemetry=False).run()
+    return curve_bytes(store.directory)
+
+
+@pytest.mark.parametrize("backend", ["inprocess", "filesystem"])
+@pytest.mark.parametrize("schedule", sorted(SCHEDULES))
+def test_curves_byte_identical_under_schedule(
+    tmp_path, backend, schedule, serial_curves
+):
+    store = run_fabric(tmp_path, backend, SCHEDULES[schedule])
+    assert curve_bytes(store.directory) == serial_curves
+
+
+@pytest.mark.parametrize("backend", ["inprocess", "filesystem"])
+def test_fabric_rerun_is_itself_deterministic(tmp_path, backend):
+    """Same schedule twice -> same bytes (the battery's own replay axiom)."""
+    plan = SCHEDULES["kitchen-sink"]
+    first = run_fabric(tmp_path / "a", backend, plan)
+    second = run_fabric(tmp_path / "b", backend, plan)
+    assert curve_bytes(first.directory) == curve_bytes(second.directory)
+
+
+class TestCrashAndResume:
+    """Total fleet death mid-campaign, then a clean resume."""
+
+    # Every worker dies after a single completed shard: three folded shards
+    # can never finish four points, so the stall is guaranteed.
+    DEADLY = FaultPlan(kill_after={"w0": 1, "w1": 1, "w2": 1})
+
+    @pytest.mark.parametrize("backend", ["inprocess", "filesystem"])
+    def test_stall_keeps_store_and_resume_converges(
+        self, tmp_path, backend, serial_curves
+    ):
+        store = ResultStore.create(tmp_path / "store", chaos_spec())
+        scheduler = CampaignScheduler(
+            store.spec,
+            store,
+            telemetry=False,
+            fabric=fabric_config(tmp_path, backend, self.DEADLY),
+        )
+        with pytest.raises(FabricStalledError):
+            scheduler.run()
+
+        # Whatever completed before the stall is already durable and valid.
+        reopened = ResultStore.open(store.directory)
+        completed = {
+            label: reopened.completed_ebn0(label) for label in ("nms", "min-sum")
+        }
+        assert sum(len(points) for points in completed.values()) < 4
+
+        # Resume with a healthy fleet (same store, same broker directory for
+        # the filesystem backend — its stale leases re-queue on create).
+        resumed = CampaignScheduler(
+            store.spec,
+            reopened,
+            telemetry=False,
+            fabric=fabric_config(tmp_path, backend, FaultPlan()),
+        )
+        resumed.run()
+        assert curve_bytes(store.directory) == serial_curves
+
+    def test_sigkill_equivalent_no_stall_detection_on_wall_clock(self, tmp_path):
+        """Wall-clock coordinators never declare a stall (workers may join)."""
+        from repro.fabric import FabricPool
+
+        with pytest.raises(ValueError):
+            FabricPool({}, workers=0)  # empty entries rejected first
+        # workers=0 demands wall_clock: the logical clock has no one to serve.
+        store = ResultStore.create(tmp_path / "store", chaos_spec())
+        scheduler = CampaignScheduler(
+            store.spec,
+            store,
+            telemetry=False,
+            fabric=FabricConfig(local_workers=0, wall_clock=False),
+        )
+        with pytest.raises(ValueError, match="wall_clock"):
+            scheduler.run()
+
+
+class TestRetryBudget:
+    def test_dead_letter_surfaces_as_fabric_job_error(self, tmp_path):
+        """With a one-attempt budget, a single kill is fatal — loudly so."""
+        store = ResultStore.create(tmp_path / "store", chaos_spec())
+        scheduler = CampaignScheduler(
+            store.spec,
+            store,
+            telemetry=False,
+            fabric=FabricConfig(
+                local_workers=2,
+                policy=LeasePolicy(ttl=5.0, max_attempts=1, straggler_after=None),
+                fault_plan=FaultPlan(kill_after={"w1": 0}),
+                wall_clock=False,
+            ),
+        )
+        with pytest.raises(FabricJobError, match="dead-letter"):
+            scheduler.run()
+
+
+class TestFilesystemBrokerReuse:
+    def test_resume_skips_completed_points_without_recompute(self, tmp_path):
+        """A finished campaign resumed over the same broker dir is a no-op."""
+        plan_dir = tmp_path / "broker"
+        store = run_fabric(tmp_path, "filesystem", FaultPlan())
+        before = curve_bytes(store.directory)
+        reopened = ResultStore.open(store.directory)
+        scheduler = CampaignScheduler(
+            store.spec,
+            reopened,
+            telemetry=False,
+            fabric=FabricConfig(
+                broker_dir=str(plan_dir),
+                local_workers=WORKERS,
+                policy=POLICY,
+                wall_clock=False,
+            ),
+        )
+        scheduler.run()
+        assert curve_bytes(store.directory) == before
+
+    def test_done_marker_written_on_clean_finish(self, tmp_path):
+        from repro.fabric import FilesystemBroker
+
+        run_fabric(tmp_path, "filesystem", FaultPlan())
+        broker = FilesystemBroker.open(tmp_path / "broker")
+        assert broker.is_done()
+
+    def test_completion_records_name_the_workers(self, tmp_path):
+        """Completion records are auditable: each names its winning worker."""
+        run_fabric(tmp_path, "filesystem", FaultPlan())
+        results = sorted((tmp_path / "broker" / "results").glob("*.json"))
+        assert results
+        workers = {
+            json.loads(path.read_text())["worker"] for path in results
+        }
+        assert workers <= {f"w{i}" for i in range(WORKERS)}

@@ -492,3 +492,132 @@ class TestReportSection:
         report = CampaignReport.from_store(tmp_path / "c", include_rates=False)
         assert "Execution telemetry" not in report.to_text()
         assert report.as_dict()["telemetry"] is None
+
+
+# --------------------------------------------------------------------- #
+# Telemetry under injected faults (fabric runs)
+# --------------------------------------------------------------------- #
+class TestFabricTelemetry:
+    """The observability layer stays write-only and deterministic when the
+    executor is the fabric and the failure schedule is hostile."""
+
+    CHAOTIC = None  # built lazily: FaultPlan is imported inside the tests
+
+    @staticmethod
+    def _fabric(plan, workers=3):
+        from repro.fabric import FabricConfig, LeasePolicy
+
+        return FabricConfig(
+            local_workers=workers,
+            policy=LeasePolicy(
+                ttl=5.0,
+                max_attempts=6,
+                backoff_base=1.0,
+                backoff_factor=2.0,
+                straggler_after=6.0,
+            ),
+            fault_plan=plan,
+            wall_clock=False,
+        )
+
+    @staticmethod
+    def _chaotic_plan():
+        from repro.fabric import FaultPlan
+
+        # One of everything: a death, a stale lease, a straggler and
+        # duplicate deliveries — so the trace has every row to render.
+        return FaultPlan(
+            kill_after={"w2": 1},
+            drop_heartbeat_after={"w1": 1},
+            shard_ticks={"w1": 8},
+            duplicate_leases=frozenset({0, 3}),
+        )
+
+    def test_fabric_telemetry_is_write_only(self, tmp_path):
+        plain, _ = run_campaign(tmp_path / "plain", telemetry=False)
+        spec = tiny_spec()
+        store = ResultStore.create(tmp_path / "fabric", spec)
+        CampaignScheduler(
+            spec, store, telemetry=True, fabric=self._fabric(self._chaotic_plan())
+        ).run()
+        assert curve_bytes(store) == curve_bytes(plain)
+
+    def test_fabric_run_emits_schema_valid_fault_events(self, tmp_path):
+        spec = tiny_spec()
+        store = ResultStore.create(tmp_path / "c", spec)
+        CampaignScheduler(
+            spec, store, telemetry=True, fabric=self._fabric(self._chaotic_plan())
+        ).run()
+        path = tmp_path / "c" / "telemetry" / "events.jsonl"
+        validate_event_log(path)
+        records = read_events(path)
+        for kind in (
+            "worker_join",
+            "lease_granted",
+            "lease_expired",
+            "job_retry",
+            "duplicate_delivery",
+            "straggler_redispatch",
+            "worker_leave",
+        ):
+            assert events_of_type(records, kind), f"no {kind} events recorded"
+        # The scripted death is visible: w2 leaves without rejoining, and
+        # some leases needed more than one attempt.
+        leaves = {r["worker"] for r in events_of_type(records, "worker_leave")}
+        assert "w2" in leaves
+        assert any(r["attempt"] > 1 for r in events_of_type(records, "lease_granted"))
+
+    def test_trace_renders_fault_events_deterministically(self, tmp_path):
+        spec = tiny_spec()
+        store = ResultStore.create(tmp_path / "c", spec)
+        CampaignScheduler(
+            spec, store, telemetry=True, fabric=self._fabric(self._chaotic_plan())
+        ).run()
+        text = trace_summary(tmp_path / "c")
+        assert "Fabric fleet" in text
+        assert "leases granted" in text and "retries" in text
+        assert "straggler re-dispatches" in text and "duplicate" in text
+        for worker in ("w0", "w1", "w2"):
+            assert worker in text
+        # Rendering is a pure function of the recorded log.
+        assert trace_summary(tmp_path / "c") == text
+
+    def test_trace_omits_fabric_section_for_pool_runs(self, tmp_path):
+        run_campaign(tmp_path / "c", workers=2, telemetry=True)
+        assert "Fabric fleet" not in trace_summary(tmp_path / "c")
+
+    def test_seq_contiguous_across_killed_and_resumed_fabric_run(self, tmp_path):
+        from repro.fabric import FabricStalledError, FaultPlan
+
+        spec = tiny_spec()
+        store = ResultStore.create(tmp_path / "c", spec)
+        deadly = FaultPlan(kill_after={"w0": 1, "w1": 1, "w2": 1})
+        with pytest.raises(FabricStalledError):
+            CampaignScheduler(
+                spec, store, telemetry=True, fabric=self._fabric(deadly)
+            ).run()
+
+        path = tmp_path / "c" / "telemetry" / "events.jsonl"
+        validate_event_log(path)  # the stall left a well-formed log
+        records = read_events(path)
+        assert events_of_type(records, "campaign_end") == []
+        assert len(events_of_type(records, "worker_leave")) == 3
+
+        # Resume with a healthy fleet over the same store and log.
+        store = ResultStore.open(tmp_path / "c")
+        curves = CampaignScheduler(
+            spec, store, telemetry=True, fabric=self._fabric(FaultPlan())
+        ).run()
+        assert all(len(curve.points) == 2 for curve in curves.values())
+        validate_event_log(path)
+        records = read_events(path)
+        # Seq numbers are contiguous from zero across both runs: the resumed
+        # writer continued exactly where the killed one stopped.
+        assert [r["seq"] for r in records] == list(range(len(records)))
+        assert len(events_of_type(records, "campaign_start")) == 2
+        assert len(events_of_type(records, "campaign_end")) == 1
+        runs = split_runs(records)
+        assert len(runs) == 2
+        # Both runs are fabric runs; the trace renders their fleets.
+        text = trace_summary(tmp_path / "c")
+        assert trace_summary(tmp_path / "c") == text

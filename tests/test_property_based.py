@@ -331,3 +331,106 @@ class TestQuantizerProperties:
         arr = np.clip(np.array(values), -fmt.max_value, fmt.max_value)
         error = np.abs(quantizer.quantize(arr) - arr)
         assert (error <= fmt.step / 2 + 1e-12).all()
+
+
+# --------------------------------------------------------------------------- #
+# Fabric chaos invariants
+# --------------------------------------------------------------------------- #
+class TestFabricChaosProperties:
+    """Random fault schedules over random small grids change nothing.
+
+    The directed chaos battery (``test_fabric_chaos.py``) replays named
+    schedules; this property sweeps the schedule space itself: any
+    :meth:`FaultPlan.random` plan (worker ``w0`` is always spared, so the
+    campaign must finish) over any fleet size and grid length leaves both
+    the completed-point set and the stored curve bytes exactly equal to the
+    serial engine's.
+    """
+
+    GRID = (2.0, 2.5, 3.0)
+    _serial_cache: dict = {}
+
+    @staticmethod
+    def _spec(n_points):
+        from repro.sim import SimulationConfig
+        from repro.sim.campaign import (
+            CampaignSpec,
+            CodeSpec,
+            DecoderSpec,
+            ExperimentSpec,
+        )
+
+        return CampaignSpec(
+            name="fabric-prop",
+            seed=3,
+            ebn0=TestFabricChaosProperties.GRID[:n_points],
+            config=SimulationConfig(
+                max_frames=30,
+                target_frame_errors=5,
+                batch_frames=10,
+                all_zero_codeword=True,
+            ),
+            experiments=[
+                ExperimentSpec(
+                    label="nms",
+                    code=CodeSpec(family="scaled", circulant=31),
+                    decoder=DecoderSpec("nms", 8),
+                )
+            ],
+        )
+
+    @classmethod
+    def _run(cls, n_points, fabric=None):
+        import tempfile
+        from pathlib import Path
+
+        from repro.sim.campaign import CampaignScheduler, ResultStore
+
+        with tempfile.TemporaryDirectory() as tmp:
+            store = ResultStore.create(Path(tmp) / "store", cls._spec(n_points))
+            CampaignScheduler(
+                store.spec, store, telemetry=False, fabric=fabric
+            ).run()
+            completed = store.completed_ebn0("nms")
+            curves = {
+                path.name: path.read_bytes()
+                for path in sorted(Path(store.directory).glob("*.curve.json"))
+            }
+        return completed, curves
+
+    @classmethod
+    def _serial(cls, n_points):
+        cached = cls._serial_cache.get(n_points)
+        if cached is None:
+            cached = cls._run(n_points)
+            cls._serial_cache[n_points] = cached
+        return cached
+
+    @settings(
+        max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        n_points=st.integers(1, 3),
+        workers=st.integers(1, 4),
+    )
+    def test_random_fault_schedule_is_invisible(self, seed, n_points, workers):
+        from repro.fabric import FabricConfig, FaultPlan, LeasePolicy
+
+        plan = FaultPlan.random(seed, workers)
+        fabric = FabricConfig(
+            local_workers=workers,
+            policy=LeasePolicy(
+                ttl=5.0,
+                max_attempts=6,
+                backoff_base=1.0,
+                backoff_factor=2.0,
+                straggler_after=6.0,
+            ),
+            fault_plan=plan,
+            wall_clock=False,
+        )
+        completed, curves = self._run(n_points, fabric=fabric)
+        serial_completed, serial_curves = self._serial(n_points)
+        assert completed == serial_completed == set(self.GRID[:n_points])
+        assert curves == serial_curves

@@ -24,6 +24,17 @@ def _factory_for(code, iterations=8):
     return factory
 
 
+class _ExplodingDecoder:
+    """Raises on the first frame; module-level so it pickles under fork."""
+
+    def decode(self, llrs):
+        raise RuntimeError("exploding test decoder")
+
+
+def _exploding_decoder_factory():
+    return _ExplodingDecoder()
+
+
 class TestShardSchedule:
     def test_constant_without_adaptive(self):
         config = SimulationConfig(max_frames=100, target_frame_errors=10, batch_frames=32)
@@ -269,6 +280,31 @@ class TestSharedWorkerPool:
     def test_empty_entries_rejected(self):
         with pytest.raises(ValueError):
             SharedWorkerPool({})
+
+    def test_worker_exception_surfaces_without_deadlock(self, scaled_code):
+        """A worker raising mid-shard must propagate, not hang the pool.
+
+        Regression coverage for the PR 5 teardown semantics: the error
+        re-raises in the parent when the failed shard's result is folded,
+        the ``with`` block exits through the force/terminate path (an
+        exception must not wait for speculative shards), and ``close`` is
+        still idempotent afterwards.  A deadlock here would hang the whole
+        suite, which is exactly the failure mode being pinned.
+        """
+        config = SimulationConfig(
+            max_frames=40, target_frame_errors=10, batch_frames=5,
+            all_zero_codeword=True,
+        )
+        entries = {
+            "boom": PoolEntry(scaled_code, _exploding_decoder_factory, config)
+        }
+        (seed,) = spawn_seed_sequences(99, 1)
+        pool = SharedWorkerPool(entries, workers=2)
+        with pool:
+            with pytest.raises(RuntimeError, match="exploding test decoder"):
+                pool.run_states([PointState("boom", 3.0, seed, config)])
+        assert pool._pool is None  # torn down by the exception exit
+        pool.close()  # idempotent after the force path
 
 
 class TestSweepResume:
