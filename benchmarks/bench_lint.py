@@ -1,0 +1,92 @@
+"""Static-analysis cost — the lint gate must stay cheap enough to gate.
+
+The ``repro lint`` suite runs on every CI push (and ideally in editor save
+hooks), so its own wall time is a budget: the single-file determinism pass
+is near-instant per file, while the ``--flow`` whole-program pass builds a
+symbol table and call graph over all of ``src/repro`` and runs the
+interprocedural REP3xx/REP4xx rules — the part that could quietly grow
+superlinear as the tree does.  This benchmark times both passes over the
+real tree, asserts the gate verdict is clean (the same invariant CI
+enforces), and appends the wall times to the ``BENCH_devtools.json``
+trajectory so a flow-analyzer slowdown shows up as a trend, not a
+mystery.  The ceilings are deliberately generous — they catch accidental
+quadratic blow-ups, not scheduler jitter.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from trajectory import record as record_trajectory
+
+from repro.devtools import analyze_paths, apply_baseline, lint_paths
+from repro.utils.formatting import format_table
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC_TREE = REPO_ROOT / "src" / "repro"
+BASELINE = REPO_ROOT / ".repro-lint-baseline.json"
+
+#: Generous wall-time ceilings (seconds): the tree currently lints in
+#: well under a second and flow-analyzes in a couple; these only trip on
+#: an order-of-magnitude regression (e.g. an accidentally quadratic
+#: call-graph pass).
+LINT_CEILING_S = 30.0
+FLOW_CEILING_S = 120.0
+
+
+def _count_python_files() -> int:
+    return sum(1 for _ in SRC_TREE.rglob("*.py"))
+
+
+def test_lint_gate_cost(benchmark, report_sink):
+    t0 = time.perf_counter()
+    violations = lint_paths([SRC_TREE], root=REPO_ROOT)
+    lint_seconds = time.perf_counter() - t0
+    if BASELINE.exists():
+        violations, _ = apply_baseline(violations, BASELINE)
+
+    t0 = time.perf_counter()
+    flow_violations = analyze_paths([SRC_TREE], root=REPO_ROOT)
+    flow_seconds = time.perf_counter() - t0
+    # Hand the same pass to pytest-benchmark for its statistics; the
+    # trajectory records the single explicitly-timed run above.
+    benchmark.pedantic(
+        lambda: analyze_paths([SRC_TREE], root=REPO_ROOT), rounds=1
+    )
+
+    files = _count_python_files()
+    rows = [
+        ("determinism pass (REP1xx)", f"{lint_seconds:.2f} s",
+         f"{files / max(lint_seconds, 1e-9):.0f} files/s"),
+        ("flow pass (REP3xx/REP4xx)", f"{flow_seconds:.2f} s",
+         f"{files / max(flow_seconds, 1e-9):.0f} files/s"),
+        ("gate verdict", "clean" if not (violations or flow_violations)
+         else "DIRTY", f"{files} files"),
+    ]
+    report = format_table(
+        ["pass", "wall time", "rate"], rows,
+        title="repro lint over src/repro",
+    )
+    report_sink("bench_lint", report)
+
+    record_trajectory(
+        "devtools",
+        {
+            "lint_gate": {
+                "files": files,
+                "lint_seconds": round(lint_seconds, 4),
+                "flow_seconds": round(flow_seconds, 4),
+                "lint_violations": len(violations),
+                "flow_violations": len(flow_violations),
+            }
+        },
+    )
+
+    # The same invariants CI's static-analysis job enforces.
+    assert violations == [], "\n".join(v.render() for v in violations)
+    assert flow_violations == [], "\n".join(
+        v.render() for v in flow_violations
+    )
+    assert lint_seconds < LINT_CEILING_S
+    assert flow_seconds < FLOW_CEILING_S

@@ -70,7 +70,7 @@ class TannerGraph:
         extrinsic information, which the update kernels special-case.
     """
 
-    def __init__(self, parity_check: ParityCheckMatrix):
+    def __init__(self, parity_check: ParityCheckMatrix) -> None:
         self._pcm = parity_check
         check_idx, bit_idx = parity_check.edges()
         # The sparse matrix already stores edges sorted by (check, bit).

@@ -15,6 +15,11 @@ re-litigating it in every review:
   no hidden global randomness, no unseeded generators, no wall-clock in
   artifacts, no set-order or float-equality hazards, atomic persistence
   writes, picklable pool targets;
+* :mod:`repro.devtools.callgraph` + :mod:`repro.devtools.flow` — the
+  whole-program flow analyzer (``repro lint --flow``): a project symbol
+  table and call graph feeding interprocedural RNG-provenance taint
+  (``REP3xx``) and fabric/persistence protocol (``REP4xx``) rules, with
+  inter-file evidence chains in every finding;
 * :mod:`repro.devtools.baseline` — committed-baseline debt management, so
   pre-existing violations burn down instead of blocking the gate;
 * :mod:`repro.devtools.schema_check` — the registry cross-checker
@@ -29,6 +34,16 @@ suppression/baseline workflow.
 """
 
 from repro.devtools.baseline import Baseline, apply_baseline
+from repro.devtools.callgraph import Project
+from repro.devtools.flow import (
+    DEFAULT_FLOW_CONFIG,
+    FLOW_CODES,
+    FlowConfig,
+    FlowViolation,
+    analyze_paths,
+    analyze_project,
+    analyze_sources,
+)
 from repro.devtools.linter import (
     DEFAULT_CONFIG,
     LinterConfig,
@@ -40,6 +55,7 @@ from repro.devtools.linter import (
 from repro.devtools.rules import (
     ALL_RULES,
     DETERMINISM_RULES,
+    FLOW_RULES,
     SCHEMA_RULES,
     Rule,
     rule,
@@ -57,7 +73,16 @@ __all__ = [
     "ALL_RULES",
     "DETERMINISM_RULES",
     "SCHEMA_RULES",
+    "FLOW_RULES",
+    "FLOW_CODES",
     "Violation",
+    "FlowViolation",
+    "FlowConfig",
+    "DEFAULT_FLOW_CONFIG",
+    "Project",
+    "analyze_paths",
+    "analyze_project",
+    "analyze_sources",
     "LinterConfig",
     "DEFAULT_CONFIG",
     "lint_source",

@@ -18,13 +18,18 @@ from pathlib import Path
 from typing import Sequence, TextIO
 
 from repro.devtools.baseline import Baseline
+from repro.devtools.flow import (
+    DEFAULT_FLOW_CONFIG,
+    FlowConfig,
+    analyze_paths,
+)
 from repro.devtools.linter import (
     DEFAULT_CONFIG,
     LinterConfig,
     Violation,
     lint_paths,
 )
-from repro.devtools.rules import DETERMINISM_RULES, SCHEMA_RULES
+from repro.devtools.rules import DETERMINISM_RULES, FLOW_RULES, SCHEMA_RULES
 from repro.devtools.schema_check import SchemaFinding, check_registry
 
 __all__ = ["add_lint_arguments", "run_lint", "DEFAULT_BASELINE_PATH"]
@@ -49,11 +54,19 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         "against its factory signature and docs/components.md (REP2xx)",
     )
     parser.add_argument(
+        "--flow",
+        action="store_true",
+        help="also run the whole-program flow analyzer: interprocedural "
+        "RNG-provenance taint (REP3xx) and fabric/persistence protocol "
+        "(REP4xx) rules with inter-file evidence chains",
+    )
+    parser.add_argument(
         "--select",
         type=str,
         default=None,
         metavar="CODES",
-        help="comma-separated rule codes to enforce (default: all REP1xx)",
+        help="comma-separated rule codes to enforce (default: all REP1xx, "
+        "plus all REP3xx/REP4xx under --flow)",
     )
     parser.add_argument(
         "--baseline",
@@ -97,6 +110,7 @@ def _print_rules(stream: TextIO) -> None:
     for group, rules in (
         ("Determinism rules (AST linter)", DETERMINISM_RULES),
         ("Registry schema rules (--schemas)", SCHEMA_RULES),
+        ("Whole-program flow rules (--flow)", FLOW_RULES),
     ):
         print(f"{group}:", file=stream)
         for item in rules:
@@ -148,6 +162,12 @@ def run_lint(args: argparse.Namespace) -> int:
 
     try:
         violations = lint_paths(args.paths, config=config)
+        if getattr(args, "flow", False):
+            flow_config: FlowConfig = DEFAULT_FLOW_CONFIG
+            if args.select:
+                flow_config = flow_config.with_select(config.select)
+            violations.extend(analyze_paths(args.paths, config=flow_config))
+            violations.sort(key=lambda v: (v.path, v.line, v.column, v.rule))
     except FileNotFoundError as exc:
         print(str(exc), file=sys.stderr)
         return 2

@@ -118,6 +118,9 @@ class LinterConfig:
         "repro/sim/campaign/spec.py",
         "repro/sim/results.py",
         "repro/fabric/broker.py",
+        "repro/fabric/pool.py",
+        "repro/obs/metrics.py",
+        "repro/obs/events.py",
     )
     persistence_whitelist: tuple[str, ...] = ("repro/utils/files.py",)
     obs_scopes: tuple[str, ...] = ("repro/obs/",)

@@ -18,6 +18,13 @@ Codes are grouped by family:
 * ``REP2xx`` — *registry schema* rules, enforced by introspecting every
   registered component's declared :class:`~repro.registry.Param` schema
   against its factory's real signature and the component documentation.
+* ``REP3xx`` — *RNG provenance* rules, enforced by the whole-program flow
+  analyzer (:mod:`repro.devtools.flow`, ``repro lint --flow``): values are
+  tracked from the ``SeedSequence`` chokepoints through assignments,
+  calls, returns and dataclass fields across module boundaries.
+* ``REP4xx`` — *fabric/persistence protocol* rules, also interprocedural:
+  explicit-``now`` broker mutators, atomic on-disk state transitions and
+  the lease lifecycle order at every call site.
 
 Suppression: append ``# repro: noqa[REP103]`` (or a comma-separated list,
 or bare ``# repro: noqa`` for every rule) to the offending line.  For
@@ -33,6 +40,7 @@ __all__ = [
     "Rule",
     "DETERMINISM_RULES",
     "SCHEMA_RULES",
+    "FLOW_RULES",
     "ALL_RULES",
     "rule",
 ]
@@ -199,9 +207,80 @@ SCHEMA_RULES: tuple[Rule, ...] = (
     ),
 )
 
+FLOW_RULES: tuple[Rule, ...] = (
+    Rule(
+        "REP301",
+        "unprovenanced-generator",
+        "Generator materialized whose seed has no SeedSequence provenance",
+        "Bit-identical shard counts require every Generator to descend from "
+        "the experiment's SeedSequence spawn tree; a generator built from a "
+        "bare int, wall clock or untraceable value starts a stream the "
+        "determinism story cannot account for.  The flow analyzer follows "
+        "seeds across assignments, calls, returns and dataclass fields "
+        "before flagging, so threading provenance through helpers is free.",
+    ),
+    Rule(
+        "REP302",
+        "conjured-rng",
+        "function conjures its RNG from literals instead of a parameter",
+        "A helper that hardcodes SeedSequence(1234) cannot take part in the "
+        "spawn tree: every caller gets the same stream and campaign seeds "
+        "stop reaching it.  RNG-consuming functions must accept provenance "
+        "(an rng/seed parameter) and let the caller spawn it.",
+    ),
+    Rule(
+        "REP303",
+        "rng-dispatch-fanout",
+        "one RNG object reaches several shard/worker dispatch sites",
+        "Two shards fed the same Generator or SeedSequence draw identical "
+        "streams, silently correlating Monte-Carlo counts that the "
+        "statistics assume independent; each dispatch must carry its own "
+        "spawned child.",
+    ),
+    Rule(
+        "REP304",
+        "captured-rng-state",
+        "RNG state frozen into a default argument or captured by a closure",
+        "A default argument evaluates once at def time — every call then "
+        "shares (and advances) the same hidden stream; a closure smuggles "
+        "generator state past the explicit seed-threading discipline.  "
+        "Both break the rule that provenance is always visible in call "
+        "signatures.",
+    ),
+    Rule(
+        "REP401",
+        "broker-wall-clock",
+        "broker state mutator without explicit `now`, or reaching wall clock",
+        "The fabric's chaos battery replays lease expiry, reclaim and "
+        "backoff on a logical clock; a broker method that reads real time "
+        "(directly or through any helper chain) or mutates state without "
+        "an injected `now` cannot be replayed deterministically and "
+        "escapes the fault-injection tests.",
+    ),
+    Rule(
+        "REP402",
+        "non-atomic-reach",
+        "persistence code reaches a raw write through a helper chain",
+        "REP107 only sees writes written *in* the persistence modules; "
+        "kill/resume safety also requires that no helper they call "
+        "performs a bare open()/write_text().  The interprocedural check "
+        "closes the laundering loophole: on-disk state transitions go "
+        "through repro.utils.files atomic helpers, whatever the call depth.",
+    ),
+    Rule(
+        "REP403",
+        "lease-lifecycle",
+        "broker call sites violate submit→lease→heartbeat→complete order",
+        "A module that heartbeats jobs it never leased, or leases jobs it "
+        "never completes, defeats the TTL/reclaim accounting the fabric's "
+        "exactly-once completion story depends on; consumers must drive "
+        "the full lease lifecycle.",
+    ),
+)
+
 #: Every rule of the suite, indexed by code.
 ALL_RULES: dict[str, Rule] = {
-    r.code: r for r in DETERMINISM_RULES + SCHEMA_RULES
+    r.code: r for r in DETERMINISM_RULES + SCHEMA_RULES + FLOW_RULES
 }
 
 

@@ -1,0 +1,9 @@
+"""BAD: materializes a Generator from a value with no SeedSequence lineage."""
+
+import numpy as np
+
+from helper import make_entropy
+
+
+def build_generator():
+    return np.random.default_rng(make_entropy())

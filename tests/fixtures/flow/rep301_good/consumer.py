@@ -1,0 +1,9 @@
+"""GOOD: the Generator descends from the seed the caller provided."""
+
+import numpy as np
+
+from helper import shard_sequence
+
+
+def build_generator(seed):
+    return np.random.default_rng(shard_sequence(seed))

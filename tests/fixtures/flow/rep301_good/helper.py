@@ -1,0 +1,7 @@
+"""Seed helper that keeps provenance: callers hand in the seed."""
+
+import numpy as np
+
+
+def shard_sequence(seed):
+    return np.random.SeedSequence(seed)

@@ -1,0 +1,7 @@
+"""Caller of the conjuring helper (the evidence chain lands here)."""
+
+from worker import add_noise
+
+
+def run(frames):
+    return add_noise(frames)

@@ -1,0 +1,8 @@
+"""BAD: conjures RNG provenance from a hardcoded literal SeedSequence."""
+
+import numpy as np
+
+
+def add_noise(frames):
+    gen = np.random.default_rng(np.random.SeedSequence(1234))
+    return gen.normal(size=frames)

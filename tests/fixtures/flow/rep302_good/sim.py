@@ -1,0 +1,7 @@
+"""Caller threads the campaign seed into the helper."""
+
+from worker import add_noise
+
+
+def run(frames, seed):
+    return add_noise(frames, seed)

@@ -1,0 +1,8 @@
+"""GOOD: provenance is a parameter; the caller owns the spawn tree."""
+
+import numpy as np
+
+
+def add_noise(frames, seed):
+    gen = np.random.default_rng(np.random.SeedSequence(seed))
+    return gen.normal(size=frames)

@@ -1,0 +1,13 @@
+"""BAD: one Generator fans out to every shard dispatch in the loop."""
+
+import numpy as np
+
+from workers import simulate_shard
+
+
+def run(pool, seed):
+    rng = np.random.default_rng(seed)
+    handles = []
+    for index in range(4):
+        handles.append(pool.apply_async(simulate_shard, (index, rng)))
+    return [handle.get() for handle in handles]

@@ -1,0 +1,5 @@
+"""Shard worker: consumes the per-shard RNG it is handed."""
+
+
+def simulate_shard(index, rng):
+    return index, rng.normal()

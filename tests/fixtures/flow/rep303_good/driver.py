@@ -1,0 +1,14 @@
+"""GOOD: every dispatch carries its own spawned SeedSequence child."""
+
+import numpy as np
+
+from workers import simulate_shard
+
+
+def run(pool, seed):
+    root = np.random.SeedSequence(seed)
+    handles = []
+    for index in range(4):
+        (child,) = root.spawn(1)
+        handles.append(pool.apply_async(simulate_shard, (index, child)))
+    return [handle.get() for handle in handles]

@@ -1,0 +1,5 @@
+"""Shard worker: consumes the per-shard SeedSequence child it is handed."""
+
+
+def simulate_shard(index, seed_seq):
+    return index, seed_seq

@@ -1,0 +1,16 @@
+"""BAD twice: RNG state in a default argument, and captured by a closure."""
+
+from factory import make_rng
+
+
+def simulate(frames, rng=make_rng(0)):
+    return rng.normal(size=frames)
+
+
+def build_stepper(seed):
+    rng = make_rng(seed)
+
+    def step():
+        return rng.normal()
+
+    return step

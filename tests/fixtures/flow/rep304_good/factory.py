@@ -1,0 +1,7 @@
+"""RNG factory: fine on its own — the seed is a parameter."""
+
+import numpy as np
+
+
+def make_rng(seed):
+    return np.random.default_rng(seed)

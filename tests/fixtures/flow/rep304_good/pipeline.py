@@ -1,0 +1,12 @@
+"""GOOD: provenance stays explicit in every signature."""
+
+from factory import make_rng
+
+
+def simulate(frames, rng=None, seed=0):
+    rng = make_rng(seed) if rng is None else rng
+    return rng.normal(size=frames)
+
+
+def step(rng):
+    return rng.normal()

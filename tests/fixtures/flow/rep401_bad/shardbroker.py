@@ -1,0 +1,25 @@
+"""BAD twice: lease() drops `now`, heartbeat() reaches time.time()."""
+
+from clockutil import read_clock
+
+
+class ShardBroker:
+    def __init__(self):
+        self._jobs = []
+        self._beats = {}
+        self._done = {}
+
+    def submit(self, job, *, now):
+        self._jobs.append((job, now))
+
+    def lease(self, worker):
+        return self._jobs.pop()
+
+    def heartbeat(self, job_id, worker, *, now):
+        self._beats[job_id] = read_clock()
+
+    def complete(self, job_id, worker, payload):
+        self._done[job_id] = payload
+
+    def reclaim(self, *, now):
+        return [job for job, _ in self._jobs]

@@ -1,0 +1,7 @@
+"""Duration helper: monotonic deltas are permitted, wall time is not."""
+
+import time
+
+
+def elapsed_since(start):
+    return time.perf_counter() - start

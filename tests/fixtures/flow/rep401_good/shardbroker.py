@@ -1,0 +1,25 @@
+"""GOOD: every mutator moves on the injected `now`; no wall clock anywhere."""
+
+
+class ShardBroker:
+    def __init__(self):
+        self._jobs = []
+        self._beats = {}
+        self._done = {}
+
+    def submit(self, job, *, now):
+        self._jobs.append((job, now))
+
+    def lease(self, worker, *, now):
+        job = self._jobs.pop()
+        self._beats[worker] = now
+        return job
+
+    def heartbeat(self, job_id, worker, *, now):
+        self._beats[job_id] = now
+
+    def complete(self, job_id, worker, payload):
+        self._done[job_id] = payload
+
+    def reclaim(self, *, now):
+        return [job for job, deadline in self._jobs if deadline <= now]

@@ -1,0 +1,8 @@
+"""Innocent-looking helper that performs a raw, interruptible write."""
+
+import json
+from pathlib import Path
+
+
+def dump_json(path, payload):
+    Path(path).write_text(json.dumps(payload, sort_keys=True))

@@ -1,0 +1,7 @@
+"""BAD: persistence scope launders its write through a raw helper."""
+
+from disk import dump_json
+
+
+def save_state(path, payload):
+    dump_json(path, payload)

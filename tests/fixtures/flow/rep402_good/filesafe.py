@@ -1,0 +1,17 @@
+"""The audited atomic-write helper (whitelisted, like repro.utils.files)."""
+
+import os
+import tempfile
+from pathlib import Path
+
+
+def atomic_write_text(path, text):
+    target = Path(path)
+    handle, staging = tempfile.mkstemp(dir=target.parent)
+    try:
+        with os.fdopen(handle, "w", encoding="utf-8") as stream:
+            stream.write(text)
+        os.replace(staging, target)
+    except BaseException:
+        os.unlink(staging)
+        raise

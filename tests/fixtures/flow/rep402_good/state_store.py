@@ -1,0 +1,9 @@
+"""GOOD: every on-disk state transition goes through the atomic helper."""
+
+import json
+
+from filesafe import atomic_write_text
+
+
+def save_state(path, payload):
+    atomic_write_text(path, json.dumps(payload, sort_keys=True))

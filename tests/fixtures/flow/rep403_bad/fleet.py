@@ -1,0 +1,6 @@
+"""BAD: leases shard jobs and walks away — nothing ever completes."""
+
+
+def drain(broker, worker, now):
+    leased = broker.lease(worker, now=now)
+    return leased

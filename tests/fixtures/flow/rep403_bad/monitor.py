@@ -1,0 +1,5 @@
+"""BAD: heartbeats leases this module never acquired."""
+
+
+def pulse(broker, job_id, worker, now):
+    broker.heartbeat(job_id, worker, now=now)

@@ -1,0 +1,11 @@
+"""GOOD: the full lifecycle — lease, heartbeat while working, complete."""
+
+
+def drain(broker, worker, now):
+    leased = broker.lease(worker, now=now)
+    if leased is None:
+        return None
+    broker.heartbeat(leased.job_id, worker, now=now)
+    payload = leased.run()
+    broker.complete(leased.job_id, worker, payload)
+    return payload

@@ -1,0 +1,16 @@
+"""Bad (linted as repro/obs/events.py): unsanctioned raw writes.
+
+The real event log legitimately appends (with an audited noqa); this
+fixture shows the spellings that must still be caught there — whole-file
+truncating writes with no atomicity story at all.
+"""
+from pathlib import Path
+
+
+def rewrite_log(path, lines):
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines))
+
+
+def export_summary(path, text):
+    Path(path).write_text(text)

@@ -1,0 +1,20 @@
+"""Good: event-log rewrites use the atomic helper; appends are audited.
+
+An append-only journal's unit of atomicity is the flushed line, so the
+one sanctioned `open(..., "a")` carries an explicit audited noqa — the
+same pattern the real repro/obs/events.py uses.
+"""
+from repro.utils.files import atomic_write_text
+
+
+def rewrite_log(path, lines):
+    atomic_write_text(path, "\n".join(lines))
+
+
+def append_record(path, line):
+    handle = open(path, "a", encoding="utf-8")  # repro: noqa[REP107]
+    try:
+        handle.write(line + "\n")
+        handle.flush()
+    finally:
+        handle.close()

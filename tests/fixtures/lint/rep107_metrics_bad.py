@@ -1,0 +1,12 @@
+"""Bad (linted as repro/obs/metrics.py): raw snapshot writes."""
+import json
+from pathlib import Path
+
+
+def snapshot(path, counters):
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(counters, handle)
+
+
+def export_csv(path, rows):
+    Path(path).write_text("\n".join(rows))

@@ -1,0 +1,12 @@
+"""Good: metrics snapshots go through the atomic write helper."""
+import json
+
+from repro.utils.files import atomic_write_text
+
+
+def snapshot(path, counters):
+    atomic_write_text(path, json.dumps(counters, sort_keys=True))
+
+
+def export_csv(path, rows):
+    atomic_write_text(path, "\n".join(rows))

@@ -1,0 +1,11 @@
+"""Bad (linted as repro/fabric/pool.py): raw checkpoint writes."""
+from pathlib import Path
+
+
+def checkpoint(path, payload):
+    with open(path, "w") as handle:
+        handle.write(payload)
+
+
+def stamp_manifest(path, text):
+    Path(path).write_text(text)

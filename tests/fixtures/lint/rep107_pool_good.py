@@ -1,0 +1,10 @@
+"""Good: pool-side persistence rides the atomic rename helper."""
+from repro.utils.files import atomic_write_text
+
+
+def checkpoint(path, payload):
+    atomic_write_text(path, payload)
+
+
+def stamp_manifest(path, text):
+    atomic_write_text(path, text)

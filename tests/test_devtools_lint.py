@@ -19,6 +19,7 @@ from repro.devtools import (
     Baseline,
     DEFAULT_CONFIG,
     DETERMINISM_RULES,
+    FLOW_RULES,
     SCHEMA_RULES,
     Violation,
     apply_baseline,
@@ -61,7 +62,9 @@ def test_catalog_has_at_least_eight_determinism_rules():
 
 
 def test_catalog_codes_are_unique_and_looked_up():
-    assert len(ALL_RULES) == len(DETERMINISM_RULES) + len(SCHEMA_RULES)
+    assert len(ALL_RULES) == (
+        len(DETERMINISM_RULES) + len(SCHEMA_RULES) + len(FLOW_RULES)
+    )
     for code in RULE_CODES:
         assert rule(code).code == code
     with pytest.raises(KeyError):
@@ -201,6 +204,36 @@ def test_rep107_only_in_persistence_scope():
 def test_rep107_read_mode_is_fine():
     source = "def f(p):\n    return open(p).read()\n"
     assert lint_source(source, "src/repro/sim/results.py") == []
+
+
+#: Newly audited persistence paths (PR 10 scope widening), each with its
+#: own paired fixture: the raw-write spellings that must now fire there
+#: and the atomic (or audited-append) spelling that must stay clean.
+_PERSISTENCE_FIXTURES = {
+    "rep107_pool": "src/repro/fabric/pool.py",
+    "rep107_metrics": "src/repro/obs/metrics.py",
+    "rep107_events": "src/repro/obs/events.py",
+}
+
+
+@pytest.mark.parametrize("stem", sorted(_PERSISTENCE_FIXTURES))
+def test_rep107_widened_scope_bad_fixture_fires(stem):
+    source = (FIXTURES / f"{stem}_bad.py").read_text(encoding="utf-8")
+    violations = lint_source(source, _PERSISTENCE_FIXTURES[stem])
+    assert len(violations) >= 2, stem
+    assert {v.rule for v in violations} == {"REP107"}
+
+
+@pytest.mark.parametrize("stem", sorted(_PERSISTENCE_FIXTURES))
+def test_rep107_widened_scope_good_fixture_is_clean(stem):
+    source = (FIXTURES / f"{stem}_good.py").read_text(encoding="utf-8")
+    assert lint_source(source, _PERSISTENCE_FIXTURES[stem]) == []
+
+
+def test_rep107_widened_scope_is_path_sensitive():
+    """The same raw write stays legal outside the persistence scope."""
+    source = (FIXTURES / "rep107_pool_bad.py").read_text(encoding="utf-8")
+    assert lint_source(source, "src/repro/analysis/report.py") == []
 
 
 def test_syntax_error_raises():
